@@ -1,0 +1,154 @@
+//! Detection-side microbenchmarks: per-model prediction latency, ensemble
+//! voting, training time, and the end-to-end pipeline rate.
+//!
+//! The paper dropped KNN from the live testbed "because of its relatively
+//! slower prediction times" (§IV-C.3) — the `predict_one` group puts a
+//! number on that decision.
+
+use amlight_core::pipeline::{DetectionPipeline, PipelineConfig};
+use amlight_core::testbed::{Testbed, TestbedConfig};
+use amlight_core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight_features::FeatureSet;
+use amlight_ml::model::BinaryClassifier;
+use amlight_ml::{
+    GaussianNb, Knn, Mlp, MlpConfig, RandomForest, RandomForestConfig, StandardScaler,
+};
+use amlight_net::TrafficClass;
+use amlight_traffic::ReplayLibrary;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+struct Fixture {
+    scaled_train: amlight_ml::Dataset,
+    sample_row: Vec<f64>,
+    labeled: Vec<(amlight_int::TelemetryReport, TrafficClass)>,
+    bundle: amlight_core::trainer::ModelBundle,
+}
+
+fn fixture() -> Fixture {
+    let lab = Testbed::new(TestbedConfig::default());
+    let library = ReplayLibrary::build(800, 31);
+    let mut training = Vec::new();
+    for class in TrafficClass::ALL {
+        if class != TrafficClass::SlowLoris {
+            training.extend(lab.replay_class(&library, class));
+        }
+    }
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let mut scaled_train = raw.clone();
+    let _ = StandardScaler::fit_transform(&mut scaled_train);
+    let sample_row = scaled_train.row(scaled_train.len() / 2).to_vec();
+
+    let bundle = train_bundle(
+        &raw,
+        FeatureSet::Int,
+        &TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 8,
+                batch_size: 256,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        },
+    );
+    let labeled = lab.replay_class(&ReplayLibrary::build(2000, 32), TrafficClass::Benign);
+    Fixture {
+        scaled_train,
+        sample_row,
+        labeled,
+        bundle,
+    }
+}
+
+fn bench_predict_one(c: &mut Criterion) {
+    let f = fixture();
+    let rf = RandomForest::fit(&f.scaled_train, &RandomForestConfig::fast(), 1);
+    let gnb = GaussianNb::fit(&f.scaled_train);
+    let knn = Knn::fit_subsampled(&f.scaled_train, 5, 0.05, 1);
+    let mlp = Mlp::fit(
+        &f.scaled_train,
+        &MlpConfig {
+            epochs: 3,
+            ..MlpConfig::paper_nn()
+        },
+        1,
+    );
+
+    let mut g = c.benchmark_group("predict_one");
+    g.throughput(Throughput::Elements(1));
+    let row = &f.sample_row;
+    g.bench_function("rf_25_trees", |b| {
+        b.iter(|| rf.predict_one(std::hint::black_box(row)))
+    });
+    g.bench_function("gnb", |b| {
+        b.iter(|| gnb.predict_one(std::hint::black_box(row)))
+    });
+    g.bench_function("knn_memorized", |b| {
+        b.iter(|| knn.predict_one(std::hint::black_box(row)))
+    });
+    g.bench_function("mlp_32_16_8", |b| {
+        b.iter(|| mlp.predict_one(std::hint::black_box(row)))
+    });
+    g.finish();
+}
+
+fn bench_ensemble_vote(c: &mut Criterion) {
+    let f = fixture();
+    // Raw (unscaled) row, as the pipeline feeds the bundle.
+    let raw_row: Vec<f64> = vec![
+        6.0, 40.0, 400.0, 40.0, 0.0, 0.001, 0.01, 0.001, 0.0, 0.0, 0.0, 0.0, 10.0, 1000.0, 40000.0,
+    ];
+    let mut g = c.benchmark_group("ensemble");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("scale_plus_2of3_vote", |b| {
+        b.iter(|| f.bundle.ensemble_vote(std::hint::black_box(&raw_row)))
+    });
+    g.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("training");
+    g.sample_size(10);
+    g.bench_function("rf_25_trees", |b| {
+        b.iter(|| RandomForest::fit(&f.scaled_train, &RandomForestConfig::fast(), 3))
+    });
+    g.bench_function("gnb", |b| b.iter(|| GaussianNb::fit(&f.scaled_train)));
+    g.bench_function("mlp_3_epochs", |b| {
+        b.iter(|| {
+            Mlp::fit(
+                &f.scaled_train,
+                &MlpConfig {
+                    epochs: 3,
+                    batch_size: 256,
+                    ..MlpConfig::paper_mlp()
+                },
+                3,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(f.labeled.len() as u64));
+    g.bench_function("run_sync_benign_replay", |b| {
+        b.iter_batched(
+            || DetectionPipeline::new(f.bundle.clone(), PipelineConfig::rust_pace()),
+            |mut pipe| pipe.run_sync(std::hint::black_box(&f.labeled)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predict_one,
+    bench_ensemble_vote,
+    bench_training,
+    bench_pipeline,
+);
+criterion_main!(benches);

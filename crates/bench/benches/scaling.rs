@@ -1,0 +1,98 @@
+//! Parallel-scaling benchmarks: the sharded flow processor across shard
+//! counts — the concrete answer to the paper's §V call for "faster
+//! processing capabilities" at production volume.
+
+use amlight_core::batch::BatchDetector;
+use amlight_core::testbed::{Testbed, TestbedConfig};
+use amlight_core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight_features::{FeatureSet, FlowTableConfig, ShardedFlowTable};
+use amlight_int::IntInstrumenter;
+use amlight_ml::MlpConfig;
+use amlight_net::Trace;
+use amlight_net::TrafficClass;
+use amlight_sim::{NetworkSim, Topology};
+use amlight_traffic::ReplayLibrary;
+use amlight_traffic::{TrafficMix, TrafficMixConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+fn telemetry(packets: usize) -> Vec<amlight_int::TelemetryReport> {
+    let mix = TrafficMix::new(TrafficMixConfig::paper_capture(3, 7));
+    let trace: Trace = mix
+        .generate()
+        .records()
+        .iter()
+        .take(packets)
+        .copied()
+        .collect();
+    let (topo, _, _) = Topology::testbed();
+    let sim = NetworkSim::new(topo).run(&trace);
+    IntInstrumenter::amlight().instrument(&trace, &sim)
+}
+
+fn bench_sharded_scaling(c: &mut Criterion) {
+    let reports = telemetry(50_000);
+    let mut g = c.benchmark_group("sharded_flow_table");
+    g.throughput(Throughput::Elements(reports.len() as u64));
+    g.sample_size(20);
+    for shards in [1usize, 2, 4, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter_batched(
+                    || ShardedFlowTable::new(FlowTableConfig::default(), shards),
+                    |mut table| table.update_int_batch(&reports),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_batch_detector(c: &mut Criterion) {
+    // Train once, then measure the full sharded detect path per shard
+    // count.
+    let lab = Testbed::new(TestbedConfig::default());
+    let lib = ReplayLibrary::build(800, 17);
+    let mut training = Vec::new();
+    for class in TrafficClass::ALL {
+        if class != TrafficClass::SlowLoris {
+            training.extend(lab.replay_class(&lib, class));
+        }
+    }
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let bundle = train_bundle(
+        &raw,
+        FeatureSet::Int,
+        &TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 4,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        },
+    );
+    let reports = telemetry(30_000);
+
+    let mut g = c.benchmark_group("batch_detector");
+    g.throughput(Throughput::Elements(reports.len() as u64));
+    g.sample_size(15);
+    for shards in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter_batched(
+                    || BatchDetector::new(bundle.clone(), FlowTableConfig::default(), shards),
+                    |mut det| det.detect_batch(&reports),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_scaling, bench_batch_detector);
+criterion_main!(benches);

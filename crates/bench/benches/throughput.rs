@@ -1,0 +1,186 @@
+//! Substrate throughput microbenchmarks: packet codec, dataplane
+//! simulation, INT collector decode, sFlow sampling, flow-table updates.
+//!
+//! These quantify the "faster processing capabilities" headroom the
+//! paper's §V asks for: the Rust collector and feature path must sustain
+//! production AmLight volumes (~1.3 M packets/s of telemetry).
+
+use amlight_features::{FlowTable, FlowTableConfig};
+use amlight_int::{IntCollector, IntInstrumenter};
+use amlight_net::{Decode, Encode, Packet, PacketBuilder, Trace, TrafficClass};
+use amlight_sflow::{SamplingMode, SflowAgent};
+use amlight_sim::{NetworkSim, Topology};
+use amlight_traffic::{TrafficMix, TrafficMixConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::net::Ipv4Addr;
+
+fn mixed_trace(packets: usize) -> Trace {
+    let mix = TrafficMix::new(TrafficMixConfig::paper_capture(2, 99));
+    let full = mix.generate();
+    full.records().iter().take(packets).copied().collect()
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let pkt = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+        .tcp_syn(40000, 80, 7);
+    let bytes = pkt.encode_to_bytes().freeze();
+
+    let mut g = c.benchmark_group("packet_codec");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode", |b| {
+        b.iter(|| std::hint::black_box(&pkt).encode_to_bytes())
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut cursor = bytes.clone();
+            Packet::decode(&mut cursor).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_dataplane(c: &mut Criterion) {
+    let trace = mixed_trace(20_000);
+    let mut g = c.benchmark_group("dataplane");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("simulate_20k_packets", |b| {
+        b.iter_batched(
+            || {
+                let (topo, _, _) = Topology::testbed();
+                NetworkSim::new(topo)
+            },
+            |mut sim| sim.run(std::hint::black_box(&trace)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_int_collector(c: &mut Criterion) {
+    let trace = mixed_trace(10_000);
+    let (topo, _, _) = Topology::testbed();
+    let sim_report = NetworkSim::new(topo).run(&trace);
+    let reports = IntInstrumenter::amlight().instrument(&trace, &sim_report);
+    let stream = IntCollector::encode_stream(&reports);
+
+    let mut g = c.benchmark_group("int_collector");
+    g.throughput(Throughput::Elements(reports.len() as u64));
+    g.bench_function("decode_stream", |b| {
+        b.iter(|| {
+            let mut collector = IntCollector::new();
+            let out = collector.ingest(std::hint::black_box(&stream));
+            assert_eq!(out.len(), reports.len());
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_sflow_agent(c: &mut Criterion) {
+    let trace = mixed_trace(50_000);
+    let mut g = c.benchmark_group("sflow_agent");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("observe_1_in_4096", |b| {
+        b.iter_batched(
+            || SflowAgent::amlight(7),
+            |mut agent| {
+                let mut n = 0usize;
+                for r in trace.iter() {
+                    if agent.observe(r.ts_ns, &r.packet).is_some() {
+                        n += 1;
+                    }
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("observe_deterministic_1_in_64", |b| {
+        b.iter_batched(
+            || {
+                SflowAgent::new(
+                    SamplingMode::Deterministic {
+                        period: 64,
+                        phase: 0,
+                    },
+                    7,
+                )
+            },
+            |mut agent| {
+                trace
+                    .iter()
+                    .filter(|r| agent.observe(r.ts_ns, &r.packet).is_some())
+                    .count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let trace = mixed_trace(20_000);
+    let (topo, _, _) = Topology::testbed();
+    let sim_report = NetworkSim::new(topo).run(&trace);
+    let reports = IntInstrumenter::amlight().instrument(&trace, &sim_report);
+
+    let mut g = c.benchmark_group("flow_table");
+    g.throughput(Throughput::Elements(reports.len() as u64));
+    g.bench_function("update_int_20k", |b| {
+        b.iter_batched(
+            || FlowTable::new(FlowTableConfig::default()),
+            |mut table| {
+                for r in &reports {
+                    table.update_int(std::hint::black_box(r));
+                }
+                table.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("update_and_extract_features", |b| {
+        b.iter_batched(
+            || {
+                (
+                    FlowTable::new(FlowTableConfig::default()),
+                    Vec::with_capacity(16),
+                )
+            },
+            |(mut table, mut buf)| {
+                let mut acc = 0.0f64;
+                for r in &reports {
+                    let (_, rec) = table.update_int(r);
+                    buf.clear();
+                    rec.features()
+                        .project_into(amlight_features::FeatureSet::Int, &mut buf);
+                    acc += buf[1];
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn sanity_class_mix(c: &mut Criterion) {
+    // Not a hot path: just pins the trace composition so the throughput
+    // numbers above are interpretable across runs.
+    let trace = mixed_trace(20_000);
+    let stats = trace.stats();
+    assert!(stats.per_class.contains_key(&TrafficClass::Benign));
+    c.bench_function("trace_stats", |b| {
+        b.iter(|| std::hint::black_box(&trace).stats())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_packet_codec,
+    bench_dataplane,
+    bench_int_collector,
+    bench_sflow_agent,
+    bench_flow_table,
+    sanity_class_mix,
+);
+criterion_main!(benches);

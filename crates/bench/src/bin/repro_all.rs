@@ -1,0 +1,112 @@
+//! Run every table and figure reproduction in sequence (the artifact a
+//! referee would run). Prints all tables and writes results/*.json.
+//!
+//! Usage: `repro_all [--fast] [--seed N]`
+
+use amlight_bench::capture::{ExperimentCapture, ExperimentConfig};
+use amlight_bench::figures::{
+    fig3_4_confusions, fig5_timeline, fig7_distributions, render_fig5_ascii,
+};
+use amlight_bench::tables::*;
+use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
+use amlight_core::pipeline::PipelineConfig;
+use amlight_net::TrafficClass;
+
+fn main() {
+    let fast = flag_fast();
+    let mut cfg = if fast {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::default()
+    };
+    cfg.seed = arg_seed(cfg.seed);
+    let day_len = cfg.day_len_s;
+    let seed = cfg.seed;
+
+    banner("Table I — attack episode schedule");
+    let t1 = table1_schedule(day_len);
+    for r in &t1 {
+        println!("{r}");
+    }
+    write_json("table1", &t1);
+
+    banner("Table II — feature matrix");
+    let t2 = table2_features();
+    for r in &t2 {
+        println!("{r}");
+    }
+    write_json("table2", &t2);
+
+    eprintln!(
+        "\ngenerating capture (day_len={}s, seed={})...",
+        cfg.day_len_s, cfg.seed
+    );
+    let cap = ExperimentCapture::generate(cfg);
+    eprintln!(
+        "capture: {} packets → {} INT reports, {} sFlow samples",
+        cap.trace_packets,
+        cap.int.len(),
+        cap.sflow.len()
+    );
+
+    banner("Table III — INT vs sFlow, four models, 90:10 split");
+    let t3 = table3_comparison(&cap, fast);
+    for r in &t3 {
+        println!("{}", r.render());
+    }
+    write_json("table3", &t3);
+
+    banner("Table IV — zero-day (train day 0, test day 1)");
+    let t4 = table4_zero_day(&cap, fast);
+    for r in &t4 {
+        println!("{}", r.render());
+    }
+    write_json("table4", &t4);
+
+    banner("Table V — top-5 features per model");
+    let t5 = table5_importance(&cap, fast);
+    for r in &t5 {
+        println!("\n{}:", r.model);
+        for (name, score) in &r.top {
+            println!("  {:<26} {:.4}", name, score);
+        }
+    }
+    write_json("table5", &t5);
+
+    banner("Figs. 3/4 — RF confusion matrices");
+    let (f3, f4) = fig3_4_confusions(&cap, fast);
+    println!("INT:\n{f3}");
+    println!("sFlow:\n{f4}");
+    write_json("fig3_4", &serde_json::json!({ "int": f3, "sflow": f4 }));
+
+    banner("Fig. 5 — detection timeline");
+    let points = fig5_timeline(&cap, if fast { 80 } else { 160 }, fast);
+    print!("{}", render_fig5_ascii(&points));
+    write_json("fig5", &points);
+
+    banner("Table VI — automated pipeline (paper pace)");
+    let packets = if fast { 300 } else { 2500 };
+    let (t6, reports) = table6_automated(packets, PipelineConfig::paper_pace(), fast, seed);
+    for r in &t6 {
+        println!("{}", r.render());
+    }
+    write_json("table6", &t6);
+
+    banner("Fig. 7 — prediction distributions");
+    for (idx, class) in [(0usize, TrafficClass::Benign), (4, TrafficClass::SlowLoris)] {
+        let series = fig7_distributions(&reports[idx], class);
+        let wrong = series.iter().filter(|p| p.correct == Some(false)).count();
+        println!(
+            "{:<10} predictions {:>6}, misclassified {:>4}",
+            class.name(),
+            series.len(),
+            wrong
+        );
+        write_json(
+            &format!("fig7_{}", class.name().replace(' ', "_").to_lowercase()),
+            &series,
+        );
+    }
+
+    println!("\nAll artifacts written to results/.");
+}

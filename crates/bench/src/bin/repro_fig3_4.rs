@@ -1,0 +1,30 @@
+//! Reproduce paper Figs. 3 & 4: Random-Forest confusion matrices on INT
+//! and sFlow test data.
+//!
+//! Usage: `repro_fig3_4 [--fast] [--seed N]`
+
+use amlight_bench::capture::{ExperimentCapture, ExperimentConfig};
+use amlight_bench::figures::fig3_4_confusions;
+use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
+
+fn main() {
+    let fast = flag_fast();
+    let mut cfg = if fast {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::default()
+    };
+    cfg.seed = arg_seed(cfg.seed);
+    let cap = ExperimentCapture::generate(cfg);
+    let (int, sflow) = fig3_4_confusions(&cap, fast);
+
+    banner("Fig. 3 — confusion matrix, RF model, INT data");
+    print!("{int}");
+    println!("accuracy {:.4}  f1 {:.4}", int.accuracy(), int.f1());
+
+    banner("Fig. 4 — confusion matrix, RF model, sFlow data");
+    print!("{sflow}");
+    println!("accuracy {:.4}  f1 {:.4}", sflow.accuracy(), sflow.f1());
+
+    write_json("fig3_4", &serde_json::json!({ "int": int, "sflow": sflow }));
+}

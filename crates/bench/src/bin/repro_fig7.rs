@@ -1,0 +1,57 @@
+//! Reproduce paper Figs. 7a/7b: distribution of predictions across the
+//! replay for benign and SlowLoris flows — misclassifications cluster at
+//! flow starts.
+//!
+//! Usage: `repro_fig7 [--fast] [--seed N]`
+
+use amlight_bench::figures::fig7_distributions;
+use amlight_bench::tables::table6_automated;
+use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
+use amlight_core::pipeline::PipelineConfig;
+use amlight_net::TrafficClass;
+
+fn main() {
+    let fast = flag_fast();
+    let seed = arg_seed(0xA317);
+    let packets = if fast { 300 } else { 2500 };
+    let (_, reports) = table6_automated(packets, PipelineConfig::paper_pace(), fast, seed);
+
+    for (idx, class, label) in [
+        (
+            0usize,
+            TrafficClass::Benign,
+            "Fig. 7a — benign replay (0 = correct)",
+        ),
+        (
+            4usize,
+            TrafficClass::SlowLoris,
+            "Fig. 7b — SlowLoris replay (1 = correct)",
+        ),
+    ] {
+        banner(label);
+        let series = fig7_distributions(&reports[idx], class);
+        let total = series.len();
+        let wrong: Vec<u64> = series
+            .iter()
+            .filter(|p| p.correct == Some(false))
+            .map(|p| p.index)
+            .collect();
+        println!("predictions: {total}, misclassified: {}", wrong.len());
+        if !wrong.is_empty() {
+            let first_half = wrong.iter().filter(|&&i| i < total as u64 / 2).count();
+            println!(
+                "misclassification positions: {:?}{}",
+                &wrong[..wrong.len().min(20)],
+                if wrong.len() > 20 { " …" } else { "" }
+            );
+            println!(
+                "fraction of errors in first half of replay: {:.2}",
+                first_half as f64 / wrong.len() as f64
+            );
+        }
+        write_json(
+            &format!("fig7_{}", class.name().replace(' ', "_").to_lowercase()),
+            &series,
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Reproduce paper Table I: the simulated attack-episode schedule.
+//!
+//! Usage: `repro_table1 [--fast] [--seed N]`
+
+use amlight_bench::tables::table1_schedule;
+use amlight_bench::util::{banner, flag_fast, write_json};
+
+fn main() {
+    let day_len_s = if flag_fast() { 5 } else { 20 };
+    banner(&format!(
+        "Table I — simulated attack episodes (two {day_len_s}-second lab days; \
+         paper: June 10–11 2024)"
+    ));
+    let rows = table1_schedule(day_len_s);
+    for r in &rows {
+        println!("{r}");
+    }
+    write_json("table1", &rows);
+}

@@ -1,0 +1,15 @@
+//! Reproduce paper Table II: features available from INT vs sFlow.
+
+use amlight_bench::tables::table2_features;
+use amlight_bench::util::{banner, write_json};
+
+fn main() {
+    banner("Table II — features used to detect DDoS attacks");
+    let rows = table2_features();
+    for r in &rows {
+        println!("{r}");
+    }
+    println!("\nNote: Hop Latency exists in INT but is excluded from the models,");
+    println!("      as in the paper (Table II note / §IV-B.2).");
+    write_json("table2", &rows);
+}

@@ -1,0 +1,34 @@
+//! Reproduce paper Table IV: zero-day evaluation — train on day 0, test
+//! on day 1 (SlowLoris unseen in training).
+//!
+//! Usage: `repro_table4 [--fast] [--seed N]`
+
+use amlight_bench::capture::{ExperimentCapture, ExperimentConfig};
+use amlight_bench::tables::table4_zero_day;
+use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
+
+fn main() {
+    let fast = flag_fast();
+    let mut cfg = if fast {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::default()
+    };
+    cfg.seed = arg_seed(cfg.seed);
+    let cap = ExperimentCapture::generate(cfg);
+
+    banner("Table IV — zero-day (SlowLoris unseen) evaluation");
+    println!(
+        "{:<6} {:<5} {:<8} {:<8} {:<9} {:<8}",
+        "Data", "Model", "Acc", "Recall", "Precision", "F1"
+    );
+    let rows = table4_zero_day(&cap, fast);
+    for r in &rows {
+        println!("{}", r.render());
+    }
+    println!("\nsFlow sample counts per class (sampling loss in the test day):");
+    for (class, n) in cap.sflow_class_counts() {
+        println!("  {:<10} {}", class.name(), n);
+    }
+    write_json("table4", &rows);
+}

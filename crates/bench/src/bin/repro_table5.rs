@@ -1,0 +1,29 @@
+//! Reproduce paper Table V: top-5 most important features per model,
+//! INT data.
+//!
+//! Usage: `repro_table5 [--fast] [--seed N]`
+
+use amlight_bench::capture::{ExperimentCapture, ExperimentConfig};
+use amlight_bench::tables::table5_importance;
+use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
+
+fn main() {
+    let fast = flag_fast();
+    let mut cfg = if fast {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::default()
+    };
+    cfg.seed = arg_seed(cfg.seed);
+    let cap = ExperimentCapture::generate(cfg);
+
+    banner("Table V — five most important features per model (INT data)");
+    let rows = table5_importance(&cap, fast);
+    for r in &rows {
+        println!("\n{}:", r.model);
+        for (name, score) in &r.top {
+            println!("  {:<26} {:.4}", name, score);
+        }
+    }
+    write_json("table5", &rows);
+}

@@ -1,0 +1,40 @@
+//! Reproduce paper Table VI: the automated detection mechanism on the
+//! testbed — per-class accuracy and prediction latency.
+//!
+//! Usage: `repro_table6 [--fast] [--seed N] [--rust-pace]`
+//!
+//! Default pace models the paper's Python/JS prototype (`paper_pace`) so
+//! the latency column lands on the paper's scale; `--rust-pace` reports
+//! what this Rust implementation would cost instead.
+
+use amlight_bench::tables::table6_automated;
+use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
+use amlight_core::pipeline::PipelineConfig;
+
+fn main() {
+    let fast = flag_fast();
+    let rust_pace = std::env::args().any(|a| a == "--rust-pace");
+    let seed = arg_seed(0xA317);
+    let packets = if fast { 300 } else { 2500 };
+    let pace = if rust_pace {
+        PipelineConfig::rust_pace()
+    } else {
+        PipelineConfig::paper_pace()
+    };
+
+    banner(&format!(
+        "Table VI — automated DDoS detection, {} packets per flow type ({} pace)",
+        packets,
+        if rust_pace { "Rust" } else { "paper" }
+    ));
+    let (rows, _reports) = table6_automated(packets, pace, fast, seed);
+    println!(
+        "{:<10} {:<8} {:<15} {:>12} {:>12}",
+        "Type", "Acc", "Misc/Predicted", "AvgPred(s)", "MaxPred(s)"
+    );
+    for r in &rows {
+        println!("{}", r.render());
+    }
+    println!("\nNote: benign row reports p99 instead of max, as in the paper.");
+    write_json("table6", &rows);
+}

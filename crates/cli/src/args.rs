@@ -1,0 +1,207 @@
+//! Minimal argument parsing — no external dependency for four
+//! subcommands and a handful of flags.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    pub command: Command,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// The subcommand to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Generate a labeled telemetry capture and write it to a file.
+    Capture,
+    /// Train a model bundle from a capture file.
+    Train,
+    /// Run the detection pipeline over a capture with a trained bundle.
+    Detect,
+    /// Scan a capture for queue microbursts.
+    Microburst,
+    /// End-to-end demonstration (capture → train → detect) in memory.
+    Demo,
+    /// Print usage.
+    Help,
+}
+
+/// Parse failure, with the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid arguments: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub const USAGE: &str = "\
+amlight — INT-based automated DDoS detection (AmLight reproduction)
+
+USAGE:
+    amlight <COMMAND> [OPTIONS]
+
+COMMANDS:
+    capture      generate a labeled telemetry capture
+                   --out <file>        output path (default capture.json)
+                   --day-len <secs>    compressed day length (default 10)
+                   --seed <n>          workload seed (default 41751)
+                   --hops <n>          switches in the path (default 1)
+    train        train scaler + MLP/RF/GNB bundle from a capture
+                   --capture <file>    input capture (default capture.json)
+                   --out <file>        bundle path (default bundle.json)
+                   --include-slowloris train on SlowLoris too (default: held
+                                       out as the zero-day attack)
+    detect       replay a capture through the detection pipeline
+                   --capture <file>    input capture (default capture.json)
+                   --bundle <file>     trained bundle (default bundle.json)
+                   --paper-pace        model the paper's prototype latencies
+    microburst   scan a capture's queue telemetry for microbursts
+                   --capture <file>    input capture (default capture.json)
+    demo         run capture → train → detect end to end in memory
+                   --seed <n>          workload seed
+    help         show this message
+";
+
+impl Args {
+    /// Parse tokens (not including the program name).
+    pub fn parse<I, S>(tokens: I) -> Result<Self, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = tokens.into_iter().map(Into::into);
+        let command = match iter.next().as_deref() {
+            Some("capture") => Command::Capture,
+            Some("train") => Command::Train,
+            Some("detect") => Command::Detect,
+            Some("microburst") => Command::Microburst,
+            Some("demo") => Command::Demo,
+            Some("help") | Some("--help") | Some("-h") | None => Command::Help,
+            Some(other) => return Err(ParseError(format!("unknown command `{other}`"))),
+        };
+
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut pending: Option<String> = None;
+        for tok in iter {
+            match pending.take() {
+                Some(key) => {
+                    flags.insert(key, tok);
+                }
+                None => {
+                    if let Some(name) = tok.strip_prefix("--") {
+                        if Self::is_switch(name) {
+                            switches.push(name.to_string());
+                        } else {
+                            pending = Some(name.to_string());
+                        }
+                    } else {
+                        return Err(ParseError(format!("unexpected token `{tok}`")));
+                    }
+                }
+            }
+        }
+        if let Some(key) = pending {
+            return Err(ParseError(format!("flag --{key} needs a value")));
+        }
+        Ok(Self {
+            command,
+            flags,
+            switches,
+        })
+    }
+
+    fn is_switch(name: &str) -> bool {
+        matches!(name, "paper-pace" | "include-slowloris" | "fast")
+    }
+
+    /// String flag with a default.
+    pub fn get<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Numeric flag with a default.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, ParseError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// Boolean switch.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_commands() {
+        for (tok, cmd) in [
+            ("capture", Command::Capture),
+            ("train", Command::Train),
+            ("detect", Command::Detect),
+            ("microburst", Command::Microburst),
+            ("demo", Command::Demo),
+            ("help", Command::Help),
+        ] {
+            assert_eq!(Args::parse([tok]).unwrap().command, cmd);
+        }
+    }
+
+    #[test]
+    fn empty_is_help() {
+        let args = Args::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(args.command, Command::Help);
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(Args::parse(["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn flags_and_defaults() {
+        let args = Args::parse(["capture", "--out", "x.json", "--seed", "9"]).unwrap();
+        assert_eq!(args.get("out", "capture.json"), "x.json");
+        assert_eq!(args.get("missing", "fallback"), "fallback");
+        assert_eq!(args.get_u64("seed", 1).unwrap(), 9);
+        assert_eq!(args.get_u64("day-len", 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn switches_are_recognized() {
+        let args = Args::parse(["detect", "--paper-pace"]).unwrap();
+        assert!(args.has("paper-pace"));
+        assert!(!args.has("include-slowloris"));
+    }
+
+    #[test]
+    fn dangling_flag_rejected() {
+        let err = Args::parse(["capture", "--seed"]).unwrap_err();
+        assert!(err.0.contains("--seed"));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let args = Args::parse(["capture", "--seed", "abc"]).unwrap();
+        assert!(args.get_u64("seed", 0).is_err());
+    }
+
+    #[test]
+    fn positional_junk_rejected() {
+        assert!(Args::parse(["capture", "whoops"]).is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! The subcommand implementations.
+
+use crate::args::{Args, Command, USAGE};
+use amlight_core::pipeline::{DetectionPipeline, PipelineConfig};
+use amlight_core::testbed::{Testbed, TestbedConfig};
+use amlight_core::trainer::{dataset_from_int, train_bundle, ModelBundle, TrainerConfig};
+use amlight_features::FeatureSet;
+use amlight_int::microburst::detect_from_reports;
+use amlight_int::{MicroburstConfig, TelemetryReport};
+use amlight_net::TrafficClass;
+use amlight_traffic::{TrafficMix, TrafficMixConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// Anything a subcommand can fail with.
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Io(std::io::Error),
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Format(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Format(e)
+    }
+}
+
+/// On-disk capture: labeled telemetry plus generation metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaptureFile {
+    pub seed: u64,
+    pub day_len_s: u64,
+    pub hops: usize,
+    pub reports: Vec<(TelemetryReport, TrafficClass)>,
+}
+
+impl CaptureFile {
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CliError> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CliError> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+
+    /// Generate a fresh capture in memory.
+    pub fn generate(day_len_s: u64, seed: u64, hops: usize) -> Self {
+        let lab = Testbed::new(TestbedConfig {
+            hops,
+            ..Default::default()
+        });
+        let mix = TrafficMix::new(TrafficMixConfig::paper_capture(day_len_s, seed));
+        let reports = lab.run_labeled(&mix.generate());
+        Self {
+            seed,
+            day_len_s,
+            hops,
+            reports,
+        }
+    }
+
+    pub fn class_counts(&self) -> Vec<(TrafficClass, usize)> {
+        TrafficClass::ALL
+            .into_iter()
+            .map(|c| (c, self.reports.iter().filter(|(_, k)| *k == c).count()))
+            .collect()
+    }
+}
+
+/// Dispatch a parsed command line; writes human output to `out`.
+pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    match args.command {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Capture => cmd_capture(args, out),
+        Command::Train => cmd_train(args, out),
+        Command::Detect => cmd_detect(args, out),
+        Command::Microburst => cmd_microburst(args, out),
+        Command::Demo => cmd_demo(args, out),
+    }
+}
+
+fn bad(e: impl fmt::Display) -> CliError {
+    CliError::Usage(e.to_string())
+}
+
+fn cmd_capture(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.get("out", "capture.json").to_string();
+    let day_len = args.get_u64("day-len", 10).map_err(bad)?;
+    let seed = args.get_u64("seed", 41751).map_err(bad)?;
+    let hops = args.get_u64("hops", 1).map_err(bad)? as usize;
+
+    writeln!(
+        out,
+        "generating capture: 2 × {day_len}s days, seed {seed}, {hops} hop(s)…"
+    )?;
+    let capture = CaptureFile::generate(day_len, seed, hops.max(1));
+    for (class, n) in capture.class_counts() {
+        writeln!(out, "  {:<10} {:>8} reports", class.name(), n)?;
+    }
+    capture.save(&path)?;
+    writeln!(out, "wrote {} reports to {path}", capture.reports.len())?;
+    Ok(())
+}
+
+fn training_config(fast: bool) -> TrainerConfig {
+    if fast {
+        TrainerConfig {
+            mlp: amlight_ml::MlpConfig {
+                epochs: 5,
+                batch_size: 256,
+                ..amlight_ml::MlpConfig::paper_mlp()
+            },
+            forest: amlight_ml::RandomForestConfig {
+                n_trees: 10,
+                ..amlight_ml::RandomForestConfig::fast()
+            },
+            ..Default::default()
+        }
+    } else {
+        TrainerConfig::default()
+    }
+}
+
+fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let capture_path = args.get("capture", "capture.json").to_string();
+    let bundle_path = args.get("out", "bundle.json").to_string();
+    let include_slowloris = args.has("include-slowloris");
+
+    let capture = CaptureFile::load(&capture_path)?;
+    let training: Vec<_> = capture
+        .reports
+        .iter()
+        .filter(|(_, c)| include_slowloris || *c != TrafficClass::SlowLoris)
+        .cloned()
+        .collect();
+    writeln!(
+        out,
+        "training on {} of {} reports{}…",
+        training.len(),
+        capture.reports.len(),
+        if include_slowloris {
+            ""
+        } else {
+            " (SlowLoris held out as zero-day)"
+        }
+    )?;
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let bundle = train_bundle(&raw, FeatureSet::Int, &training_config(args.has("fast")));
+    bundle.save(&bundle_path)?;
+    writeln!(
+        out,
+        "wrote bundle to {bundle_path} ({} forest trees, MLP {:?}, scaler over {} features)",
+        bundle.forest.n_trees(),
+        bundle.mlp.hidden_sizes(),
+        bundle.scaler.n_features(),
+    )?;
+    Ok(())
+}
+
+fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let capture = CaptureFile::load(args.get("capture", "capture.json"))?;
+    let bundle = ModelBundle::load(args.get("bundle", "bundle.json"))?;
+    let pace = if args.has("paper-pace") {
+        PipelineConfig::paper_pace()
+    } else {
+        PipelineConfig::rust_pace()
+    };
+
+    let mut pipeline = DetectionPipeline::new(bundle, pace);
+    let report = pipeline.run_sync(&capture.reports);
+    print_detection(&report, out)
+}
+
+fn print_detection(
+    report: &amlight_core::pipeline::PipelineReport,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{:<10} {:>8} {:>10} {:>8} {:>12} {:>12}",
+        "class", "acc", "predicted", "pending", "avg lat (s)", "max lat (s)"
+    )?;
+    for class in report.classes() {
+        let s = report.class_summary(class);
+        let acc = if s.predicted == 0 {
+            "   -    ".to_string() // nothing cleared the smoothing window
+        } else {
+            format!("{:>8.4}", s.accuracy())
+        };
+        writeln!(
+            out,
+            "{:<10} {acc} {:>10} {:>8} {:>12.4} {:>12.4}",
+            class.name(),
+            s.predicted,
+            s.pending,
+            s.avg_latency_s,
+            s.max_latency_s,
+        )?;
+    }
+    writeln!(out, "overall accuracy: {:.4}", report.overall_accuracy())?;
+    if report.flood_alerts.is_empty() {
+        writeln!(out, "new-flow-rate guard: quiet")?;
+    } else {
+        for a in &report.flood_alerts {
+            writeln!(
+                out,
+                "GUARD ALERT: {} created {} flows in the epoch at t={:.1}s (baseline {:.1})",
+                a.dst,
+                a.new_flows,
+                a.epoch_start_ns as f64 / 1e9,
+                a.baseline,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_microburst(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let capture = CaptureFile::load(args.get("capture", "capture.json"))?;
+    let bursts = detect_from_reports(
+        capture.reports.iter().map(|(r, _)| r),
+        MicroburstConfig::default(),
+    );
+    if bursts.is_empty() {
+        writeln!(
+            out,
+            "no microbursts detected in {} reports",
+            capture.reports.len()
+        )?;
+    } else {
+        writeln!(out, "{} microburst(s) detected:", bursts.len())?;
+        for b in &bursts {
+            writeln!(
+                out,
+                "  t = {:.6}–{:.6} s, duration {:.1} µs, peak depth {}",
+                b.start_ns as f64 / 1e9,
+                b.end_ns as f64 / 1e9,
+                b.duration_ns() as f64 / 1e3,
+                b.peak_depth,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let seed = args.get_u64("seed", 41751).map_err(bad)?;
+    writeln!(
+        out,
+        "== amlight demo: capture → train → detect (seed {seed}) =="
+    )?;
+
+    let train_capture = CaptureFile::generate(5, seed, 1);
+    writeln!(
+        out,
+        "training capture: {} reports",
+        train_capture.reports.len()
+    )?;
+    let training: Vec<_> = train_capture
+        .reports
+        .iter()
+        .filter(|(_, c)| *c != TrafficClass::SlowLoris)
+        .cloned()
+        .collect();
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let bundle = train_bundle(&raw, FeatureSet::Int, &training_config(true));
+
+    let test_capture = CaptureFile::generate(5, seed ^ 0xD37EC7, 1);
+    writeln!(
+        out,
+        "test capture: {} reports (fresh seed)",
+        test_capture.reports.len()
+    )?;
+    let mut pipeline = DetectionPipeline::new(bundle, PipelineConfig::rust_pace());
+    let report = pipeline.run_sync(&test_capture.reports);
+    print_detection(&report, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("amlight-cli-{}-{name}", std::process::id()))
+    }
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(tokens.iter().copied()).expect("parse");
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_tokens(&["help"]).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("microburst"));
+    }
+
+    #[test]
+    fn capture_train_detect_roundtrip() {
+        let cap = tmp("cap.json");
+        let bun = tmp("bun.json");
+        let cap_s = cap.to_str().unwrap();
+        let bun_s = bun.to_str().unwrap();
+
+        let text =
+            run_tokens(&["capture", "--out", cap_s, "--day-len", "3", "--seed", "7"]).unwrap();
+        assert!(text.contains("wrote"), "{text}");
+
+        let text = run_tokens(&["train", "--capture", cap_s, "--out", bun_s, "--fast"]).unwrap();
+        assert!(text.contains("SlowLoris held out"), "{text}");
+
+        let text = run_tokens(&["detect", "--capture", cap_s, "--bundle", bun_s]).unwrap();
+        assert!(text.contains("overall accuracy"), "{text}");
+        assert!(text.contains("SlowLoris") || text.contains("Benign"));
+
+        let text = run_tokens(&["microburst", "--capture", cap_s]).unwrap();
+        assert!(text.contains("microburst"), "{text}");
+
+        std::fs::remove_file(&cap).ok();
+        std::fs::remove_file(&bun).ok();
+    }
+
+    #[test]
+    fn detect_with_missing_files_errors() {
+        let err = run_tokens(&["detect", "--capture", "/nonexistent/x.json"]).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn capture_file_roundtrip() {
+        let capture = CaptureFile::generate(2, 3, 1);
+        let path = tmp("roundtrip.json");
+        capture.save(&path).unwrap();
+        let back = CaptureFile::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.reports.len(), capture.reports.len());
+        assert_eq!(back.seed, 3);
+        assert_eq!(back.class_counts(), capture.class_counts());
+    }
+}

@@ -1,0 +1,21 @@
+//! The `amlight` command-line entry point. All logic lives in the
+//! library (`amlight_cli`) so it stays testable.
+
+use amlight_cli::{run, Args};
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n\nrun `amlight help` for usage");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = run(&args, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,297 @@
+//! The flow database at the center of Fig. 2.
+//!
+//! Semantics follow the paper: the Data Processor keeps **one record per
+//! flow** (packet-level fields replaced, flow-level aggregates updated),
+//! and the CentralServer *polls for changes*, skipping brand-new entries
+//! — "it does not consider new entries with new Flow IDs, but focuses on
+//! existing records from their first update" (§III-3).
+//!
+//! The store is in-memory behind a `parking_lot::RwLock` so the threaded
+//! runtime can share it; the poll API is a monotone change log so pollers
+//! never miss or double-see an update.
+
+use amlight_features::FeatureVector;
+use amlight_net::flow::FnvHashMap;
+use amlight_net::FlowKey;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A change-log entry handed to pollers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateEvent {
+    /// Global, monotone change sequence.
+    pub seq: u64,
+    pub key: FlowKey,
+    /// Per-flow update counter (1 = first update after creation).
+    pub update_seq: u64,
+    /// Feature snapshot at the time of the update.
+    pub features: FeatureVector,
+    /// Collector-clock registration time of this update, ns. Prediction
+    /// latency is measured against this stamp (§III-2, item 8).
+    pub registered_ns: u64,
+}
+
+/// A stored model verdict for one flow update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRecord {
+    pub key: FlowKey,
+    /// Aggregated (ensemble + smoothing) label; None while smoothing is
+    /// still pending.
+    pub label: Option<bool>,
+    /// When the prediction was produced, virtual collector clock ns.
+    pub predicted_ns: u64,
+    /// predicted_ns − registered_ns.
+    pub latency_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct DbInner {
+    /// Latest record per flow (the "one record per flow" table).
+    flows: FnvHashMap<FlowKey, UpdateEvent>,
+    /// Change log of *updates only* (created entries are not logged —
+    /// pollers must not see flows before their first update).
+    log: Vec<UpdateEvent>,
+    /// Stored predictions, append-only.
+    predictions: Vec<PredictionRecord>,
+    next_seq: u64,
+    created: u64,
+}
+
+/// Shared handle to the database.
+#[derive(Debug, Clone, Default)]
+pub struct FlowDatabase {
+    inner: Arc<RwLock<DbInner>>,
+}
+
+impl FlowDatabase {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a freshly *created* flow entry. Not added to the change
+    /// log.
+    pub fn record_created(&self, key: FlowKey, features: FeatureVector, registered_ns: u64) {
+        let mut g = self.inner.write();
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.created += 1;
+        g.flows.insert(
+            key,
+            UpdateEvent {
+                seq,
+                key,
+                update_seq: 0,
+                features,
+                registered_ns,
+            },
+        );
+    }
+
+    /// Record an *update* to an existing flow. Returns the global change
+    /// sequence. Updates are what pollers see.
+    pub fn record_updated(
+        &self,
+        key: FlowKey,
+        update_seq: u64,
+        features: FeatureVector,
+        registered_ns: u64,
+    ) -> u64 {
+        let mut g = self.inner.write();
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        let ev = UpdateEvent {
+            seq,
+            key,
+            update_seq,
+            features,
+            registered_ns,
+        };
+        g.flows.insert(key, ev);
+        g.log.push(ev);
+        seq
+    }
+
+    /// Poll all updates with `seq >= since`, returning them and the next
+    /// cursor value. This is the CentralServer's (4).
+    pub fn poll_updates(&self, since: u64) -> (Vec<UpdateEvent>, u64) {
+        let g = self.inner.read();
+        let start = g.log.partition_point(|e| e.seq < since);
+        let events = g.log[start..].to_vec();
+        let next = events.last().map_or(since, |e| e.seq + 1);
+        (events, next)
+    }
+
+    /// Latest record for a flow.
+    pub fn get(&self, key: &FlowKey) -> Option<UpdateEvent> {
+        self.inner.read().flows.get(key).copied()
+    }
+
+    /// Store an aggregated prediction (§III-2, item 8).
+    pub fn store_prediction(&self, rec: PredictionRecord) {
+        self.inner.write().predictions.push(rec);
+    }
+
+    pub fn predictions(&self) -> Vec<PredictionRecord> {
+        self.inner.read().predictions.clone()
+    }
+
+    pub fn flow_count(&self) -> usize {
+        self.inner.read().flows.len()
+    }
+
+    pub fn update_count(&self) -> usize {
+        self.inner.read().log.len()
+    }
+
+    pub fn created_count(&self) -> u64 {
+        self.inner.read().created
+    }
+
+    /// Drop change-log entries below `seq` (long-running memory bound;
+    /// safe once every poller's cursor has passed them).
+    pub fn truncate_log_below(&self, seq: u64) {
+        let mut g = self.inner.write();
+        let keep = g.log.partition_point(|e| e.seq < seq);
+        g.log.drain(..keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_net::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn key(p: u16) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            p,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    fn feat() -> FeatureVector {
+        FeatureVector::default()
+    }
+
+    #[test]
+    fn created_entries_are_invisible_to_pollers() {
+        let db = FlowDatabase::new();
+        db.record_created(key(1), feat(), 100);
+        let (events, next) = db.poll_updates(0);
+        assert!(events.is_empty());
+        assert_eq!(next, 0);
+        assert_eq!(db.flow_count(), 1);
+        assert_eq!(db.created_count(), 1);
+    }
+
+    #[test]
+    fn updates_flow_through_poll_exactly_once() {
+        let db = FlowDatabase::new();
+        db.record_created(key(1), feat(), 100);
+        db.record_updated(key(1), 1, feat(), 200);
+        db.record_updated(key(1), 2, feat(), 300);
+
+        let (events, cursor) = db.poll_updates(0);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].update_seq, 1);
+        assert_eq!(events[1].registered_ns, 300);
+
+        // Nothing new: empty poll, cursor stable.
+        let (again, cursor2) = db.poll_updates(cursor);
+        assert!(again.is_empty());
+        assert_eq!(cursor2, cursor);
+
+        // A later update appears exactly once.
+        db.record_updated(key(1), 3, feat(), 400);
+        let (more, _) = db.poll_updates(cursor);
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].update_seq, 3);
+    }
+
+    #[test]
+    fn get_returns_latest_snapshot() {
+        let db = FlowDatabase::new();
+        db.record_created(key(1), feat(), 100);
+        db.record_updated(key(1), 1, feat(), 250);
+        let rec = db.get(&key(1)).unwrap();
+        assert_eq!(rec.update_seq, 1);
+        assert_eq!(rec.registered_ns, 250);
+        assert!(db.get(&key(9)).is_none());
+    }
+
+    #[test]
+    fn predictions_accumulate() {
+        let db = FlowDatabase::new();
+        db.store_prediction(PredictionRecord {
+            key: key(1),
+            label: Some(true),
+            predicted_ns: 900,
+            latency_ns: 700,
+        });
+        db.store_prediction(PredictionRecord {
+            key: key(1),
+            label: None,
+            predicted_ns: 950,
+            latency_ns: 750,
+        });
+        let preds = db.predictions();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].label, Some(true));
+        assert_eq!(preds[1].label, None);
+    }
+
+    #[test]
+    fn log_truncation_respects_cursors() {
+        let db = FlowDatabase::new();
+        db.record_created(key(1), feat(), 0);
+        for i in 1..=5 {
+            db.record_updated(key(1), i, feat(), i * 100);
+        }
+        let (all, cursor) = db.poll_updates(0);
+        assert_eq!(all.len(), 5);
+        db.truncate_log_below(cursor);
+        assert_eq!(db.update_count(), 0);
+        let (after, _) = db.poll_updates(cursor);
+        assert!(after.is_empty());
+    }
+
+    #[test]
+    fn shared_handles_see_same_state() {
+        let db = FlowDatabase::new();
+        let db2 = db.clone();
+        db.record_created(key(3), feat(), 1);
+        db.record_updated(key(3), 1, feat(), 2);
+        assert_eq!(db2.flow_count(), 1);
+        assert_eq!(db2.poll_updates(0).0.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let db = FlowDatabase::new();
+        db.record_created(key(0), feat(), 0);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        db.record_updated(key(0), t * 1000 + i, feat(), i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(db.update_count(), 1000);
+        let (events, _) = db.poll_updates(0);
+        assert_eq!(events.len(), 1000);
+        // Sequences strictly increasing.
+        for w in events.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+        }
+    }
+}

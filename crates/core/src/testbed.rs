@@ -1,0 +1,176 @@
+//! The end-to-end lab: topology + traffic + simulation + INT telemetry
+//! in one object — the software analogue of the paper's Fig. 6 testbed.
+
+use amlight_int::{IntInstrumenter, TelemetryReport};
+use amlight_net::{Trace, TrafficClass};
+use amlight_sim::topology::LinkParams;
+use amlight_sim::{NetworkSim, SimReport, Topology};
+use amlight_traffic::{ReplayLibrary, TrafficMix, TrafficMixConfig};
+use serde::{Deserialize, Serialize};
+
+/// Testbed shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Switches in the path: 1 = the Fig. 6 testbed, >1 = a Fig. 1-style
+    /// INT chain.
+    pub hops: usize,
+    pub link: LinkParams,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        Self {
+            hops: 1,
+            link: LinkParams::default(),
+        }
+    }
+}
+
+/// The assembled lab.
+pub struct Testbed {
+    config: TestbedConfig,
+    instrumenter: IntInstrumenter,
+}
+
+impl Testbed {
+    pub fn new(config: TestbedConfig) -> Self {
+        Self {
+            config,
+            instrumenter: IntInstrumenter::amlight(),
+        }
+    }
+
+    pub fn config(&self) -> &TestbedConfig {
+        &self.config
+    }
+
+    fn build_sim(&self) -> NetworkSim {
+        let topo = if self.config.hops == 1 {
+            // Fig. 6 testbed shape, with this config's link parameters
+            // (the congestion ablation narrows the target-side port).
+            let mut t = Topology::new();
+            let sw = t.add_switch("wedge-dcs800", Default::default());
+            let source = t.add_host("source-agent", std::net::Ipv4Addr::new(10, 0, 0, 1));
+            let target = t.add_host("target-agent", std::net::Ipv4Addr::new(10, 0, 0, 2));
+            t.attach_host(source, sw, self.config.link);
+            t.attach_host(target, sw, self.config.link);
+            t.compute_routes();
+            t
+        } else {
+            Topology::linear_chain(self.config.hops, self.config.link).0
+        };
+        NetworkSim::new(topo)
+    }
+
+    /// Push a trace through the dataplane; returns the raw sim report.
+    pub fn simulate(&self, trace: &Trace) -> SimReport {
+        self.build_sim().run(trace)
+    }
+
+    /// Push a trace through the dataplane and extract INT telemetry with
+    /// ground-truth labels.
+    pub fn run_labeled(&self, trace: &Trace) -> Vec<(TelemetryReport, TrafficClass)> {
+        let sim = self.simulate(trace);
+        self.instrumenter.instrument_labeled(trace, &sim)
+    }
+
+    /// Unlabeled telemetry (deployment view).
+    pub fn run(&self, trace: &Trace) -> Vec<TelemetryReport> {
+        let sim = self.simulate(trace);
+        self.instrumenter.instrument(trace, &sim)
+    }
+
+    /// Replay the paper's Table I capture (compressed to `day_len_s`-
+    /// second days) and return labeled telemetry.
+    pub fn replay_capture(
+        &self,
+        day_len_s: u64,
+        seed: u64,
+    ) -> Vec<(TelemetryReport, TrafficClass)> {
+        let mix = TrafficMix::new(TrafficMixConfig::paper_capture(day_len_s, seed));
+        self.run_labeled(&mix.generate())
+    }
+
+    /// Replay one per-class trace from a [`ReplayLibrary`] (the Table VI
+    /// procedure: `tcpreplay` of ~2,500 packets per flow type).
+    pub fn replay_class(
+        &self,
+        library: &ReplayLibrary,
+        class: TrafficClass,
+    ) -> Vec<(TelemetryReport, TrafficClass)> {
+        self.run_labeled(library.by_class(class))
+    }
+
+    /// A small smoke-test run: a short mixed capture. Used by the facade
+    /// crate's doc example.
+    pub fn replay_quick(&mut self, seed: u64) -> Vec<TelemetryReport> {
+        let mix = TrafficMix::new(TrafficMixConfig::paper_capture(2, seed));
+        self.run(&mix.generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_replay_produces_telemetry() {
+        let mut lab = Testbed::new(TestbedConfig::default());
+        let reports = lab.replay_quick(42);
+        assert!(!reports.is_empty());
+        // Every report has exactly one hop on the single-switch testbed.
+        assert!(reports.iter().all(|r| r.hops.len() == 1));
+    }
+
+    #[test]
+    fn labeled_replay_carries_all_classes() {
+        let lab = Testbed::new(TestbedConfig::default());
+        let labeled = lab.replay_capture(3, 7);
+        for class in TrafficClass::ALL {
+            assert!(
+                labeled.iter().any(|(_, c)| *c == class),
+                "missing {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_testbed_stacks_hops() {
+        let lab = Testbed::new(TestbedConfig {
+            hops: 3,
+            ..Default::default()
+        });
+        let labeled = lab.replay_capture(1, 9);
+        assert!(labeled.iter().all(|(r, _)| r.hops.len() == 3));
+    }
+
+    #[test]
+    fn class_replay_is_single_class() {
+        let lab = Testbed::new(TestbedConfig::default());
+        let lib = ReplayLibrary::build(200, 3);
+        let labeled = lab.replay_class(&lib, TrafficClass::SlowLoris);
+        assert!(!labeled.is_empty());
+        assert!(labeled.iter().all(|(_, c)| *c == TrafficClass::SlowLoris));
+    }
+
+    #[test]
+    fn flood_builds_queue_occupancy_on_testbed() {
+        let lab = Testbed::new(TestbedConfig::default());
+        let lib = ReplayLibrary::build(1500, 11);
+        let flood = lab.replay_class(&lib, TrafficClass::SynFlood);
+        let benign = lab.replay_class(&lib, TrafficClass::Benign);
+        let max_q = |reports: &[(TelemetryReport, TrafficClass)]| {
+            reports
+                .iter()
+                .map(|(r, _)| r.max_queue_occupancy())
+                .max()
+                .unwrap_or(0)
+        };
+        // 100 Gb/s links swallow a 50 kpps flood easily; what matters is
+        // the *relative* queue pressure signature.
+        assert!(
+            max_q(&flood) >= max_q(&benign),
+            "flood should not be gentler on queues than benign"
+        );
+    }
+}

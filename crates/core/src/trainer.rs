@@ -1,0 +1,305 @@
+//! Offline training: from labeled telemetry to a deployable model bundle.
+//!
+//! The paper pre-trains its models offline on a replayed capture
+//! (§IV-C.2) and ships them, plus the fitted scaler, to the Prediction
+//! module. [`train_bundle`] reproduces that step; the dataset builders
+//! are also used directly by the Table III/IV experiment binaries.
+
+use amlight_features::{FeatureSet, FlowTable, FlowTableConfig};
+use amlight_int::TelemetryReport;
+use amlight_ml::model::BinaryClassifier;
+use amlight_ml::{
+    Dataset, GaussianNb, MajorityEnsemble, Mlp, MlpConfig, RandomForest, RandomForestConfig,
+    StandardScaler,
+};
+use amlight_net::TrafficClass;
+use amlight_sflow::FlowSample;
+use serde::{Deserialize, Serialize};
+
+/// Build a labeled dataset from INT telemetry: one row per packet, the
+/// feature snapshot *after* that packet's flow-table update (exactly
+/// what the live pipeline would feed the models).
+pub fn dataset_from_int(labeled: &[(TelemetryReport, TrafficClass)], set: FeatureSet) -> Dataset {
+    let mut table = FlowTable::new(FlowTableConfig::default());
+    let mut data = Dataset::with_capacity(set.dim(), labeled.len());
+    let mut buf = Vec::with_capacity(set.dim());
+    for (report, class) in labeled {
+        let (_, rec) = table.update_int(report);
+        buf.clear();
+        rec.features().project_into(set, &mut buf);
+        data.push(&buf, class.label());
+    }
+    data
+}
+
+/// Same, from sFlow samples (necessarily [`FeatureSet::Sflow`]).
+pub fn dataset_from_sflow(labeled: &[(FlowSample, TrafficClass)]) -> Dataset {
+    let set = FeatureSet::Sflow;
+    let mut table = FlowTable::new(FlowTableConfig::default());
+    let mut data = Dataset::with_capacity(set.dim(), labeled.len());
+    let mut buf = Vec::with_capacity(set.dim());
+    for (sample, class) in labeled {
+        let (_, rec) = table.update_sflow(sample);
+        buf.clear();
+        rec.features().project_into(set, &mut buf);
+        data.push(&buf, class.label());
+    }
+    data
+}
+
+/// Training knobs for the deployable bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    pub forest: RandomForestConfig,
+    pub mlp: MlpConfig,
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            forest: RandomForestConfig::fast(),
+            // The testbed deployment uses the 64-32-16 MLPClassifier.
+            mlp: MlpConfig::paper_mlp(),
+            seed: 0xA317,
+        }
+    }
+}
+
+/// The paper's deployed artifact: scaler + MLP + RF + GNB (§IV-C.3 — KNN
+/// is dropped for prediction-latency reasons).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBundle {
+    pub scaler: StandardScaler,
+    pub mlp: Mlp,
+    pub forest: RandomForest,
+    pub gnb: GaussianNb,
+    pub feature_set: FeatureSet,
+}
+
+impl ModelBundle {
+    /// Individual model votes (MLP, RF, GNB order) for a raw (unscaled)
+    /// feature row.
+    pub fn votes(&self, raw_features: &[f64]) -> [bool; 3] {
+        let mut row = raw_features.to_vec();
+        self.scaler.transform_row(&mut row);
+        [
+            self.mlp.predict_one(&row),
+            self.forest.predict_one(&row),
+            self.gnb.predict_one(&row),
+        ]
+    }
+
+    /// The 2-of-3 ensemble decision for a raw feature row.
+    pub fn ensemble_vote(&self, raw_features: &[f64]) -> bool {
+        let v = self.votes(raw_features);
+        v.iter().filter(|&&b| b).count() >= 2
+    }
+
+    /// Wrap the three members as a [`MajorityEnsemble`] over *scaled*
+    /// inputs (for the generic evaluation paths).
+    pub fn into_ensemble(self) -> MajorityEnsemble {
+        MajorityEnsemble::new(vec![
+            Box::new(self.mlp),
+            Box::new(self.forest),
+            Box::new(self.gnb),
+        ])
+    }
+
+    /// Persist the bundle as JSON — the artifact the paper's Prediction
+    /// module "uploads" at initialization (§III-4: "the pre-trained ML
+    /// models and the coefficients of scaler transformation").
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a bundle saved with [`ModelBundle::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+/// Fit the scaler and all three models on a raw (unscaled) dataset.
+pub fn train_bundle(raw: &Dataset, set: FeatureSet, cfg: &TrainerConfig) -> ModelBundle {
+    assert!(!raw.is_empty(), "cannot train on an empty capture");
+    let mut scaled = raw.clone();
+    let scaler = StandardScaler::fit_transform(&mut scaled);
+    let mlp = Mlp::fit(&scaled, &cfg.mlp, cfg.seed);
+    let forest = RandomForest::fit(&scaled, &cfg.forest, cfg.seed ^ 0x51);
+    let gnb = GaussianNb::fit(&scaled);
+    ModelBundle {
+        scaler,
+        mlp,
+        forest,
+        gnb,
+        feature_set: set,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_int::{HopMetadata, InstructionSet};
+    use amlight_net::{FlowKey, Protocol};
+    use std::net::Ipv4Addr;
+
+    fn report(port: u16, seqno: u32, len: u16, qocc: u32) -> TelemetryReport {
+        TelemetryReport {
+            flow: FlowKey::new(
+                Ipv4Addr::new(9, 9, 9, 9),
+                Ipv4Addr::new(10, 0, 0, 2),
+                port,
+                80,
+                Protocol::Tcp,
+            ),
+            ip_len: len,
+            tcp_flags: Some(0x02),
+            instructions: InstructionSet::amlight(),
+            hops: vec![HopMetadata {
+                switch_id: 0,
+                ingress_tstamp: seqno * 1_000,
+                egress_tstamp: seqno * 1_000 + 500,
+                hop_latency: 0,
+                queue_occupancy: qocc,
+            }],
+            export_ns: u64::from(seqno) * 1_000,
+        }
+    }
+
+    /// Flood-ish attack reports (tiny, fast, queue-building) vs benign
+    /// (bigger, slower) — enough contrast to train on.
+    fn labeled_reports(n: usize) -> Vec<(TelemetryReport, TrafficClass)> {
+        let mut v = Vec::new();
+        for i in 0..n as u32 {
+            // Benign flows on ports 1000..1010, one packet per ms.
+            v.push((
+                report(1000 + (i % 10) as u16, i * 1000, 800, 0),
+                TrafficClass::Benign,
+            ));
+            // Attack flows on ports 2000..2004, packets 2 µs apart, queue
+            // pressure visible.
+            v.push((
+                report(2000 + (i % 4) as u16, i * 2, 40, 30 + (i % 8)),
+                TrafficClass::SynFlood,
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn int_dataset_has_row_per_report() {
+        let labeled = labeled_reports(50);
+        let d = dataset_from_int(&labeled, FeatureSet::Int);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.n_features(), 15);
+        assert_eq!(d.class_counts(), (50, 50));
+    }
+
+    #[test]
+    fn sflow_dataset_is_twelve_wide() {
+        let labeled: Vec<(FlowSample, TrafficClass)> = (0..20)
+            .map(|i| {
+                (
+                    FlowSample {
+                        flow: FlowKey::new(
+                            Ipv4Addr::new(9, 9, 9, 9),
+                            Ipv4Addr::new(10, 0, 0, 2),
+                            1000 + (i % 5) as u16,
+                            80,
+                            Protocol::Tcp,
+                        ),
+                        ip_len: 500,
+                        tcp_flags: Some(0x10),
+                        observed_ns: i as u64 * 1_000_000,
+                        sampling_period: 4096,
+                    },
+                    TrafficClass::Benign,
+                )
+            })
+            .collect();
+        let d = dataset_from_sflow(&labeled);
+        assert_eq!(d.n_features(), 12);
+        assert_eq!(d.len(), 20);
+    }
+
+    #[test]
+    fn bundle_learns_the_contrast() {
+        let labeled = labeled_reports(300);
+        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let cfg = TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 15,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        };
+        let bundle = train_bundle(&raw, FeatureSet::Int, &cfg);
+
+        // Evaluate ensemble votes against truth on the training rows.
+        let mut correct = 0;
+        for (i, (_, class)) in labeled.iter().enumerate() {
+            if bundle.ensemble_vote(raw.row(i)) == class.label() {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / raw.len() as f64;
+        assert!(acc > 0.95, "ensemble training accuracy {acc}");
+    }
+
+    #[test]
+    fn votes_are_three_and_ordered() {
+        let labeled = labeled_reports(100);
+        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let cfg = TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 5,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        };
+        let bundle = train_bundle(&raw, FeatureSet::Int, &cfg);
+        let v = bundle.votes(raw.row(0));
+        assert_eq!(v.len(), 3);
+        // 2-of-3 semantics.
+        let expected = v.iter().filter(|&&b| b).count() >= 2;
+        assert_eq!(bundle.ensemble_vote(raw.row(0)), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty capture")]
+    fn empty_training_rejected() {
+        let d = Dataset::new(15);
+        train_bundle(&d, FeatureSet::Int, &TrainerConfig::default());
+    }
+
+    #[test]
+    fn bundle_save_load_roundtrip() {
+        let labeled = labeled_reports(80);
+        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let cfg = TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 3,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        };
+        let bundle = train_bundle(&raw, FeatureSet::Int, &cfg);
+        let path =
+            std::env::temp_dir().join(format!("amlight-bundle-test-{}.json", std::process::id()));
+        bundle.save(&path).expect("save");
+        let back = ModelBundle::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        // Identical votes on every training row.
+        for i in 0..raw.len() {
+            assert_eq!(bundle.votes(raw.row(i)), back.votes(raw.row(i)));
+        }
+        assert_eq!(back.feature_set, FeatureSet::Int);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(ModelBundle::load("/nonexistent/amlight-bundle.json").is_err());
+    }
+}

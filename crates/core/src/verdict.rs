@@ -1,0 +1,175 @@
+//! Verdict smoothing (paper §IV-C.4).
+//!
+//! Raw per-update ensemble votes are noisy, and anomaly-based detection
+//! is "prone to false alarms". The paper therefore waits for three
+//! predictions per flow and classifies by majority of the last three —
+//! e.g. votes `[1, 0, 1]` yield verdict 1 (attack).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Final flow classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Fewer than `window` predictions so far.
+    Pending,
+    Normal,
+    Attack,
+}
+
+impl Verdict {
+    /// The paper's binary coding (attack = 1); `None` while pending.
+    pub fn label(self) -> Option<bool> {
+        match self {
+            Verdict::Pending => None,
+            Verdict::Normal => Some(false),
+            Verdict::Attack => Some(true),
+        }
+    }
+}
+
+/// Majority over a sliding window of the most recent predictions.
+///
+/// ```
+/// use amlight_core::verdict::{SmoothingWindow, Verdict};
+///
+/// let mut w = SmoothingWindow::default(); // window of 3, as in the paper
+/// assert_eq!(w.push(true), Verdict::Pending);
+/// assert_eq!(w.push(false), Verdict::Pending);
+/// // The paper's own example: votes [1, 0, 1] → attack.
+/// assert_eq!(w.push(true), Verdict::Attack);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmoothingWindow {
+    window: usize,
+    votes: VecDeque<bool>,
+}
+
+impl Default for SmoothingWindow {
+    /// The paper's window of three.
+    fn default() -> Self {
+        Self::new(3)
+    }
+}
+
+impl SmoothingWindow {
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        Self {
+            window,
+            votes: VecDeque::with_capacity(window),
+        }
+    }
+
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    pub fn len(&self) -> usize {
+        self.votes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+
+    /// Record one prediction and return the current verdict.
+    pub fn push(&mut self, attack: bool) -> Verdict {
+        if self.votes.len() == self.window {
+            self.votes.pop_front();
+        }
+        self.votes.push_back(attack);
+        self.verdict()
+    }
+
+    /// Verdict over the current window contents.
+    pub fn verdict(&self) -> Verdict {
+        if self.votes.len() < self.window {
+            return Verdict::Pending;
+        }
+        let ones = self.votes.iter().filter(|&&v| v).count();
+        if ones * 2 > self.window {
+            Verdict::Attack
+        } else {
+            Verdict::Normal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_until_window_fills() {
+        let mut w = SmoothingWindow::default();
+        assert_eq!(w.push(true), Verdict::Pending);
+        assert_eq!(w.push(true), Verdict::Pending);
+        assert_eq!(w.push(true), Verdict::Attack);
+    }
+
+    #[test]
+    fn paper_example_one_zero_one_is_attack() {
+        let mut w = SmoothingWindow::default();
+        w.push(true);
+        w.push(false);
+        assert_eq!(w.push(true), Verdict::Attack);
+    }
+
+    #[test]
+    fn majority_normal() {
+        let mut w = SmoothingWindow::default();
+        w.push(false);
+        w.push(true);
+        assert_eq!(w.push(false), Verdict::Normal);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut w = SmoothingWindow::default();
+        w.push(true);
+        w.push(true);
+        assert_eq!(w.push(true), Verdict::Attack);
+        // Three normals in a row flip it.
+        w.push(false);
+        assert_eq!(w.verdict(), Verdict::Attack); // [1,1,0]
+        w.push(false);
+        assert_eq!(w.verdict(), Verdict::Normal); // [1,0,0]
+        w.push(false);
+        assert_eq!(w.verdict(), Verdict::Normal);
+    }
+
+    #[test]
+    fn window_of_one_is_passthrough() {
+        let mut w = SmoothingWindow::new(1);
+        assert_eq!(w.push(true), Verdict::Attack);
+        assert_eq!(w.push(false), Verdict::Normal);
+    }
+
+    #[test]
+    fn even_window_requires_strict_majority() {
+        let mut w = SmoothingWindow::new(4);
+        for v in [true, true, false, false] {
+            w.push(v);
+        }
+        assert_eq!(w.verdict(), Verdict::Normal, "2 of 4 is not a majority");
+        w.push(true); // [1,0,0,1]
+        assert_eq!(w.verdict(), Verdict::Normal);
+        w.push(true); // [0,0,1,1] → still 2... push again
+        w.push(true); // [0,1,1,1]
+        assert_eq!(w.verdict(), Verdict::Attack);
+    }
+
+    #[test]
+    fn verdict_labels_match_paper_coding() {
+        assert_eq!(Verdict::Attack.label(), Some(true));
+        assert_eq!(Verdict::Normal.label(), Some(false));
+        assert_eq!(Verdict::Pending.label(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_window_rejected() {
+        SmoothingWindow::new(0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Flow table and streaming feature extraction — the paper's *Data
+//! Processor* module (§III-2).
+//!
+//! Per incoming telemetry record the processor:
+//!
+//! 1. looks the five-tuple *Flow ID* up in the flow table;
+//! 2. creates a fresh record (defaults ≈ 0) or updates the existing one:
+//!    packet-level fields are **replaced**, flow-level aggregates
+//!    (counters, cumulative sums, streaming mean/std) are **updated**;
+//! 3. emits the feature vector the ML models consume.
+//!
+//! The INT feature set has 15 features (paper §IV-C.3); the sFlow set
+//! lacks the three queue-occupancy features (paper Table II). Inter-
+//! arrival times for INT are derived from consecutive 32-bit telemetry
+//! stamps with wrapping subtraction, so they inherit the 4.3 s aliasing
+//! artifact the paper describes — on purpose.
+
+pub mod sharded;
+pub mod stats;
+pub mod table;
+pub mod vector;
+
+pub use sharded::{ShardedFlowTable, ShardedUpdate};
+pub use stats::StreamingStats;
+pub use table::{FlowRecord, FlowTable, FlowTableConfig, UpdateKind};
+pub use vector::{FeatureId, FeatureSet, FeatureVector};

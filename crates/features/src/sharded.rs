@@ -1,0 +1,259 @@
+//! Sharded, data-parallel flow processing — the "faster processing
+//! capabilities" the paper's §V calls for before production deployment.
+//!
+//! The flow table is an associative map keyed by the five-tuple, so it
+//! shards perfectly: hash each report's flow key to a shard, process the
+//! shards in parallel with rayon, and no lock is ever contended (each
+//! shard is owned by exactly one worker per batch). Per-flow update
+//! order is preserved because a flow always lands in the same shard and
+//! shard-local processing is sequential.
+
+use crate::table::{FlowTable, FlowTableConfig, UpdateKind};
+use crate::vector::FeatureVector;
+use amlight_int::TelemetryReport;
+use amlight_net::flow::FnvBuildHasher;
+use rayon::prelude::*;
+use std::hash::BuildHasher;
+
+/// The outcome of one report's ingest, in input order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedUpdate {
+    pub kind: UpdateKind,
+    pub features: FeatureVector,
+    /// Per-flow update counter after this ingest.
+    pub update_seq: u64,
+}
+
+/// A flow table split into independently processed shards.
+#[derive(Debug)]
+pub struct ShardedFlowTable {
+    shards: Vec<FlowTable>,
+    hasher: FnvBuildHasher,
+}
+
+impl ShardedFlowTable {
+    /// `shards` should be ≥ the worker count; powers of two divide best.
+    pub fn new(cfg: FlowTableConfig, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        // Split the global flow budget across shards.
+        let per_shard = FlowTableConfig {
+            max_flows: (cfg.max_flows / shards).max(16),
+            ..cfg
+        };
+        Self {
+            shards: (0..shards).map(|_| FlowTable::new(per_shard)).collect(),
+            hasher: FnvBuildHasher::default(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(FlowTable::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(FlowTable::is_empty)
+    }
+
+    pub fn created(&self) -> u64 {
+        self.shards.iter().map(FlowTable::created).sum()
+    }
+
+    pub fn updated(&self) -> u64 {
+        self.shards.iter().map(FlowTable::updated).sum()
+    }
+
+    #[inline]
+    fn shard_of(&self, report: &TelemetryReport) -> usize {
+        (self.hasher.hash_one(report.flow) % self.shards.len() as u64) as usize
+    }
+
+    /// Ingest a batch of reports in parallel. Results come back in input
+    /// order; per-flow sequencing is exactly what sequential ingest
+    /// would produce.
+    pub fn update_int_batch(&mut self, reports: &[TelemetryReport]) -> Vec<ShardedUpdate> {
+        let n_shards = self.shards.len();
+        // Route: per shard, the input indices it owns (order-preserving).
+        let mut routes: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for (i, r) in reports.iter().enumerate() {
+            routes[self.shard_of(r)].push(i as u32);
+        }
+
+        // Process each shard sequentially, shards in parallel.
+        let shard_results: Vec<Vec<(u32, ShardedUpdate)>> = self
+            .shards
+            .par_iter_mut()
+            .zip(routes.par_iter())
+            .map(|(table, idxs)| {
+                let mut out = Vec::with_capacity(idxs.len());
+                for &i in idxs {
+                    let (kind, rec) = table.update_int(&reports[i as usize]);
+                    out.push((
+                        i,
+                        ShardedUpdate {
+                            kind,
+                            features: rec.features(),
+                            update_seq: rec.update_seq,
+                        },
+                    ));
+                }
+                out
+            })
+            .collect();
+
+        // Scatter back to input order.
+        let mut results: Vec<Option<ShardedUpdate>> = vec![None; reports.len()];
+        for shard in shard_results {
+            for (i, u) in shard {
+                results[i as usize] = Some(u);
+            }
+        }
+        results
+            .into_iter()
+            .map(|u| u.expect("every report routed to exactly one shard"))
+            .collect()
+    }
+
+    /// Evict idle flows across all shards (parallel). Returns the total
+    /// evicted.
+    pub fn evict_idle(&mut self, now_ns: u64) -> usize {
+        self.shards
+            .par_iter_mut()
+            .map(|t| t.evict_idle(now_ns))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_int::{HopMetadata, InstructionSet};
+    use amlight_net::{FlowKey, Protocol};
+    use std::net::Ipv4Addr;
+
+    fn report(port: u16, t_ns: u64, len: u16) -> TelemetryReport {
+        TelemetryReport {
+            flow: FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                port,
+                80,
+                Protocol::Tcp,
+            ),
+            ip_len: len,
+            tcp_flags: Some(0x02),
+            instructions: InstructionSet::amlight(),
+            hops: vec![HopMetadata {
+                switch_id: 0,
+                ingress_tstamp: t_ns as u32,
+                egress_tstamp: (t_ns as u32).wrapping_add(500),
+                hop_latency: 0,
+                queue_occupancy: 0,
+            }],
+            export_ns: t_ns,
+        }
+    }
+
+    fn batch(n: u64, flows: u16) -> Vec<TelemetryReport> {
+        (0..n)
+            .map(|i| {
+                report(
+                    1000 + (i % u64::from(flows)) as u16,
+                    i * 1_000,
+                    100 + (i % 7) as u16,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_processing_exactly() {
+        let reports = batch(5_000, 64);
+
+        let mut sequential = FlowTable::new(FlowTableConfig::default());
+        let seq_out: Vec<(UpdateKind, FeatureVector, u64)> = reports
+            .iter()
+            .map(|r| {
+                let (k, rec) = sequential.update_int(r);
+                (k, rec.features(), rec.update_seq)
+            })
+            .collect();
+
+        let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 8);
+        let par_out = sharded.update_int_batch(&reports);
+
+        assert_eq!(par_out.len(), seq_out.len());
+        for (p, (k, f, u)) in par_out.iter().zip(&seq_out) {
+            assert_eq!(p.kind, *k);
+            assert_eq!(p.update_seq, *u);
+            assert_eq!(&p.features, f);
+        }
+        assert_eq!(sharded.len(), sequential.len());
+        assert_eq!(sharded.created(), sequential.created());
+        assert_eq!(sharded.updated(), sequential.updated());
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_table() {
+        let reports = batch(500, 16);
+        let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 1);
+        let out = sharded.update_int_batch(&reports);
+        assert_eq!(out.len(), 500);
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.len(), 16);
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let reports = batch(1_000, 32);
+        let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 4);
+        let out = sharded.update_int_batch(&reports);
+        // The first occurrence of each flow must be Created, later ones
+        // Updated, in input order.
+        let mut seen = std::collections::HashSet::new();
+        for (r, u) in reports.iter().zip(&out) {
+            if seen.insert(r.flow) {
+                assert_eq!(u.kind, UpdateKind::Created);
+            } else {
+                assert_eq!(u.kind, UpdateKind::Updated);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_batches_continue_state() {
+        let reports = batch(600, 8);
+        let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 4);
+        let first = sharded.update_int_batch(&reports[..300]);
+        let second = sharded.update_int_batch(&reports[300..]);
+        // Flow state persists: second batch has no creations (all 8 flows
+        // appeared in the first 300 reports).
+        assert!(first.iter().any(|u| u.kind == UpdateKind::Created));
+        assert!(second.iter().all(|u| u.kind == UpdateKind::Updated));
+        assert_eq!(sharded.created(), 8);
+    }
+
+    #[test]
+    fn parallel_eviction_sums_shards() {
+        let mut sharded = ShardedFlowTable::new(
+            FlowTableConfig {
+                idle_timeout_ns: 1_000,
+                max_flows: 1_000,
+            },
+            4,
+        );
+        sharded.update_int_batch(&batch(100, 50));
+        let evicted = sharded.evict_idle(10_000_000_000);
+        assert_eq!(evicted, 50);
+        assert!(sharded.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedFlowTable::new(FlowTableConfig::default(), 0);
+    }
+}

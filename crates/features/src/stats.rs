@@ -1,0 +1,221 @@
+//! Numerically stable streaming statistics (Welford's algorithm).
+//!
+//! The paper's Data Processor keeps running mean and standard deviation
+//! of inter-arrival time, packet size, and queue occupancy per flow. A
+//! naive sum/sum-of-squares accumulator loses precision catastrophically
+//! for long flows with small variance; Welford's update does not.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming count / mean / variance / extrema accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        if self.n == 1 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Mean; 0 if empty (the paper initializes flow-level values at 0).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance; 0 for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction —
+    /// Chan et al.'s pairwise combination).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_std(xs: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt()
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = StreamingStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = StreamingStats::new();
+        s.push(7.5);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.min(), 7.5);
+        assert_eq!(s.max(), 7.5);
+        assert_eq!(s.sum(), 7.5);
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.std() - reference_std(&xs)).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn stable_for_large_offset_small_variance() {
+        // The classic catastrophic-cancellation case for naive sums.
+        let base = 1e9;
+        let mut s = StreamingStats::new();
+        for i in 0..1000 {
+            s.push(base + (i % 2) as f64); // values 1e9 and 1e9+1
+        }
+        assert!((s.std() - 0.5).abs() < 1e-6, "std {}", s.std());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = StreamingStats::new();
+        let mut right = StreamingStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.std() - whole.std()).abs() < 1e-12);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = StreamingStats::new();
+        s.push(1.0);
+        s.push(2.0);
+        let snapshot = s;
+        s.merge(&StreamingStats::new());
+        assert_eq!(s, snapshot);
+
+        let mut empty = StreamingStats::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        let mut s = StreamingStats::new();
+        for _ in 0..100 {
+            s.push(0.1 + 0.2); // representation noise
+        }
+        assert!(s.variance() >= 0.0);
+        assert!(s.std() >= 0.0);
+    }
+}

@@ -1,0 +1,499 @@
+//! The flow table: one record per *Flow ID*, updated per telemetry event.
+
+use crate::stats::StreamingStats;
+use crate::vector::{FeatureId, FeatureVector};
+use amlight_int::TelemetryReport;
+use amlight_net::flow::FnvHashMap;
+use amlight_net::{FlowKey, Protocol};
+use amlight_sflow::FlowSample;
+use serde::{Deserialize, Serialize};
+
+/// Whether an ingest created a new record or updated an existing one.
+///
+/// The distinction matters downstream: the paper's CentralServer "does
+/// not consider new entries with new Flow IDs, but focuses on existing
+/// records from their first update" (§III-3) — predictions start at the
+/// second packet of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateKind {
+    Created,
+    Updated,
+}
+
+/// Per-flow state: latest packet-level fields plus streaming aggregates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowRecord {
+    pub key: FlowKey,
+    /// Collector-clock time the record was created, ns.
+    pub first_seen_ns: u64,
+    /// Collector-clock time of the latest update, ns.
+    pub last_seen_ns: u64,
+    /// Monotone per-record update sequence (0 = just created).
+    pub update_seq: u64,
+
+    // -- packet-level (replaced each packet) --
+    pub last_packet_len: u16,
+    /// Inter-arrival time derived from consecutive telemetry stamps, s.
+    pub last_inter_arrival_s: f64,
+    pub last_queue_occ: u32,
+    /// Previous 32-bit telemetry stamp (INT path).
+    last_stamp32: Option<u32>,
+    /// Previous full-width observation time (sFlow path), ns.
+    last_observed_ns: Option<u64>,
+
+    // -- flow-level aggregates --
+    pub packet_count: u64,
+    pub byte_count: u64,
+    pub len_stats: StreamingStats,
+    pub iat_stats: StreamingStats,
+    pub qocc_stats: StreamingStats,
+}
+
+impl FlowRecord {
+    fn new(key: FlowKey, now_ns: u64) -> Self {
+        Self {
+            key,
+            first_seen_ns: now_ns,
+            last_seen_ns: now_ns,
+            update_seq: 0,
+            last_packet_len: 0,
+            last_inter_arrival_s: 0.0,
+            last_queue_occ: 0,
+            last_stamp32: None,
+            last_observed_ns: None,
+            packet_count: 0,
+            byte_count: 0,
+            len_stats: StreamingStats::new(),
+            iat_stats: StreamingStats::new(),
+            qocc_stats: StreamingStats::new(),
+        }
+    }
+
+    fn push_packet(&mut self, now_ns: u64, len: u16, iat_s: Option<f64>, qocc: Option<u32>) {
+        self.last_seen_ns = now_ns;
+        self.last_packet_len = len;
+        self.packet_count += 1;
+        self.byte_count += u64::from(len);
+        self.len_stats.push(f64::from(len));
+        if let Some(iat) = iat_s {
+            self.last_inter_arrival_s = iat;
+            self.iat_stats.push(iat);
+        }
+        if let Some(q) = qocc {
+            self.last_queue_occ = q;
+            self.qocc_stats.push(f64::from(q));
+        }
+    }
+
+    /// Flow duration as the paper computes it: cumulative inter-arrival
+    /// time (Table II note). Inherits 32-bit aliasing on the INT path.
+    pub fn duration_s(&self) -> f64 {
+        self.iat_stats.sum()
+    }
+
+    /// Build the canonical 15-feature vector for the current state.
+    pub fn features(&self) -> FeatureVector {
+        let mut v = FeatureVector::default();
+        v.set(FeatureId::Protocol, f64::from(self.key.protocol.number()));
+        v.set(FeatureId::PacketLen, f64::from(self.last_packet_len));
+        v.set(FeatureId::PacketLenCum, self.byte_count as f64);
+        v.set(FeatureId::PacketLenAvg, self.len_stats.mean());
+        v.set(FeatureId::PacketLenStd, self.len_stats.std());
+        v.set(FeatureId::InterArrival, self.last_inter_arrival_s);
+        v.set(FeatureId::InterArrivalCum, self.duration_s());
+        v.set(FeatureId::InterArrivalAvg, self.iat_stats.mean());
+        v.set(FeatureId::InterArrivalStd, self.iat_stats.std());
+        v.set(FeatureId::QueueOcc, f64::from(self.last_queue_occ));
+        v.set(FeatureId::QueueOccAvg, self.qocc_stats.mean());
+        v.set(FeatureId::QueueOccStd, self.qocc_stats.std());
+        v.set(FeatureId::PacketCount, self.packet_count as f64);
+        let dur = self.duration_s();
+        if dur > 0.0 {
+            v.set(FeatureId::PacketsPerSec, self.packet_count as f64 / dur);
+            v.set(FeatureId::BytesPerSec, self.byte_count as f64 / dur);
+        }
+        v
+    }
+}
+
+/// Flow-table housekeeping knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowTableConfig {
+    /// Evict records idle longer than this (collector clock), ns.
+    pub idle_timeout_ns: u64,
+    /// Hard cap on tracked flows; oldest-idle records are evicted first
+    /// when exceeded. Protects the processor against flood-driven state
+    /// explosion (every spoofed SYN is a new flow!).
+    pub max_flows: usize,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        Self {
+            idle_timeout_ns: 60 * 1_000_000_000,
+            max_flows: 1_000_000,
+        }
+    }
+}
+
+/// The flow table. Keyed by [`FlowKey`] with an FNV hasher (hot path).
+///
+/// ```
+/// use amlight_features::{FlowTable, FlowTableConfig, UpdateKind};
+/// use amlight_int::{HopMetadata, InstructionSet, TelemetryReport};
+/// use amlight_net::{FlowKey, Protocol};
+///
+/// let mut table = FlowTable::new(FlowTableConfig::default());
+/// let report = TelemetryReport {
+///     flow: FlowKey::new([10, 0, 0, 1].into(), [10, 0, 0, 2].into(), 4242, 80, Protocol::Tcp),
+///     ip_len: 60,
+///     tcp_flags: Some(0x02),
+///     instructions: InstructionSet::amlight(),
+///     hops: vec![HopMetadata::default()],
+///     export_ns: 1_000,
+/// };
+/// let (kind, record) = table.update_int(&report);
+/// assert_eq!(kind, UpdateKind::Created);
+/// assert_eq!(record.packet_count, 1);
+/// ```
+#[derive(Debug)]
+pub struct FlowTable {
+    cfg: FlowTableConfig,
+    flows: FnvHashMap<FlowKey, FlowRecord>,
+    created: u64,
+    updated: u64,
+    evicted: u64,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        Self::new(FlowTableConfig::default())
+    }
+}
+
+impl FlowTable {
+    pub fn new(cfg: FlowTableConfig) -> Self {
+        Self {
+            cfg,
+            flows: FnvHashMap::default(),
+            created: 0,
+            updated: 0,
+            evicted: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    pub fn updated(&self) -> u64 {
+        self.updated
+    }
+
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    pub fn get(&self, key: &FlowKey) -> Option<&FlowRecord> {
+        self.flows.get(key)
+    }
+
+    pub fn records(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.values()
+    }
+
+    /// Ingest an INT telemetry report. Inter-arrival derives from the
+    /// sink hop's 32-bit egress stamp via wrapping subtraction (paper
+    /// §III-2 / §V).
+    pub fn update_int(&mut self, report: &TelemetryReport) -> (UpdateKind, &FlowRecord) {
+        let now = report.export_ns;
+        let stamp = report.sink_hop().map(|h| h.egress_tstamp);
+        let qocc = report.sink_hop().map(|h| h.queue_occupancy);
+        self.ingest(report.flow, now, report.ip_len, stamp, None, qocc)
+    }
+
+    /// Ingest an sFlow sample. Inter-arrival derives from the agent's
+    /// full-width observation clock — but remember these are *samples*:
+    /// consecutive samples of a flow are typically thousands of packets
+    /// apart.
+    pub fn update_sflow(&mut self, sample: &FlowSample) -> (UpdateKind, &FlowRecord) {
+        self.ingest(
+            sample.flow,
+            sample.observed_ns,
+            sample.ip_len,
+            None,
+            Some(sample.observed_ns),
+            None,
+        )
+    }
+
+    fn ingest(
+        &mut self,
+        key: FlowKey,
+        now_ns: u64,
+        len: u16,
+        stamp32: Option<u32>,
+        observed_ns: Option<u64>,
+        qocc: Option<u32>,
+    ) -> (UpdateKind, &FlowRecord) {
+        if self.flows.len() >= self.cfg.max_flows && !self.flows.contains_key(&key) {
+            self.evict_idle(now_ns);
+        }
+        let entry = self.flows.entry(key);
+        let kind = match &entry {
+            std::collections::hash_map::Entry::Occupied(_) => UpdateKind::Updated,
+            std::collections::hash_map::Entry::Vacant(_) => UpdateKind::Created,
+        };
+        let rec = entry.or_insert_with(|| FlowRecord::new(key, now_ns));
+        if kind == UpdateKind::Created {
+            self.created += 1;
+        } else {
+            self.updated += 1;
+            rec.update_seq += 1;
+        }
+
+        // Inter-arrival: INT path uses wrapped 32-bit stamps; sFlow path
+        // uses the full-width agent clock.
+        let iat_s = match (stamp32, rec.last_stamp32, observed_ns, rec.last_observed_ns) {
+            (Some(s), Some(prev), _, _) => Some(f64::from(s.wrapping_sub(prev)) / 1e9),
+            (_, _, Some(o), Some(prev)) => Some((o - prev) as f64 / 1e9),
+            _ => None,
+        };
+        if let Some(s) = stamp32 {
+            rec.last_stamp32 = Some(s);
+        }
+        if let Some(o) = observed_ns {
+            rec.last_observed_ns = Some(o);
+        }
+        rec.push_packet(now_ns, len, iat_s, qocc);
+        (kind, &*rec)
+    }
+
+    /// Evict records idle past the timeout as of `now_ns`. Returns the
+    /// number evicted. If nothing is idle but the table is over capacity,
+    /// evicts the single longest-idle record (to guarantee progress).
+    pub fn evict_idle(&mut self, now_ns: u64) -> usize {
+        let deadline = now_ns.saturating_sub(self.cfg.idle_timeout_ns);
+        let before = self.flows.len();
+        self.flows.retain(|_, r| r.last_seen_ns >= deadline);
+        let mut evicted = before - self.flows.len();
+        if evicted == 0 && self.flows.len() >= self.cfg.max_flows {
+            if let Some(oldest) = self
+                .flows
+                .values()
+                .min_by_key(|r| r.last_seen_ns)
+                .map(|r| r.key)
+            {
+                self.flows.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        self.evicted += evicted as u64;
+        evicted
+    }
+
+    /// Protocol histogram over live flows — cheap observability hook.
+    pub fn protocol_split(&self) -> (usize, usize) {
+        let tcp = self
+            .flows
+            .values()
+            .filter(|r| r.key.protocol == Protocol::Tcp)
+            .count();
+        (tcp, self.flows.len() - tcp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::FeatureId;
+    use amlight_int::{HopMetadata, InstructionSet};
+    use std::net::Ipv4Addr;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    fn report(port: u16, export_ns: u64, egress32: u32, len: u16, qocc: u32) -> TelemetryReport {
+        TelemetryReport {
+            flow: key(port),
+            ip_len: len,
+            tcp_flags: Some(0x02),
+            instructions: InstructionSet::amlight(),
+            hops: vec![HopMetadata {
+                switch_id: 0,
+                ingress_tstamp: egress32.wrapping_sub(500),
+                egress_tstamp: egress32,
+                hop_latency: 0,
+                queue_occupancy: qocc,
+            }],
+            export_ns,
+        }
+    }
+
+    #[test]
+    fn first_packet_creates_record_with_defaults() {
+        let mut t = FlowTable::default();
+        let (kind, rec) = t.update_int(&report(1, 1000, 1000, 40, 3));
+        assert_eq!(kind, UpdateKind::Created);
+        assert_eq!(rec.update_seq, 0);
+        assert_eq!(rec.packet_count, 1);
+        assert_eq!(rec.last_packet_len, 40);
+        assert_eq!(rec.last_inter_arrival_s, 0.0, "no IAT on first packet");
+        assert_eq!(rec.last_queue_occ, 3);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.created(), 1);
+    }
+
+    #[test]
+    fn second_packet_updates_and_derives_iat() {
+        let mut t = FlowTable::default();
+        t.update_int(&report(1, 1_000, 1_000, 40, 0));
+        let (kind, rec) = t.update_int(&report(1, 2_000_000, 2_001_000, 1400, 5));
+        assert_eq!(kind, UpdateKind::Updated);
+        assert_eq!(rec.update_seq, 1);
+        assert_eq!(rec.packet_count, 2);
+        // IAT = (2_001_000 - 1_000) ns = 2 ms.
+        assert!((rec.last_inter_arrival_s - 0.002).abs() < 1e-12);
+        assert_eq!(rec.last_packet_len, 1400, "packet-level fields replaced");
+        assert_eq!(rec.byte_count, 1440);
+        assert!((rec.duration_s() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iat_wraps_like_the_paper_warns() {
+        let mut t = FlowTable::default();
+        // First stamp just below the wrap, second just above zero.
+        t.update_int(&report(1, 0, u32::MAX - 999, 40, 0));
+        let (_, rec) = t.update_int(&report(1, 10_000, 1_000, 40, 0));
+        // True gap 2000 ns across the wrap: wrapping_sub gets it right.
+        assert!((rec.last_inter_arrival_s - 2e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iat_aliases_when_gap_exceeds_wrap_period() {
+        let mut t = FlowTable::default();
+        t.update_int(&report(1, 0, 1_000, 40, 0));
+        // True gap = 2^32 + 500 ns, but the 32-bit stamp only moved 500.
+        let (_, rec) = t.update_int(&report(1, 4_294_967_796, 1_500, 40, 0));
+        assert!(
+            (rec.last_inter_arrival_s - 5e-7).abs() < 1e-15,
+            "aliased to 500 ns, the paper's §V artifact"
+        );
+    }
+
+    #[test]
+    fn distinct_flows_distinct_records() {
+        let mut t = FlowTable::default();
+        t.update_int(&report(1, 0, 0, 40, 0));
+        t.update_int(&report(2, 10, 10, 40, 0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.created(), 2);
+        assert_eq!(t.updated(), 0);
+    }
+
+    #[test]
+    fn features_reflect_aggregates() {
+        let mut t = FlowTable::default();
+        t.update_int(&report(1, 1_000, 1_000, 100, 2));
+        t.update_int(&report(1, 1_001_000, 1_001_000, 300, 4));
+        let (_, rec) = t.update_int(&report(1, 2_001_000, 2_001_000, 200, 6));
+        let v = rec.features();
+        assert_eq!(v.get(FeatureId::Protocol), 6.0);
+        assert_eq!(v.get(FeatureId::PacketLen), 200.0);
+        assert_eq!(v.get(FeatureId::PacketLenCum), 600.0);
+        assert_eq!(v.get(FeatureId::PacketLenAvg), 200.0);
+        assert_eq!(v.get(FeatureId::PacketCount), 3.0);
+        assert_eq!(v.get(FeatureId::QueueOcc), 6.0);
+        assert_eq!(v.get(FeatureId::QueueOccAvg), 4.0);
+        // Duration 2 ms → 1500 pps, 300_000 Bps.
+        assert!((v.get(FeatureId::PacketsPerSec) - 1500.0).abs() < 1e-6);
+        assert!((v.get(FeatureId::BytesPerSec) - 300_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sflow_ingest_has_no_queue_data() {
+        use amlight_sflow::FlowSample;
+        let mut t = FlowTable::default();
+        let s1 = FlowSample {
+            flow: key(9),
+            ip_len: 500,
+            tcp_flags: Some(0x10),
+            observed_ns: 1_000_000,
+            sampling_period: 4096,
+        };
+        let s2 = FlowSample {
+            observed_ns: 3_000_000,
+            ip_len: 700,
+            ..s1
+        };
+        t.update_sflow(&s1);
+        let (kind, rec) = t.update_sflow(&s2);
+        assert_eq!(kind, UpdateKind::Updated);
+        assert_eq!(rec.last_queue_occ, 0);
+        assert!(rec.qocc_stats.is_empty());
+        assert!((rec.last_inter_arrival_s - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_eviction() {
+        let mut t = FlowTable::new(FlowTableConfig {
+            idle_timeout_ns: 1_000,
+            max_flows: 100,
+        });
+        t.update_int(&report(1, 0, 0, 40, 0));
+        t.update_int(&report(2, 1_500, 1_500, 40, 0));
+        let evicted = t.evict_idle(2_000);
+        assert_eq!(evicted, 1, "flow 1 idle past timeout");
+        assert!(t.get(&key(2)).is_some());
+        assert!(t.get(&key(1)).is_none());
+        assert_eq!(t.evicted(), 1);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_oldest() {
+        let mut t = FlowTable::new(FlowTableConfig {
+            idle_timeout_ns: u64::MAX / 2, // nothing times out
+            max_flows: 3,
+        });
+        for (i, ts) in [(1u16, 100u64), (2, 200), (3, 300)] {
+            t.update_int(&report(i, ts, ts as u32, 40, 0));
+        }
+        // A fourth flow forces eviction of the oldest-idle (flow 1).
+        t.update_int(&report(4, 400, 400, 40, 0));
+        assert_eq!(t.len(), 3);
+        assert!(t.get(&key(1)).is_none());
+        assert!(t.get(&key(4)).is_some());
+    }
+
+    #[test]
+    fn protocol_split_counts() {
+        let mut t = FlowTable::default();
+        t.update_int(&report(1, 0, 0, 40, 0));
+        let mut udp_key = key(2);
+        udp_key.protocol = Protocol::Udp;
+        let udp_sample = FlowSample {
+            flow: udp_key,
+            ip_len: 100,
+            tcp_flags: None,
+            observed_ns: 0,
+            sampling_period: 1,
+        };
+        t.update_sflow(&udp_sample);
+        assert_eq!(t.protocol_split(), (1, 1));
+    }
+}

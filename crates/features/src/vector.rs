@@ -1,0 +1,221 @@
+//! Feature identities and vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// Every feature the Data Processor can produce, in canonical order.
+///
+/// Subscript conventions follow the paper's Table V: `Cum` = cumulative,
+/// `Avg` = mean, `Std` = standard deviation. Cumulative inter-arrival
+/// time *is* the flow duration (paper Table II note).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum FeatureId {
+    Protocol = 0,
+    PacketLen,
+    PacketLenCum,
+    PacketLenAvg,
+    PacketLenStd,
+    InterArrival,
+    InterArrivalCum,
+    InterArrivalAvg,
+    InterArrivalStd,
+    QueueOcc,
+    QueueOccAvg,
+    QueueOccStd,
+    PacketCount,
+    PacketsPerSec,
+    BytesPerSec,
+}
+
+impl FeatureId {
+    pub const COUNT: usize = 15;
+
+    pub const ALL: [FeatureId; Self::COUNT] = [
+        FeatureId::Protocol,
+        FeatureId::PacketLen,
+        FeatureId::PacketLenCum,
+        FeatureId::PacketLenAvg,
+        FeatureId::PacketLenStd,
+        FeatureId::InterArrival,
+        FeatureId::InterArrivalCum,
+        FeatureId::InterArrivalAvg,
+        FeatureId::InterArrivalStd,
+        FeatureId::QueueOcc,
+        FeatureId::QueueOccAvg,
+        FeatureId::QueueOccStd,
+        FeatureId::PacketCount,
+        FeatureId::PacketsPerSec,
+        FeatureId::BytesPerSec,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureId::Protocol => "Protocol",
+            FeatureId::PacketLen => "Packet Size",
+            FeatureId::PacketLenCum => "Packet Size_cum",
+            FeatureId::PacketLenAvg => "Packet Size_avg",
+            FeatureId::PacketLenStd => "Packet Size_std",
+            FeatureId::InterArrival => "Inter Arrival Time",
+            FeatureId::InterArrivalCum => "Inter Arrival Time_cum",
+            FeatureId::InterArrivalAvg => "Inter Arrival Time_avg",
+            FeatureId::InterArrivalStd => "Inter Arrival Time_std",
+            FeatureId::QueueOcc => "Queue Occupancy",
+            FeatureId::QueueOccAvg => "Queue Occupancy_avg",
+            FeatureId::QueueOccStd => "Queue Occupancy_std",
+            FeatureId::PacketCount => "Number of Packets",
+            FeatureId::PacketsPerSec => "Packets per Second",
+            FeatureId::BytesPerSec => "Packet Size per Second",
+        }
+    }
+
+    /// Is this feature derived from INT-only telemetry (queue occupancy)?
+    pub fn requires_int(self) -> bool {
+        matches!(
+            self,
+            FeatureId::QueueOcc | FeatureId::QueueOccAvg | FeatureId::QueueOccStd
+        )
+    }
+}
+
+/// Which telemetry source the vector is built from — selects the feature
+/// subset (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// All 15 features.
+    Int,
+    /// 12 features: everything except queue occupancy.
+    Sflow,
+}
+
+impl FeatureSet {
+    /// The features in this set, in canonical order.
+    pub fn features(self) -> Vec<FeatureId> {
+        FeatureId::ALL
+            .into_iter()
+            .filter(|f| self == FeatureSet::Int || !f.requires_int())
+            .collect()
+    }
+
+    pub fn dim(self) -> usize {
+        match self {
+            FeatureSet::Int => 15,
+            FeatureSet::Sflow => 12,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureSet::Int => "INT",
+            FeatureSet::Sflow => "sFlow",
+        }
+    }
+}
+
+/// A dense feature vector over the full canonical space. Consumers
+/// project it down to a [`FeatureSet`] when building model inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    pub values: [f64; FeatureId::COUNT],
+}
+
+impl Default for FeatureVector {
+    fn default() -> Self {
+        Self {
+            values: [0.0; FeatureId::COUNT],
+        }
+    }
+}
+
+impl FeatureVector {
+    #[inline]
+    pub fn get(&self, id: FeatureId) -> f64 {
+        self.values[id as usize]
+    }
+
+    #[inline]
+    pub fn set(&mut self, id: FeatureId, v: f64) {
+        self.values[id as usize] = v;
+    }
+
+    /// Project onto a feature set, appending to `out` (hot path: no
+    /// allocation when the caller reuses the buffer).
+    pub fn project_into(&self, set: FeatureSet, out: &mut Vec<f64>) {
+        match set {
+            FeatureSet::Int => out.extend_from_slice(&self.values),
+            FeatureSet::Sflow => {
+                for f in FeatureId::ALL {
+                    if !f.requires_int() {
+                        out.push(self.values[f as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience allocating projection.
+    pub fn project(&self, set: FeatureSet) -> Vec<f64> {
+        let mut v = Vec::with_capacity(set.dim());
+        self.project_into(set, &mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_features_total() {
+        assert_eq!(FeatureId::ALL.len(), 15);
+        assert_eq!(FeatureSet::Int.dim(), 15);
+        assert_eq!(FeatureSet::Int.features().len(), 15);
+    }
+
+    #[test]
+    fn sflow_set_lacks_queue_occupancy() {
+        let feats = FeatureSet::Sflow.features();
+        assert_eq!(feats.len(), 12);
+        assert!(feats.iter().all(|f| !f.requires_int()));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> = FeatureId::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn projection_preserves_order_and_values() {
+        let mut v = FeatureVector::default();
+        for (i, f) in FeatureId::ALL.into_iter().enumerate() {
+            v.set(f, i as f64);
+        }
+        let int = v.project(FeatureSet::Int);
+        assert_eq!(int, (0..15).map(|i| i as f64).collect::<Vec<_>>());
+        let sflow = v.project(FeatureSet::Sflow);
+        assert_eq!(sflow.len(), 12);
+        // Queue features (indices 9, 10, 11) skipped.
+        assert_eq!(
+            sflow,
+            vec![0., 1., 2., 3., 4., 5., 6., 7., 8., 12., 13., 14.]
+        );
+    }
+
+    #[test]
+    fn project_into_reuses_buffer() {
+        let v = FeatureVector::default();
+        let mut buf = Vec::with_capacity(32);
+        v.project_into(FeatureSet::Int, &mut buf);
+        v.project_into(FeatureSet::Sflow, &mut buf);
+        assert_eq!(buf.len(), 27);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut v = FeatureVector::default();
+        v.set(FeatureId::QueueOccAvg, 3.25);
+        assert_eq!(v.get(FeatureId::QueueOccAvg), 3.25);
+        assert_eq!(v.get(FeatureId::Protocol), 0.0);
+    }
+}

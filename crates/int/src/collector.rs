@@ -1,0 +1,197 @@
+//! The INT collector: decodes the sink's report stream.
+//!
+//! The paper's "INT Data Collection" module is a Python script reading the
+//! collector port; ours is a streaming decoder over a byte buffer. It
+//! tolerates truncated tails (more bytes coming) and resynchronizes after
+//! malformed reports by scanning for the next magic.
+
+use crate::report::{TelemetryReport, REPORT_MAGIC};
+use amlight_net::{CodecError, Decode, Encode};
+use bytes::{Buf, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Running collector statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectorStats {
+    pub reports_decoded: u64,
+    pub bytes_consumed: u64,
+    pub decode_errors: u64,
+    pub resyncs: u64,
+}
+
+/// Streaming telemetry-report decoder.
+#[derive(Debug, Default)]
+pub struct IntCollector {
+    buffer: BytesMut,
+    stats: CollectorStats,
+}
+
+impl IntCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn stats(&self) -> CollectorStats {
+        self.stats
+    }
+
+    /// Bytes buffered awaiting more input.
+    pub fn pending_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Feed raw bytes from the sink; returns every complete report.
+    pub fn ingest(&mut self, bytes: &[u8]) -> Vec<TelemetryReport> {
+        self.buffer.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            if self.buffer.is_empty() {
+                break;
+            }
+            // Try to decode from the front without consuming on failure.
+            let mut probe = &self.buffer[..];
+            let before = probe.remaining();
+            match TelemetryReport::decode(&mut probe) {
+                Ok(report) => {
+                    let used = before - probe.remaining();
+                    self.buffer.advance(used);
+                    self.stats.bytes_consumed += used as u64;
+                    self.stats.reports_decoded += 1;
+                    out.push(report);
+                }
+                Err(CodecError::Truncated { .. }) => break, // wait for more bytes
+                Err(CodecError::Malformed(_)) => {
+                    self.stats.decode_errors += 1;
+                    self.resync();
+                }
+            }
+        }
+        out
+    }
+
+    /// Skip forward to the next plausible report magic.
+    fn resync(&mut self) {
+        self.stats.resyncs += 1;
+        let magic = REPORT_MAGIC.to_be_bytes();
+        // Start searching one byte in so a bad report at the front is skipped.
+        let pos = self.buffer[1..]
+            .windows(2)
+            .position(|w| w == magic)
+            .map(|p| p + 1)
+            .unwrap_or(self.buffer.len());
+        self.stats.bytes_consumed += pos as u64;
+        self.buffer.advance(pos);
+    }
+
+    /// Encode a batch of reports as one contiguous stream (test/bench
+    /// helper — the inverse of [`IntCollector::ingest`]).
+    pub fn encode_stream(reports: &[TelemetryReport]) -> BytesMut {
+        let total: usize = reports.iter().map(|r| r.encoded_len()).sum();
+        let mut buf = BytesMut::with_capacity(total);
+        for r in reports {
+            r.encode(&mut buf);
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::InstructionSet;
+    use crate::metadata::HopMetadata;
+    use amlight_net::{FlowKey, Protocol};
+    use std::net::Ipv4Addr;
+
+    fn report(tag: u32) -> TelemetryReport {
+        TelemetryReport {
+            flow: FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                (1000 + tag) as u16,
+                80,
+                Protocol::Tcp,
+            ),
+            ip_len: 40,
+            tcp_flags: Some(0x02),
+            instructions: InstructionSet::amlight(),
+            hops: vec![HopMetadata {
+                switch_id: tag,
+                ..Default::default()
+            }],
+            export_ns: u64::from(tag) * 1000,
+        }
+    }
+
+    #[test]
+    fn decodes_batch() {
+        let reports: Vec<_> = (0..10).map(report).collect();
+        let stream = IntCollector::encode_stream(&reports);
+        let mut c = IntCollector::new();
+        let got = c.ingest(&stream);
+        assert_eq!(got, reports);
+        assert_eq!(c.stats().reports_decoded, 10);
+        assert_eq!(c.stats().decode_errors, 0);
+        assert_eq!(c.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn handles_split_delivery() {
+        let reports: Vec<_> = (0..3).map(report).collect();
+        let stream = IntCollector::encode_stream(&reports);
+        let mut c = IntCollector::new();
+        let mut got = Vec::new();
+        // Deliver in 7-byte chunks.
+        for chunk in stream.chunks(7) {
+            got.extend(c.ingest(chunk));
+        }
+        assert_eq!(got, reports);
+        assert_eq!(c.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn resyncs_after_garbage() {
+        let good = report(1);
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]); // garbage
+        stream.extend_from_slice(&IntCollector::encode_stream(std::slice::from_ref(&good)));
+        let mut c = IntCollector::new();
+        let got = c.ingest(&stream);
+        assert_eq!(got, vec![good]);
+        assert!(c.stats().decode_errors >= 1);
+        assert!(c.stats().resyncs >= 1);
+    }
+
+    #[test]
+    fn truncated_tail_waits_for_more() {
+        let r = report(5);
+        let stream = IntCollector::encode_stream(std::slice::from_ref(&r));
+        let mut c = IntCollector::new();
+        let half = stream.len() / 2;
+        assert!(c.ingest(&stream[..half]).is_empty());
+        assert_eq!(c.pending_bytes(), half);
+        let got = c.ingest(&stream[half..]);
+        assert_eq!(got, vec![r]);
+    }
+
+    #[test]
+    fn garbage_only_stream_consumes_everything() {
+        let mut c = IntCollector::new();
+        // Starts with a valid-looking magic so decode is attempted and
+        // fails on version; resync then scans past it.
+        let mut junk = vec![0x1a, 0x17, 0x99];
+        junk.extend(std::iter::repeat_n(0u8, 64));
+        let got = c.ingest(&junk);
+        assert!(got.is_empty());
+        assert_eq!(c.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let reports: Vec<_> = (0..4).map(report).collect();
+        let stream = IntCollector::encode_stream(&reports);
+        let mut c = IntCollector::new();
+        c.ingest(&stream);
+        assert_eq!(c.stats().bytes_consumed, stream.len() as u64);
+    }
+}

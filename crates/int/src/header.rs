@@ -1,0 +1,257 @@
+//! The INT-MD header: instruction bitmap and stack bookkeeping.
+
+use amlight_net::{CodecError, Decode, Encode};
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+/// One telemetry instruction — a bit in the INT instruction bitmap.
+///
+/// Bit positions follow the INT v2.1 spec's first instruction word
+/// (bit 15 = MSB = instruction 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u16)]
+pub enum Instruction {
+    /// Node (switch) ID.
+    SwitchId = 15,
+    /// Ingress timestamp, 32-bit ns.
+    IngressTstamp = 11,
+    /// Egress timestamp, 32-bit ns.
+    EgressTstamp = 10,
+    /// Hop latency (egress − ingress), 32-bit ns.
+    HopLatency = 13,
+    /// Queue occupancy at dequeue.
+    QueueOccupancy = 12,
+}
+
+impl Instruction {
+    pub const ALL: [Instruction; 5] = [
+        Instruction::SwitchId,
+        Instruction::IngressTstamp,
+        Instruction::EgressTstamp,
+        Instruction::HopLatency,
+        Instruction::QueueOccupancy,
+    ];
+
+    #[inline]
+    fn mask(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// A set of instructions — the bitmap carried in the INT header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InstructionSet(u16);
+
+impl InstructionSet {
+    pub const fn empty() -> Self {
+        InstructionSet(0)
+    }
+
+    /// The paper's deployment: switch id, both timestamps, and queue
+    /// occupancy (§III-1 lists exactly these INT fields).
+    pub fn amlight() -> Self {
+        Self::empty()
+            .with(Instruction::SwitchId)
+            .with(Instruction::IngressTstamp)
+            .with(Instruction::EgressTstamp)
+            .with(Instruction::QueueOccupancy)
+    }
+
+    /// Everything we can collect (adds hop latency).
+    pub fn full() -> Self {
+        let mut s = Self::empty();
+        for i in Instruction::ALL {
+            s = s.with(i);
+        }
+        s
+    }
+
+    #[must_use]
+    pub fn with(mut self, i: Instruction) -> Self {
+        self.0 |= i.mask();
+        self
+    }
+
+    #[inline]
+    pub fn contains(&self, i: Instruction) -> bool {
+        self.0 & i.mask() != 0
+    }
+
+    /// Number of requested instructions.
+    pub fn len(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Bytes of metadata each hop pushes: 4 bytes per instruction.
+    pub fn hop_metadata_len(&self) -> usize {
+        self.len() as usize * 4
+    }
+
+    pub fn bits(&self) -> u16 {
+        self.0
+    }
+
+    pub fn from_bits(bits: u16) -> Self {
+        InstructionSet(bits)
+    }
+
+    /// Iterate set instructions in canonical (stack) order.
+    pub fn iter(&self) -> impl Iterator<Item = Instruction> + '_ {
+        Instruction::ALL.into_iter().filter(|i| self.contains(*i))
+    }
+}
+
+/// The INT-MD header inserted by the source switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntHeader {
+    pub version: u8,
+    pub instructions: InstructionSet,
+    /// Hops remaining before transit switches stop pushing metadata.
+    pub remaining_hop_count: u8,
+    /// Number of metadata entries currently on the stack.
+    pub stack_depth: u8,
+}
+
+impl IntHeader {
+    pub const WIRE_LEN: usize = 8;
+    pub const VERSION: u8 = 2;
+    /// Default hop budget — generous for our ≤ 8-hop topologies.
+    pub const DEFAULT_HOP_BUDGET: u8 = 16;
+
+    pub fn new(instructions: InstructionSet) -> Self {
+        Self {
+            version: Self::VERSION,
+            instructions,
+            remaining_hop_count: Self::DEFAULT_HOP_BUDGET,
+            stack_depth: 0,
+        }
+    }
+
+    /// Total INT bytes a packet carries with `hops` stack entries:
+    /// header + per-hop metadata. This is the payload-ratio overhead the
+    /// paper references from \[6\].
+    pub fn overhead_bytes(&self, hops: usize) -> usize {
+        Self::WIRE_LEN + hops * self.instructions.hop_metadata_len()
+    }
+}
+
+impl Encode for IntHeader {
+    fn encoded_len(&self) -> usize {
+        Self::WIRE_LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.version);
+        buf.put_u8(self.remaining_hop_count);
+        buf.put_u8(self.stack_depth);
+        buf.put_u8(0); // reserved
+        buf.put_u16(self.instructions.bits());
+        buf.put_u16(0); // reserved / domain id
+    }
+}
+
+impl Decode for IntHeader {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return Err(CodecError::Truncated {
+                needed: Self::WIRE_LEN,
+                had: buf.remaining(),
+            });
+        }
+        let version = buf.get_u8();
+        if version != Self::VERSION {
+            return Err(CodecError::Malformed("unsupported INT version"));
+        }
+        let remaining_hop_count = buf.get_u8();
+        let stack_depth = buf.get_u8();
+        let _rsvd = buf.get_u8();
+        let instructions = InstructionSet::from_bits(buf.get_u16());
+        let _rsvd2 = buf.get_u16();
+        Ok(Self {
+            version,
+            instructions,
+            remaining_hop_count,
+            stack_depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amlight_set_matches_paper_fields() {
+        let s = InstructionSet::amlight();
+        assert!(s.contains(Instruction::SwitchId));
+        assert!(s.contains(Instruction::IngressTstamp));
+        assert!(s.contains(Instruction::EgressTstamp));
+        assert!(s.contains(Instruction::QueueOccupancy));
+        assert!(!s.contains(Instruction::HopLatency));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.hop_metadata_len(), 16);
+    }
+
+    #[test]
+    fn full_set_has_all_five() {
+        assert_eq!(InstructionSet::full().len(), 5);
+        assert_eq!(InstructionSet::full().hop_metadata_len(), 20);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = InstructionSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.hop_metadata_len(), 0);
+    }
+
+    #[test]
+    fn iter_yields_only_set_instructions() {
+        let s = InstructionSet::empty()
+            .with(Instruction::SwitchId)
+            .with(Instruction::QueueOccupancy);
+        let got: Vec<Instruction> = s.iter().collect();
+        assert_eq!(
+            got,
+            vec![Instruction::SwitchId, Instruction::QueueOccupancy]
+        );
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let mut h = IntHeader::new(InstructionSet::amlight());
+        h.remaining_hop_count = 3;
+        h.stack_depth = 2;
+        let mut buf = h.encode_to_bytes().freeze();
+        assert_eq!(IntHeader::decode(&mut buf).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_version() {
+        let h = IntHeader::new(InstructionSet::amlight());
+        let mut bytes = h.encode_to_bytes();
+        bytes[0] = 9;
+        let mut cursor = bytes.freeze();
+        assert!(IntHeader::decode(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn overhead_grows_per_hop() {
+        let h = IntHeader::new(InstructionSet::amlight());
+        assert_eq!(h.overhead_bytes(0), 8);
+        assert_eq!(h.overhead_bytes(1), 8 + 16);
+        assert_eq!(h.overhead_bytes(3), 8 + 48);
+    }
+
+    #[test]
+    fn instruction_bits_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in Instruction::ALL {
+            assert!(seen.insert(i.mask()));
+        }
+    }
+}

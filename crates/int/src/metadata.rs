@@ -1,0 +1,144 @@
+//! Per-hop INT metadata stack entries.
+
+use crate::header::{Instruction, InstructionSet};
+use amlight_net::CodecError;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+/// Telemetry one switch contributes to a packet's metadata stack.
+///
+/// All timestamps are the truncated 32-bit nanosecond stamps that real INT
+/// hardware exports — wrap-aware arithmetic is the consumer's problem
+/// (see `amlight_sim::clock`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HopMetadata {
+    pub switch_id: u32,
+    pub ingress_tstamp: u32,
+    pub egress_tstamp: u32,
+    pub hop_latency: u32,
+    pub queue_occupancy: u32,
+}
+
+impl HopMetadata {
+    /// Encode only the fields requested by `set`, in canonical order.
+    pub fn encode_selected<B: BufMut>(&self, set: &InstructionSet, buf: &mut B) {
+        for i in set.iter() {
+            let v = self.field(i);
+            buf.put_u32(v);
+        }
+    }
+
+    /// Decode fields per `set`; unrequested fields stay zero.
+    pub fn decode_selected<B: Buf>(set: &InstructionSet, buf: &mut B) -> Result<Self, CodecError> {
+        let need = set.hop_metadata_len();
+        if buf.remaining() < need {
+            return Err(CodecError::Truncated {
+                needed: need,
+                had: buf.remaining(),
+            });
+        }
+        let mut m = HopMetadata::default();
+        for i in set.iter() {
+            let v = buf.get_u32();
+            m.set_field(i, v);
+        }
+        Ok(m)
+    }
+
+    fn field(&self, i: Instruction) -> u32 {
+        match i {
+            Instruction::SwitchId => self.switch_id,
+            Instruction::IngressTstamp => self.ingress_tstamp,
+            Instruction::EgressTstamp => self.egress_tstamp,
+            Instruction::HopLatency => self.hop_latency,
+            Instruction::QueueOccupancy => self.queue_occupancy,
+        }
+    }
+
+    fn set_field(&mut self, i: Instruction, v: u32) {
+        match i {
+            Instruction::SwitchId => self.switch_id = v,
+            Instruction::IngressTstamp => self.ingress_tstamp = v,
+            Instruction::EgressTstamp => self.egress_tstamp = v,
+            Instruction::HopLatency => self.hop_latency = v,
+            Instruction::QueueOccupancy => self.queue_occupancy = v,
+        }
+    }
+
+    /// Wrap-aware latency derived from the two stamps — may disagree with
+    /// the `hop_latency` field if the stay exceeded one wrap period.
+    pub fn derived_latency_ns(&self) -> u32 {
+        self.egress_tstamp.wrapping_sub(self.ingress_tstamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn sample() -> HopMetadata {
+        HopMetadata {
+            switch_id: 7,
+            ingress_tstamp: 1_000,
+            egress_tstamp: 9_000,
+            hop_latency: 8_000,
+            queue_occupancy: 42,
+        }
+    }
+
+    #[test]
+    fn selective_roundtrip_full() {
+        let set = InstructionSet::full();
+        let mut buf = BytesMut::new();
+        sample().encode_selected(&set, &mut buf);
+        assert_eq!(buf.len(), set.hop_metadata_len());
+        let mut cursor = buf.freeze();
+        let back = HopMetadata::decode_selected(&set, &mut cursor).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn selective_roundtrip_amlight_drops_hop_latency() {
+        let set = InstructionSet::amlight();
+        let mut buf = BytesMut::new();
+        sample().encode_selected(&set, &mut buf);
+        let mut cursor = buf.freeze();
+        let back = HopMetadata::decode_selected(&set, &mut cursor).unwrap();
+        assert_eq!(back.hop_latency, 0, "not requested, not carried");
+        assert_eq!(back.queue_occupancy, 42);
+        assert_eq!(back.switch_id, 7);
+    }
+
+    #[test]
+    fn truncated_stack_is_an_error() {
+        let set = InstructionSet::full();
+        let raw = [0u8; 8]; // needs 20
+        let mut cursor = &raw[..];
+        assert!(matches!(
+            HopMetadata::decode_selected(&set, &mut cursor),
+            Err(CodecError::Truncated { needed: 20, had: 8 })
+        ));
+    }
+
+    #[test]
+    fn derived_latency_handles_wrap() {
+        let m = HopMetadata {
+            ingress_tstamp: u32::MAX - 5,
+            egress_tstamp: 10,
+            ..Default::default()
+        };
+        assert_eq!(m.derived_latency_ns(), 16);
+    }
+
+    #[test]
+    fn empty_set_encodes_nothing() {
+        let set = InstructionSet::empty();
+        let mut buf = BytesMut::new();
+        sample().encode_selected(&set, &mut buf);
+        assert!(buf.is_empty());
+        let mut cursor = buf.freeze();
+        let back = HopMetadata::decode_selected(&set, &mut cursor).unwrap();
+        assert_eq!(back, HopMetadata::default());
+    }
+}

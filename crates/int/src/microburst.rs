@@ -1,0 +1,309 @@
+//! Microburst detection from per-packet queue telemetry.
+//!
+//! Before turning INT toward DDoS detection, AmLight used the same
+//! telemetry to find *microbursts* — sub-millisecond queue buildups that
+//! normal SNMP-rate counters can never see (Bezerra et al., NOMS'23 —
+//! the paper's ref \[8\]). This module reimplements that capability on our
+//! telemetry stream: an adaptive detector that flags intervals where
+//! queue occupancy rises significantly above its recent baseline.
+//!
+//! The detector keeps an exponentially weighted moving average (EWMA)
+//! and variance of the queue-depth series and opens a burst when a
+//! sample exceeds `mean + k·σ` (with an absolute floor, so an all-idle
+//! queue doesn't alarm on depth 1), closing it after `min_gap_ns` of
+//! calm. Bursts shorter than `min_duration_ns` are discarded as noise.
+
+use serde::{Deserialize, Serialize};
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroburstConfig {
+    /// EWMA weight for new samples (0 < α ≤ 1).
+    pub alpha: f64,
+    /// Threshold in standard deviations above the moving mean.
+    pub k_sigma: f64,
+    /// Absolute minimum depth to consider burst-worthy.
+    pub min_depth: u32,
+    /// Calm time that closes an open burst, ns.
+    pub min_gap_ns: u64,
+    /// Bursts shorter than this are dropped, ns.
+    pub min_duration_ns: u64,
+}
+
+impl Default for MicroburstConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.02,
+            k_sigma: 4.0,
+            min_depth: 8,
+            min_gap_ns: 100_000,     // 100 µs of calm ends a burst
+            min_duration_ns: 10_000, // ignore <10 µs blips
+        }
+    }
+}
+
+/// One detected burst.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Microburst {
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub peak_depth: u32,
+    /// Samples inside the burst.
+    pub samples: u64,
+}
+
+impl Microburst {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenBurst {
+    start_ns: u64,
+    last_hot_ns: u64,
+    peak_depth: u32,
+    samples: u64,
+}
+
+/// Streaming microburst detector over (timestamp, queue depth) samples.
+#[derive(Debug, Clone)]
+pub struct MicroburstDetector {
+    cfg: MicroburstConfig,
+    mean: f64,
+    var: f64,
+    seen: u64,
+    open: Option<OpenBurst>,
+    bursts: Vec<Microburst>,
+}
+
+impl MicroburstDetector {
+    pub fn new(cfg: MicroburstConfig) -> Self {
+        Self {
+            cfg,
+            mean: 0.0,
+            var: 0.0,
+            seen: 0,
+            open: None,
+            bursts: Vec::new(),
+        }
+    }
+
+    /// Current adaptive threshold.
+    pub fn threshold(&self) -> f64 {
+        (self.mean + self.cfg.k_sigma * self.var.sqrt()).max(f64::from(self.cfg.min_depth))
+    }
+
+    /// Feed one sample. Samples must arrive in non-decreasing time order.
+    pub fn push(&mut self, ts_ns: u64, depth: u32) {
+        let hot = self.seen > 0 && f64::from(depth) > self.threshold();
+        self.seen += 1;
+
+        // Calm samples update mean and variance at full weight. Hot
+        // samples pull only the mean, at 1/10th weight: short bursts
+        // barely move the baseline (so they stay detectable end to end),
+        // while a sustained level shift is eventually absorbed instead
+        // of alarming forever. Variance is never learned from hot
+        // samples — a burst must not widen its own detection band.
+        let d = f64::from(depth) - self.mean;
+        if hot {
+            self.mean += self.cfg.alpha * 0.1 * d;
+        } else {
+            let a = self.cfg.alpha;
+            self.mean += a * d;
+            self.var = (1.0 - a) * (self.var + a * d * d);
+        }
+
+        match (&mut self.open, hot) {
+            (Some(b), true) => {
+                b.last_hot_ns = ts_ns;
+                b.peak_depth = b.peak_depth.max(depth);
+                b.samples += 1;
+            }
+            (Some(b), false) => {
+                if ts_ns.saturating_sub(b.last_hot_ns) >= self.cfg.min_gap_ns {
+                    let burst = *b;
+                    self.open = None;
+                    self.close(burst);
+                }
+            }
+            (None, true) => {
+                self.open = Some(OpenBurst {
+                    start_ns: ts_ns,
+                    last_hot_ns: ts_ns,
+                    peak_depth: depth,
+                    samples: 1,
+                });
+            }
+            (None, false) => {}
+        }
+    }
+
+    fn close(&mut self, b: OpenBurst) {
+        let burst = Microburst {
+            start_ns: b.start_ns,
+            end_ns: b.last_hot_ns,
+            peak_depth: b.peak_depth,
+            samples: b.samples,
+        };
+        if burst.duration_ns() >= self.cfg.min_duration_ns {
+            self.bursts.push(burst);
+        }
+    }
+
+    /// Close any open burst and return everything detected.
+    pub fn finish(mut self) -> Vec<Microburst> {
+        if let Some(b) = self.open.take() {
+            self.close(b);
+        }
+        self.bursts
+    }
+
+    /// Bursts closed so far (the open one, if any, is not included).
+    pub fn bursts(&self) -> &[Microburst] {
+        &self.bursts
+    }
+}
+
+/// Convenience: detect bursts across a telemetry report stream using the
+/// sink hop's queue depth and egress-derived timebase (collector clock).
+pub fn detect_from_reports<'a, I>(reports: I, cfg: MicroburstConfig) -> Vec<Microburst>
+where
+    I: IntoIterator<Item = &'a crate::report::TelemetryReport>,
+{
+    let mut det = MicroburstDetector::new(cfg);
+    for r in reports {
+        if let Some(hop) = r.sink_hop() {
+            det.push(r.export_ns, hop.queue_occupancy);
+        }
+    }
+    det.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MicroburstConfig {
+        MicroburstConfig::default()
+    }
+
+    /// Calm series with one square burst injected.
+    fn series_with_burst(
+        calm_depth: u32,
+        burst_depth: u32,
+        burst_at: u64,
+        burst_len: u64,
+    ) -> Vec<(u64, u32)> {
+        (0..2_000u64)
+            .map(|i| {
+                let t = i * 1_000; // 1 µs cadence
+                let d = if t >= burst_at && t < burst_at + burst_len {
+                    burst_depth
+                } else {
+                    calm_depth
+                };
+                (t, d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_a_clear_burst() {
+        let mut det = MicroburstDetector::new(cfg());
+        for (t, d) in series_with_burst(1, 60, 1_000_000, 50_000) {
+            det.push(t, d);
+        }
+        let bursts = det.finish();
+        assert_eq!(bursts.len(), 1, "exactly one burst");
+        let b = bursts[0];
+        assert_eq!(b.peak_depth, 60);
+        assert!(b.start_ns >= 1_000_000 && b.start_ns < 1_010_000);
+        assert!(b.duration_ns() >= 40_000, "duration {}", b.duration_ns());
+    }
+
+    #[test]
+    fn calm_traffic_never_alarms() {
+        let mut det = MicroburstDetector::new(cfg());
+        for i in 0..5_000u64 {
+            det.push(i * 1_000, (i % 3) as u32); // depth 0..2 jitter
+        }
+        assert!(det.finish().is_empty());
+    }
+
+    #[test]
+    fn short_blips_are_filtered() {
+        let mut det = MicroburstDetector::new(cfg());
+        // One single hot sample: 1 µs "burst", below min_duration.
+        for (t, d) in series_with_burst(0, 100, 500_000, 1_000) {
+            det.push(t, d);
+        }
+        assert!(det.finish().is_empty(), "sub-10 µs blip must be dropped");
+    }
+
+    #[test]
+    fn two_separated_bursts_are_distinct() {
+        let mut det = MicroburstDetector::new(cfg());
+        for i in 0..4_000u64 {
+            let t = i * 1_000;
+            let d = if (500_000..550_000).contains(&t) || (2_000_000..2_060_000).contains(&t) {
+                80
+            } else {
+                1
+            };
+            det.push(t, d);
+        }
+        let bursts = det.finish();
+        assert_eq!(bursts.len(), 2);
+        assert!(bursts[0].end_ns < bursts[1].start_ns);
+    }
+
+    #[test]
+    fn baseline_adapts_to_sustained_load() {
+        // A step to sustained depth 30 alarms once (the step itself is a
+        // legitimate event) and is then absorbed into the baseline: the
+        // second half of the series must be burst-free.
+        let mut det = MicroburstDetector::new(MicroburstConfig {
+            min_depth: 8,
+            ..cfg()
+        });
+        let horizon = 40_000u64;
+        for i in 0..horizon {
+            det.push(i * 1_000, 30 + (i % 3) as u32);
+        }
+        let bursts = det.finish();
+        assert!(
+            bursts.len() <= 1,
+            "at most the initial step alarm, got {bursts:?}"
+        );
+        for b in &bursts {
+            assert!(
+                b.end_ns < horizon * 1_000 / 2,
+                "steady load must be absorbed: burst persists to {}",
+                b.end_ns
+            );
+        }
+    }
+
+    #[test]
+    fn open_burst_is_closed_by_finish() {
+        let mut det = MicroburstDetector::new(cfg());
+        // Warm-up calm, then hot till the end of input.
+        for i in 0..1_000u64 {
+            det.push(i * 1_000, 1);
+        }
+        for i in 1_000..1_100u64 {
+            det.push(i * 1_000, 90);
+        }
+        assert!(det.bursts().is_empty(), "still open");
+        let bursts = det.finish();
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].peak_depth, 90);
+    }
+
+    #[test]
+    fn threshold_has_absolute_floor() {
+        let det = MicroburstDetector::new(cfg());
+        assert!(det.threshold() >= 8.0);
+    }
+}

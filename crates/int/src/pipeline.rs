@@ -1,0 +1,278 @@
+//! INT source / transit / sink roles, and the instrumenter that turns
+//! simulator output into telemetry reports.
+//!
+//! In hardware the roles live in the switches themselves (paper Fig. 1).
+//! Our simulator already records per-hop ground truth ([`HopRecord`]); the
+//! instrumenter replays those records through the INT state machine:
+//! source inserts the header, every hop (source included, per INT-MD)
+//! pushes metadata if the hop budget allows, sink strips and exports.
+//! Timestamps are truncated to 32 bits here — the collector never sees
+//! full-width time.
+
+use crate::header::{InstructionSet, IntHeader};
+use crate::metadata::HopMetadata;
+use crate::report::TelemetryReport;
+use amlight_net::{Trace, TrafficClass};
+use amlight_sim::clock::TelemetryClock;
+use amlight_sim::engine::{HopRecord, SimReport};
+use serde::{Deserialize, Serialize};
+
+/// Role a switch plays in the INT domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntRole {
+    Source,
+    Transit,
+    Sink,
+    /// Outside the INT domain: contributes no metadata.
+    None,
+}
+
+/// Fixed latency the sink adds between packet egress and report export —
+/// mirrors the mirror-port + capture path on the testbed (port 5 tap).
+pub const SINK_EXPORT_DELAY_NS: u64 = 1_500;
+
+/// Turns simulated packet journeys into INT telemetry reports.
+#[derive(Debug, Clone)]
+pub struct IntInstrumenter {
+    instructions: InstructionSet,
+    hop_budget: u8,
+}
+
+impl IntInstrumenter {
+    pub fn new(instructions: InstructionSet) -> Self {
+        Self {
+            instructions,
+            hop_budget: IntHeader::DEFAULT_HOP_BUDGET,
+        }
+    }
+
+    /// AmLight's production instruction set.
+    pub fn amlight() -> Self {
+        Self::new(InstructionSet::amlight())
+    }
+
+    pub fn with_hop_budget(mut self, budget: u8) -> Self {
+        self.hop_budget = budget;
+        self
+    }
+
+    pub fn instructions(&self) -> &InstructionSet {
+        &self.instructions
+    }
+
+    fn hop_metadata(&self, h: &HopRecord) -> HopMetadata {
+        let ingress = TelemetryClock::truncate(h.ingress_ns);
+        let egress = TelemetryClock::truncate(h.egress_ns);
+        HopMetadata {
+            switch_id: h.switch.0,
+            ingress_tstamp: if self
+                .instructions
+                .contains(crate::header::Instruction::IngressTstamp)
+            {
+                ingress
+            } else {
+                0
+            },
+            egress_tstamp: if self
+                .instructions
+                .contains(crate::header::Instruction::EgressTstamp)
+            {
+                egress
+            } else {
+                0
+            },
+            hop_latency: if self
+                .instructions
+                .contains(crate::header::Instruction::HopLatency)
+            {
+                egress.wrapping_sub(ingress)
+            } else {
+                0
+            },
+            queue_occupancy: if self
+                .instructions
+                .contains(crate::header::Instruction::QueueOccupancy)
+            {
+                h.qdepth
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Produce one report per **delivered** packet (dropped packets never
+    /// reach the sink, so they generate no telemetry — exactly the
+    /// visibility gap a real INT deployment has).
+    ///
+    /// Reports come out ordered by sink export time.
+    pub fn instrument(&self, trace: &Trace, sim: &SimReport) -> Vec<TelemetryReport> {
+        let records = trace.records();
+        let mut reports: Vec<TelemetryReport> = sim
+            .journeys
+            .iter()
+            .filter(|j| j.delivered_ns.is_some())
+            .map(|j| {
+                let rec = &records[j.trace_idx as usize];
+                let budget = self.hop_budget as usize;
+                let hops: Vec<HopMetadata> = j
+                    .hops
+                    .iter()
+                    .take(budget)
+                    .map(|h| self.hop_metadata(h))
+                    .collect();
+                TelemetryReport {
+                    flow: rec.packet.flow_key(),
+                    ip_len: rec.packet.ip_len(),
+                    tcp_flags: rec.packet.tcp_flags().map(|f| f.bits()),
+                    instructions: self.instructions,
+                    hops,
+                    export_ns: j.delivered_ns.unwrap() + SINK_EXPORT_DELAY_NS,
+                }
+            })
+            .collect();
+        reports.sort_by_key(|r| r.export_ns);
+        reports
+    }
+
+    /// Like [`IntInstrumenter::instrument`], but also returns each
+    /// report's ground-truth class (for labeling training data).
+    pub fn instrument_labeled(
+        &self,
+        trace: &Trace,
+        sim: &SimReport,
+    ) -> Vec<(TelemetryReport, TrafficClass)> {
+        let records = trace.records();
+        let mut out: Vec<(TelemetryReport, TrafficClass)> = sim
+            .journeys
+            .iter()
+            .filter(|j| j.delivered_ns.is_some())
+            .map(|j| {
+                let rec = &records[j.trace_idx as usize];
+                let hops: Vec<HopMetadata> = j
+                    .hops
+                    .iter()
+                    .take(self.hop_budget as usize)
+                    .map(|h| self.hop_metadata(h))
+                    .collect();
+                (
+                    TelemetryReport {
+                        flow: rec.packet.flow_key(),
+                        ip_len: rec.packet.ip_len(),
+                        tcp_flags: rec.packet.tcp_flags().map(|f| f.bits()),
+                        instructions: self.instructions,
+                        hops,
+                        export_ns: j.delivered_ns.unwrap() + SINK_EXPORT_DELAY_NS,
+                    },
+                    rec.class,
+                )
+            })
+            .collect();
+        out.sort_by_key(|(r, _)| r.export_ns);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_net::{PacketBuilder, PacketRecord};
+    use amlight_sim::topology::LinkParams;
+    use amlight_sim::{NetworkSim, Topology};
+    use std::net::Ipv4Addr;
+
+    fn run(n: u64, gap: u64) -> (Trace, SimReport) {
+        let (topo, _, _) = Topology::testbed();
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let trace: Trace = (0..n)
+            .map(|i| PacketRecord {
+                ts_ns: i * gap,
+                packet: b.tcp_syn(40000, 80, i as u32),
+                class: TrafficClass::Benign,
+            })
+            .collect();
+        let report = NetworkSim::new(topo).run(&trace);
+        (trace, report)
+    }
+
+    #[test]
+    fn one_report_per_delivered_packet() {
+        let (trace, sim) = run(20, 1_000);
+        let reports = IntInstrumenter::amlight().instrument(&trace, &sim);
+        assert_eq!(reports.len(), 20);
+    }
+
+    #[test]
+    fn reports_carry_truncated_timestamps() {
+        let (trace, sim) = run(1, 0);
+        let reports = IntInstrumenter::amlight().instrument(&trace, &sim);
+        let hop = &reports[0].hops[0];
+        let truth = &sim.journeys[0].hops[0];
+        assert_eq!(
+            hop.ingress_tstamp,
+            TelemetryClock::truncate(truth.ingress_ns)
+        );
+        assert_eq!(hop.egress_tstamp, TelemetryClock::truncate(truth.egress_ns));
+        assert_eq!(hop.queue_occupancy, truth.qdepth);
+    }
+
+    #[test]
+    fn amlight_set_zeroes_hop_latency_field() {
+        let (trace, sim) = run(1, 0);
+        let reports = IntInstrumenter::amlight().instrument(&trace, &sim);
+        assert_eq!(reports[0].hops[0].hop_latency, 0);
+        let full = IntInstrumenter::new(InstructionSet::full()).instrument(&trace, &sim);
+        assert!(full[0].hops[0].hop_latency > 0);
+    }
+
+    #[test]
+    fn hop_budget_caps_stack_depth() {
+        let (topo, _, _) = Topology::linear_chain(4, LinkParams::default());
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let trace: Trace = vec![PacketRecord {
+            ts_ns: 0,
+            packet: b.tcp_syn(1, 2, 3),
+            class: TrafficClass::Benign,
+        }]
+        .into_iter()
+        .collect();
+        let sim = NetworkSim::new(topo).run(&trace);
+        let full = IntInstrumenter::amlight().instrument(&trace, &sim);
+        assert_eq!(full[0].hops.len(), 4);
+        let capped = IntInstrumenter::amlight()
+            .with_hop_budget(2)
+            .instrument(&trace, &sim);
+        assert_eq!(capped[0].hops.len(), 2);
+    }
+
+    #[test]
+    fn export_order_is_chronological() {
+        let (trace, sim) = run(50, 100);
+        let reports = IntInstrumenter::amlight().instrument(&trace, &sim);
+        for w in reports.windows(2) {
+            assert!(w[0].export_ns <= w[1].export_ns);
+        }
+    }
+
+    #[test]
+    fn labeled_variant_preserves_classes() {
+        let (topo, _, _) = Topology::testbed();
+        let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let mut trace = Trace::new();
+        trace.push(PacketRecord {
+            ts_ns: 0,
+            packet: b.tcp_syn(1, 2, 0),
+            class: TrafficClass::Benign,
+        });
+        trace.push(PacketRecord {
+            ts_ns: 100,
+            packet: b.tcp_syn(3, 4, 0),
+            class: TrafficClass::SynFlood,
+        });
+        let sim = NetworkSim::new(topo).run(&trace);
+        let labeled = IntInstrumenter::amlight().instrument_labeled(&trace, &sim);
+        assert_eq!(labeled.len(), 2);
+        let classes: Vec<TrafficClass> = labeled.iter().map(|(_, c)| *c).collect();
+        assert!(classes.contains(&TrafficClass::Benign));
+        assert!(classes.contains(&TrafficClass::SynFlood));
+    }
+}

@@ -1,0 +1,241 @@
+//! Telemetry reports — what the INT sink exports to the collector.
+
+use crate::header::InstructionSet;
+use crate::metadata::HopMetadata;
+use amlight_net::{CodecError, Decode, Encode, FlowKey};
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+/// Magic tag opening every telemetry report on the wire.
+pub const REPORT_MAGIC: u16 = 0x1A17;
+
+/// Upper bound on stack entries a well-formed report can carry — the
+/// default INT hop budget. Decoding rejects larger counts, which bounds
+/// how much stream a corrupted length field can swallow before the
+/// collector resynchronizes.
+pub const MAX_REPORT_HOPS: usize = 16;
+
+/// A per-packet telemetry report: the IP-header fields the paper's INT
+/// Data Collection module reads (§III-1) plus the per-hop metadata stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Five-tuple of the reported packet.
+    pub flow: FlowKey,
+    /// IP total length ("Packet length" feature).
+    pub ip_len: u16,
+    /// TCP flag bits, or `None` for UDP.
+    pub tcp_flags: Option<u8>,
+    /// Which fields each stack entry carries.
+    pub instructions: InstructionSet,
+    /// Per-hop metadata, source hop first.
+    pub hops: Vec<HopMetadata>,
+    /// Sink export time, full-width ns (collector-side bookkeeping; NOT
+    /// part of the 32-bit INT stamps).
+    pub export_ns: u64,
+}
+
+impl TelemetryReport {
+    /// Telemetry of the sink hop (last switch before the collector tap).
+    pub fn sink_hop(&self) -> Option<&HopMetadata> {
+        self.hops.last()
+    }
+
+    /// Telemetry of the source hop.
+    pub fn source_hop(&self) -> Option<&HopMetadata> {
+        self.hops.first()
+    }
+
+    /// Maximum queue occupancy observed along the path.
+    pub fn max_queue_occupancy(&self) -> u32 {
+        self.hops
+            .iter()
+            .map(|h| h.queue_occupancy)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of per-hop latencies (wrap-aware derivation), ns.
+    pub fn path_latency_ns(&self) -> u64 {
+        self.hops
+            .iter()
+            .map(|h| u64::from(h.derived_latency_ns()))
+            .sum()
+    }
+}
+
+impl Encode for TelemetryReport {
+    fn encoded_len(&self) -> usize {
+        // magic(2) ver(1) hop_count(1) bitmap(2) ip_len(2) flags(1)
+        // key(13) export(8) + stack
+        2 + 1 + 1 + 2 + 2 + 1 + 13 + 8 + self.hops.len() * self.instructions.hop_metadata_len()
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(REPORT_MAGIC);
+        buf.put_u8(1); // report format version
+        buf.put_u8(self.hops.len() as u8);
+        buf.put_u16(self.instructions.bits());
+        buf.put_u16(self.ip_len);
+        buf.put_u8(self.tcp_flags.map_or(0xff, |f| f & 0x3f));
+        buf.put_slice(&self.flow.to_bytes());
+        buf.put_u64(self.export_ns);
+        for h in &self.hops {
+            h.encode_selected(&self.instructions, buf);
+        }
+    }
+}
+
+impl Decode for TelemetryReport {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        const FIXED: usize = 2 + 1 + 1 + 2 + 2 + 1 + 13 + 8;
+        if buf.remaining() < FIXED {
+            return Err(CodecError::Truncated {
+                needed: FIXED,
+                had: buf.remaining(),
+            });
+        }
+        let magic = buf.get_u16();
+        if magic != REPORT_MAGIC {
+            return Err(CodecError::Malformed("bad telemetry report magic"));
+        }
+        let version = buf.get_u8();
+        if version != 1 {
+            return Err(CodecError::Malformed("unsupported report version"));
+        }
+        let hop_count = buf.get_u8() as usize;
+        if hop_count > MAX_REPORT_HOPS {
+            return Err(CodecError::Malformed("implausible hop count"));
+        }
+        let instructions = InstructionSet::from_bits(buf.get_u16());
+        let ip_len = buf.get_u16();
+        let raw_flags = buf.get_u8();
+        let tcp_flags = if raw_flags == 0xff {
+            None
+        } else {
+            Some(raw_flags)
+        };
+        let mut key_bytes = [0u8; 13];
+        buf.copy_to_slice(&mut key_bytes);
+        let flow = FlowKey::from_bytes(&key_bytes)
+            .ok_or(CodecError::Malformed("bad flow key in report"))?;
+        let export_ns = buf.get_u64();
+        let mut hops = Vec::with_capacity(hop_count);
+        for _ in 0..hop_count {
+            hops.push(HopMetadata::decode_selected(&instructions, buf)?);
+        }
+        Ok(Self {
+            flow,
+            ip_len,
+            tcp_flags,
+            instructions,
+            hops,
+            export_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_net::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn report(hops: usize) -> TelemetryReport {
+        TelemetryReport {
+            flow: FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                40001,
+                80,
+                Protocol::Tcp,
+            ),
+            ip_len: 40,
+            tcp_flags: Some(0x02),
+            instructions: InstructionSet::amlight(),
+            hops: (0..hops)
+                .map(|i| HopMetadata {
+                    switch_id: i as u32,
+                    ingress_tstamp: 100 * i as u32,
+                    egress_tstamp: 100 * i as u32 + 50,
+                    hop_latency: 0,
+                    queue_occupancy: i as u32 * 3,
+                })
+                .collect(),
+            export_ns: 123_456_789,
+        }
+    }
+
+    #[test]
+    fn roundtrip_multi_hop() {
+        let r = report(3);
+        let mut buf = r.encode_to_bytes();
+        assert_eq!(buf.len(), r.encoded_len());
+        let mut cursor = buf.split().freeze();
+        assert_eq!(TelemetryReport::decode(&mut cursor).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_udp_report_has_no_flags() {
+        let mut r = report(1);
+        r.tcp_flags = None;
+        r.flow.protocol = Protocol::Udp;
+        let mut cursor = r.encode_to_bytes().freeze();
+        let back = TelemetryReport::decode(&mut cursor).unwrap();
+        assert_eq!(back.tcp_flags, None);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let r = report(1);
+        let mut bytes = r.encode_to_bytes();
+        bytes[0] = 0;
+        let mut cursor = bytes.freeze();
+        assert!(TelemetryReport::decode(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stack() {
+        let r = report(2);
+        let bytes = r.encode_to_bytes();
+        let cut = bytes.len() - 4;
+        let mut cursor = bytes.freeze().slice(..cut);
+        assert!(matches!(
+            TelemetryReport::decode(&mut cursor),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn helpers_summarize_path() {
+        let r = report(3);
+        assert_eq!(r.source_hop().unwrap().switch_id, 0);
+        assert_eq!(r.sink_hop().unwrap().switch_id, 2);
+        assert_eq!(r.max_queue_occupancy(), 6);
+        assert_eq!(r.path_latency_ns(), 150);
+    }
+
+    #[test]
+    fn implausible_hop_count_rejected() {
+        let r = report(1);
+        let mut bytes = r.encode_to_bytes();
+        bytes[3] = 200; // hop_count field
+        let mut cursor = bytes.freeze();
+        assert!(matches!(
+            TelemetryReport::decode(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn zero_hop_report_is_legal() {
+        let r = TelemetryReport {
+            hops: vec![],
+            ..report(0)
+        };
+        let mut cursor = r.encode_to_bytes().freeze();
+        let back = TelemetryReport::decode(&mut cursor).unwrap();
+        assert!(back.hops.is_empty());
+        assert_eq!(back.max_queue_occupancy(), 0);
+        assert!(back.sink_hop().is_none());
+    }
+}

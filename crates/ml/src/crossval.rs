@@ -1,0 +1,166 @@
+//! K-fold cross-validation.
+//!
+//! The paper reports one 90:10 split per table. Cross-validation puts
+//! error bars on those cells — essential when comparing telemetry
+//! sources whose test sets differ in size by 60× (INT vs sampled sFlow).
+
+use crate::dataset::Dataset;
+use crate::metrics::{BinaryMetrics, ConfusionMatrix};
+use crate::model::BinaryClassifier;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-fold and aggregate results of a cross-validation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvReport {
+    pub folds: Vec<BinaryMetrics>,
+    pub mean: BinaryMetrics,
+    /// Sample standard deviation of each metric across folds.
+    pub std: BinaryMetrics,
+}
+
+impl CvReport {
+    fn aggregate(folds: Vec<BinaryMetrics>) -> Self {
+        let n = folds.len() as f64;
+        let mean_of = |f: fn(&BinaryMetrics) -> f64| folds.iter().map(f).sum::<f64>() / n;
+        let mean = BinaryMetrics {
+            accuracy: mean_of(|m| m.accuracy),
+            recall: mean_of(|m| m.recall),
+            precision: mean_of(|m| m.precision),
+            f1: mean_of(|m| m.f1),
+        };
+        let std_of = |f: fn(&BinaryMetrics) -> f64, mu: f64| {
+            if folds.len() < 2 {
+                0.0
+            } else {
+                (folds.iter().map(|m| (f(m) - mu).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+            }
+        };
+        let std = BinaryMetrics {
+            accuracy: std_of(|m| m.accuracy, mean.accuracy),
+            recall: std_of(|m| m.recall, mean.recall),
+            precision: std_of(|m| m.precision, mean.precision),
+            f1: std_of(|m| m.f1, mean.f1),
+        };
+        Self { folds, mean, std }
+    }
+
+    /// `mean ± std` rendering for one metric, paper-table style.
+    pub fn cell(
+        &self,
+        metric: fn(&BinaryMetrics) -> f64,
+        spread: fn(&BinaryMetrics) -> f64,
+    ) -> String {
+        format!("{:.4} ± {:.4}", metric(&self.mean), spread(&self.std))
+    }
+}
+
+/// Shuffled k-fold split: returns `k` (train, test) index pairs covering
+/// every row exactly once as test.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(n >= k, "need at least one row per fold");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+
+    (0..k)
+        .map(|fold| {
+            let lo = n * fold / k;
+            let hi = n * (fold + 1) / k;
+            let test: Vec<usize> = order[lo..hi].to_vec();
+            let train: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Run k-fold CV: `fit` trains a classifier on each fold's training
+/// dataset (already materialized), and the fold's held-out rows score it.
+pub fn cross_validate<M, F>(data: &Dataset, k: usize, seed: u64, mut fit: F) -> CvReport
+where
+    M: BinaryClassifier,
+    F: FnMut(&Dataset) -> M,
+{
+    let folds = kfold_indices(data.len(), k, seed)
+        .into_iter()
+        .map(|(train_idx, test_idx)| {
+            let train = data.select(&train_idx);
+            let test = data.select(&test_idx);
+            let model = fit(&train);
+            let mut m = ConfusionMatrix::new();
+            for (row, label) in test.rows() {
+                m.record(label, model.predict_one(row));
+            }
+            m.metrics()
+        })
+        .collect();
+    CvReport::aggregate(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnb::GaussianNb;
+    use crate::model::test_util::blobs;
+
+    #[test]
+    fn folds_partition_every_row() {
+        let folds = kfold_indices(103, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 103);
+            for &i in test {
+                assert!(seen.insert(i), "row {i} tested twice");
+                assert!(!train.contains(&i), "row {i} leaks into training");
+            }
+        }
+        assert_eq!(seen.len(), 103);
+    }
+
+    #[test]
+    fn fold_sizes_are_balanced() {
+        let folds = kfold_indices(100, 4, 2);
+        for (_, test) in &folds {
+            assert_eq!(test.len(), 25);
+        }
+        // Non-divisible case: sizes differ by at most one.
+        let folds = kfold_indices(10, 3, 2);
+        let sizes: Vec<usize> = folds.iter().map(|(_, t)| t.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn cv_on_separable_data_is_tight() {
+        let data = blobs(150, 3, 2.5);
+        let report = cross_validate(&data, 5, 7, GaussianNb::fit);
+        assert_eq!(report.folds.len(), 5);
+        assert!(report.mean.accuracy > 0.99, "mean {}", report.mean.accuracy);
+        assert!(report.std.accuracy < 0.02, "std {}", report.std.accuracy);
+    }
+
+    #[test]
+    fn cv_is_deterministic_per_seed() {
+        let data = blobs(60, 2, 1.0);
+        let a = cross_validate(&data, 3, 9, GaussianNb::fit);
+        let b = cross_validate(&data, 3, 9, GaussianNb::fit);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cell_formats_mean_and_spread() {
+        let data = blobs(60, 2, 2.0);
+        let report = cross_validate(&data, 3, 5, GaussianNb::fit);
+        let cell = report.cell(|m| m.accuracy, |s| s.accuracy);
+        assert!(cell.contains('±'), "{cell}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn one_fold_rejected() {
+        kfold_indices(10, 1, 0);
+    }
+}

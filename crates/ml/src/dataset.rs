@@ -1,0 +1,246 @@
+//! Row-major labeled dataset with splitting and sampling utilities.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense binary-labeled dataset. Rows are feature vectors; labels are
+/// `true` = attack, `false` = benign (the paper codes these 1 and 0).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    n_features: usize,
+    x: Vec<f64>,
+    y: Vec<bool>,
+}
+
+impl Dataset {
+    pub fn new(n_features: usize) -> Self {
+        assert!(n_features > 0, "need at least one feature");
+        Self {
+            n_features,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(n_features: usize, rows: usize) -> Self {
+        let mut d = Self::new(n_features);
+        d.x.reserve(rows * n_features);
+        d.y.reserve(rows);
+        d
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, row: &[f64], label: bool) {
+        assert_eq!(row.len(), self.n_features, "row width mismatch");
+        self.x.extend_from_slice(row);
+        self.y.push(label);
+    }
+
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.x[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    #[inline]
+    pub fn label(&self, i: usize) -> bool {
+        self.y[i]
+    }
+
+    pub fn labels(&self) -> &[bool] {
+        &self.y
+    }
+
+    pub fn rows(&self) -> impl Iterator<Item = (&[f64], bool)> {
+        self.x
+            .chunks_exact(self.n_features)
+            .zip(self.y.iter().copied())
+    }
+
+    /// (positives, negatives).
+    pub fn class_counts(&self) -> (usize, usize) {
+        let pos = self.y.iter().filter(|&&l| l).count();
+        (pos, self.y.len() - pos)
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.y.is_empty() {
+            0.0
+        } else {
+            self.class_counts().0 as f64 / self.y.len() as f64
+        }
+    }
+
+    /// Build a new dataset from selected row indices.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let mut d = Dataset::with_capacity(self.n_features, indices.len());
+        for &i in indices {
+            d.push(self.row(i), self.y[i]);
+        }
+        d
+    }
+
+    /// Shuffled train/test split; `train_fraction` in (0, 1). The paper
+    /// uses 90:10 (§IV-B.3).
+    pub fn train_test_split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "fraction must be in (0,1)"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut SmallRng::seed_from_u64(seed));
+        let cut = ((self.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        (self.select(&idx[..cut]), self.select(&idx[cut..]))
+    }
+
+    /// Uniform random subsample keeping roughly `fraction` of rows —
+    /// the paper's "one thousandth of the whole sample" for KNN.
+    pub fn subsample(&self, fraction: f64, seed: u64) -> Dataset {
+        assert!(fraction > 0.0 && fraction <= 1.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut d = Dataset::new(self.n_features);
+        for i in 0..self.len() {
+            if rng.random::<f64>() < fraction {
+                d.push(self.row(i), self.y[i]);
+            }
+        }
+        // Guarantee at least one row of each present class so downstream
+        // fits don't degenerate.
+        if d.is_empty() && !self.is_empty() {
+            d.push(self.row(0), self.y[0]);
+        }
+        d
+    }
+
+    /// Concatenate two datasets (same width).
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.n_features, other.n_features);
+        let mut d = self.clone();
+        d.x.extend_from_slice(&other.x);
+        d.y.extend_from_slice(&other.y);
+        d
+    }
+
+    /// Bootstrap sample of `n` rows (with replacement) — random forest
+    /// bagging.
+    pub fn bootstrap_indices(&self, n: usize, rng: &mut SmallRng) -> Vec<usize> {
+        (0..n).map(|_| rng.random_range(0..self.len())).collect()
+    }
+
+    /// Borrow the raw row-major buffer.
+    pub fn raw(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Mutable access for in-place transforms (scaler).
+    pub(crate) fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..n {
+            d.push(&[i as f64, (i * 2) as f64], i % 3 == 0);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(3), &[3.0, 6.0]);
+        assert!(d.label(3));
+        assert!(!d.label(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0], true);
+    }
+
+    #[test]
+    fn class_counts_and_rate() {
+        let d = toy(9); // labels true at 0,3,6 → 3 positives
+        assert_eq!(d.class_counts(), (3, 6));
+        assert!((d.positive_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_preserves_rows_and_ratio() {
+        let d = toy(100);
+        let (train, test) = d.train_test_split(0.9, 7);
+        assert_eq!(train.len(), 90);
+        assert_eq!(test.len(), 10);
+        // No row invented: every test row exists in the original.
+        for (row, _) in test.rows() {
+            assert!((0..d.len()).any(|i| d.row(i) == row));
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let d = toy(50);
+        let (a, _) = d.train_test_split(0.8, 1);
+        let (b, _) = d.train_test_split(0.8, 1);
+        assert_eq!(a, b);
+        let (c, _) = d.train_test_split(0.8, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn subsample_hits_fraction() {
+        let d = toy(10_000);
+        let s = d.subsample(0.1, 3);
+        assert!(s.len() > 800 && s.len() < 1200, "got {}", s.len());
+    }
+
+    #[test]
+    fn subsample_never_empty() {
+        let d = toy(5);
+        let s = d.subsample(1e-9, 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn select_and_concat() {
+        let d = toy(10);
+        let a = d.select(&[0, 1, 2]);
+        let b = d.select(&[3, 4]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.row(3), d.row(3));
+    }
+
+    #[test]
+    fn bootstrap_has_requested_size_in_range() {
+        let d = toy(20);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let idx = d.bootstrap_indices(35, &mut rng);
+        assert_eq!(idx.len(), 35);
+        assert!(idx.iter().all(|&i| i < 20));
+    }
+}

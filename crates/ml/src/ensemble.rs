@@ -1,0 +1,104 @@
+//! Majority-vote ensembles (paper §IV-C.4: "if two or more of the
+//! predictions are 1, then it is classified as an attack flow").
+
+use crate::model::BinaryClassifier;
+
+/// Majority vote over an odd (recommended) number of classifiers.
+pub struct MajorityEnsemble {
+    members: Vec<Box<dyn BinaryClassifier>>,
+}
+
+impl MajorityEnsemble {
+    pub fn new(members: Vec<Box<dyn BinaryClassifier>>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Self { members }
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Individual member votes for one input.
+    pub fn votes(&self, x: &[f64]) -> Vec<bool> {
+        self.members.iter().map(|m| m.predict_one(x)).collect()
+    }
+}
+
+impl BinaryClassifier for MajorityEnsemble {
+    /// Fraction of members voting "attack".
+    fn predict_proba_one(&self, x: &[f64]) -> f64 {
+        let votes = self.members.iter().filter(|m| m.predict_one(x)).count();
+        votes as f64 / self.members.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "Ensemble"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(bool);
+    impl BinaryClassifier for Fixed {
+        fn predict_proba_one(&self, _: &[f64]) -> f64 {
+            f64::from(u8::from(self.0))
+        }
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+    }
+
+    fn ensemble(votes: &[bool]) -> MajorityEnsemble {
+        MajorityEnsemble::new(
+            votes
+                .iter()
+                .map(|&v| Box::new(Fixed(v)) as Box<dyn BinaryClassifier>)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn two_of_three_is_attack() {
+        assert!(ensemble(&[true, true, false]).predict_one(&[]));
+        assert!(ensemble(&[true, false, true]).predict_one(&[]));
+        assert!(!ensemble(&[true, false, false]).predict_one(&[]));
+        assert!(!ensemble(&[false, false, false]).predict_one(&[]));
+    }
+
+    #[test]
+    fn proba_is_vote_fraction() {
+        let e = ensemble(&[true, true, false]);
+        assert!((e.predict_proba_one(&[]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn votes_expose_members() {
+        let e = ensemble(&[true, false, true]);
+        assert_eq!(e.votes(&[]), vec![true, false, true]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.member_names(), vec!["Fixed", "Fixed", "Fixed"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        MajorityEnsemble::new(vec![]);
+    }
+
+    #[test]
+    fn even_split_counts_as_attack_at_half_threshold() {
+        // 1-of-2 → proba 0.5 → predicted positive at the ≥0.5 threshold.
+        // Use odd ensembles if this tie behavior is undesirable.
+        assert!(ensemble(&[true, false]).predict_one(&[]));
+    }
+}

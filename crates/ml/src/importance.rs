@@ -1,0 +1,123 @@
+//! Feature importances.
+//!
+//! Paper Table V reports the top-5 features per model. Random forests
+//! get mean-decrease-in-impurity natively
+//! ([`crate::tree::RandomForest::feature_importances`]); every other
+//! model gets **permutation importance**: shuffle one feature column in
+//! the evaluation set and measure how much the F1 score drops.
+
+use crate::dataset::Dataset;
+use crate::model::BinaryClassifier;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Permutation importance of every feature of `model` on `data`.
+///
+/// Returns one score per feature: baseline F1 minus F1 with that feature
+/// column permuted, averaged over `repeats` shuffles. Scores can be
+/// slightly negative for irrelevant features (noise); callers usually
+/// rank and keep the top-k.
+pub fn permutation_importance(
+    model: &dyn BinaryClassifier,
+    data: &Dataset,
+    repeats: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(repeats > 0);
+    let baseline = model.evaluate(data).f1();
+    let d = data.n_features();
+    let n = data.len();
+    let mut importances = vec![0.0; d];
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut column: Vec<f64> = Vec::with_capacity(n);
+    let mut row_buf: Vec<f64> = Vec::with_capacity(d);
+    for f in 0..d {
+        let mut drop_sum = 0.0;
+        for _ in 0..repeats {
+            column.clear();
+            column.extend((0..n).map(|i| data.row(i)[f]));
+            column.shuffle(&mut rng);
+            // Score with feature f replaced by the shuffled column.
+            let mut m = crate::metrics::ConfusionMatrix::new();
+            for (i, &shuffled) in column.iter().enumerate() {
+                row_buf.clear();
+                row_buf.extend_from_slice(data.row(i));
+                row_buf[f] = shuffled;
+                m.record(data.label(i), model.predict_one(&row_buf));
+            }
+            drop_sum += baseline - m.f1();
+        }
+        importances[f] = drop_sum / repeats as f64;
+    }
+    importances
+}
+
+/// Indices of the `k` largest scores, descending.
+pub fn top_k_features(importances: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..importances.len()).collect();
+    idx.sort_by(|&a, &b| {
+        importances[b]
+            .partial_cmp(&importances[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnb::GaussianNb;
+
+    /// Feature 0 decides the label; features 1-2 are noise.
+    fn informative_dataset() -> Dataset {
+        let mut d = Dataset::new(3);
+        for i in 0..600 {
+            let label = i % 2 == 0;
+            let x0 = if label { 2.0 } else { -2.0 };
+            let n1 = ((i * 131) % 97) as f64 / 97.0 - 0.5;
+            let n2 = ((i * 17) % 89) as f64 / 89.0 - 0.5;
+            d.push(&[x0 + n1 * 0.1, n1 * 4.0, n2 * 4.0], label);
+        }
+        d
+    }
+
+    #[test]
+    fn informative_feature_dominates() {
+        let d = informative_dataset();
+        let model = GaussianNb::fit(&d);
+        let imp = permutation_importance(&model, &d, 3, 1);
+        assert!(imp[0] > 0.3, "importances {imp:?}");
+        assert!(imp[0] > imp[1] * 5.0 && imp[0] > imp[2] * 5.0);
+    }
+
+    #[test]
+    fn noise_features_near_zero() {
+        let d = informative_dataset();
+        let model = GaussianNb::fit(&d);
+        let imp = permutation_importance(&model, &d, 3, 2);
+        assert!(imp[1].abs() < 0.05);
+        assert!(imp[2].abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = informative_dataset();
+        let model = GaussianNb::fit(&d);
+        let a = permutation_importance(&model, &d, 2, 9);
+        let b = permutation_importance(&model, &d, 2, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_k_ranks_descending() {
+        let scores = [0.1, 0.9, 0.0, 0.5];
+        assert_eq!(top_k_features(&scores, 3), vec![1, 3, 0]);
+        assert_eq!(top_k_features(&scores, 10), vec![1, 3, 0, 2]);
+        assert!(top_k_features(&scores, 0).is_empty());
+    }
+
+    use crate::dataset::Dataset;
+}

@@ -1,0 +1,168 @@
+//! K-Nearest Neighbors (brute force).
+//!
+//! The paper notes KNN's cost: training/testing ran on "one thousandth of
+//! the whole sample" (Table III note) and the testbed experiment dropped
+//! KNN entirely "because of its relatively slower prediction times"
+//! (§IV-C.3). Our implementation is exact brute force with a rayon-
+//! parallel batch path, and [`Knn::fit_subsampled`] mirrors the paper's
+//! subsampling.
+
+use crate::dataset::Dataset;
+use crate::model::BinaryClassifier;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A fitted (memorized) KNN model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knn {
+    k: usize,
+    train: Dataset,
+}
+
+impl Knn {
+    /// Memorize the training set. `k` is clamped to the sample count.
+    pub fn fit(train: Dataset, k: usize) -> Self {
+        assert!(!train.is_empty(), "KNN needs at least one training row");
+        let k = k.clamp(1, train.len());
+        Self { k, train }
+    }
+
+    /// The paper's recipe: keep ~`fraction` of rows, then memorize.
+    pub fn fit_subsampled(data: &Dataset, k: usize, fraction: f64, seed: u64) -> Self {
+        Self::fit(data.subsample(fraction, seed), k)
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn train_len(&self) -> usize {
+        self.train.len()
+    }
+
+    #[inline]
+    fn dist2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Fraction of positive labels among the k nearest neighbors.
+    fn vote(&self, x: &[f64]) -> f64 {
+        // Max-heap of (dist2, label) capped at k: O(n log k).
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry(f64, bool);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+            }
+        }
+
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(self.k + 1);
+        for (row, label) in self.train.rows() {
+            let d = Self::dist2(x, row);
+            if heap.len() < self.k {
+                heap.push(Entry(d, label));
+            } else if d < heap.peek().unwrap().0 {
+                heap.pop();
+                heap.push(Entry(d, label));
+            }
+        }
+        let k = heap.len();
+        let pos = heap.into_iter().filter(|e| e.1).count();
+        pos as f64 / k as f64
+    }
+
+    /// Parallel batch prediction (the serial trait path is fine for
+    /// single flows; sweeps want this).
+    pub fn predict_batch(&self, data: &Dataset) -> Vec<bool> {
+        (0..data.len())
+            .into_par_iter()
+            .map(|i| self.vote(data.row(i)) >= 0.5)
+            .collect()
+    }
+}
+
+impl BinaryClassifier for Knn {
+    fn predict_proba_one(&self, x: &[f64]) -> f64 {
+        self.vote(x)
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_util::blobs;
+
+    #[test]
+    fn nearest_neighbor_is_exact_on_training_points() {
+        let d = blobs(50, 3, 2.0);
+        let knn = Knn::fit(d.clone(), 1);
+        for (row, label) in d.rows() {
+            assert_eq!(knn.predict_one(row), label);
+        }
+    }
+
+    #[test]
+    fn k5_learns_blobs() {
+        let train = blobs(100, 4, 2.0);
+        let test = blobs(30, 4, 2.0);
+        let knn = Knn::fit(train, 5);
+        assert!(knn.evaluate(&test).accuracy() > 0.99);
+    }
+
+    #[test]
+    fn k_is_clamped_to_sample_count() {
+        let d = blobs(2, 2, 1.0); // 4 rows
+        let knn = Knn::fit(d, 100);
+        assert_eq!(knn.k(), 4);
+    }
+
+    #[test]
+    fn vote_fraction_is_proba() {
+        // 3 positives near origin, 2 negatives slightly further.
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], true);
+        d.push(&[0.1], true);
+        d.push(&[0.2], true);
+        d.push(&[0.9], false);
+        d.push(&[1.0], false);
+        let knn = Knn::fit(d, 5);
+        let p = knn.predict_proba_one(&[0.0]);
+        assert!((p - 0.6).abs() < 1e-12);
+        assert!(knn.predict_one(&[0.0]));
+    }
+
+    #[test]
+    fn subsampled_fit_shrinks_train_set() {
+        let d = blobs(5000, 2, 2.0); // 10k rows
+        let knn = Knn::fit_subsampled(&d, 5, 0.01, 3);
+        assert!(knn.train_len() < 300, "kept {}", knn.train_len());
+        // Still learns the easy structure.
+        let test = blobs(50, 2, 2.0);
+        assert!(knn.evaluate(&test).accuracy() > 0.95);
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let train = blobs(80, 3, 1.0);
+        let test = blobs(40, 3, 1.0);
+        let knn = Knn::fit(train, 3);
+        let batch = knn.predict_batch(&test);
+        let serial = knn.predict(&test);
+        assert_eq!(batch, serial);
+    }
+
+    use crate::dataset::Dataset;
+}

@@ -1,0 +1,259 @@
+//! Binary classification metrics (paper §IV-A).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Two-by-two confusion matrix. "Positive" = attack (label 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    pub tp: u64,
+    pub tn: u64,
+    pub fp: u64,
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tally one (truth, prediction) pair.
+    #[inline]
+    pub fn record(&mut self, truth: bool, predicted: bool) {
+        match (truth, predicted) {
+            (true, true) => self.tp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Build from parallel slices.
+    pub fn from_predictions(truth: &[bool], predicted: &[bool]) -> Self {
+        assert_eq!(truth.len(), predicted.len());
+        let mut m = Self::new();
+        for (&t, &p) in truth.iter().zip(predicted) {
+            m.record(t, p);
+        }
+        m
+    }
+
+    pub fn total(&self) -> u64 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Precision = TP / (TP + FP); 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    pub fn metrics(&self) -> BinaryMetrics {
+        BinaryMetrics {
+            accuracy: self.accuracy(),
+            recall: self.recall(),
+            precision: self.precision(),
+            f1: self.f1(),
+        }
+    }
+
+    /// Misclassified count (paper Table VI's "Misclassified / Number of
+    /// Predicted Packets").
+    pub fn misclassified(&self) -> u64 {
+        self.fp + self.fn_
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Render as the paper's Figs. 3/4: rows = truth, cols = prediction.
+    pub fn render(&self) -> String {
+        format!(
+            "                 pred=Normal   pred=Attack\n\
+             true=Normal  {:>12} {:>12}\n\
+             true=Attack  {:>12} {:>12}\n",
+            self.tn, self.fp, self.fn_, self.tp
+        )
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The four headline numbers of the paper's Tables III/IV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    pub accuracy: f64,
+    pub recall: f64,
+    pub precision: f64,
+    pub f1: f64,
+}
+
+impl BinaryMetrics {
+    /// Format as a paper-style table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:.4}   {:.4}   {:.4}   {:.4}",
+            self.accuracy, self.recall, self.precision, self.f1
+        )
+    }
+}
+
+impl fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accuracy={:.4} recall={:.4} precision={:.4} f1={:.4}",
+            self.accuracy, self.recall, self.precision, self.f1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let truth = [true, false, true, false];
+        let m = ConfusionMatrix::from_predictions(&truth, &truth);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.misclassified(), 0);
+    }
+
+    #[test]
+    fn always_negative_classifier() {
+        let truth = [true, true, false, false];
+        let pred = [false; 4];
+        let m = ConfusionMatrix::from_predictions(&truth, &pred);
+        assert_eq!(m.accuracy(), 0.5);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), 0.0, "undefined precision reported as 0");
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn known_mixed_case() {
+        // tp=2 tn=3 fp=1 fn=2 → acc 5/8, prec 2/3, rec 2/4.
+        let truth = [true, true, true, true, false, false, false, false];
+        let pred = [true, true, false, false, true, false, false, false];
+        let m = ConfusionMatrix::from_predictions(&truth, &pred);
+        assert_eq!((m.tp, m.tn, m.fp, m.fn_), (2, 3, 1, 2));
+        assert!((m.accuracy() - 0.625).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        let f1 = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((m.f1() - f1).abs() < 1e-12);
+        assert_eq!(m.misclassified(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn merge_adds_cells() {
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            tn: 2,
+            fp: 3,
+            fn_: 4,
+        };
+        let b = ConfusionMatrix {
+            tp: 10,
+            tn: 20,
+            fp: 30,
+            fn_: 40,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ConfusionMatrix {
+                tp: 11,
+                tn: 22,
+                fp: 33,
+                fn_: 44
+            }
+        );
+    }
+
+    #[test]
+    fn render_places_cells_like_figure() {
+        let m = ConfusionMatrix {
+            tp: 4,
+            tn: 3,
+            fp: 2,
+            fn_: 1,
+        };
+        let s = m.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains('3') && lines[1].contains('2'));
+        assert!(lines[2].contains('1') && lines[2].contains('4'));
+    }
+
+    #[test]
+    fn metrics_row_formats_four_columns() {
+        let m = ConfusionMatrix {
+            tp: 1,
+            tn: 1,
+            fp: 0,
+            fn_: 0,
+        }
+        .metrics();
+        assert_eq!(m.row(), "1.0000   1.0000   1.0000   1.0000");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        ConfusionMatrix::from_predictions(&[true], &[true, false]);
+    }
+}

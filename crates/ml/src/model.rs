@@ -1,0 +1,130 @@
+//! The classifier interface shared by every model and the ensemble.
+
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+
+/// A trained binary classifier. "Positive" (`true`) = attack flow.
+pub trait BinaryClassifier: Send + Sync {
+    /// Probability-like score in [0, 1] for one feature vector.
+    fn predict_proba_one(&self, x: &[f64]) -> f64;
+
+    /// Hard decision at the 0.5 threshold.
+    fn predict_one(&self, x: &[f64]) -> bool {
+        self.predict_proba_one(x) >= 0.5
+    }
+
+    /// Model family name for report tables.
+    fn name(&self) -> &'static str;
+
+    /// Predict a whole dataset.
+    fn predict(&self, data: &Dataset) -> Vec<bool> {
+        (0..data.len())
+            .map(|i| self.predict_one(data.row(i)))
+            .collect()
+    }
+
+    /// Evaluate against a labeled dataset.
+    fn evaluate(&self, data: &Dataset) -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new();
+        for (row, label) in data.rows() {
+            m.record(label, self.predict_one(row));
+        }
+        m
+    }
+}
+
+impl<T: BinaryClassifier + ?Sized> BinaryClassifier for Box<T> {
+    fn predict_proba_one(&self, x: &[f64]) -> f64 {
+        (**self).predict_proba_one(x)
+    }
+
+    fn predict_one(&self, x: &[f64]) -> bool {
+        (**self).predict_one(x)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// Threshold on the first feature — a handy stub.
+    pub struct FirstFeatureStub {
+        pub threshold: f64,
+    }
+
+    impl BinaryClassifier for FirstFeatureStub {
+        fn predict_proba_one(&self, x: &[f64]) -> f64 {
+            if x[0] > self.threshold {
+                1.0
+            } else {
+                0.0
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "Stub"
+        }
+    }
+
+    /// A linearly separable two-blob dataset: negatives around `-c`,
+    /// positives around `+c` on every axis, with deterministic jitter.
+    pub fn blobs(n_per_class: usize, n_features: usize, c: f64) -> Dataset {
+        let mut d = Dataset::new(n_features);
+        for i in 0..n_per_class {
+            let jitter = |k: usize| ((i * 31 + k * 17) % 100) as f64 / 100.0 - 0.5;
+            let neg: Vec<f64> = (0..n_features).map(|k| -c + jitter(k)).collect();
+            let pos: Vec<f64> = (0..n_features).map(|k| c + jitter(k + 7)).collect();
+            d.push(&neg, false);
+            d.push(&pos, true);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::*;
+    use super::*;
+
+    #[test]
+    fn default_threshold_is_half() {
+        struct Half;
+        impl BinaryClassifier for Half {
+            fn predict_proba_one(&self, _: &[f64]) -> f64 {
+                0.5
+            }
+            fn name(&self) -> &'static str {
+                "Half"
+            }
+        }
+        assert!(Half.predict_one(&[0.0]));
+    }
+
+    #[test]
+    fn evaluate_matches_manual_tally() {
+        let d = blobs(20, 2, 3.0);
+        let stub = FirstFeatureStub { threshold: 0.0 };
+        let m = stub.evaluate(&d);
+        assert_eq!(m.total(), 40);
+        assert_eq!(m.accuracy(), 1.0, "blobs at ±3 split at 0");
+    }
+
+    #[test]
+    fn boxed_classifier_delegates() {
+        let b: Box<dyn BinaryClassifier> = Box::new(FirstFeatureStub { threshold: 0.0 });
+        assert_eq!(b.name(), "Stub");
+        assert!(b.predict_one(&[1.0, 0.0]));
+        assert!(!b.predict_one(&[-1.0, 0.0]));
+    }
+
+    #[test]
+    fn predict_returns_row_per_sample() {
+        let d = blobs(5, 3, 2.0);
+        let preds = FirstFeatureStub { threshold: 0.0 }.predict(&d);
+        assert_eq!(preds.len(), d.len());
+    }
+}

@@ -1,0 +1,166 @@
+//! ROC analysis: threshold sweeps and AUC.
+//!
+//! The paper reports threshold-at-0.5 metrics only; ROC/AUC is the
+//! natural extension when comparing telemetry sources whose class
+//! balance differs by orders of magnitude (INT sees every packet, sFlow
+//! one in 4,096).
+
+use crate::dataset::Dataset;
+use crate::model::BinaryClassifier;
+use serde::{Deserialize, Serialize};
+
+/// One operating point of the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    pub threshold: f64,
+    pub true_positive_rate: f64,
+    pub false_positive_rate: f64,
+}
+
+/// A full ROC curve with its AUC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// Points ordered by descending threshold, (0,0) → (1,1).
+    pub points: Vec<RocPoint>,
+    pub auc: f64,
+}
+
+impl RocCurve {
+    /// Build from (score, truth) pairs. Scores need not be probabilities
+    /// — any monotone ranking works.
+    pub fn from_scores(scored: &[(f64, bool)]) -> Self {
+        assert!(!scored.is_empty(), "need at least one scored sample");
+        let pos = scored.iter().filter(|(_, y)| *y).count() as f64;
+        let neg = scored.len() as f64 - pos;
+
+        let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+        sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut points = vec![RocPoint {
+            threshold: f64::INFINITY,
+            true_positive_rate: 0.0,
+            false_positive_rate: 0.0,
+        }];
+        let (mut tp, mut fp) = (0.0f64, 0.0f64);
+        let mut i = 0;
+        while i < sorted.len() {
+            // Consume ties together so the curve is threshold-consistent.
+            let threshold = sorted[i].0;
+            while i < sorted.len() && sorted[i].0 == threshold {
+                if sorted[i].1 {
+                    tp += 1.0;
+                } else {
+                    fp += 1.0;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold,
+                true_positive_rate: if pos > 0.0 { tp / pos } else { 0.0 },
+                false_positive_rate: if neg > 0.0 { fp / neg } else { 0.0 },
+            });
+        }
+
+        // Trapezoidal AUC.
+        let mut auc = 0.0;
+        for w in points.windows(2) {
+            let dx = w[1].false_positive_rate - w[0].false_positive_rate;
+            auc += dx * (w[1].true_positive_rate + w[0].true_positive_rate) / 2.0;
+        }
+        Self { points, auc }
+    }
+
+    /// Score a model over a labeled dataset and build the curve.
+    pub fn from_model(model: &dyn BinaryClassifier, data: &Dataset) -> Self {
+        let scored: Vec<(f64, bool)> = (0..data.len())
+            .map(|i| (model.predict_proba_one(data.row(i)), data.label(i)))
+            .collect();
+        Self::from_scores(&scored)
+    }
+
+    /// The operating point whose threshold is closest to `t`.
+    pub fn at_threshold(&self, t: f64) -> RocPoint {
+        *self
+            .points
+            .iter()
+            .min_by(|a, b| {
+                (a.threshold - t)
+                    .abs()
+                    .partial_cmp(&(b.threshold - t).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("curve is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let scored = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        let roc = RocCurve::from_scores(&scored);
+        assert!((roc.auc - 1.0).abs() < 1e-12);
+        assert_eq!(roc.points.first().unwrap().true_positive_rate, 0.0);
+        assert_eq!(roc.points.last().unwrap().true_positive_rate, 1.0);
+        assert_eq!(roc.points.last().unwrap().false_positive_rate, 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auc_zero() {
+        let scored = [(0.9, false), (0.8, false), (0.2, true), (0.1, true)];
+        let roc = RocCurve::from_scores(&scored);
+        assert!(roc.auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_constant_scores_give_half() {
+        // All scores identical: one diagonal step → AUC 0.5.
+        let scored: Vec<(f64, bool)> = (0..100).map(|i| (0.5, i % 2 == 0)).collect();
+        let roc = RocCurve::from_scores(&scored);
+        assert!((roc.auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_partial_auc() {
+        // Scores: pos at 0.9 and 0.4; neg at 0.6 and 0.1.
+        // Ranking: 0.9(+) 0.6(−) 0.4(+) 0.1(−) → AUC = 3/4.
+        let scored = [(0.9, true), (0.6, false), (0.4, true), (0.1, false)];
+        let roc = RocCurve::from_scores(&scored);
+        assert!((roc.auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scored: Vec<(f64, bool)> = (0..200)
+            .map(|i| ((i % 17) as f64 / 17.0, (i % 3) == 0))
+            .collect();
+        let roc = RocCurve::from_scores(&scored);
+        for w in roc.points.windows(2) {
+            assert!(w[1].true_positive_rate >= w[0].true_positive_rate);
+            assert!(w[1].false_positive_rate >= w[0].false_positive_rate);
+        }
+        assert!((0.0..=1.0).contains(&roc.auc));
+    }
+
+    #[test]
+    fn at_threshold_picks_nearest() {
+        let scored = [(0.9, true), (0.5, false), (0.1, true)];
+        let roc = RocCurve::from_scores(&scored);
+        let p = roc.at_threshold(0.51);
+        assert_eq!(p.threshold, 0.5);
+    }
+
+    #[test]
+    fn from_model_matches_manual() {
+        use crate::model::test_util::{blobs, FirstFeatureStub};
+        let d = blobs(30, 2, 2.0);
+        let stub = FirstFeatureStub { threshold: 0.0 };
+        let roc = RocCurve::from_model(&stub, &d);
+        assert!(
+            (roc.auc - 1.0).abs() < 1e-12,
+            "separable blobs rank perfectly"
+        );
+    }
+}

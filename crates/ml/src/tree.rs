@@ -1,0 +1,581 @@
+//! CART decision trees and the random forest built on them.
+//!
+//! Split search is histogram-based: candidate thresholds are quantiles of
+//! a value sample at each node, and all rows are binned in one pass per
+//! feature. That bounds split cost at O(n log c) per feature regardless
+//! of node size — the classic trick for training on millions of
+//! telemetry rows without per-node full sorts.
+//!
+//! Trees are independent, so [`RandomForest::fit`] trains them in
+//! parallel with rayon (each tree gets a seed derived from the forest
+//! seed, so results are deterministic regardless of thread scheduling).
+
+use crate::dataset::Dataset;
+use crate::model::BinaryClassifier;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    pub min_samples_leaf: usize,
+    /// Maximum candidate thresholds per feature per node.
+    pub max_candidates: usize,
+    /// Features considered per split; `None` = all (single tree default).
+    pub mtry: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 16,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_candidates: 32,
+            mtry: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        proba: f64,
+    },
+    Split {
+        feature: u32,
+        threshold: f64,
+        /// Children are at `left` and `left + 1` in the arena.
+        left: u32,
+    },
+}
+
+/// A trained CART tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Total impurity decrease contributed by each feature.
+    importances: Vec<f64>,
+}
+
+#[inline]
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p) // 1 - p² - (1-p)² simplified
+}
+
+impl DecisionTree {
+    /// Fit on the rows of `data` selected by `indices`.
+    pub fn fit_indices(data: &Dataset, indices: &[usize], config: &TreeConfig, seed: u64) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero rows");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features: data.n_features(),
+            importances: vec![0.0; data.n_features()],
+        };
+        let mut scratch = indices.to_vec();
+        tree.build(data, &mut scratch, 0, config, &mut rng);
+        tree
+    }
+
+    /// Fit on all rows.
+    pub fn fit(data: &Dataset, config: &TreeConfig, seed: u64) -> Self {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        Self::fit_indices(data, &indices, config, seed)
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match nodes[i] {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, .. } => {
+                    1 + walk(nodes, left as usize).max(walk(nodes, left as usize + 1))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Raw (unnormalized) impurity-decrease importances.
+    pub fn raw_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Build the subtree over `indices`, returning its arena slot.
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: &mut [usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut SmallRng,
+    ) -> u32 {
+        let n = indices.len();
+        let pos = indices.iter().filter(|&&i| data.label(i)).count();
+        let proba = pos as f64 / n as f64;
+
+        let make_leaf =
+            pos == 0 || pos == n || depth >= config.max_depth || n < config.min_samples_split;
+        if !make_leaf {
+            if let Some((feature, threshold, gain)) = self.best_split(data, indices, config, rng) {
+                // Partition in place.
+                let mid = partition(data, indices, feature, threshold);
+                if mid >= config.min_samples_leaf
+                    && n - mid >= config.min_samples_leaf
+                    && gain > 0.0
+                {
+                    self.importances[feature] += gain;
+                    let slot = self.nodes.len() as u32;
+                    self.nodes.push(Node::Leaf { proba }); // placeholder
+                    let (left_idx, right_idx) = indices.split_at_mut(mid);
+                    // Children must be adjacent: reserve both by building
+                    // left first, then right, then fixing the pointer.
+                    let left = self.build_pair(data, left_idx, right_idx, depth, config, rng);
+                    self.nodes[slot as usize] = Node::Split {
+                        feature: feature as u32,
+                        threshold,
+                        left,
+                    };
+                    return slot;
+                }
+            }
+        }
+        let slot = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf { proba });
+        slot
+    }
+
+    /// Build both children, guaranteeing adjacency (left at k, right at
+    /// k+1) by pre-allocating placeholder slots.
+    fn build_pair(
+        &mut self,
+        data: &Dataset,
+        left_idx: &mut [usize],
+        right_idx: &mut [usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut SmallRng,
+    ) -> u32 {
+        let left_slot = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf { proba: 0.0 }); // left placeholder
+        self.nodes.push(Node::Leaf { proba: 0.0 }); // right placeholder
+        let built_left = self.build(data, left_idx, depth + 1, config, rng);
+        self.nodes.swap(left_slot as usize, built_left as usize);
+        self.relocate_children(left_slot, built_left);
+        let built_right = self.build(data, right_idx, depth + 1, config, rng);
+        self.nodes
+            .swap(left_slot as usize + 1, built_right as usize);
+        self.relocate_children(left_slot + 1, built_right);
+        left_slot
+    }
+
+    /// After swapping a subtree root into its reserved slot, the node that
+    /// used to live in the reserved slot (a placeholder) sits where the
+    /// root was built; nothing points at it, so only the moved root's
+    /// children pointers stay valid (children were built after the root
+    /// slot and never moved). No fix-up needed beyond the swap — this
+    /// helper documents that invariant and asserts it in debug builds.
+    fn relocate_children(&self, _slot: u32, _from: u32) {
+        debug_assert!(_from as usize >= _slot as usize);
+    }
+
+    /// Find the best (feature, threshold) by Gini gain over histogram
+    /// candidates. Returns `None` if no split improves purity.
+    fn best_split(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut SmallRng,
+    ) -> Option<(usize, f64, f64)> {
+        let n = indices.len();
+        let total_pos = indices.iter().filter(|&&i| data.label(i)).count();
+        let parent_gini = gini(total_pos, n);
+
+        // Feature subset (mtry).
+        let d = data.n_features();
+        let mut features: Vec<usize> = (0..d).collect();
+        let take = config.mtry.unwrap_or(d).clamp(1, d);
+        if take < d {
+            features.shuffle(rng);
+            features.truncate(take);
+        }
+
+        // Sample values for candidate thresholds.
+        let sample_n = 256.min(n);
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut values: Vec<f64> = Vec::with_capacity(sample_n);
+        let mut bins: Vec<(usize, usize)> = Vec::new(); // (count, pos) per bin
+
+        for &f in &features {
+            values.clear();
+            for _ in 0..sample_n {
+                let i = indices[rng.random_range(0..n)];
+                values.push(data.row(i)[f]);
+            }
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.dedup();
+            if values.len() < 2 {
+                continue; // constant feature at this node
+            }
+            // Candidate thresholds: midpoints of up to max_candidates
+            // evenly spaced quantiles.
+            let step = ((values.len() - 1) as f64 / config.max_candidates as f64).max(1.0);
+            let mut thresholds: Vec<f64> = Vec::with_capacity(config.max_candidates);
+            let mut k = 0.0;
+            while (k as usize) < values.len() - 1 {
+                let i = k as usize;
+                thresholds.push((values[i] + values[i + 1]) / 2.0);
+                k += step;
+            }
+            thresholds.dedup();
+
+            // One pass: bin every row by threshold index.
+            bins.clear();
+            bins.resize(thresholds.len() + 1, (0, 0));
+            for &i in indices {
+                let v = data.row(i)[f];
+                let bin = thresholds.partition_point(|&t| v > t);
+                let e = &mut bins[bin];
+                e.0 += 1;
+                e.1 += usize::from(data.label(i));
+            }
+
+            // Prefix scan: split after bin b means left = bins[..=b].
+            let mut left_n = 0usize;
+            let mut left_pos = 0usize;
+            for (b, &(cnt, pos)) in bins.iter().enumerate().take(thresholds.len()) {
+                left_n += cnt;
+                left_pos += pos;
+                let right_n = n - left_n;
+                if left_n == 0 || right_n == 0 {
+                    continue;
+                }
+                let right_pos = total_pos - left_pos;
+                let w_gini = (left_n as f64 * gini(left_pos, left_n)
+                    + right_n as f64 * gini(right_pos, right_n))
+                    / n as f64;
+                let gain = (parent_gini - w_gini) * n as f64;
+                if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                    // bins are ordered low→high values; threshold index b.
+                    best = Some((f, thresholds[b], gain));
+                }
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn leaf_proba(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { proba } => return proba,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                } => {
+                    i = if x[feature as usize] <= threshold {
+                        left as usize
+                    } else {
+                        left as usize + 1
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// In-place partition of `indices`: rows with `x[feature] <= threshold`
+/// first. Returns the boundary.
+fn partition(data: &Dataset, indices: &mut [usize], feature: usize, threshold: f64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = indices.len();
+    while lo < hi {
+        if data.row(indices[lo])[feature] <= threshold {
+            lo += 1;
+        } else {
+            hi -= 1;
+            indices.swap(lo, hi);
+        }
+    }
+    lo
+}
+
+impl BinaryClassifier for DecisionTree {
+    fn predict_proba_one(&self, x: &[f64]) -> f64 {
+        self.leaf_proba(x)
+    }
+
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+}
+
+/// Forest hyperparameters. Defaults follow scikit-learn's spirit:
+/// 100 trees, sqrt(d) features per split, bootstrap the full sample size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    pub n_trees: usize,
+    pub tree: TreeConfig,
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            tree: TreeConfig {
+                max_depth: 16,
+                ..Default::default()
+            },
+            bootstrap: true,
+        }
+    }
+}
+
+impl RandomForestConfig {
+    /// A lighter forest for fast experiments.
+    pub fn fast() -> Self {
+        Self {
+            n_trees: 25,
+            ..Default::default()
+        }
+    }
+}
+
+/// A bagged ensemble of CART trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    pub fn fit(data: &Dataset, config: &RandomForestConfig, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        let d = data.n_features();
+        let mtry = config
+            .tree
+            .mtry
+            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize);
+        let tree_cfg = TreeConfig {
+            mtry: Some(mtry),
+            ..config.tree
+        };
+
+        let trees: Vec<DecisionTree> = (0..config.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let tree_seed = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(t as u64);
+                let mut rng = SmallRng::seed_from_u64(tree_seed);
+                if config.bootstrap {
+                    let idx = data.bootstrap_indices(data.len(), &mut rng);
+                    DecisionTree::fit_indices(data, &idx, &tree_cfg, tree_seed ^ 0xabcd)
+                } else {
+                    DecisionTree::fit(data, &tree_cfg, tree_seed ^ 0xabcd)
+                }
+            })
+            .collect();
+        Self {
+            trees,
+            n_features: d,
+        }
+    }
+
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean-decrease-in-impurity importances, normalized to sum to 1.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut total = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (acc, &v) in total.iter_mut().zip(t.raw_importances()) {
+                *acc += v;
+            }
+        }
+        let sum: f64 = total.iter().sum();
+        if sum > 0.0 {
+            for v in &mut total {
+                *v /= sum;
+            }
+        }
+        total
+    }
+}
+
+impl BinaryClassifier for RandomForest {
+    fn predict_proba_one(&self, x: &[f64]) -> f64 {
+        let s: f64 = self.trees.iter().map(|t| t.leaf_proba(x)).sum();
+        s / self.trees.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_util::blobs;
+
+    #[test]
+    fn tree_learns_separable_blobs() {
+        let d = blobs(100, 4, 3.0);
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), 1);
+        assert_eq!(tree.evaluate(&d).accuracy(), 1.0);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let mut d = Dataset::new(2);
+        for i in 0..10 {
+            d.push(&[i as f64, 0.0], true);
+        }
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), 1);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba_one(&[5.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let d = blobs(200, 3, 0.4); // overlapping blobs force deep trees
+        let tree = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                max_depth: 3,
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(tree.depth() <= 4, "depth {}", tree.depth());
+    }
+
+    #[test]
+    fn min_samples_split_caps_growth() {
+        let d = blobs(100, 2, 0.3);
+        let big = DecisionTree::fit(&d, &TreeConfig::default(), 1).node_count();
+        let small = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                min_samples_split: 100,
+                ..Default::default()
+            },
+            1,
+        )
+        .node_count();
+        assert!(small < big);
+    }
+
+    #[test]
+    fn importances_identify_informative_feature() {
+        // Only feature 0 is informative; 1 and 2 are constant-ish noise.
+        let mut d = Dataset::new(3);
+        for i in 0..400 {
+            let x0 = if i % 2 == 0 { -1.0 } else { 1.0 };
+            let noise = ((i * 7919) % 100) as f64 / 1000.0;
+            d.push(&[x0 + noise / 10.0, noise, 0.5], i % 2 == 1);
+        }
+        let forest = RandomForest::fit(&d, &RandomForestConfig::fast(), 3);
+        let imp = forest.feature_importances();
+        assert!(imp[0] > 0.9, "importances {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forest_beats_or_matches_single_tree_on_noisy_data() {
+        let train = blobs(300, 5, 0.8);
+        let test = blobs(100, 5, 0.8);
+        let tree = DecisionTree::fit(
+            &train,
+            &TreeConfig {
+                max_depth: 4,
+                ..Default::default()
+            },
+            5,
+        );
+        let forest = RandomForest::fit(
+            &train,
+            &RandomForestConfig {
+                n_trees: 30,
+                ..RandomForestConfig::fast()
+            },
+            5,
+        );
+        let t_acc = tree.evaluate(&test).accuracy();
+        let f_acc = forest.evaluate(&test).accuracy();
+        assert!(f_acc >= t_acc - 0.02, "forest {f_acc} vs tree {t_acc}");
+        assert!(f_acc > 0.9);
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let d = blobs(50, 3, 1.0);
+        let a = RandomForest::fit(&d, &RandomForestConfig::fast(), 9);
+        let b = RandomForest::fit(&d, &RandomForestConfig::fast(), 9);
+        let x = [0.3, -0.2, 0.9];
+        assert_eq!(a.predict_proba_one(&x), b.predict_proba_one(&x));
+    }
+
+    #[test]
+    fn proba_is_bounded() {
+        let d = blobs(50, 2, 2.0);
+        let forest = RandomForest::fit(&d, &RandomForestConfig::fast(), 2);
+        for (row, _) in d.rows() {
+            let p = forest.predict_proba_one(row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn partition_splits_correctly() {
+        let mut d = Dataset::new(1);
+        for v in [5.0, 1.0, 3.0, 8.0, 2.0] {
+            d.push(&[v], false);
+        }
+        let mut idx = vec![0, 1, 2, 3, 4];
+        let mid = partition(&d, &mut idx, 0, 3.0);
+        assert_eq!(mid, 3);
+        for &i in &idx[..mid] {
+            assert!(d.row(i)[0] <= 3.0);
+        }
+        for &i in &idx[mid..] {
+            assert!(d.row(i)[0] > 3.0);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let d = blobs(40, 3, 2.0);
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), 4);
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        for (row, _) in d.rows() {
+            assert_eq!(tree.predict_one(row), back.predict_one(row));
+        }
+    }
+}

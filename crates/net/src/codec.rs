@@ -1,0 +1,95 @@
+//! Wire encode/decode traits shared by every header and telemetry format
+//! in the workspace.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+/// Errors produced while decoding wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the structure did.
+    Truncated { needed: usize, had: usize },
+    /// The bytes were present but semantically invalid.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, had } => {
+                write!(f, "truncated input: needed {needed} bytes, had {had}")
+            }
+            CodecError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Types that can serialize themselves to a byte buffer.
+pub trait Encode {
+    /// Exact number of bytes [`Encode::encode`] will write.
+    fn encoded_len(&self) -> usize;
+
+    /// Append the wire representation to `buf`.
+    fn encode<B: BufMut>(&self, buf: &mut B);
+
+    /// Convenience: encode into a fresh buffer of exactly the right size.
+    fn encode_to_bytes(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Types that can deserialize themselves from a byte buffer, consuming
+/// exactly their wire representation.
+pub trait Decode: Sized {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair(u16, u16);
+
+    impl Encode for Pair {
+        fn encoded_len(&self) -> usize {
+            4
+        }
+        fn encode<B: BufMut>(&self, buf: &mut B) {
+            buf.put_u16(self.0);
+            buf.put_u16(self.1);
+        }
+    }
+
+    impl Decode for Pair {
+        fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+            if buf.remaining() < 4 {
+                return Err(CodecError::Truncated {
+                    needed: 4,
+                    had: buf.remaining(),
+                });
+            }
+            Ok(Pair(buf.get_u16(), buf.get_u16()))
+        }
+    }
+
+    #[test]
+    fn encode_to_bytes_sizes_exactly() {
+        let b = Pair(1, 2).encode_to_bytes();
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[..], &[0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CodecError::Truncated { needed: 8, had: 3 };
+        assert_eq!(e.to_string(), "truncated input: needed 8 bytes, had 3");
+        assert_eq!(
+            CodecError::Malformed("nope").to_string(),
+            "malformed input: nope"
+        );
+    }
+}

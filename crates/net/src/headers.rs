@@ -1,0 +1,484 @@
+//! Protocol headers: Ethernet II, IPv4, TCP, UDP.
+//!
+//! Only the fields the reproduction needs are modeled, but the wire layout
+//! of each header is the real one (RFC 791 / RFC 793 / RFC 768), so encoded
+//! packets are byte-compatible with what a P4 parser would see.
+
+use crate::codec::{CodecError, Decode, Encode};
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Deterministic MAC for host `n` in the simulated lab.
+    pub const fn lab(n: u8) -> Self {
+        MacAddr([0x02, 0xa1, 0x1c, 0x00, 0x00, n])
+    }
+}
+
+/// Ethernet II frame header (no VLAN tag; AmLight's INT deployment strips
+/// tags before the INT sink in our model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthernetHeader {
+    pub dst: MacAddr,
+    pub src: MacAddr,
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    pub const WIRE_LEN: usize = 14;
+
+    pub fn ipv4(src: MacAddr, dst: MacAddr) -> Self {
+        Self {
+            dst,
+            src,
+            ethertype: ETHERTYPE_IPV4,
+        }
+    }
+}
+
+impl Encode for EthernetHeader {
+    fn encoded_len(&self) -> usize {
+        Self::WIRE_LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        buf.put_u16(self.ethertype);
+    }
+}
+
+impl Decode for EthernetHeader {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return Err(CodecError::Truncated {
+                needed: Self::WIRE_LEN,
+                had: buf.remaining(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        buf.copy_to_slice(&mut dst);
+        buf.copy_to_slice(&mut src);
+        let ethertype = buf.get_u16();
+        Ok(Self {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+        })
+    }
+}
+
+/// IPv4 header (20 bytes, no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    pub dscp: u8,
+    /// Total length: header + transport header + payload, in bytes.
+    pub total_len: u16,
+    pub identification: u16,
+    pub ttl: u8,
+    pub protocol: u8,
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    pub const WIRE_LEN: usize = 20;
+
+    /// Header checksum over the encoded 20 bytes with the checksum field
+    /// zeroed (RFC 1071 ones'-complement sum).
+    pub fn checksum(&self) -> u16 {
+        let mut bytes = [0u8; Self::WIRE_LEN];
+        self.write_raw(&mut bytes, 0);
+        ones_complement_sum(&bytes)
+    }
+
+    fn write_raw(&self, out: &mut [u8; Self::WIRE_LEN], checksum: u16) {
+        out[0] = 0x45; // version 4, IHL 5
+        out[1] = self.dscp << 2;
+        out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        out[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        // flags + fragment offset: DF set, offset 0
+        out[6] = 0x40;
+        out[7] = 0;
+        out[8] = self.ttl;
+        out[9] = self.protocol;
+        out[10..12].copy_from_slice(&checksum.to_be_bytes());
+        out[12..16].copy_from_slice(&self.src.octets());
+        out[16..20].copy_from_slice(&self.dst.octets());
+    }
+}
+
+fn ones_complement_sum(bytes: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = bytes.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl Encode for Ipv4Header {
+    fn encoded_len(&self) -> usize {
+        Self::WIRE_LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        let mut raw = [0u8; Self::WIRE_LEN];
+        let ck = self.checksum();
+        self.write_raw(&mut raw, ck);
+        buf.put_slice(&raw);
+    }
+}
+
+impl Decode for Ipv4Header {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return Err(CodecError::Truncated {
+                needed: Self::WIRE_LEN,
+                had: buf.remaining(),
+            });
+        }
+        let mut raw = [0u8; Self::WIRE_LEN];
+        buf.copy_to_slice(&mut raw);
+        if raw[0] >> 4 != 4 {
+            return Err(CodecError::Malformed("IPv4 version field is not 4"));
+        }
+        if raw[0] & 0x0f != 5 {
+            return Err(CodecError::Malformed("IPv4 options are not supported"));
+        }
+        let hdr = Self {
+            dscp: raw[1] >> 2,
+            total_len: u16::from_be_bytes([raw[2], raw[3]]),
+            identification: u16::from_be_bytes([raw[4], raw[5]]),
+            ttl: raw[8],
+            protocol: raw[9],
+            src: Ipv4Addr::new(raw[12], raw[13], raw[14], raw[15]),
+            dst: Ipv4Addr::new(raw[16], raw[17], raw[18], raw[19]),
+        };
+        let wire_ck = u16::from_be_bytes([raw[10], raw[11]]);
+        if wire_ck != hdr.checksum() {
+            return Err(CodecError::Malformed("IPv4 header checksum mismatch"));
+        }
+        Ok(hdr)
+    }
+}
+
+/// Tiny local stand-in for the `bitflags` crate — avoids an extra
+/// dependency for six constants.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $(const $flag:ident = $val:expr;)*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $(pub const $flag: $name = $name($val);)*
+
+            pub const fn empty() -> Self { $name(0) }
+            pub const fn bits(self) -> $ty { self.0 }
+            pub const fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+            pub const fn union(self, other: $name) -> $name {
+                $name(self.0 | other.0)
+            }
+        }
+
+        impl core::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { self.union(rhs) }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// TCP flag bits, in wire order (bit 0 = FIN).
+    pub struct TcpFlags: u8 {
+        const FIN = 0x01;
+        const SYN = 0x02;
+        const RST = 0x04;
+        const PSH = 0x08;
+        const ACK = 0x10;
+        const URG = 0x20;
+    }
+}
+
+/// TCP header (20 bytes, no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: TcpFlags,
+    pub window: u16,
+}
+
+impl TcpHeader {
+    pub const WIRE_LEN: usize = 20;
+
+    pub fn syn(src_port: u16, dst_port: u16, seq: u32) -> Self {
+        Self {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 64240,
+        }
+    }
+}
+
+impl Encode for TcpHeader {
+    fn encoded_len(&self) -> usize {
+        Self::WIRE_LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.ack);
+        buf.put_u8(5 << 4); // data offset 5 words
+        buf.put_u8(self.flags.bits());
+        buf.put_u16(self.window);
+        buf.put_u16(0); // checksum: not modeled (simulator verifies IP level)
+        buf.put_u16(0); // urgent pointer
+    }
+}
+
+impl Decode for TcpHeader {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return Err(CodecError::Truncated {
+                needed: Self::WIRE_LEN,
+                had: buf.remaining(),
+            });
+        }
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let seq = buf.get_u32();
+        let ack = buf.get_u32();
+        let offset = buf.get_u8() >> 4;
+        if offset != 5 {
+            return Err(CodecError::Malformed("TCP options are not supported"));
+        }
+        let flags = TcpFlags(buf.get_u8() & 0x3f);
+        let window = buf.get_u16();
+        let _checksum = buf.get_u16();
+        let _urg = buf.get_u16();
+        Ok(Self {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+        })
+    }
+}
+
+/// UDP header (8 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// Length: UDP header + payload, in bytes.
+    pub length: u16,
+}
+
+impl UdpHeader {
+    pub const WIRE_LEN: usize = 8;
+}
+
+impl Encode for UdpHeader {
+    fn encoded_len(&self) -> usize {
+        Self::WIRE_LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(self.length);
+        buf.put_u16(0); // checksum optional for IPv4
+    }
+}
+
+impl Decode for UdpHeader {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return Err(CodecError::Truncated {
+                needed: Self::WIRE_LEN,
+                had: buf.remaining(),
+            });
+        }
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let length = buf.get_u16();
+        let _checksum = buf.get_u16();
+        if (length as usize) < Self::WIRE_LEN {
+            return Err(CodecError::Malformed("UDP length shorter than header"));
+        }
+        Ok(Self {
+            src_port,
+            dst_port,
+            length,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.encoded_len());
+        let mut cursor = buf.freeze();
+        let back = T::decode(&mut cursor).expect("decode");
+        assert_eq!(&back, v);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn ethernet_roundtrip() {
+        roundtrip(&EthernetHeader::ipv4(MacAddr::lab(1), MacAddr::lab(2)));
+    }
+
+    #[test]
+    fn ipv4_roundtrip_and_checksum() {
+        let h = Ipv4Header {
+            dscp: 0,
+            total_len: 60,
+            identification: 0x1234,
+            ttl: 64,
+            protocol: 6,
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        roundtrip(&h);
+    }
+
+    #[test]
+    fn ipv4_checksum_detects_corruption() {
+        let h = Ipv4Header {
+            dscp: 0,
+            total_len: 60,
+            identification: 7,
+            ttl: 64,
+            protocol: 17,
+            src: Ipv4Addr::new(1, 2, 3, 4),
+            dst: Ipv4Addr::new(5, 6, 7, 8),
+        };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        buf[8] ^= 0xff; // flip TTL
+        let mut cursor = buf.freeze();
+        assert!(matches!(
+            Ipv4Header::decode(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn ipv4_rejects_wrong_version() {
+        let mut raw = [0u8; 20];
+        raw[0] = 0x65; // version 6
+        let mut cursor = &raw[..];
+        assert!(Ipv4Header::decode(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn ipv4_rejects_truncated() {
+        let raw = [0x45u8; 10];
+        let mut cursor = &raw[..];
+        assert!(matches!(
+            Ipv4Header::decode(&mut cursor),
+            Err(CodecError::Truncated {
+                needed: 20,
+                had: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let h = TcpHeader {
+            src_port: 443,
+            dst_port: 51000,
+            seq: 0xdead_beef,
+            ack: 0x0badc0de,
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+            window: 29200,
+        };
+        roundtrip(&h);
+    }
+
+    #[test]
+    fn tcp_syn_constructor_sets_only_syn() {
+        let h = TcpHeader::syn(1234, 80, 99);
+        assert!(h.flags.contains(TcpFlags::SYN));
+        assert!(!h.flags.contains(TcpFlags::ACK));
+        assert_eq!(h.ack, 0);
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        roundtrip(&UdpHeader {
+            src_port: 53,
+            dst_port: 5353,
+            length: 8 + 120,
+        });
+    }
+
+    #[test]
+    fn udp_rejects_impossible_length() {
+        let raw: [u8; 8] = [0, 53, 0, 54, 0, 4, 0, 0]; // length=4 < 8
+        let mut cursor = &raw[..];
+        assert!(matches!(
+            UdpHeader::decode(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn tcp_flags_bit_positions_are_wire_accurate() {
+        assert_eq!(TcpFlags::FIN.bits(), 0x01);
+        assert_eq!(TcpFlags::SYN.bits(), 0x02);
+        assert_eq!(TcpFlags::RST.bits(), 0x04);
+        assert_eq!(TcpFlags::PSH.bits(), 0x08);
+        assert_eq!(TcpFlags::ACK.bits(), 0x10);
+        assert_eq!(TcpFlags::URG.bits(), 0x20);
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).bits(), 0x12);
+    }
+
+    #[test]
+    fn ones_complement_known_vector() {
+        // From RFC 1071 example adapted: all-zero block checksums to 0xffff.
+        assert_eq!(super::ones_complement_sum(&[0; 20]), 0xffff);
+    }
+}

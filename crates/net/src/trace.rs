@@ -1,0 +1,318 @@
+//! Timestamped packet traces — the reproduction's stand-in for the pcap
+//! captures the paper replays with `tcpreplay`.
+
+use crate::flow::FlowKey;
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Ground-truth label attached to generated traffic. The paper labels
+/// benign flows 0 and attack flows 1; we keep the provenance too so the
+/// per-attack-type breakdown of Table VI is possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    Benign,
+    SynScan,
+    UdpScan,
+    SynFlood,
+    SlowLoris,
+}
+
+impl TrafficClass {
+    /// Binary label used by the ML models (paper §IV-B.3).
+    pub fn label(self) -> bool {
+        !matches!(self, TrafficClass::Benign)
+    }
+
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::Benign,
+        TrafficClass::SynScan,
+        TrafficClass::UdpScan,
+        TrafficClass::SynFlood,
+        TrafficClass::SlowLoris,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::Benign => "Benign",
+            TrafficClass::SynScan => "SYN Scan",
+            TrafficClass::UdpScan => "UDP Scan",
+            TrafficClass::SynFlood => "SYN Flood",
+            TrafficClass::SlowLoris => "SlowLoris",
+        }
+    }
+}
+
+/// A packet with its injection time (nanoseconds since capture start) and
+/// ground-truth class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Time the packet enters the network, ns since trace epoch (u64 — the
+    /// 32-bit INT wraparound is applied later, at telemetry-export time).
+    pub ts_ns: u64,
+    pub packet: Packet,
+    pub class: TrafficClass,
+}
+
+/// An ordered packet trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<PacketRecord>,
+    sorted: bool,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self {
+            records: Vec::new(),
+            sorted: true,
+        }
+    }
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    pub fn push(&mut self, rec: PacketRecord) {
+        if let Some(last) = self.records.last() {
+            if rec.ts_ns < last.ts_ns {
+                self.sorted = false;
+            }
+        }
+        self.records.push(rec);
+    }
+
+    /// Merge another trace into this one, preserving time order.
+    pub fn merge(&mut self, other: Trace) {
+        self.records.extend(other.records);
+        self.sort();
+    }
+
+    /// Sort records by timestamp (stable, so equal-timestamp packets keep
+    /// generation order).
+    pub fn sort(&mut self) {
+        self.records.sort_by_key(|r| r.ts_ns);
+        self.sorted = true;
+    }
+
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, PacketRecord> {
+        self.records.iter()
+    }
+
+    /// Duration between first and last packet, in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => b.ts_ns.saturating_sub(a.ts_ns),
+            _ => 0,
+        }
+    }
+
+    /// Keep only records within `[from_ns, to_ns)`.
+    pub fn slice_time(&self, from_ns: u64, to_ns: u64) -> Trace {
+        let records = self
+            .records
+            .iter()
+            .filter(|r| r.ts_ns >= from_ns && r.ts_ns < to_ns)
+            .copied()
+            .collect();
+        Trace {
+            records,
+            sorted: self.sorted,
+        }
+    }
+
+    /// Truncate to the first `n` packets of each distinct flow — mirrors
+    /// the paper's testbed replays of "around 2500-packet data for each
+    /// flow type".
+    pub fn take_per_flow(&self, n: usize) -> Trace {
+        let mut seen: HashMap<FlowKey, usize> = HashMap::new();
+        let records = self
+            .records
+            .iter()
+            .filter(|r| {
+                let c = seen.entry(r.packet.flow_key()).or_insert(0);
+                *c += 1;
+                *c <= n
+            })
+            .copied()
+            .collect();
+        Trace {
+            records,
+            sorted: self.sorted,
+        }
+    }
+
+    /// Summary statistics for reporting and sanity checks.
+    pub fn stats(&self) -> TraceStats {
+        let mut per_class: HashMap<TrafficClass, usize> = HashMap::new();
+        let mut flows: HashMap<FlowKey, ()> = HashMap::new();
+        let mut bytes = 0u64;
+        for r in &self.records {
+            *per_class.entry(r.class).or_insert(0) += 1;
+            flows.entry(r.packet.flow_key()).or_insert(());
+            bytes += r.packet.wire_len() as u64;
+        }
+        TraceStats {
+            packets: self.records.len(),
+            flows: flows.len(),
+            bytes,
+            duration_ns: self.duration_ns(),
+            per_class,
+        }
+    }
+}
+
+impl FromIterator<PacketRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = PacketRecord>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for r in iter {
+            t.push(r);
+        }
+        t
+    }
+}
+
+/// Aggregate description of a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    pub packets: usize,
+    pub flows: usize,
+    pub bytes: u64,
+    pub duration_ns: u64,
+    pub per_class: HashMap<TrafficClass, usize>,
+}
+
+impl TraceStats {
+    /// Average packet rate in packets/second.
+    pub fn pps(&self) -> f64 {
+        if self.duration_ns == 0 {
+            return 0.0;
+        }
+        self.packets as f64 / (self.duration_ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn rec(ts: u64, src_port: u16, class: TrafficClass) -> PacketRecord {
+        let p = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .tcp_syn(src_port, 80, 0);
+        PacketRecord {
+            ts_ns: ts,
+            packet: p,
+            class,
+        }
+    }
+
+    #[test]
+    fn push_detects_out_of_order() {
+        let mut t = Trace::new();
+        t.push(rec(10, 1, TrafficClass::Benign));
+        assert!(t.is_sorted() || t.len() == 1);
+        t.push(rec(5, 2, TrafficClass::Benign));
+        assert!(!t.is_sorted());
+        t.sort();
+        assert!(t.is_sorted());
+        assert_eq!(t.records()[0].ts_ns, 5);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let mut a: Trace = [
+            rec(0, 1, TrafficClass::Benign),
+            rec(100, 1, TrafficClass::Benign),
+        ]
+        .into_iter()
+        .collect();
+        let b: Trace = [rec(50, 2, TrafficClass::SynFlood)].into_iter().collect();
+        a.merge(b);
+        let ts: Vec<u64> = a.iter().map(|r| r.ts_ns).collect();
+        assert_eq!(ts, vec![0, 50, 100]);
+    }
+
+    #[test]
+    fn slice_time_is_half_open() {
+        let t: Trace = (0..10)
+            .map(|i| rec(i * 10, 1, TrafficClass::Benign))
+            .collect();
+        let s = t.slice_time(20, 50);
+        let ts: Vec<u64> = s.iter().map(|r| r.ts_ns).collect();
+        assert_eq!(ts, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn take_per_flow_caps_each_flow() {
+        let mut t = Trace::new();
+        for i in 0..5 {
+            t.push(rec(i, 1, TrafficClass::Benign)); // flow A x5
+        }
+        for i in 0..2 {
+            t.push(rec(100 + i, 2, TrafficClass::Benign)); // flow B x2
+        }
+        let capped = t.take_per_flow(3);
+        assert_eq!(capped.len(), 5); // 3 from A + 2 from B
+    }
+
+    #[test]
+    fn stats_counts_classes_flows_and_rate() {
+        let mut t = Trace::new();
+        t.push(rec(0, 1, TrafficClass::Benign));
+        t.push(rec(500_000_000, 1, TrafficClass::Benign));
+        t.push(rec(1_000_000_000, 2, TrafficClass::SynFlood));
+        let s = t.stats();
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.flows, 2);
+        assert_eq!(s.per_class[&TrafficClass::Benign], 2);
+        assert_eq!(s.duration_ns, 1_000_000_000);
+        assert!((s.pps() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = Trace::new().stats();
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.pps(), 0.0);
+    }
+
+    #[test]
+    fn class_labels_match_paper_encoding() {
+        assert!(!TrafficClass::Benign.label());
+        for c in [
+            TrafficClass::SynScan,
+            TrafficClass::UdpScan,
+            TrafficClass::SynFlood,
+            TrafficClass::SlowLoris,
+        ] {
+            assert!(c.label());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The sFlow agent: device-level packet sampling.
+
+use crate::datagram::FlowSample;
+use amlight_net::{Packet, TrafficClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// AmLight's production sampling rate: 1 out of every 4,096 packets
+/// (paper §IV-B).
+pub const AMLIGHT_SAMPLING_RATE: u32 = 4096;
+
+/// How the agent picks packets (paper §II-A.1 describes both families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMode {
+    /// Sample every N-th packet exactly (packet-count based, deterministic
+    /// phase). `phase` selects which offset within each period fires.
+    Deterministic { period: u32, phase: u32 },
+    /// Classic sFlow: random skip drawn uniformly so the *expected* rate
+    /// is 1-in-N but sample positions are unpredictable.
+    RandomSkip { period: u32 },
+    /// Time-based: one sample per interval (the first packet seen after
+    /// each interval boundary).
+    TimeBased { interval_ns: u64 },
+}
+
+impl SamplingMode {
+    /// AmLight's configuration: random 1-in-4096.
+    pub fn amlight() -> Self {
+        SamplingMode::RandomSkip {
+            period: AMLIGHT_SAMPLING_RATE,
+        }
+    }
+}
+
+/// A sampling agent at one observation point.
+///
+/// ```
+/// use amlight_sflow::{SamplingMode, SflowAgent};
+/// use amlight_net::PacketBuilder;
+///
+/// let pkt = PacketBuilder::new([10, 0, 0, 1].into(), [10, 0, 0, 2].into())
+///     .tcp_syn(4242, 80, 1);
+/// let mut agent = SflowAgent::new(SamplingMode::Deterministic { period: 4, phase: 0 }, 7);
+/// let sampled = (0..100u64).filter(|&t| agent.observe(t, &pkt).is_some()).count();
+/// assert_eq!(sampled, 25); // exactly 1-in-4
+/// ```
+#[derive(Debug, Clone)]
+pub struct SflowAgent {
+    mode: SamplingMode,
+    rng: SmallRng,
+    /// Packets remaining until the next sample (count-based modes).
+    skip: u32,
+    /// Next interval boundary (time-based mode).
+    next_deadline_ns: u64,
+    observed: u64,
+    sampled: u64,
+}
+
+impl SflowAgent {
+    pub fn new(mode: SamplingMode, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let skip = match mode {
+            SamplingMode::Deterministic { period, phase } => phase % period,
+            SamplingMode::RandomSkip { period } => rng.random_range(0..period),
+            SamplingMode::TimeBased { .. } => 0,
+        };
+        Self {
+            mode,
+            rng,
+            skip,
+            next_deadline_ns: 0,
+            observed: 0,
+            sampled: 0,
+        }
+    }
+
+    pub fn amlight(seed: u64) -> Self {
+        Self::new(SamplingMode::amlight(), seed)
+    }
+
+    pub fn mode(&self) -> SamplingMode {
+        self.mode
+    }
+
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// Effective sampling rate denominator (for scaling estimates).
+    pub fn period(&self) -> Option<u32> {
+        match self.mode {
+            SamplingMode::Deterministic { period, .. } | SamplingMode::RandomSkip { period } => {
+                Some(period)
+            }
+            SamplingMode::TimeBased { .. } => None,
+        }
+    }
+
+    /// Offer one packet observation; returns a sample if selected.
+    pub fn observe(&mut self, ts_ns: u64, packet: &Packet) -> Option<FlowSample> {
+        self.observed += 1;
+        let take = match self.mode {
+            SamplingMode::Deterministic { period, .. } => {
+                if self.skip == 0 {
+                    self.skip = period - 1;
+                    true
+                } else {
+                    self.skip -= 1;
+                    false
+                }
+            }
+            SamplingMode::RandomSkip { period } => {
+                if self.skip == 0 {
+                    self.skip = self.rng.random_range(0..period.max(1) * 2 - 1);
+                    true
+                } else {
+                    self.skip -= 1;
+                    false
+                }
+            }
+            SamplingMode::TimeBased { interval_ns } => {
+                if ts_ns >= self.next_deadline_ns {
+                    // Skip ahead past any empty intervals.
+                    let intervals = (ts_ns - self.next_deadline_ns) / interval_ns + 1;
+                    self.next_deadline_ns += intervals * interval_ns;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if !take {
+            return None;
+        }
+        self.sampled += 1;
+        Some(FlowSample {
+            flow: packet.flow_key(),
+            ip_len: packet.ip_len(),
+            tcp_flags: packet.tcp_flags().map(|f| f.bits()),
+            observed_ns: ts_ns,
+            sampling_period: self.period().unwrap_or(0),
+        })
+    }
+
+    /// Sample a whole labeled stream; convenience for the experiment
+    /// harness. Returns (sample, ground-truth class) pairs.
+    pub fn sample_stream<'a, I>(&mut self, stream: I) -> Vec<(FlowSample, TrafficClass)>
+    where
+        I: IntoIterator<Item = (u64, &'a Packet, TrafficClass)>,
+    {
+        let mut out = Vec::new();
+        for (ts, pkt, class) in stream {
+            if let Some(s) = self.observe(ts, pkt) {
+                out.push((s, class));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_net::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn pkt() -> Packet {
+        PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .tcp_syn(1000, 80, 0)
+    }
+
+    #[test]
+    fn deterministic_samples_exactly_one_in_n() {
+        let mut a = SflowAgent::new(
+            SamplingMode::Deterministic {
+                period: 10,
+                phase: 0,
+            },
+            0,
+        );
+        let p = pkt();
+        let hits: Vec<bool> = (0..100).map(|i| a.observe(i, &p).is_some()).collect();
+        assert_eq!(hits.iter().filter(|h| **h).count(), 10);
+        assert!(hits[0] && hits[10] && hits[90]);
+        assert_eq!(a.observed(), 100);
+        assert_eq!(a.sampled(), 10);
+    }
+
+    #[test]
+    fn deterministic_phase_shifts_selection() {
+        let mut a = SflowAgent::new(
+            SamplingMode::Deterministic {
+                period: 10,
+                phase: 3,
+            },
+            0,
+        );
+        let p = pkt();
+        let first_hit = (0..20).position(|i| a.observe(i, &p).is_some());
+        assert_eq!(first_hit, Some(3));
+    }
+
+    #[test]
+    fn random_skip_hits_expected_rate() {
+        let mut a = SflowAgent::new(SamplingMode::RandomSkip { period: 100 }, 7);
+        let p = pkt();
+        let n = 200_000u64;
+        let mut hits = 0u64;
+        for i in 0..n {
+            if a.observe(i, &p).is_some() {
+                hits += 1;
+            }
+        }
+        let expected = n / 100;
+        // Within 15% of the nominal 1-in-100.
+        assert!(
+            (hits as f64 - expected as f64).abs() < expected as f64 * 0.15,
+            "hits={hits} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn random_skip_is_seed_deterministic() {
+        let p = pkt();
+        let run = |seed| {
+            let mut a = SflowAgent::new(SamplingMode::RandomSkip { period: 50 }, seed);
+            (0..1000).filter(|i| a.observe(*i, &p).is_some()).count()
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn time_based_takes_one_per_interval() {
+        let mut a = SflowAgent::new(SamplingMode::TimeBased { interval_ns: 1000 }, 0);
+        let p = pkt();
+        // Packets every 100 ns for 5 µs → 50 packets, 5 intervals.
+        let hits = (0..50).filter(|i| a.observe(i * 100, &p).is_some()).count();
+        assert_eq!(hits, 5);
+    }
+
+    #[test]
+    fn time_based_skips_empty_intervals() {
+        let mut a = SflowAgent::new(SamplingMode::TimeBased { interval_ns: 1000 }, 0);
+        let p = pkt();
+        assert!(a.observe(0, &p).is_some());
+        // Silence for 10 intervals, then a packet: sampled once, not 10×.
+        assert!(a.observe(10_500, &p).is_some());
+        assert!(a.observe(10_600, &p).is_none());
+    }
+
+    #[test]
+    fn sample_carries_header_fields_only() {
+        let mut a = SflowAgent::new(
+            SamplingMode::Deterministic {
+                period: 1,
+                phase: 0,
+            },
+            0,
+        );
+        let s = a.observe(42, &pkt()).unwrap();
+        assert_eq!(s.ip_len, 40);
+        assert_eq!(s.tcp_flags, Some(0x02));
+        assert_eq!(s.observed_ns, 42);
+        assert_eq!(s.sampling_period, 1);
+        assert_eq!(s.flow.dst_port, 80);
+    }
+
+    #[test]
+    fn short_burst_can_be_missed_entirely() {
+        // A 100-packet burst under 1-in-4096 sampling is usually unseen —
+        // the sFlow failure mode the paper's Fig. 5 demonstrates.
+        let mut misses = 0;
+        for seed in 0..50 {
+            let mut a = SflowAgent::amlight(seed);
+            let p = pkt();
+            let seen = (0..100u64).any(|i| a.observe(i, &p).is_some());
+            if !seen {
+                misses += 1;
+            }
+        }
+        assert!(
+            misses > 40,
+            "expected most 100-packet bursts unsampled, missed {misses}/50"
+        );
+    }
+
+    #[test]
+    fn sample_stream_labels_ride_along() {
+        let mut a = SflowAgent::new(
+            SamplingMode::Deterministic {
+                period: 2,
+                phase: 0,
+            },
+            0,
+        );
+        let p = pkt();
+        let stream = vec![
+            (0u64, &p, TrafficClass::Benign),
+            (1, &p, TrafficClass::SynFlood),
+            (2, &p, TrafficClass::SlowLoris),
+        ];
+        let got = a.sample_stream(stream);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, TrafficClass::Benign);
+        assert_eq!(got[1].1, TrafficClass::SlowLoris);
+    }
+}

@@ -1,0 +1,312 @@
+//! sFlow datagrams and the collector that decodes them.
+
+use amlight_net::{CodecError, Decode, Encode, FlowKey};
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// One sampled packet, as reported by the agent.
+///
+/// Compare with `amlight_int::TelemetryReport`: no queue occupancy, no
+/// per-switch timestamps — only what the agent sees in the sampled
+/// header plus its own observation clock. That asymmetry IS the paper's
+/// Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSample {
+    pub flow: FlowKey,
+    pub ip_len: u16,
+    pub tcp_flags: Option<u8>,
+    /// Agent observation time, full-width host-clock ns.
+    pub observed_ns: u64,
+    /// The 1-in-N denominator in force when this sample was taken
+    /// (0 for time-based sampling).
+    pub sampling_period: u32,
+}
+
+impl FlowSample {
+    const WIRE_LEN: usize = 13 + 2 + 1 + 8 + 4;
+}
+
+impl Encode for FlowSample {
+    fn encoded_len(&self) -> usize {
+        Self::WIRE_LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.flow.to_bytes());
+        buf.put_u16(self.ip_len);
+        buf.put_u8(self.tcp_flags.map_or(0xff, |f| f & 0x3f));
+        buf.put_u64(self.observed_ns);
+        buf.put_u32(self.sampling_period);
+    }
+}
+
+impl Decode for FlowSample {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return Err(CodecError::Truncated {
+                needed: Self::WIRE_LEN,
+                had: buf.remaining(),
+            });
+        }
+        let mut kb = [0u8; 13];
+        buf.copy_to_slice(&mut kb);
+        let flow = FlowKey::from_bytes(&kb).ok_or(CodecError::Malformed("bad flow key"))?;
+        let ip_len = buf.get_u16();
+        let raw = buf.get_u8();
+        let tcp_flags = if raw == 0xff { None } else { Some(raw) };
+        let observed_ns = buf.get_u64();
+        let sampling_period = buf.get_u32();
+        Ok(Self {
+            flow,
+            ip_len,
+            tcp_flags,
+            observed_ns,
+            sampling_period,
+        })
+    }
+}
+
+/// Magic tag opening every sFlow datagram on the wire.
+pub const DATAGRAM_MAGIC: u16 = 0x5F10;
+
+/// An agent → collector datagram: a batch of samples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SflowDatagram {
+    pub agent: Ipv4Addr,
+    pub sequence: u32,
+    pub samples: Vec<FlowSample>,
+}
+
+impl Encode for SflowDatagram {
+    fn encoded_len(&self) -> usize {
+        2 + 4 + 4 + 2 + self.samples.len() * FlowSample::WIRE_LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(DATAGRAM_MAGIC);
+        buf.put_slice(&self.agent.octets());
+        buf.put_u32(self.sequence);
+        buf.put_u16(self.samples.len() as u16);
+        for s in &self.samples {
+            s.encode(buf);
+        }
+    }
+}
+
+impl Decode for SflowDatagram {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        const FIXED: usize = 2 + 4 + 4 + 2;
+        if buf.remaining() < FIXED {
+            return Err(CodecError::Truncated {
+                needed: FIXED,
+                had: buf.remaining(),
+            });
+        }
+        if buf.get_u16() != DATAGRAM_MAGIC {
+            return Err(CodecError::Malformed("bad sFlow datagram magic"));
+        }
+        let mut oct = [0u8; 4];
+        buf.copy_to_slice(&mut oct);
+        let agent = Ipv4Addr::from(oct);
+        let sequence = buf.get_u32();
+        let count = buf.get_u16() as usize;
+        let mut samples = Vec::with_capacity(count);
+        for _ in 0..count {
+            samples.push(FlowSample::decode(buf)?);
+        }
+        Ok(Self {
+            agent,
+            sequence,
+            samples,
+        })
+    }
+}
+
+/// Collector: tracks sequence gaps (lost datagrams) and accumulates
+/// samples.
+#[derive(Debug, Default)]
+pub struct SflowCollector {
+    samples: Vec<FlowSample>,
+    datagrams: u64,
+    lost_datagrams: u64,
+    last_seq: Option<u32>,
+    decode_errors: u64,
+}
+
+impl SflowCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one encoded datagram.
+    pub fn ingest(&mut self, bytes: &[u8]) -> Result<usize, CodecError> {
+        let mut cursor = bytes;
+        match SflowDatagram::decode(&mut cursor) {
+            Ok(d) => {
+                if let Some(prev) = self.last_seq {
+                    let gap = d.sequence.wrapping_sub(prev);
+                    if gap > 1 {
+                        self.lost_datagrams += u64::from(gap - 1);
+                    }
+                }
+                self.last_seq = Some(d.sequence);
+                self.datagrams += 1;
+                let n = d.samples.len();
+                self.samples.extend(d.samples);
+                Ok(n)
+            }
+            Err(e) => {
+                self.decode_errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    pub fn samples(&self) -> &[FlowSample] {
+        &self.samples
+    }
+
+    pub fn take_samples(&mut self) -> Vec<FlowSample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    pub fn datagrams(&self) -> u64 {
+        self.datagrams
+    }
+
+    pub fn lost_datagrams(&self) -> u64 {
+        self.lost_datagrams
+    }
+
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Scale a sampled packet count to an estimate of the true count
+    /// (sFlow's standard 1-in-N inflation).
+    pub fn estimate_total_packets(&self) -> u64 {
+        self.samples
+            .iter()
+            .map(|s| u64::from(s.sampling_period.max(1)))
+            .sum()
+    }
+}
+
+/// Batch samples into datagrams of at most `max_per_datagram`.
+pub fn batch_into_datagrams(
+    agent: Ipv4Addr,
+    samples: &[FlowSample],
+    max_per_datagram: usize,
+) -> Vec<BytesMut> {
+    samples
+        .chunks(max_per_datagram.max(1))
+        .enumerate()
+        .map(|(i, chunk)| {
+            SflowDatagram {
+                agent,
+                sequence: i as u32,
+                samples: chunk.to_vec(),
+            }
+            .encode_to_bytes()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_net::Protocol;
+
+    fn sample(tag: u32) -> FlowSample {
+        FlowSample {
+            flow: FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                (2000 + tag) as u16,
+                443,
+                Protocol::Udp,
+            ),
+            ip_len: 1400,
+            tcp_flags: None,
+            observed_ns: u64::from(tag) * 7,
+            sampling_period: 4096,
+        }
+    }
+
+    #[test]
+    fn sample_roundtrip() {
+        let s = sample(3);
+        let mut cursor = s.encode_to_bytes().freeze();
+        assert_eq!(FlowSample::decode(&mut cursor).unwrap(), s);
+    }
+
+    #[test]
+    fn datagram_roundtrip() {
+        let d = SflowDatagram {
+            agent: Ipv4Addr::new(192, 0, 2, 1),
+            sequence: 9,
+            samples: (0..5).map(sample).collect(),
+        };
+        let mut cursor = d.encode_to_bytes().freeze();
+        assert_eq!(SflowDatagram::decode(&mut cursor).unwrap(), d);
+    }
+
+    #[test]
+    fn collector_accumulates_and_detects_loss() {
+        let agent = Ipv4Addr::new(192, 0, 2, 1);
+        let all: Vec<FlowSample> = (0..10).map(sample).collect();
+        let grams = batch_into_datagrams(agent, &all, 3); // seqs 0..=3
+        let mut c = SflowCollector::new();
+        c.ingest(&grams[0]).unwrap();
+        c.ingest(&grams[1]).unwrap();
+        // Drop gram 2, deliver 3: one lost datagram.
+        c.ingest(&grams[3]).unwrap();
+        assert_eq!(c.datagrams(), 3);
+        assert_eq!(c.lost_datagrams(), 1);
+        assert_eq!(c.samples().len(), 3 + 3 + 1);
+    }
+
+    #[test]
+    fn collector_counts_decode_errors() {
+        let mut c = SflowCollector::new();
+        assert!(c.ingest(&[0u8; 4]).is_err());
+        assert_eq!(c.decode_errors(), 1);
+        assert!(c
+            .ingest(&[0xde, 0xad, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+            .is_err());
+        assert_eq!(c.decode_errors(), 2);
+    }
+
+    #[test]
+    fn estimate_inflates_by_period() {
+        let mut c = SflowCollector::new();
+        let grams = batch_into_datagrams(
+            Ipv4Addr::new(1, 1, 1, 1),
+            &(0..4).map(sample).collect::<Vec<_>>(),
+            10,
+        );
+        c.ingest(&grams[0]).unwrap();
+        assert_eq!(c.estimate_total_packets(), 4 * 4096);
+    }
+
+    #[test]
+    fn take_samples_drains() {
+        let mut c = SflowCollector::new();
+        let grams = batch_into_datagrams(Ipv4Addr::new(1, 1, 1, 1), &[sample(0)], 10);
+        c.ingest(&grams[0]).unwrap();
+        assert_eq!(c.take_samples().len(), 1);
+        assert!(c.samples().is_empty());
+    }
+
+    #[test]
+    fn empty_datagram_is_legal() {
+        let d = SflowDatagram {
+            agent: Ipv4Addr::new(1, 1, 1, 1),
+            sequence: 0,
+            samples: vec![],
+        };
+        let mut cursor = d.encode_to_bytes().freeze();
+        assert_eq!(SflowDatagram::decode(&mut cursor).unwrap().samples.len(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The telemetry clock and its 32-bit wraparound arithmetic.
+//!
+//! The paper (§V) highlights a real INT deployment pain point: the INT
+//! timestamp is "limited to 32 bits in nanoseconds, which effectively
+//! restarts every 4.3 seconds", making inter-arrival times derived from
+//! consecutive egress timestamps "susceptible to errors". We model the
+//! full-width clock in the simulator and expose the truncated view here so
+//! higher layers can (and do) hit the same artifact.
+
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds in one full wrap of the 32-bit telemetry timestamp:
+/// 2³² ns ≈ 4.294967296 s — the paper's "restarts every 4.3 seconds".
+pub const WRAP_PERIOD_NS: u64 = 1 << 32;
+
+/// A nanosecond clock that exposes both the true 64-bit time and the
+/// 32-bit truncated stamp a Tofino INT pipeline exports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryClock {
+    now_ns: u64,
+}
+
+impl TelemetryClock {
+    pub fn new() -> Self {
+        Self { now_ns: 0 }
+    }
+
+    pub fn at(now_ns: u64) -> Self {
+        Self { now_ns }
+    }
+
+    /// Full-width simulation time.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advance the clock; panics (in debug builds) on time travel.
+    #[inline]
+    pub fn advance_to(&mut self, t_ns: u64) {
+        debug_assert!(t_ns >= self.now_ns, "clock moved backwards");
+        self.now_ns = t_ns;
+    }
+
+    /// The 32-bit stamp INT metadata carries for the current time.
+    #[inline]
+    pub fn stamp32(&self) -> u32 {
+        Self::truncate(self.now_ns)
+    }
+
+    /// Truncate an arbitrary 64-bit time to the 32-bit telemetry stamp.
+    #[inline]
+    pub fn truncate(t_ns: u64) -> u32 {
+        (t_ns & 0xffff_ffff) as u32
+    }
+
+    /// Wrap-aware difference `later - earlier` between two 32-bit stamps.
+    ///
+    /// Correct whenever the true elapsed time is below one wrap period
+    /// (4.295 s); beyond that the result aliases — exactly the error mode
+    /// the paper warns about. [`stamp_delta_ns`] is the free-function form.
+    #[inline]
+    pub fn stamp_delta(earlier: u32, later: u32) -> u32 {
+        later.wrapping_sub(earlier)
+    }
+}
+
+/// Wrap-aware difference between two 32-bit stamps, in nanoseconds.
+#[inline]
+pub fn stamp_delta_ns(earlier: u32, later: u32) -> u64 {
+    u64::from(TelemetryClock::stamp_delta(earlier, later))
+}
+
+/// Number of whole wrap periods that elapse in `span_ns` nanoseconds —
+/// i.e. how many times a 32-bit stamp aliases over that span.
+#[inline]
+pub fn wraps_in(span_ns: u64) -> u64 {
+    span_ns / WRAP_PERIOD_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_period_is_4_29_seconds() {
+        assert_eq!(WRAP_PERIOD_NS, 4_294_967_296);
+    }
+
+    #[test]
+    fn stamp_is_low_32_bits() {
+        let c = TelemetryClock::at(WRAP_PERIOD_NS + 5);
+        assert_eq!(c.stamp32(), 5);
+        assert_eq!(TelemetryClock::truncate(u64::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn advance_moves_forward() {
+        let mut c = TelemetryClock::new();
+        c.advance_to(100);
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    #[cfg(debug_assertions)]
+    fn advance_rejects_time_travel() {
+        let mut c = TelemetryClock::at(100);
+        c.advance_to(50);
+    }
+
+    #[test]
+    fn delta_without_wrap() {
+        assert_eq!(TelemetryClock::stamp_delta(100, 250), 150);
+    }
+
+    #[test]
+    fn delta_across_wrap_boundary() {
+        // earlier stamp just before wrap, later just after
+        let earlier = u32::MAX - 10;
+        let later = 20u32;
+        assert_eq!(TelemetryClock::stamp_delta(earlier, later), 31);
+    }
+
+    #[test]
+    fn delta_aliases_beyond_one_wrap() {
+        // True gap = one wrap + 7 ns: the 32-bit view reports only 7 ns.
+        // This is the paper's §V error mode, reproduced on purpose.
+        let t0 = 1000u64;
+        let t1 = t0 + WRAP_PERIOD_NS + 7;
+        let d = stamp_delta_ns(TelemetryClock::truncate(t0), TelemetryClock::truncate(t1));
+        assert_eq!(d, 7);
+        assert_ne!(d, t1 - t0);
+    }
+
+    #[test]
+    fn wraps_in_counts_periods() {
+        assert_eq!(wraps_in(0), 0);
+        assert_eq!(wraps_in(WRAP_PERIOD_NS - 1), 0);
+        assert_eq!(wraps_in(WRAP_PERIOD_NS), 1);
+        assert_eq!(wraps_in(10 * WRAP_PERIOD_NS + 3), 10);
+    }
+}

@@ -1,0 +1,337 @@
+//! Per-port FIFO egress queue with Tofino-style `deq_qdepth` accounting.
+//!
+//! The queue is simulated analytically rather than with per-packet events:
+//! because service is FIFO at a fixed line rate, a packet's service-start
+//! and departure times are fully determined at enqueue time. The only
+//! subtlety is **queue occupancy at dequeue** — the paper's "queue depth
+//! when the packet is removed from the queue" — which depends on *later*
+//! arrivals. We therefore keep dequeued-but-unreported packets in a window
+//! and report them lazily, once every arrival that could still be standing
+//! behind them has been observed. Arrivals must be fed in non-decreasing
+//! time order (the event engine guarantees this).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of one egress queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Line rate in bits per second (e.g. 100 Gb/s on the testbed NICs).
+    pub rate_bps: u64,
+    /// Tail-drop threshold in packets.
+    pub capacity_pkts: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self {
+            rate_bps: 100_000_000_000,
+            capacity_pkts: 1024,
+        }
+    }
+}
+
+impl QueueConfig {
+    /// Serialization time for a packet of `bytes` length at this line rate.
+    #[inline]
+    pub fn tx_time_ns(&self, bytes: usize) -> u64 {
+        // ns = bits / (bits/s) * 1e9, computed in integer math with
+        // rounding up so zero-length packets still cost one tick.
+        let bits = (bytes as u64) * 8;
+        (bits * 1_000_000_000).div_ceil(self.rate_bps).max(1)
+    }
+}
+
+/// Result of offering a packet to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueued {
+    /// Accepted; packet will depart at `depart_ns`.
+    Accepted { depart_ns: u64 },
+    /// Tail-dropped: queue was at capacity.
+    Dropped,
+}
+
+/// A completed service record, reported once occupancy is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Serviced {
+    /// Opaque tag supplied at enqueue (the engine stores journey indices).
+    pub tag: u64,
+    /// When the packet started transmission (was "removed from the queue").
+    pub service_start_ns: u64,
+    /// When the last bit left the port.
+    pub depart_ns: u64,
+    /// Queue depth observed at dequeue — packets still waiting behind it.
+    pub qdepth: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    tag: u64,
+    arrival_ns: u64,
+    service_start_ns: u64,
+    depart_ns: u64,
+}
+
+/// FIFO egress queue. See module docs for the reporting discipline.
+#[derive(Debug, Clone)]
+pub struct EgressQueue {
+    cfg: QueueConfig,
+    /// Port becomes free at this time.
+    busy_until_ns: u64,
+    /// Packets enqueued and not yet *reported* (some may have already
+    /// started service; they remain until occupancy is determinable).
+    window: VecDeque<InFlight>,
+    /// Number of packets in `window` that have not started service as of
+    /// the last arrival processed — used for tail-drop decisions.
+    drops: u64,
+    enqueued: u64,
+    /// Running peak of reported qdepth, for diagnostics.
+    peak_qdepth: u32,
+}
+
+impl EgressQueue {
+    pub fn new(cfg: QueueConfig) -> Self {
+        Self {
+            cfg,
+            busy_until_ns: 0,
+            window: VecDeque::new(),
+            drops: 0,
+            enqueued: 0,
+            peak_qdepth: 0,
+        }
+    }
+
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
+    }
+
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    pub fn peak_qdepth(&self) -> u32 {
+        self.peak_qdepth
+    }
+
+    /// Number of packets waiting (not yet in service) at time `t_ns`.
+    fn backlog_at(&self, t_ns: u64) -> usize {
+        // Waiting = enqueued with service_start > t (service hasn't begun).
+        self.window
+            .iter()
+            .filter(|p| p.service_start_ns > t_ns)
+            .count()
+    }
+
+    /// Offer a packet of `bytes` length arriving at `arrival_ns`.
+    ///
+    /// `out` receives any packets whose occupancy became final because of
+    /// this arrival (their service started strictly before `arrival_ns`).
+    /// Arrivals must be fed in non-decreasing time order.
+    pub fn enqueue(
+        &mut self,
+        tag: u64,
+        arrival_ns: u64,
+        bytes: usize,
+        out: &mut Vec<Serviced>,
+    ) -> Enqueued {
+        // Report every packet that started service before this arrival:
+        // nothing arriving from now on can stand behind them at their
+        // dequeue instant.
+        self.flush_before(arrival_ns, out);
+
+        if self.backlog_at(arrival_ns) >= self.cfg.capacity_pkts {
+            self.drops += 1;
+            return Enqueued::Dropped;
+        }
+
+        let service_start = self.busy_until_ns.max(arrival_ns);
+        let depart = service_start + self.cfg.tx_time_ns(bytes);
+        self.busy_until_ns = depart;
+        self.window.push_back(InFlight {
+            tag,
+            arrival_ns,
+            service_start_ns: service_start,
+            depart_ns: depart,
+        });
+        self.enqueued += 1;
+        Enqueued::Accepted { depart_ns: depart }
+    }
+
+    /// Report all packets whose service starts strictly before `t_ns`.
+    fn flush_before(&mut self, t_ns: u64, out: &mut Vec<Serviced>) {
+        while let Some(front) = self.window.front() {
+            if front.service_start_ns >= t_ns {
+                break;
+            }
+            let p = *front;
+            // Occupancy at dequeue: packets already arrived but not yet in
+            // service at p's service start. All of them are behind p in the
+            // window (FIFO), and all arrivals ≤ p.service_start have been
+            // fed already (arrival order + service_start < t guarantees it).
+            let qdepth = self
+                .window
+                .iter()
+                .skip(1)
+                .filter(|q| q.arrival_ns <= p.service_start_ns)
+                .count() as u32;
+            self.peak_qdepth = self.peak_qdepth.max(qdepth);
+            out.push(Serviced {
+                tag: p.tag,
+                service_start_ns: p.service_start_ns,
+                depart_ns: p.depart_ns,
+                qdepth,
+            });
+            self.window.pop_front();
+        }
+    }
+
+    /// Drain every remaining packet (end of simulation).
+    pub fn flush_all(&mut self, out: &mut Vec<Serviced>) {
+        self.flush_before(u64::MAX, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1 Gb/s → a 1000-byte packet takes 8 µs to serialize.
+    fn gig() -> QueueConfig {
+        QueueConfig {
+            rate_bps: 1_000_000_000,
+            capacity_pkts: 4,
+        }
+    }
+
+    fn drain(q: &mut EgressQueue) -> Vec<Serviced> {
+        let mut out = Vec::new();
+        q.flush_all(&mut out);
+        out
+    }
+
+    #[test]
+    fn tx_time_scales_with_length_and_rate() {
+        let cfg = gig();
+        assert_eq!(cfg.tx_time_ns(1000), 8_000);
+        assert_eq!(cfg.tx_time_ns(125), 1_000);
+        let fast = QueueConfig {
+            rate_bps: 100_000_000_000,
+            capacity_pkts: 1,
+        };
+        assert_eq!(fast.tx_time_ns(1250), 100);
+        // Zero-length still costs a tick.
+        assert_eq!(cfg.tx_time_ns(0), 1);
+    }
+
+    #[test]
+    fn idle_queue_services_immediately_with_zero_depth() {
+        let mut q = EgressQueue::new(gig());
+        let mut out = Vec::new();
+        let r = q.enqueue(7, 1_000, 1000, &mut out);
+        assert_eq!(r, Enqueued::Accepted { depart_ns: 9_000 });
+        let s = drain(&mut q);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].tag, 7);
+        assert_eq!(s[0].service_start_ns, 1_000);
+        assert_eq!(s[0].qdepth, 0);
+    }
+
+    #[test]
+    fn burst_builds_queue_and_qdepth_counts_waiters() {
+        let mut q = EgressQueue::new(gig());
+        let mut out = Vec::new();
+        // Three packets arrive back-to-back at t=0; each takes 8 µs.
+        for tag in 0..3 {
+            q.enqueue(tag, 0, 1000, &mut out);
+        }
+        let s = drain(&mut q);
+        assert_eq!(s.len(), 3);
+        // First dequeues at t=0 with 2 behind it; second at 8µs with 1;
+        // third at 16µs with 0.
+        assert_eq!(s[0].qdepth, 2);
+        assert_eq!(s[1].qdepth, 1);
+        assert_eq!(s[2].qdepth, 0);
+        assert_eq!(s[0].service_start_ns, 0);
+        assert_eq!(s[1].service_start_ns, 8_000);
+        assert_eq!(s[2].service_start_ns, 16_000);
+        assert_eq!(q.peak_qdepth(), 2);
+    }
+
+    #[test]
+    fn qdepth_excludes_late_arrivals() {
+        let mut q = EgressQueue::new(gig());
+        let mut out = Vec::new();
+        q.enqueue(0, 0, 1000, &mut out); // services at 0
+                                         // Arrives while packet 0 is in service — was NOT in the queue when
+                                         // packet 0 was removed from it. This enqueue flushes packet 0 into
+                                         // `out`.
+        q.enqueue(1, 4_000, 1000, &mut out);
+        out.extend(drain(&mut q));
+        assert_eq!(out[0].qdepth, 0, "late arrival must not count");
+        assert_eq!(out[1].service_start_ns, 8_000);
+        assert_eq!(out[1].qdepth, 0);
+    }
+
+    #[test]
+    fn tail_drop_at_capacity() {
+        let mut q = EgressQueue::new(gig()); // capacity 4 waiting
+        let mut out = Vec::new();
+        // t=0: first goes straight to service; next 4 wait; 6th drops.
+        let mut results = Vec::new();
+        for tag in 0..6 {
+            results.push(q.enqueue(tag, 0, 1000, &mut out));
+        }
+        assert!(matches!(results[4], Enqueued::Accepted { .. }));
+        assert_eq!(results[5], Enqueued::Dropped);
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.enqueued(), 5);
+        let s = drain(&mut q);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn queue_drains_and_accepts_again() {
+        let mut q = EgressQueue::new(gig());
+        let mut out = Vec::new();
+        for tag in 0..5 {
+            q.enqueue(tag, 0, 1000, &mut out);
+        }
+        assert_eq!(q.enqueue(99, 0, 1000, &mut out), Enqueued::Dropped);
+        // After the backlog clears (5 × 8 µs), new arrivals are accepted.
+        let r = q.enqueue(100, 50_000, 1000, &mut out);
+        assert!(matches!(r, Enqueued::Accepted { .. }));
+        assert_eq!(q.drops(), 1);
+    }
+
+    #[test]
+    fn flush_reports_in_fifo_order() {
+        let mut q = EgressQueue::new(gig());
+        let mut out = Vec::new();
+        q.enqueue(10, 0, 500, &mut out);
+        q.enqueue(11, 100, 500, &mut out);
+        q.enqueue(12, 40_000, 500, &mut out); // triggers flush of 10, 11
+        assert_eq!(out.iter().map(|s| s.tag).collect::<Vec<_>>(), vec![10, 11]);
+        let rest = drain(&mut q);
+        assert_eq!(rest[0].tag, 12);
+    }
+
+    #[test]
+    fn departures_never_overlap() {
+        let mut q = EgressQueue::new(QueueConfig {
+            rate_bps: 1_000_000_000,
+            capacity_pkts: 64,
+        });
+        let mut out = Vec::new();
+        for tag in 0..20 {
+            q.enqueue(tag, tag * 100, 1500, &mut out);
+        }
+        let s = drain(&mut q);
+        for pair in s.windows(2) {
+            assert!(pair[1].service_start_ns >= pair[0].depart_ns);
+        }
+    }
+}

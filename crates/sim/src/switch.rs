@@ -1,0 +1,167 @@
+//! The programmable switch model: match-action forwarding plus per-port
+//! egress queues.
+//!
+//! A real P4 switch runs a parser, match-action pipeline, and traffic
+//! manager. Our model keeps exactly what the telemetry pipeline observes:
+//! a fixed ingress-pipeline latency, a destination-IP exact-match
+//! forwarding table (the match-action stage), and one [`EgressQueue`] per
+//! port (the traffic manager).
+
+use crate::queue::{EgressQueue, QueueConfig};
+use crate::topology::PortId;
+use amlight_net::flow::FnvHashMap;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Index of a switch within its [`crate::topology::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+/// Static configuration of a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchConfig {
+    /// Ingress parsing + match-action latency applied to every packet,
+    /// before it reaches the egress queue. Tofino pipelines sit in the
+    /// hundreds of nanoseconds.
+    pub pipeline_latency_ns: u64,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        Self {
+            pipeline_latency_ns: 450,
+        }
+    }
+}
+
+/// A switch instance: forwarding table + egress queues.
+#[derive(Debug)]
+pub struct Switch {
+    pub id: SwitchId,
+    pub name: String,
+    pub config: SwitchConfig,
+    /// Exact-match table: destination IP → egress port. This plays the
+    /// role of the P4 match-action stage; AmLight's production tables are
+    /// richer, but destination-based forwarding is all the experiments
+    /// exercise.
+    table: FnvHashMap<Ipv4Addr, PortId>,
+    queues: Vec<EgressQueue>,
+}
+
+impl Switch {
+    pub fn new(id: SwitchId, name: impl Into<String>, config: SwitchConfig) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            config,
+            table: FnvHashMap::default(),
+            queues: Vec::new(),
+        }
+    }
+
+    /// Add an egress port; returns its id.
+    pub fn add_port(&mut self, queue: QueueConfig) -> PortId {
+        let id = PortId(self.queues.len() as u16);
+        self.queues.push(EgressQueue::new(queue));
+        id
+    }
+
+    pub fn port_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Install (or replace) a forwarding entry.
+    pub fn set_route(&mut self, dst: Ipv4Addr, port: PortId) {
+        assert!(
+            (port.0 as usize) < self.queues.len(),
+            "route points at nonexistent port {port:?} on {}",
+            self.name
+        );
+        self.table.insert(dst, port);
+    }
+
+    /// Match-action lookup: egress port for a destination, if any.
+    #[inline]
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<PortId> {
+        self.table.get(&dst).copied()
+    }
+
+    pub fn route_count(&self) -> usize {
+        self.table.len()
+    }
+
+    #[inline]
+    pub fn queue_mut(&mut self, port: PortId) -> &mut EgressQueue {
+        &mut self.queues[port.0 as usize]
+    }
+
+    pub fn queue(&self, port: PortId) -> &EgressQueue {
+        &self.queues[port.0 as usize]
+    }
+
+    /// Total tail-drops across all ports.
+    pub fn total_drops(&self) -> u64 {
+        self.queues.iter().map(|q| q.drops()).sum()
+    }
+
+    pub fn queues_mut(&mut self) -> impl Iterator<Item = (PortId, &mut EgressQueue)> {
+        self.queues
+            .iter_mut()
+            .enumerate()
+            .map(|(i, q)| (PortId(i as u16), q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw() -> Switch {
+        Switch::new(SwitchId(0), "sw0", SwitchConfig::default())
+    }
+
+    #[test]
+    fn ports_are_sequential() {
+        let mut s = sw();
+        let p0 = s.add_port(QueueConfig::default());
+        let p1 = s.add_port(QueueConfig::default());
+        assert_eq!(p0, PortId(0));
+        assert_eq!(p1, PortId(1));
+        assert_eq!(s.port_count(), 2);
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let mut s = sw();
+        let p = s.add_port(QueueConfig::default());
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        s.set_route(dst, p);
+        assert_eq!(s.lookup(dst), Some(p));
+        assert_eq!(s.lookup(Ipv4Addr::new(10, 0, 0, 3)), None);
+        assert_eq!(s.route_count(), 1);
+    }
+
+    #[test]
+    fn set_route_replaces() {
+        let mut s = sw();
+        let p0 = s.add_port(QueueConfig::default());
+        let p1 = s.add_port(QueueConfig::default());
+        let dst = Ipv4Addr::new(1, 1, 1, 1);
+        s.set_route(dst, p0);
+        s.set_route(dst, p1);
+        assert_eq!(s.lookup(dst), Some(p1));
+        assert_eq!(s.route_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent port")]
+    fn route_to_missing_port_panics() {
+        let mut s = sw();
+        s.set_route(Ipv4Addr::new(1, 1, 1, 1), PortId(3));
+    }
+
+    #[test]
+    fn default_pipeline_latency_is_sub_microsecond() {
+        assert!(SwitchConfig::default().pipeline_latency_ns < 1_000);
+    }
+}

@@ -1,0 +1,378 @@
+//! Network topologies: switches, hosts, links, and route computation.
+//!
+//! Two presets reproduce the paper's setups:
+//!
+//! * [`Topology::testbed`] — the Fig. 6 INT testbed: a source agent and a
+//!   target agent joined by one Edgecore-class switch, 100 Gb/s links.
+//! * [`Topology::linear_chain`] — the Fig. 1 source → transit → sink INT
+//!   domain, used to exercise multi-hop metadata stacks.
+
+use crate::queue::QueueConfig;
+use crate::switch::{Switch, SwitchConfig, SwitchId};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Egress port index on a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortId(pub u16);
+
+/// Index of a host within its [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// Physical link properties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Propagation delay, ns.
+    pub delay_ns: u64,
+    /// Egress queue feeding this link.
+    pub queue: QueueConfig,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        // 100 Gb/s, ~2 µs of fiber (a lab rack), 1024-packet queue.
+        Self {
+            delay_ns: 2_000,
+            queue: QueueConfig::default(),
+        }
+    }
+}
+
+/// What a switch port is cabled to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Host(HostId),
+    Switch { sw: SwitchId, port: PortId },
+}
+
+/// A host (traffic source or sink).
+#[derive(Debug, Clone)]
+pub struct Host {
+    pub id: HostId,
+    pub name: String,
+    pub ip: Ipv4Addr,
+    /// Switch and port the host hangs off.
+    pub attachment: Option<(SwitchId, PortId)>,
+}
+
+/// The network graph plus computed forwarding state.
+#[derive(Debug, Default)]
+pub struct Topology {
+    switches: Vec<Switch>,
+    hosts: Vec<Host>,
+    /// `wires[sw][port]` = far end of that cable.
+    wires: Vec<Vec<Option<Endpoint>>>,
+    /// Per-port link delay, parallel to `wires`.
+    delays: Vec<Vec<u64>>,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_switch(&mut self, name: impl Into<String>, config: SwitchConfig) -> SwitchId {
+        let id = SwitchId(self.switches.len() as u32);
+        self.switches.push(Switch::new(id, name, config));
+        self.wires.push(Vec::new());
+        self.delays.push(Vec::new());
+        id
+    }
+
+    pub fn add_host(&mut self, name: impl Into<String>, ip: Ipv4Addr) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(Host {
+            id,
+            name: name.into(),
+            ip,
+            attachment: None,
+        });
+        id
+    }
+
+    fn new_port(&mut self, sw: SwitchId, link: &LinkParams) -> PortId {
+        let port = self.switches[sw.0 as usize].add_port(link.queue);
+        self.wires[sw.0 as usize].push(None);
+        self.delays[sw.0 as usize].push(link.delay_ns);
+        port
+    }
+
+    /// Cable host ↔ switch. Creates the switch port.
+    pub fn attach_host(&mut self, host: HostId, sw: SwitchId, link: LinkParams) -> PortId {
+        let port = self.new_port(sw, &link);
+        self.wires[sw.0 as usize][port.0 as usize] = Some(Endpoint::Host(host));
+        self.hosts[host.0 as usize].attachment = Some((sw, port));
+        port
+    }
+
+    /// Cable switch ↔ switch (full duplex: a port on each side).
+    pub fn connect_switches(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+        link: LinkParams,
+    ) -> (PortId, PortId) {
+        let pa = self.new_port(a, &link);
+        let pb = self.new_port(b, &link);
+        self.wires[a.0 as usize][pa.0 as usize] = Some(Endpoint::Switch { sw: b, port: pb });
+        self.wires[b.0 as usize][pb.0 as usize] = Some(Endpoint::Switch { sw: a, port: pa });
+        (pa, pb)
+    }
+
+    pub fn switch(&self, id: SwitchId) -> &Switch {
+        &self.switches[id.0 as usize]
+    }
+
+    pub fn switch_mut(&mut self, id: SwitchId) -> &mut Switch {
+        &mut self.switches[id.0 as usize]
+    }
+
+    pub fn switches(&self) -> &[Switch] {
+        &self.switches
+    }
+
+    pub fn switches_mut(&mut self) -> &mut [Switch] {
+        &mut self.switches
+    }
+
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0 as usize]
+    }
+
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    pub fn host_by_ip(&self, ip: Ipv4Addr) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.ip == ip)
+    }
+
+    /// Far end of a switch port, if cabled.
+    pub fn peer(&self, sw: SwitchId, port: PortId) -> Option<Endpoint> {
+        self.wires[sw.0 as usize][port.0 as usize]
+    }
+
+    /// Propagation delay out of a switch port.
+    pub fn link_delay(&self, sw: SwitchId, port: PortId) -> u64 {
+        self.delays[sw.0 as usize][port.0 as usize]
+    }
+
+    /// Populate every switch's forwarding table with shortest-path (hop
+    /// count) routes toward every host, via BFS from each host's
+    /// attachment switch.
+    pub fn compute_routes(&mut self) {
+        let host_info: Vec<(Ipv4Addr, Option<(SwitchId, PortId)>)> =
+            self.hosts.iter().map(|h| (h.ip, h.attachment)).collect();
+        for (ip, attachment) in host_info {
+            let Some((root, root_port)) = attachment else {
+                continue;
+            };
+            // The attachment switch forwards straight out the host port.
+            self.switches[root.0 as usize].set_route(ip, root_port);
+            // BFS outward; each discovered switch routes back the way we came.
+            let n = self.switches.len();
+            let mut visited = vec![false; n];
+            visited[root.0 as usize] = true;
+            let mut frontier = vec![root];
+            while let Some(sw) = frontier.pop() {
+                let ports = self.wires[sw.0 as usize].clone();
+                for far in ports.into_iter().flatten() {
+                    if let Endpoint::Switch {
+                        sw: next,
+                        port: far_port,
+                    } = far
+                    {
+                        if !visited[next.0 as usize] {
+                            visited[next.0 as usize] = true;
+                            self.switches[next.0 as usize].set_route(ip, far_port);
+                            frontier.push(next);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The paper's Fig. 6 testbed: source agent ↔ switch ↔ target agent,
+    /// 100 Gb/s ConnectX-5 links. Returns (topology, source, target).
+    pub fn testbed() -> (Topology, HostId, HostId) {
+        let mut t = Topology::new();
+        let sw = t.add_switch("wedge-dcs800", SwitchConfig::default());
+        let source = t.add_host("source-agent", Ipv4Addr::new(10, 0, 0, 1));
+        let target = t.add_host("target-agent", Ipv4Addr::new(10, 0, 0, 2));
+        let link = LinkParams::default();
+        t.attach_host(source, sw, link);
+        t.attach_host(target, sw, link);
+        t.compute_routes();
+        (t, source, target)
+    }
+
+    /// A Fig. 1-style linear INT domain: `hops` switches in a chain with a
+    /// source host on the first and a sink host on the last. Returns
+    /// (topology, source, target).
+    pub fn linear_chain(hops: usize, link: LinkParams) -> (Topology, HostId, HostId) {
+        assert!(hops >= 1, "need at least one switch");
+        let mut t = Topology::new();
+        let sws: Vec<SwitchId> = (0..hops)
+            .map(|i| t.add_switch(format!("sw{i}"), SwitchConfig::default()))
+            .collect();
+        for pair in sws.windows(2) {
+            t.connect_switches(pair[0], pair[1], link);
+        }
+        let source = t.add_host("source", Ipv4Addr::new(10, 0, 0, 1));
+        let target = t.add_host("target", Ipv4Addr::new(10, 0, 0, 2));
+        t.attach_host(source, sws[0], link);
+        t.attach_host(target, sws[hops - 1], link);
+        t.compute_routes();
+        (t, source, target)
+    }
+}
+
+impl Topology {
+    /// A simplified AmLight intercontinental backbone (the production
+    /// network of the paper's title): Miami → Fortaleza → São Paulo with
+    /// a Santiago spur off São Paulo and a Cape Town spur off Fortaleza,
+    /// long-haul one-way delays in the tens of milliseconds. Clients sit
+    /// in Miami; the monitored web server in São Paulo.
+    ///
+    /// Returns (topology, miami_client_host, sao_paulo_server_host).
+    pub fn amlight_backbone() -> (Topology, HostId, HostId) {
+        let ms = 1_000_000u64; // ns per millisecond
+        let long_haul = |delay_ms: u64| LinkParams {
+            delay_ns: delay_ms * ms,
+            queue: QueueConfig::default(), // 100 Gb/s waves
+        };
+        let mut t = Topology::new();
+        let miami = t.add_switch("mia", SwitchConfig::default());
+        let fortaleza = t.add_switch("for", SwitchConfig::default());
+        let sao_paulo = t.add_switch("spo", SwitchConfig::default());
+        let santiago = t.add_switch("scl", SwitchConfig::default());
+        let cape_town = t.add_switch("cpt", SwitchConfig::default());
+
+        // Monet / SACS / express segments, one-way propagation.
+        t.connect_switches(miami, fortaleza, long_haul(32));
+        t.connect_switches(fortaleza, sao_paulo, long_haul(12));
+        t.connect_switches(sao_paulo, santiago, long_haul(15));
+        t.connect_switches(fortaleza, cape_town, long_haul(34));
+
+        let client = t.add_host("mia-client", Ipv4Addr::new(10, 0, 0, 1));
+        let server = t.add_host("spo-server", Ipv4Addr::new(10, 0, 0, 2));
+        let scl_host = t.add_host("scl-host", Ipv4Addr::new(10, 0, 1, 1));
+        let cpt_host = t.add_host("cpt-host", Ipv4Addr::new(10, 0, 2, 1));
+        let access = LinkParams {
+            delay_ns: 50_000,
+            ..LinkParams::default()
+        };
+        t.attach_host(client, miami, access);
+        t.attach_host(server, sao_paulo, access);
+        t.attach_host(scl_host, santiago, access);
+        t.attach_host(cpt_host, cape_town, access);
+        t.compute_routes();
+        (t, client, server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_one_switch_two_hosts() {
+        let (t, s, d) = Topology::testbed();
+        assert_eq!(t.switches().len(), 1);
+        assert_eq!(t.hosts().len(), 2);
+        assert_ne!(t.host(s).ip, t.host(d).ip);
+        // Both hosts routable from the switch.
+        let sw = t.switch(SwitchId(0));
+        assert!(sw.lookup(t.host(s).ip).is_some());
+        assert!(sw.lookup(t.host(d).ip).is_some());
+    }
+
+    #[test]
+    fn chain_routes_point_toward_target() {
+        let (t, _s, d) = Topology::linear_chain(3, LinkParams::default());
+        let dst = t.host(d).ip;
+        // Every switch must know a route to the target.
+        for sw in t.switches() {
+            assert!(sw.lookup(dst).is_some(), "{} lacks route", sw.name);
+        }
+        // Following the route from sw0 must reach the host in 3 hops.
+        let mut at = SwitchId(0);
+        for _ in 0..3 {
+            let port = t.switch(at).lookup(dst).unwrap();
+            match t.peer(at, port).unwrap() {
+                Endpoint::Switch { sw, .. } => at = sw,
+                Endpoint::Host(h) => {
+                    assert_eq!(t.host(h).ip, dst);
+                    return;
+                }
+            }
+        }
+        panic!("route did not terminate at target");
+    }
+
+    #[test]
+    fn host_by_ip_finds_hosts() {
+        let (t, s, _) = Topology::testbed();
+        assert_eq!(t.host_by_ip(Ipv4Addr::new(10, 0, 0, 1)).unwrap().id, s);
+        assert!(t.host_by_ip(Ipv4Addr::new(9, 9, 9, 9)).is_none());
+    }
+
+    #[test]
+    fn connect_switches_is_full_duplex() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a", SwitchConfig::default());
+        let b = t.add_switch("b", SwitchConfig::default());
+        let (pa, pb) = t.connect_switches(a, b, LinkParams::default());
+        assert_eq!(t.peer(a, pa), Some(Endpoint::Switch { sw: b, port: pb }));
+        assert_eq!(t.peer(b, pb), Some(Endpoint::Switch { sw: a, port: pa }));
+    }
+
+    #[test]
+    fn link_delay_is_recorded_per_port() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a", SwitchConfig::default());
+        let h = t.add_host("h", Ipv4Addr::new(1, 1, 1, 1));
+        let link = LinkParams {
+            delay_ns: 123,
+            ..Default::default()
+        };
+        let p = t.attach_host(h, a, link);
+        assert_eq!(t.link_delay(a, p), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one switch")]
+    fn zero_hop_chain_rejected() {
+        let _ = Topology::linear_chain(0, LinkParams::default());
+    }
+
+    #[test]
+    fn backbone_routes_span_the_ocean() {
+        let (t, client, server) = Topology::amlight_backbone();
+        assert_eq!(t.switches().len(), 5);
+        assert_eq!(t.hosts().len(), 4);
+        // Every switch can reach the monitored server.
+        let dst = t.host(server).ip;
+        for sw in t.switches() {
+            assert!(sw.lookup(dst).is_some(), "{} lacks a route", sw.name);
+        }
+        // The Miami → São Paulo path is three switch hops.
+        let mut at = t.host(client).attachment.unwrap().0;
+        let mut hops = 0;
+        loop {
+            let port = t.switch(at).lookup(dst).unwrap();
+            hops += 1;
+            match t.peer(at, port).unwrap() {
+                Endpoint::Switch { sw, .. } => at = sw,
+                Endpoint::Host(h) => {
+                    assert_eq!(h, server);
+                    break;
+                }
+            }
+            assert!(hops < 10, "routing loop");
+        }
+        assert_eq!(hops, 3, "mia → for → spo → host");
+    }
+}

@@ -1,0 +1,441 @@
+//! Attack generators: `hping3`-style scans and floods, plus SlowLoris.
+
+use crate::schedule::AttackKind;
+use amlight_net::{PacketBuilder, PacketRecord, TcpFlags, Trace, TrafficClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// SYN-flood knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynFloodConfig {
+    /// Packets per second during the episode.
+    pub rate_pps: f64,
+    /// Spoof source addresses uniformly (hping3 `--rand-source`). When
+    /// `socket_pool` is set this is ignored.
+    pub spoof_sources: bool,
+    /// When set, the flood is driven by a fixed pool of `n` attacking
+    /// sockets (source IP/port pairs) instead of per-packet spoofing —
+    /// hping3 without `--rand-source`. The testbed replays of §IV-C use
+    /// this, which is why flood packets produce flow *updates* (and thus
+    /// predictions) in the paper's Table VI.
+    pub socket_pool: Option<usize>,
+}
+
+impl Default for SynFloodConfig {
+    /// Defaults mirror the paper's own attack simulation: `hping3` from a
+    /// fixed attacker box (Table I floods target the authors' web server
+    /// from their own host, not a botnet), so flood flows are
+    /// multi-packet. Set `socket_pool: None` + `spoof_sources: true` for
+    /// a `--rand-source` botnet-style flood (see the spoofed-flood
+    /// ablation bench).
+    fn default() -> Self {
+        Self {
+            rate_pps: 50_000.0,
+            spoof_sources: true,
+            socket_pool: Some(64),
+        }
+    }
+}
+
+/// SlowLoris knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowLorisConfig {
+    /// Number of concurrent held-open connections.
+    pub connections: usize,
+    /// Mean seconds between keep-alive header fragments per connection.
+    pub keepalive_s: f64,
+    /// Number of attacker hosts the connections spread over.
+    pub attacker_hosts: usize,
+    /// Seconds until the victim server gives up on a half-open request
+    /// and closes it. The attacker immediately reconnects on a fresh
+    /// source port — so one logical connection slot churns through many
+    /// short flows, which is why most SlowLoris flows in a capture are
+    /// only a handful of packets long.
+    pub server_timeout_s: f64,
+}
+
+impl Default for SlowLorisConfig {
+    fn default() -> Self {
+        Self {
+            connections: 200,
+            keepalive_s: 12.0,
+            attacker_hosts: 3,
+            server_timeout_s: 60.0,
+        }
+    }
+}
+
+/// Shared attack configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    pub target_ip: Ipv4Addr,
+    pub target_port: u16,
+    /// Scan probes per second (both scan kinds).
+    pub scan_rate_pps: f64,
+    /// Probes sent per scanned port (scanners retransmit unanswered
+    /// probes; nmap's default is 2–3 tries). Values > 1 make scan flows
+    /// multi-packet, so the live pipeline can predict them.
+    pub probes_per_port: usize,
+    pub syn_flood: SynFloodConfig,
+    pub slowloris: SlowLorisConfig,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self {
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+            target_port: 80,
+            scan_rate_pps: 400.0,
+            probes_per_port: 3,
+            syn_flood: SynFloodConfig::default(),
+            slowloris: SlowLorisConfig::default(),
+        }
+    }
+}
+
+impl AttackConfig {
+    /// Generate one episode of `kind` over `[start_ns, end_ns)`.
+    pub fn generate(&self, kind: AttackKind, start_ns: u64, end_ns: u64, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (start_ns.rotate_left(17)));
+        match kind {
+            AttackKind::SynScan => self.scan(start_ns, end_ns, &mut rng, /*udp=*/ false),
+            AttackKind::UdpScan => self.scan(start_ns, end_ns, &mut rng, /*udp=*/ true),
+            AttackKind::SynFlood => self.syn_flood(start_ns, end_ns, &mut rng),
+            AttackKind::SlowLoris => self.slowloris(start_ns, end_ns, &mut rng),
+        }
+    }
+
+    /// Port sweep: `probes_per_port` minimum-size probes per destination
+    /// port from a fixed prober address. The sweep advances at
+    /// `scan_rate_pps` ports per second; unanswered probes retransmit
+    /// with scanner-style backoff (~0.3–0.8 s, like nmap/hping retries),
+    /// so each per-port flow is a short burst of small packets spread
+    /// over a second or two.
+    fn scan(&self, start_ns: u64, end_ns: u64, rng: &mut SmallRng, udp: bool) -> Trace {
+        let prober = Ipv4Addr::new(198, 18, 0, rng.random_range(2..250));
+        let builder = PacketBuilder::new(prober, self.target_ip);
+        let sweep_gap_ns = (1e9 / self.scan_rate_pps) as u64;
+        let class = if udp {
+            TrafficClass::UdpScan
+        } else {
+            TrafficClass::SynScan
+        };
+        let src_port: u16 = rng.random_range(30000..60000);
+        let tries = self.probes_per_port.max(1);
+
+        let mut trace = Trace::new();
+        let mut port_start = start_ns;
+        let mut port: u16 = 1;
+        while port_start < end_ns {
+            let mut t = port_start;
+            // Exponential retransmission backoff, as nmap/hping apply to
+            // unanswered probes: ~0.4 s, then doubling per retry.
+            let mut backoff_ns: u64 = rng.random_range(300_000_000..500_000_000);
+            for _ in 0..tries {
+                if t >= end_ns {
+                    break;
+                }
+                // nmap-style SYN probes carry standard TCP options
+                // (MSS, SACK-permitted, timestamps): 12–20 bytes, like
+                // an OS stack. UDP probes carry small protocol payloads.
+                let packet = if udp {
+                    builder.udp(src_port, port, rng.random_range(8..24))
+                } else {
+                    let opts: u16 = rng.random_range(12..20);
+                    builder.tcp(src_port, port, TcpFlags::SYN, rng.random(), 0, opts)
+                };
+                trace.push(PacketRecord {
+                    ts_ns: t,
+                    packet,
+                    class,
+                });
+                t += backoff_ns;
+                backoff_ns *= 2;
+            }
+            port = port.wrapping_add(1).max(1);
+            let jitter = rng.random_range(0..sweep_gap_ns / 4 + 1);
+            port_start += sweep_gap_ns + jitter - sweep_gap_ns / 8;
+        }
+        trace.sort();
+        trace
+    }
+
+    /// SYN flood: line-rate minimum-size SYNs, randomized spoofed sources
+    /// and ports (hping3 `-S --flood --rand-source`).
+    fn syn_flood(&self, start_ns: u64, end_ns: u64, rng: &mut SmallRng) -> Trace {
+        let gap_ns = ((1e9 / self.syn_flood.rate_pps) as u64).max(1);
+        let mut trace = Trace::new();
+        let mut t = start_ns;
+        let mut socket = 0usize;
+        while t < end_ns {
+            let (src, src_port) = match self.syn_flood.socket_pool {
+                Some(pool) => {
+                    let n = pool.max(1);
+                    let s = socket % n;
+                    socket += 1;
+                    (
+                        Ipv4Addr::new(198, 18, 1, (1 + s / 64) as u8),
+                        (20_000 + (s % 64)) as u16,
+                    )
+                }
+                None if self.syn_flood.spoof_sources => (
+                    Ipv4Addr::new(
+                        rng.random_range(11..200),
+                        rng.random(),
+                        rng.random(),
+                        rng.random_range(1..255),
+                    ),
+                    rng.random_range(1024..=65535),
+                ),
+                None => (Ipv4Addr::new(198, 18, 1, 1), rng.random_range(1024..=65535)),
+            };
+            let builder = PacketBuilder::new(src, self.target_ip);
+            // TCP option-length variation, as for the scans.
+            let pad: u16 = rng.random_range(0..12);
+            let packet = builder.tcp(
+                src_port,
+                self.target_port,
+                TcpFlags::SYN,
+                rng.random(),
+                0,
+                pad,
+            );
+            trace.push(PacketRecord {
+                ts_ns: t,
+                packet,
+                class: TrafficClass::SynFlood,
+            });
+            // Flood tools burst: small jitter around the nominal gap.
+            t += rng.random_range(gap_ns / 2..gap_ns * 3 / 2 + 1).max(1);
+        }
+        trace
+    }
+
+    /// SlowLoris: `connections` concurrent slots, each holding a request
+    /// open by trickling tiny partial-header fragments every
+    /// `keepalive_s`. When the victim's `server_timeout_s` expires, the
+    /// connection is closed and the slot reconnects on a fresh source
+    /// port — so the episode produces many short-lived flows of ~3–5
+    /// tiny packets each, churning for its whole duration.
+    fn slowloris(&self, start_ns: u64, end_ns: u64, rng: &mut SmallRng) -> Trace {
+        let cfg = &self.slowloris;
+        let mut trace = Trace::new();
+        let keepalive_ns = (cfg.keepalive_s * 1e9) as u64;
+        let timeout_ns = (cfg.server_timeout_s * 1e9) as u64;
+        let mut next_port: u32 = 10_000;
+        for conn in 0..cfg.connections {
+            let host = conn % cfg.attacker_hosts.max(1);
+            let src = Ipv4Addr::new(198, 18, 10, (2 + host) as u8);
+            // Connections ramp up over the first 10% of the episode.
+            let ramp = (end_ns - start_ns) / 10;
+            let mut slot_t = start_ns + rng.random_range(0..ramp.max(1));
+            // Slot lifecycle: connect → trickle until the server timeout
+            // → reconnect, until the episode ends.
+            while slot_t < end_ns {
+                let src_port = (next_port % 55_000 + 10_000) as u16;
+                next_port += 1;
+                let builder = PacketBuilder::new(src, self.target_ip);
+                let mut seq: u32 = rng.random();
+                // OS-stack SYN: 12-20 bytes of TCP options (MSS, SACK,
+                // timestamps, window scale), unlike crafted scan probes.
+                let opts: u16 = rng.random_range(12..20);
+                trace.push(PacketRecord {
+                    ts_ns: slot_t,
+                    packet: builder.tcp(src_port, self.target_port, TcpFlags::SYN, seq, 0, opts),
+                    class: TrafficClass::SlowLoris,
+                });
+                let death = (slot_t + timeout_ns).min(end_ns);
+                let mut t = slot_t;
+                loop {
+                    let jitter = (rng.random::<f64>() - 0.5) * 0.4 * keepalive_ns as f64;
+                    t += (keepalive_ns as f64 + jitter).max(1e6) as u64;
+                    if t >= death {
+                        break;
+                    }
+                    let frag: u16 = rng.random_range(5..16);
+                    seq = seq.wrapping_add(u32::from(frag));
+                    trace.push(PacketRecord {
+                        ts_ns: t,
+                        packet: builder.tcp(
+                            src_port,
+                            self.target_port,
+                            TcpFlags::PSH | TcpFlags::ACK,
+                            seq,
+                            1,
+                            frag,
+                        ),
+                        class: TrafficClass::SlowLoris,
+                    });
+                }
+                // Reconnect shortly after the server drops the request.
+                slot_t = slot_t + timeout_ns + rng.random_range(0..500_000_000);
+            }
+        }
+        trace.sort();
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const S: u64 = 1_000_000_000;
+
+    fn cfg() -> AttackConfig {
+        AttackConfig::default()
+    }
+
+    #[test]
+    fn syn_scan_sweeps_ports_with_retries() {
+        let t = cfg().generate(AttackKind::SynScan, 0, 2 * S, 1);
+        assert!(t.len() > 400, "2 s at 400 pps");
+        let mut per_flow: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+        for r in t.iter() {
+            assert_eq!(r.class, TrafficClass::SynScan);
+            // 12-20 bytes of TCP options, like an OS stack.
+            assert!((12..20).contains(&r.packet.payload_len), "probe options");
+            assert!(r.packet.tcp_flags().unwrap().contains(TcpFlags::SYN));
+            *per_flow.entry(r.packet.flow_key()).or_default() += 1;
+        }
+        // Default 3 probes per port; flows near the episode end get cut
+        // short by the window, so require retries on a healthy fraction.
+        assert!(per_flow.values().all(|&n| n <= 3));
+        assert!(per_flow.values().filter(|&&n| n >= 2).count() > per_flow.len() / 4);
+    }
+
+    #[test]
+    fn single_probe_scan_gives_one_packet_flows() {
+        let mut c = cfg();
+        c.probes_per_port = 1;
+        let t = c.generate(AttackKind::SynScan, 0, S, 1);
+        let mut flows = HashSet::new();
+        for r in t.iter() {
+            assert!(flows.insert(r.packet.flow_key()), "each probe its own flow");
+        }
+    }
+
+    #[test]
+    fn udp_scan_uses_udp_probes() {
+        let t = cfg().generate(AttackKind::UdpScan, 0, S, 2);
+        for r in t.iter() {
+            assert_eq!(r.class, TrafficClass::UdpScan);
+            assert!(r.packet.tcp_flags().is_none());
+            assert!(r.packet.ip_len() < 60);
+        }
+        // Destination ports sweep (3 probes per port).
+        let ports: HashSet<u16> = t.iter().map(|r| r.packet.flow_key().dst_port).collect();
+        assert!(ports.len() >= t.len() / 4);
+    }
+
+    #[test]
+    fn socket_pool_flood_reuses_flows() {
+        let mut c = cfg();
+        c.syn_flood.socket_pool = Some(8);
+        let t = c.generate(AttackKind::SynFlood, 0, S / 10, 3);
+        let flows: HashSet<_> = t.iter().map(|r| r.packet.flow_key()).collect();
+        assert_eq!(flows.len(), 8, "fixed socket pool bounds flow count");
+        assert!(t.len() > 100);
+    }
+
+    #[test]
+    fn syn_flood_is_high_rate_minimum_size() {
+        let t = cfg().generate(AttackKind::SynFlood, 0, S / 2, 3);
+        let stats = t.stats();
+        assert!(stats.pps() > 20_000.0, "flood rate {}", stats.pps());
+        assert_eq!(stats.flows, 64, "default socket pool bounds flows");
+        for r in t.iter() {
+            // Minimum-size SYN plus up to 12 bytes of option padding.
+            assert!(r.packet.ip_len() <= 52, "len {}", r.packet.ip_len());
+        }
+    }
+
+    #[test]
+    fn rand_source_flood_spoofs_per_packet() {
+        let mut c = cfg();
+        c.syn_flood.socket_pool = None;
+        c.syn_flood.spoof_sources = true;
+        let t = c.generate(AttackKind::SynFlood, 0, S / 2, 3);
+        let sources: HashSet<Ipv4Addr> = t.iter().map(|r| r.packet.ip.src).collect();
+        assert!(sources.len() > t.len() / 2, "spoofed sources must vary");
+    }
+
+    #[test]
+    fn slowloris_is_low_rate_long_lived() {
+        // Long episode so connections complete full lifecycles at the
+        // default 12 s keepalive / 60 s server timeout.
+        let t = cfg().generate(AttackKind::SlowLoris, 0, 120 * S, 4);
+        let stats = t.stats();
+        // 200 slots churning through ~2 lifecycles each.
+        assert!(
+            stats.flows >= 300 && stats.flows <= 600,
+            "flows {}",
+            stats.flows
+        );
+        assert!(
+            stats.pps() < 1_000.0,
+            "slowloris must be slow, got {}",
+            stats.pps()
+        );
+        // Tiny fragments and option-bearing SYNs only.
+        for r in t.iter() {
+            assert!(r.packet.payload_len < 30);
+        }
+        // Connections persist for most of the server timeout: find a flow
+        // with several packets and check its spread.
+        let mut per_flow: std::collections::HashMap<_, Vec<u64>> = Default::default();
+        for r in t.iter() {
+            per_flow
+                .entry(r.packet.flow_key())
+                .or_default()
+                .push(r.ts_ns);
+        }
+        let span = per_flow
+            .values()
+            .map(|ts| ts.last().unwrap() - ts.first().unwrap())
+            .max()
+            .unwrap();
+        assert!(span > 30 * S, "longest connection span {span}");
+        // Churn: flows die at the server timeout, never much past it.
+        for ts in per_flow.values() {
+            assert!(ts.last().unwrap() - ts.first().unwrap() <= 61 * S);
+        }
+    }
+
+    #[test]
+    fn episodes_respect_window() {
+        for kind in AttackKind::ALL {
+            let t = cfg().generate(kind, 5 * S, 7 * S, 9);
+            for r in t.iter() {
+                assert!(
+                    r.ts_ns >= 5 * S && r.ts_ns < 7 * S,
+                    "{kind:?} out of window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = cfg().generate(AttackKind::SynFlood, 0, S / 10, 7);
+        let b = cfg().generate(AttackKind::SynFlood, 0, S / 10, 7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.records()[0], b.records()[0]);
+    }
+
+    #[test]
+    fn scan_rate_configurable() {
+        let mut c = cfg();
+        c.scan_rate_pps = 50.0;
+        let t = c.generate(AttackKind::SynScan, 0, 2 * S, 1);
+        // 50 ports/s × 2 s × ≤3 tries each.
+        assert!(t.len() < 350, "got {}", t.len());
+        let mut fast = cfg();
+        fast.scan_rate_pps = 500.0;
+        let t_fast = fast.generate(AttackKind::SynScan, 0, 2 * S, 1);
+        assert!(t_fast.len() > t.len() * 5);
+    }
+}

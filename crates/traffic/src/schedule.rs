@@ -1,0 +1,245 @@
+//! The attack-episode schedule — paper Table I as a first-class object.
+
+use amlight_net::TrafficClass;
+use serde::{Deserialize, Serialize};
+
+/// Attack families the paper simulates (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    SynScan,
+    UdpScan,
+    SynFlood,
+    SlowLoris,
+}
+
+impl AttackKind {
+    pub fn class(self) -> TrafficClass {
+        match self {
+            AttackKind::SynScan => TrafficClass::SynScan,
+            AttackKind::UdpScan => TrafficClass::UdpScan,
+            AttackKind::SynFlood => TrafficClass::SynFlood,
+            AttackKind::SlowLoris => TrafficClass::SlowLoris,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        self.class().name()
+    }
+
+    pub const ALL: [AttackKind; 4] = [
+        AttackKind::SynScan,
+        AttackKind::UdpScan,
+        AttackKind::SynFlood,
+        AttackKind::SlowLoris,
+    ];
+}
+
+/// One attack episode: kind plus a half-open time window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Episode {
+    pub kind: AttackKind,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Which experiment "day" the episode belongs to (0-based). The
+    /// paper's zero-day split trains on day 0 and tests on day 1.
+    pub day: u32,
+}
+
+impl Episode {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    pub fn contains(&self, t_ns: u64) -> bool {
+        t_ns >= self.start_ns && t_ns < self.end_ns
+    }
+}
+
+/// An ordered set of episodes over an experiment window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeSchedule {
+    pub episodes: Vec<Episode>,
+    /// Total window length (benign traffic runs over all of it).
+    pub window_ns: u64,
+    /// Number of days the window is divided into.
+    pub days: u32,
+}
+
+const NS: u64 = 1_000_000_000;
+
+impl EpisodeSchedule {
+    /// The paper's Table I, compressed onto two lab "days" of
+    /// `day_len_s` seconds each.
+    ///
+    /// Relative structure is preserved: day 0 carries the two SYN scans,
+    /// two UDP scans, and two SYN floods; day 1 carries three SYN floods
+    /// and the two SlowLoris episodes (the zero-day attack for the
+    /// Table IV split). Durations scale with the paper's (the 33-minute
+    /// scan is the longest, the 20-second flood the shortest).
+    pub fn table1(day_len_s: u64) -> Self {
+        let d = day_len_s * NS;
+        // Episode boundaries as fractions of a day, loosely matching
+        // Table I's relative spans.
+        let ep = |kind, s: f64, e: f64, day: u64| Episode {
+            kind,
+            start_ns: (s * d as f64) as u64 + day * d,
+            end_ns: (e * d as f64) as u64 + day * d,
+            day: day as u32,
+        };
+        let episodes = vec![
+            // Day 0 — June 10 in the paper.
+            ep(AttackKind::SynScan, 0.05, 0.20, 0), // the long 33-min scan
+            ep(AttackKind::SynScan, 0.28, 0.31, 0),
+            ep(AttackKind::UdpScan, 0.33, 0.41, 0),
+            ep(AttackKind::UdpScan, 0.44, 0.46, 0),
+            ep(AttackKind::SynFlood, 0.60, 0.62, 0),
+            ep(AttackKind::SynFlood, 0.70, 0.74, 0),
+            // Day 1 — June 11.
+            ep(AttackKind::SynFlood, 0.10, 0.14, 1),
+            ep(AttackKind::SynFlood, 0.20, 0.21, 1),
+            ep(AttackKind::SynFlood, 0.23, 0.24, 1),
+            ep(AttackKind::SlowLoris, 0.40, 0.48, 1),
+            ep(AttackKind::SlowLoris, 0.55, 0.70, 1),
+        ];
+        Self {
+            episodes,
+            window_ns: 2 * d,
+            days: 2,
+        }
+    }
+
+    /// A short smoke-test schedule: one episode of each kind in one day.
+    pub fn smoke(day_len_s: u64) -> Self {
+        let d = day_len_s * NS;
+        let ep = |kind, s: f64, e: f64| Episode {
+            kind,
+            start_ns: (s * d as f64) as u64,
+            end_ns: (e * d as f64) as u64,
+            day: 0,
+        };
+        Self {
+            episodes: vec![
+                ep(AttackKind::SynScan, 0.10, 0.25),
+                ep(AttackKind::UdpScan, 0.30, 0.45),
+                ep(AttackKind::SynFlood, 0.50, 0.60),
+                ep(AttackKind::SlowLoris, 0.70, 0.95),
+            ],
+            window_ns: d,
+            days: 1,
+        }
+    }
+
+    /// Episodes on a given day.
+    pub fn on_day(&self, day: u32) -> impl Iterator<Item = &Episode> {
+        self.episodes.iter().filter(move |e| e.day == day)
+    }
+
+    /// Which attack (if any) is active at time `t_ns`.
+    pub fn active_at(&self, t_ns: u64) -> Option<AttackKind> {
+        self.episodes
+            .iter()
+            .find(|e| e.contains(t_ns))
+            .map(|e| e.kind)
+    }
+
+    /// Time boundary between day `day` and the next, ns.
+    pub fn day_boundary_ns(&self, day: u32) -> u64 {
+        (self.window_ns / u64::from(self.days)) * u64::from(day + 1)
+    }
+
+    /// Total attack-active time, ns.
+    pub fn attack_time_ns(&self) -> u64 {
+        self.episodes.iter().map(Episode::duration_ns).sum()
+    }
+
+    /// Count of episodes per attack kind.
+    pub fn counts(&self) -> Vec<(AttackKind, usize)> {
+        AttackKind::ALL
+            .iter()
+            .map(|k| (*k, self.episodes.iter().filter(|e| e.kind == *k).count()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eleven_episodes_like_the_paper() {
+        let s = EpisodeSchedule::table1(60);
+        assert_eq!(s.episodes.len(), 11);
+        let counts: std::collections::HashMap<_, _> = s.counts().into_iter().collect();
+        assert_eq!(counts[&AttackKind::SynScan], 2);
+        assert_eq!(counts[&AttackKind::UdpScan], 2);
+        assert_eq!(counts[&AttackKind::SynFlood], 5);
+        assert_eq!(counts[&AttackKind::SlowLoris], 2);
+    }
+
+    #[test]
+    fn slowloris_only_on_day_one() {
+        let s = EpisodeSchedule::table1(60);
+        assert!(s.on_day(0).all(|e| e.kind != AttackKind::SlowLoris));
+        assert!(s.on_day(1).any(|e| e.kind == AttackKind::SlowLoris));
+    }
+
+    #[test]
+    fn episodes_are_disjoint_and_in_window() {
+        let s = EpisodeSchedule::table1(60);
+        let mut sorted = s.episodes.clone();
+        sorted.sort_by_key(|e| e.start_ns);
+        for pair in sorted.windows(2) {
+            assert!(pair[0].end_ns <= pair[1].start_ns, "episodes overlap");
+        }
+        for e in &s.episodes {
+            assert!(e.end_ns <= s.window_ns);
+            assert!(e.start_ns < e.end_ns);
+        }
+    }
+
+    #[test]
+    fn active_at_matches_windows() {
+        let s = EpisodeSchedule::smoke(100);
+        let mid = |e: &Episode| (e.start_ns + e.end_ns) / 2;
+        for e in &s.episodes {
+            assert_eq!(s.active_at(mid(e)), Some(e.kind));
+        }
+        assert_eq!(s.active_at(0), None);
+        assert_eq!(s.active_at(s.window_ns - 1), None);
+    }
+
+    #[test]
+    fn day_boundary_splits_evenly() {
+        let s = EpisodeSchedule::table1(60);
+        assert_eq!(s.day_boundary_ns(0), 60 * NS);
+        assert_eq!(s.day_boundary_ns(1), 120 * NS);
+        // Every day-0 episode before the boundary, day-1 after.
+        for e in s.on_day(0) {
+            assert!(e.end_ns <= s.day_boundary_ns(0));
+        }
+        for e in s.on_day(1) {
+            assert!(e.start_ns >= s.day_boundary_ns(0));
+        }
+    }
+
+    #[test]
+    fn episode_contains_is_half_open() {
+        let e = Episode {
+            kind: AttackKind::SynScan,
+            start_ns: 100,
+            end_ns: 200,
+            day: 0,
+        };
+        assert!(e.contains(100));
+        assert!(e.contains(199));
+        assert!(!e.contains(200));
+        assert_eq!(e.duration_ns(), 100);
+    }
+
+    #[test]
+    fn attack_time_positive_but_minority() {
+        let s = EpisodeSchedule::table1(60);
+        let frac = s.attack_time_ns() as f64 / s.window_ns as f64;
+        assert!(frac > 0.1 && frac < 0.6, "attack fraction {frac}");
+    }
+}

@@ -1,0 +1,77 @@
+//! INT across the intercontinental backbone: per-hop latency
+//! decomposition on a simplified AmLight topology (Miami → Fortaleza →
+//! São Paulo, with Santiago and Cape Town spurs) — and the place where
+//! the 32-bit timestamp limitation actually bites a long-haul network.
+//!
+//! ```sh
+//! cargo run --release --example backbone
+//! ```
+
+use amlight::int::IntInstrumenter;
+use amlight::net::{PacketBuilder, PacketRecord, Trace, TrafficClass};
+use amlight::sim::clock::TelemetryClock;
+use amlight::sim::{NetworkSim, Topology};
+
+fn main() {
+    let (topo, client, server) = Topology::amlight_backbone();
+    println!("topology: {} switches —", topo.switches().len());
+    for sw in topo.switches() {
+        println!("  {}", sw.name);
+    }
+    let names: Vec<String> = topo.switches().iter().map(|s| s.name.clone()).collect();
+
+    // A short request burst, Miami → São Paulo.
+    let b = PacketBuilder::new(topo.host(client).ip, topo.host(server).ip);
+    let trace: Trace = (0..20u64)
+        .map(|i| PacketRecord {
+            ts_ns: i * 2_000_000,
+            packet: b.tcp(40_000, 443, amlight::net::TcpFlags::ACK, i as u32, 0, 400),
+            class: TrafficClass::Benign,
+        })
+        .collect();
+
+    let sim_report = NetworkSim::new(topo).run(&trace);
+    let reports = IntInstrumenter::amlight().instrument(&trace, &sim_report);
+
+    // Decompose one packet's journey from its INT metadata stack alone.
+    let r = &reports[0];
+    println!("\nper-hop decomposition of packet 0 (from INT metadata only):");
+    println!(
+        "{:<8} {:>16} {:>16} {:>14}",
+        "switch", "ingress (32b ns)", "egress (32b ns)", "hop time (µs)"
+    );
+    for hop in &r.hops {
+        println!(
+            "{:<8} {:>16} {:>16} {:>14.2}",
+            names[hop.switch_id as usize],
+            hop.ingress_tstamp,
+            hop.egress_tstamp,
+            hop.derived_latency_ns() as f64 / 1e3,
+        );
+    }
+    // Inter-switch (propagation) gaps from consecutive stack entries.
+    println!("\nlong-haul propagation recovered from consecutive hops:");
+    for w in r.hops.windows(2) {
+        let gap = TelemetryClock::stamp_delta(w[0].egress_tstamp, w[1].ingress_tstamp);
+        println!(
+            "  {:>4} → {:<4} {:>10.3} ms",
+            names[w[0].switch_id as usize],
+            names[w[1].switch_id as usize],
+            f64::from(gap) / 1e6,
+        );
+    }
+
+    let truth = &sim_report.journeys[0];
+    let e2e = truth.delivered_ns.unwrap() - truth.hops[0].ingress_ns;
+    println!(
+        "\nend-to-end (simulator ground truth): {:.3} ms",
+        e2e as f64 / 1e6
+    );
+    println!(
+        "\nEach per-hop and per-segment figure is safely below the 4.295 s\n\
+         32-bit wrap, so path decomposition works — but summing packets'\n\
+         *inter-arrival* gaps across a long capture aliases, which is why\n\
+         the paper (§V) keeps a 64-bit collector clock for anything longer\n\
+         than a few seconds."
+    );
+}

@@ -1,0 +1,78 @@
+//! INT vs sFlow, head to head — the paper's central comparison.
+//!
+//! Generates one two-day capture, observes it with *both* telemetry
+//! systems, trains a Random Forest per view, and shows where sampling
+//! loses the attack. Look at the SlowLoris row: sFlow usually has a
+//! handful of samples (or none) where INT has thousands of reports.
+//!
+//! ```sh
+//! cargo run --release --example int_vs_sflow
+//! ```
+
+use amlight::core::trainer::{dataset_from_int, dataset_from_sflow};
+use amlight::features::FeatureSet;
+use amlight::ml::model::BinaryClassifier;
+use amlight::ml::{RandomForest, RandomForestConfig, StandardScaler};
+use amlight::net::TrafficClass;
+use amlight::prelude::*;
+use amlight::sflow::SamplingMode;
+use amlight::traffic::{TrafficMix, TrafficMixConfig};
+
+fn main() {
+    // One capture, two observers.
+    let mix = TrafficMix::new(TrafficMixConfig::paper_capture(10, 7));
+    let trace = mix.generate();
+    let stats = trace.stats();
+    println!(
+        "capture: {} packets, {} flows over {:.1} s",
+        stats.packets,
+        stats.flows,
+        stats.duration_ns as f64 / 1e9
+    );
+
+    let lab = Testbed::new(TestbedConfig::default());
+    let int_view = lab.run_labeled(&trace);
+
+    let mut agent = SflowAgent::new(SamplingMode::RandomSkip { period: 64 }, 99);
+    let sflow_view = agent.sample_stream(trace.iter().map(|r| (r.ts_ns, &r.packet, r.class)));
+
+    println!("\ncoverage per class (INT reports vs sFlow samples):");
+    for class in TrafficClass::ALL {
+        let int_n = int_view.iter().filter(|(_, c)| *c == class).count();
+        let sf_n = sflow_view.iter().filter(|(_, c)| *c == class).count();
+        println!(
+            "  {:<10} INT {:>7}   sFlow {:>5}",
+            class.name(),
+            int_n,
+            sf_n
+        );
+    }
+
+    // Train an RF on each view (90:10 split) and compare.
+    for (name, raw) in [
+        ("INT", dataset_from_int(&int_view, FeatureSet::Int)),
+        ("sFlow", dataset_from_sflow(&sflow_view)),
+    ] {
+        let (train_raw, test_raw) = raw.train_test_split(0.9, 7);
+        let mut train = train_raw.clone();
+        let scaler = StandardScaler::fit_transform(&mut train);
+        let mut test = test_raw;
+        scaler.transform(&mut test);
+        let rf = RandomForest::fit(&train, &RandomForestConfig::fast(), 7);
+        let m = rf.evaluate(&test).metrics();
+        println!(
+            "\n{name} Random Forest on {} test rows:\n  accuracy {:.4}  recall {:.4}  precision {:.4}  F1 {:.4}",
+            test.len(),
+            m.accuracy,
+            m.recall,
+            m.precision,
+            m.f1
+        );
+    }
+
+    println!(
+        "\nBoth detectors score well on what they see — but sFlow only sees\n\
+         1-in-N packets, so short or low-rate episodes can vanish entirely\n\
+         (the paper's Fig. 5 shows exactly this for SlowLoris)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Live detection: the four Fig. 2 modules running as real threads over
+//! crossbeam channels, with wall-clock latency measurement.
+//!
+//! ```sh
+//! cargo run --release --example live_detection
+//! ```
+
+use amlight::core::runtime::ThreadedPipeline;
+use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight::features::FeatureSet;
+use amlight::net::TrafficClass;
+use amlight::prelude::*;
+use amlight::traffic::ReplayLibrary;
+
+fn main() {
+    let lab = Testbed::new(TestbedConfig::default());
+
+    // Offline phase: pre-train the bundle (as the paper does, §IV-C.2).
+    let library = ReplayLibrary::build(600, 5);
+    let mut training = Vec::new();
+    for class in TrafficClass::ALL {
+        if class != TrafficClass::SlowLoris {
+            training.extend(lab.replay_class(&library, class));
+        }
+    }
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
+    println!("bundle trained on {} telemetry rows", raw.len());
+
+    // Online phase: threads — collection → processor → prediction →
+    // aggregation — sharing the flow database.
+    let replay = ReplayLibrary::build(600, 77);
+    for class in [
+        TrafficClass::Benign,
+        TrafficClass::SynFlood,
+        TrafficClass::SlowLoris,
+    ] {
+        let reports: Vec<_> = lab
+            .replay_class(&replay, class)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        let pipeline = ThreadedPipeline::new(bundle.clone());
+        let stats = pipeline.run(reports);
+        println!(
+            "\n{} replay → {} reports, {} flows, {} predictions",
+            class.name(),
+            stats.reports_in,
+            stats.flows_created,
+            stats.predictions
+        );
+        println!(
+            "  verdicts: {} attack / {} normal / {} pending",
+            stats.attack_verdicts, stats.normal_verdicts, stats.pending_verdicts
+        );
+        println!(
+            "  wall-clock prediction latency: mean {:.1} µs, max {:.1} µs",
+            stats.mean_latency_us, stats.max_latency_us
+        );
+    }
+
+    println!(
+        "\nNote how the Rust pipeline predicts in microseconds where the\n\
+         paper's Python/JS prototype took 0.05–103 seconds (its Table VI) —\n\
+         the scaling headroom the paper's future-work section asks for."
+    );
+}

@@ -1,0 +1,93 @@
+//! Microburst detection from INT queue telemetry — AmLight's first INT
+//! application (the paper's ref \[8\]), reimplemented on the simulator.
+//!
+//! A bottlenecked port carries smooth traffic with two short on-off
+//! bursts injected; the detector finds them from per-packet queue-depth
+//! telemetry alone.
+//!
+//! ```sh
+//! cargo run --release --example microbursts
+//! ```
+
+use amlight::int::microburst::detect_from_reports;
+use amlight::int::{IntInstrumenter, MicroburstConfig};
+use amlight::net::{PacketBuilder, PacketRecord, Trace, TrafficClass};
+use amlight::sim::queue::QueueConfig;
+use amlight::sim::topology::LinkParams;
+use amlight::sim::{NetworkSim, Topology};
+use std::net::Ipv4Addr;
+
+fn main() {
+    // 1 Gb/s bottleneck toward the receiver.
+    let mut topo = Topology::new();
+    let sw = topo.add_switch("edge", Default::default());
+    let src = topo.add_host("sender", Ipv4Addr::new(10, 0, 0, 1));
+    let dst = topo.add_host("receiver", Ipv4Addr::new(10, 0, 0, 2));
+    topo.attach_host(src, sw, LinkParams::default());
+    topo.attach_host(
+        dst,
+        sw,
+        LinkParams {
+            delay_ns: 2_000,
+            queue: QueueConfig {
+                rate_bps: 1_000_000_000,
+                capacity_pkts: 4096,
+            },
+        },
+    );
+    topo.compute_routes();
+
+    // Smooth 1200-byte stream at ~380 Mb/s, plus two 300 µs bursts where
+    // the sender dumps packets back-to-back (~2.4 Gb/s instantaneous).
+    let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+    let mut trace = Trace::new();
+    let mut t = 0u64;
+    let mut n = 0u64;
+    while t < 20_000_000 {
+        // 20 ms
+        let in_burst = (5_000_000..5_300_000).contains(&t) || (12_000_000..12_300_000).contains(&t);
+        let gap = if in_burst { 4_000 } else { 25_000 }; // ns between packets
+        trace.push(PacketRecord {
+            ts_ns: t,
+            packet: b.udp(40_000 + (n % 8) as u16, 9000, 1200),
+            class: TrafficClass::Benign,
+        });
+        t += gap;
+        n += 1;
+    }
+    println!(
+        "injected {} packets over 20 ms with two 300 µs bursts",
+        trace.len()
+    );
+
+    let report = NetworkSim::new(topo).run(&trace);
+    let telemetry = IntInstrumenter::amlight().instrument(&trace, &report);
+    let peak = telemetry
+        .iter()
+        .map(|r| r.max_queue_occupancy())
+        .max()
+        .unwrap_or(0);
+    println!(
+        "telemetry reports: {}, peak queue depth: {peak}",
+        telemetry.len()
+    );
+
+    let bursts = detect_from_reports(telemetry.iter(), MicroburstConfig::default());
+    println!("\ndetected {} microburst(s):", bursts.len());
+    for (i, burst) in bursts.iter().enumerate() {
+        println!(
+            "  #{:<2} t = {:.3}–{:.3} ms, duration {:>6.1} µs, peak depth {:>4}, {} samples",
+            i + 1,
+            burst.start_ns as f64 / 1e6,
+            burst.end_ns as f64 / 1e6,
+            burst.duration_ns() as f64 / 1e3,
+            burst.peak_depth,
+            burst.samples,
+        );
+    }
+    println!(
+        "\nSNMP-rate counters average over seconds and would show ~40% port\n\
+         load here; only per-packet telemetry exposes the 300 µs spikes —\n\
+         the observation that started AmLight's INT program (paper ref [8])."
+    );
+}

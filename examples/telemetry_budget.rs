@@ -1,0 +1,67 @@
+//! Telemetry budgets: thin the INT stream PINT-style and watch what
+//! survives — the paper's future-work direction (its refs \[30\], \[31\]),
+//! runnable.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_budget
+//! ```
+
+use amlight::core::testbed::{Testbed, TestbedConfig};
+use amlight::core::trainer::dataset_from_int;
+use amlight::features::FeatureSet;
+use amlight::int::{BudgetedTelemetry, TelemetryBudget};
+use amlight::ml::model::BinaryClassifier;
+use amlight::ml::{RandomForest, RandomForestConfig, StandardScaler};
+use amlight::traffic::{TrafficMix, TrafficMixConfig};
+
+fn main() {
+    // A capture over a 4-hop INT chain, so spatial sampling has hops to
+    // drop.
+    let lab = Testbed::new(TestbedConfig {
+        hops: 4,
+        ..Default::default()
+    });
+    let mix = TrafficMix::new(TrafficMixConfig::paper_capture(5, 2024));
+    let labeled = lab.run_labeled(&mix.generate());
+    println!(
+        "capture: {} telemetry reports, 4 hops each\n",
+        labeled.len()
+    );
+
+    println!(
+        "{:<20} {:>10} {:>10} {:>10}",
+        "budget", "bytes", "of full", "RF acc"
+    );
+    for (name, budget) in [
+        ("full INT", TelemetryBudget::Full),
+        ("PINT p=0.25", TelemetryBudget::Probabilistic { p: 0.25 }),
+        ("PINT p=0.05", TelemetryBudget::Probabilistic { p: 0.05 }),
+        ("spatial stride=2", TelemetryBudget::Spatial { stride: 2 }),
+    ] {
+        let mut reducer = BudgetedTelemetry::new(budget, 7);
+        let thinned = reducer.apply_stream(&labeled);
+        let stats = reducer.stats();
+
+        let raw = dataset_from_int(&thinned, FeatureSet::Int);
+        let (train_raw, test_raw) = raw.train_test_split(0.9, 5);
+        let mut train = train_raw.clone();
+        let scaler = StandardScaler::fit_transform(&mut train);
+        let mut test = test_raw;
+        scaler.transform(&mut test);
+        let rf = RandomForest::fit(&train, &RandomForestConfig::fast(), 5);
+        let acc = rf.evaluate(&test).accuracy();
+
+        println!(
+            "{:<20} {:>10} {:>9.1}% {:>10.4}",
+            name,
+            stats.carried_bytes,
+            stats.cost_fraction() * 100.0,
+            acc
+        );
+    }
+    println!(
+        "\nDetection barely moves because header-borne fields (five-tuple,\n\
+         length) survive any budget: INT's advantage is per-packet\n\
+         coverage, and PINT keeps coverage while shedding bytes."
+    );
+}

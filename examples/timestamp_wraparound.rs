@@ -1,0 +1,99 @@
+//! The 32-bit telemetry timestamp wraparound, demonstrated end to end —
+//! the operational pitfall the paper's §V discussion is about.
+//!
+//! INT carries nanosecond timestamps in 32 bits, so the clock aliases
+//! every 2³² ns ≈ 4.295 s. Any flow whose packets are further apart than
+//! that gets a *wrong* inter-arrival time, silently. SlowLoris keepalives
+//! (~12 s apart) are a perfect victim.
+//!
+//! ```sh
+//! cargo run --release --example timestamp_wraparound
+//! ```
+
+use amlight::features::{FeatureId, FlowTable, FlowTableConfig};
+use amlight::int::{HopMetadata, InstructionSet, TelemetryReport};
+use amlight::net::{FlowKey, Protocol};
+use amlight::sim::clock::{stamp_delta_ns, TelemetryClock, WRAP_PERIOD_NS};
+use std::net::Ipv4Addr;
+
+fn report(flow: FlowKey, t_true_ns: u64, len: u16) -> TelemetryReport {
+    let stamp = TelemetryClock::truncate(t_true_ns);
+    TelemetryReport {
+        flow,
+        ip_len: len,
+        tcp_flags: Some(0x18),
+        instructions: InstructionSet::amlight(),
+        hops: vec![HopMetadata {
+            switch_id: 1,
+            ingress_tstamp: stamp.wrapping_sub(450),
+            egress_tstamp: stamp,
+            hop_latency: 0,
+            queue_occupancy: 0,
+        }],
+        export_ns: t_true_ns,
+    }
+}
+
+fn main() {
+    println!("32-bit telemetry clock wraps every {WRAP_PERIOD_NS} ns (≈4.295 s)\n");
+
+    // Direct arithmetic: gaps below one wrap survive, gaps above alias.
+    for gap_s in [0.5, 2.0, 4.0, 5.0, 12.0] {
+        let t0 = 1_000_000u64;
+        let t1 = t0 + (gap_s * 1e9) as u64;
+        let derived = stamp_delta_ns(TelemetryClock::truncate(t0), TelemetryClock::truncate(t1));
+        let ok = derived == t1 - t0;
+        println!(
+            "true gap {:>5.1} s → derived from 32-bit stamps: {:>12.6} s  {}",
+            gap_s,
+            derived as f64 / 1e9,
+            if ok { "✓" } else { "✗ ALIASED" }
+        );
+    }
+
+    // The same corruption flowing into flow-level features.
+    let flow = FlowKey::new(
+        Ipv4Addr::new(198, 18, 10, 2),
+        Ipv4Addr::new(10, 0, 0, 2),
+        10_001,
+        80,
+        Protocol::Tcp,
+    );
+    let mut table = FlowTable::new(FlowTableConfig::default());
+    println!("\nSlowLoris-style flow, one 55-byte fragment every 12 s:");
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "packet", "true IAT (s)", "feature IAT (s)"
+    );
+    let keepalive_ns = 12_000_000_000u64;
+    for i in 0..5u64 {
+        let t = 1_000_000 + i * keepalive_ns;
+        let (_, rec) = table.update_int(&report(flow, t, 55));
+        let truth = if i == 0 {
+            0.0
+        } else {
+            keepalive_ns as f64 / 1e9
+        };
+        println!(
+            "{:<12} {:>18.6} {:>18.6}",
+            i + 1,
+            truth,
+            rec.last_inter_arrival_s
+        );
+    }
+    let rec = table.get(&flow).unwrap();
+    let v = rec.features();
+    println!(
+        "\nflow duration feature (cumulative IAT): {:.3} s — true duration: {:.3} s",
+        v.get(FeatureId::InterArrivalCum),
+        4.0 * 12.0
+    );
+    println!(
+        "\nEvery 12-second gap aliased to {:.3} s (12 mod 4.295). The paper's §V\n\
+         flags exactly this: \"the inter-arrival time derived from INT [is]\n\
+         susceptible to errors\" for long time frames. The detection models in\n\
+         this reproduction are trained ON the aliased values, so they cope —\n\
+         but any absolute-time analysis must keep a 64-bit collector clock.",
+        (12.0f64 % 4.294967296)
+    );
+}

@@ -1,0 +1,64 @@
+//! Zero-day detection: train with SlowLoris completely absent, then face
+//! it live — the paper's Table IV / §IV-C scenario.
+//!
+//! ```sh
+//! cargo run --release --example zero_day
+//! ```
+
+use amlight::core::pipeline::PipelineConfig;
+use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight::features::FeatureSet;
+use amlight::ml::model::BinaryClassifier;
+use amlight::net::TrafficClass;
+use amlight::prelude::*;
+use amlight::traffic::ReplayLibrary;
+
+fn main() {
+    let lab = Testbed::new(TestbedConfig::default());
+
+    // Train on benign + scans + flood. SlowLoris is deliberately absent.
+    let library = ReplayLibrary::build(1500, 21);
+    let mut training = Vec::new();
+    for class in TrafficClass::ALL {
+        if class != TrafficClass::SlowLoris {
+            training.extend(lab.replay_class(&library, class));
+        }
+    }
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    println!(
+        "training on {} rows — classes: benign, SYN scan, UDP scan, SYN flood (NO SlowLoris)",
+        raw.len()
+    );
+    let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
+
+    // Individual model generalization on the unseen attack.
+    let test_library = ReplayLibrary::build(1500, 1999);
+    let unseen = lab.replay_class(&test_library, TrafficClass::SlowLoris);
+    let unseen_raw = dataset_from_int(&unseen, FeatureSet::Int);
+    let mut scaled = unseen_raw.clone();
+    bundle.scaler.transform(&mut scaled);
+    println!(
+        "\nper-model recall on {} zero-day SlowLoris telemetry rows:",
+        scaled.len()
+    );
+    println!("  MLP  {:.4}", bundle.mlp.evaluate(&scaled).recall());
+    println!("  RF   {:.4}", bundle.forest.evaluate(&scaled).recall());
+    println!("  GNB  {:.4}", bundle.gnb.evaluate(&scaled).recall());
+
+    // The full pipeline: ensemble vote + smoothing window.
+    let mut pipeline = DetectionPipeline::new(bundle, PipelineConfig::rust_pace());
+    let report = pipeline.run_sync(&unseen);
+    let s = report.class_summary(TrafficClass::SlowLoris);
+    println!(
+        "\nautomated pipeline verdicts: accuracy {:.4} ({} predicted, {} misclassified, {} pending)",
+        s.accuracy(),
+        s.predicted,
+        s.misclassified,
+        s.pending
+    );
+    println!(
+        "\nThe ensemble + smoothing recovers what single models miss at flow\n\
+         starts — the paper reports 97.95 % on the same zero-day setup\n\
+         (its Table VI, SlowLoris row)."
+    );
+}

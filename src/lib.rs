@@ -1,0 +1,64 @@
+//! Facade crate for the AmLight INT-based automated DDoS detection
+//! reproduction. Re-exports every workspace crate under one roof so
+//! examples and downstream users can depend on a single crate.
+//!
+//! The system reproduces *"Leveraging In-band Network Telemetry for
+//! Automated DDoS Detection in Production Programmable Networks: The
+//! AmLight Use Case"* (SC 2024 INDIS). See `DESIGN.md` for the full
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use amlight::prelude::*;
+//!
+//! // Build the paper's Fig. 6 testbed, replay a short mixed workload,
+//! // and collect INT telemetry reports.
+//! let mut lab = Testbed::new(TestbedConfig::default());
+//! let reports = lab.replay_quick(42);
+//! assert!(!reports.is_empty());
+//! ```
+
+pub use amlight_core as core;
+pub use amlight_features as features;
+pub use amlight_int as int;
+pub use amlight_ml as ml;
+pub use amlight_net as net;
+pub use amlight_sflow as sflow;
+pub use amlight_sim as sim;
+pub use amlight_traffic as traffic;
+
+/// Commonly used types, one `use` away.
+pub mod prelude {
+    pub use amlight_core::{
+        batch::{BatchDetector, BatchOutcome},
+        db::FlowDatabase,
+        guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard},
+        pipeline::{DetectionPipeline, PipelineConfig, PipelineReport},
+        testbed::{Testbed, TestbedConfig},
+        trainer::{dataset_from_int, dataset_from_sflow, train_bundle, ModelBundle, TrainerConfig},
+        verdict::{SmoothingWindow, Verdict},
+    };
+    pub use amlight_features::{
+        FeatureSet, FeatureVector, FlowTable, FlowTableConfig, ShardedFlowTable,
+    };
+    pub use amlight_int::{
+        BudgetedTelemetry, IntCollector, MicroburstConfig, MicroburstDetector, TelemetryBudget,
+        TelemetryReport,
+    };
+    pub use amlight_ml::{
+        ensemble::MajorityEnsemble,
+        gbt::{GbtConfig, GradientBoost},
+        metrics::{BinaryMetrics, ConfusionMatrix},
+        model::BinaryClassifier,
+        roc::RocCurve,
+        scaler::StandardScaler,
+    };
+    pub use amlight_net::{FlowKey, Packet, Protocol};
+    pub use amlight_sflow::{SamplingMode, SflowAgent, SflowCollector};
+    pub use amlight_sim::{clock::TelemetryClock, topology::Topology};
+    pub use amlight_traffic::{
+        schedule::{AttackKind, Episode, EpisodeSchedule},
+        TrafficMix,
+    };
+}

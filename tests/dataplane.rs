@@ -1,0 +1,140 @@
+//! Integration: dataplane simulator behaviour under contention, and the
+//! queue-occupancy telemetry path into features.
+
+use amlight::int::IntInstrumenter;
+use amlight::net::{PacketBuilder, PacketRecord, Trace, TrafficClass};
+use amlight::sim::queue::QueueConfig;
+use amlight::sim::topology::LinkParams;
+use amlight::sim::{NetworkSim, Topology};
+use std::net::Ipv4Addr;
+
+/// A constrained topology: a 100 Mb/s bottleneck toward the target.
+fn bottleneck_topology() -> Topology {
+    let mut t = Topology::new();
+    let sw = t.add_switch("bottleneck", Default::default());
+    let src = t.add_host("src", Ipv4Addr::new(10, 0, 0, 1));
+    let dst = t.add_host("dst", Ipv4Addr::new(10, 0, 0, 2));
+    t.attach_host(src, sw, LinkParams::default());
+    t.attach_host(
+        dst,
+        sw,
+        LinkParams {
+            delay_ns: 2_000,
+            queue: QueueConfig {
+                rate_bps: 100_000_000,
+                capacity_pkts: 256,
+            },
+        },
+    );
+    t.compute_routes();
+    t
+}
+
+fn burst(n: u64, gap_ns: u64, payload: u16) -> Trace {
+    let b = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+    (0..n)
+        .map(|i| PacketRecord {
+            ts_ns: i * gap_ns,
+            packet: b.udp(5000 + (i % 4) as u16, 80, payload),
+            class: TrafficClass::Benign,
+        })
+        .collect()
+}
+
+#[test]
+fn overload_builds_queue_then_drops() {
+    let mut sim = NetworkSim::new(bottleneck_topology());
+    // 1000-byte packets every 10 µs = ~800 Mb/s into a 100 Mb/s port.
+    let report = sim.run(&burst(1_000, 10_000, 1000));
+    let max_q = report
+        .journeys
+        .iter()
+        .flat_map(|j| &j.hops)
+        .map(|h| h.qdepth)
+        .max()
+        .unwrap();
+    assert!(
+        max_q > 100,
+        "sustained overload must build queue, got {max_q}"
+    );
+    assert!(
+        !report.drops.is_empty(),
+        "256-packet queue must eventually tail-drop"
+    );
+    assert_eq!(
+        report.delivered_count() + report.drops.len(),
+        1_000,
+        "every packet is either delivered or dropped"
+    );
+}
+
+#[test]
+fn queue_occupancy_flows_into_int_reports() {
+    let mut sim = NetworkSim::new(bottleneck_topology());
+    let trace = burst(400, 10_000, 1000);
+    let report = sim.run(&trace);
+    let telemetry = IntInstrumenter::amlight().instrument(&trace, &report);
+    // Dropped packets produce no reports.
+    assert_eq!(telemetry.len(), report.delivered_count());
+    let max_occ = telemetry
+        .iter()
+        .map(|r| r.max_queue_occupancy())
+        .max()
+        .unwrap();
+    assert!(
+        max_occ > 50,
+        "INT must carry the congestion signal, got {max_occ}"
+    );
+}
+
+#[test]
+fn light_load_sees_empty_queues() {
+    let mut sim = NetworkSim::new(bottleneck_topology());
+    // 100-byte packets every 1 ms = ~0.8 Mb/s: far below the bottleneck.
+    let report = sim.run(&burst(200, 1_000_000, 100));
+    assert!(report.drops.is_empty());
+    assert!(report
+        .journeys
+        .iter()
+        .flat_map(|j| &j.hops)
+        .all(|h| h.qdepth == 0));
+}
+
+#[test]
+fn fifo_order_is_preserved_per_flow() {
+    let mut sim = NetworkSim::new(bottleneck_topology());
+    let trace = burst(500, 5_000, 800);
+    let report = sim.run(&trace);
+    // Per destination-port flow, delivery order must match send order.
+    for port in 5000u16..5004 {
+        let deliveries: Vec<(u32, u64)> = report
+            .journeys
+            .iter()
+            .filter(|j| {
+                j.delivered_ns.is_some()
+                    && trace.records()[j.trace_idx as usize]
+                        .packet
+                        .flow_key()
+                        .src_port
+                        == port
+            })
+            .map(|j| (j.trace_idx, j.delivered_ns.unwrap()))
+            .collect();
+        for w in deliveries.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1, "FIFO violated for flow {port}");
+        }
+    }
+}
+
+#[test]
+fn hop_latency_grows_with_congestion() {
+    let mut sim = NetworkSim::new(bottleneck_topology());
+    let light = sim.run(&burst(50, 1_000_000, 1000)).mean_latency_ns();
+    let mut sim = NetworkSim::new(bottleneck_topology());
+    let heavy = sim.run(&burst(500, 10_000, 1000)).mean_latency_ns();
+    assert!(
+        heavy > light * 5.0,
+        "congestion must inflate latency: light {light}, heavy {heavy}"
+    );
+}

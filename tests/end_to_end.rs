@@ -1,0 +1,209 @@
+//! Integration: the full path from workload generation through the
+//! dataplane simulator, INT instrumentation, feature extraction, model
+//! training, and the automated detection pipeline.
+
+use amlight::core::pipeline::{DetectionPipeline, PipelineConfig};
+use amlight::core::testbed::{Testbed, TestbedConfig};
+use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight::features::{FeatureSet, FlowTable, FlowTableConfig};
+use amlight::int::IntCollector;
+use amlight::ml::model::BinaryClassifier;
+use amlight::ml::MlpConfig;
+use amlight::net::{Encode, TrafficClass};
+use amlight::traffic::{ReplayLibrary, TrafficMix, TrafficMixConfig};
+
+fn small_trainer() -> TrainerConfig {
+    TrainerConfig {
+        mlp: MlpConfig {
+            epochs: 6,
+            batch_size: 256,
+            ..MlpConfig::paper_mlp()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn capture_to_verdicts() {
+    let lab = Testbed::new(TestbedConfig::default());
+    let library = ReplayLibrary::build(400, 1);
+    let mut training = Vec::new();
+    for class in TrafficClass::ALL {
+        if class != TrafficClass::SlowLoris {
+            training.extend(lab.replay_class(&library, class));
+        }
+    }
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    assert_eq!(raw.n_features(), 15);
+    let bundle = train_bundle(&raw, FeatureSet::Int, &small_trainer());
+
+    // The flood replay must be flagged as attack with high confidence.
+    let test_library = ReplayLibrary::build(400, 2);
+    let labeled = lab.replay_class(&test_library, TrafficClass::SynFlood);
+    let mut pipe = DetectionPipeline::new(bundle.clone(), PipelineConfig::rust_pace());
+    let report = pipe.run_sync(&labeled);
+    let s = report.class_summary(TrafficClass::SynFlood);
+    assert!(s.predicted > 100);
+    assert!(s.accuracy() > 0.9, "flood accuracy {}", s.accuracy());
+
+    // Benign replay must not raise an alarm storm.
+    let labeled = lab.replay_class(&test_library, TrafficClass::Benign);
+    let mut pipe = DetectionPipeline::new(bundle, PipelineConfig::rust_pace());
+    let report = pipe.run_sync(&labeled);
+    let s = report.class_summary(TrafficClass::Benign);
+    assert!(s.accuracy() > 0.85, "benign accuracy {}", s.accuracy());
+}
+
+#[test]
+fn telemetry_survives_the_wire() {
+    // Reports produced by the simulator, serialized to bytes, decoded by
+    // the collector, must drive the flow table identically to in-memory
+    // reports.
+    let lab = Testbed::new(TestbedConfig::default());
+    let mix = TrafficMix::new(TrafficMixConfig::paper_capture(2, 5));
+    let trace = mix.generate();
+    let reports = lab.run(&trace);
+    assert!(!reports.is_empty());
+
+    let mut stream = Vec::new();
+    for r in &reports {
+        stream.extend_from_slice(&r.encode_to_bytes());
+    }
+    let mut collector = IntCollector::new();
+    // Feed in awkward chunk sizes to exercise resync-free streaming.
+    let mut decoded = Vec::new();
+    for chunk in stream.chunks(333) {
+        decoded.extend(collector.ingest(chunk));
+    }
+    assert_eq!(decoded, reports);
+    assert_eq!(collector.stats().decode_errors, 0);
+
+    // Same flow-table outcome either way.
+    let mut direct = FlowTable::new(FlowTableConfig::default());
+    let mut via_wire = FlowTable::new(FlowTableConfig::default());
+    for r in &reports {
+        direct.update_int(r);
+    }
+    for r in &decoded {
+        via_wire.update_int(r);
+    }
+    assert_eq!(direct.len(), via_wire.len());
+    assert_eq!(direct.created(), via_wire.created());
+    assert_eq!(direct.updated(), via_wire.updated());
+}
+
+#[test]
+fn multi_hop_chain_accumulates_metadata() {
+    let lab = Testbed::new(TestbedConfig {
+        hops: 4,
+        ..Default::default()
+    });
+    let library = ReplayLibrary::build(50, 9);
+    let labeled = lab.replay_class(&library, TrafficClass::Benign);
+    for (report, _) in &labeled {
+        assert_eq!(report.hops.len(), 4, "one stack entry per switch");
+        // Hop metadata must be time-ordered along the path (modulo the
+        // 32-bit wrap, which a 50-packet replay cannot hit per hop).
+        for w in report.hops.windows(2) {
+            assert!(w[1].ingress_tstamp.wrapping_sub(w[0].egress_tstamp) < u32::MAX / 2);
+        }
+    }
+}
+
+#[test]
+fn zero_day_slowloris_is_detected() {
+    let lab = Testbed::new(TestbedConfig::default());
+    let library = ReplayLibrary::build(600, 3);
+    let mut training = Vec::new();
+    for class in TrafficClass::ALL {
+        if class != TrafficClass::SlowLoris {
+            training.extend(lab.replay_class(&library, class));
+        }
+    }
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let bundle = train_bundle(&raw, FeatureSet::Int, &small_trainer());
+
+    let unseen = lab.replay_class(&ReplayLibrary::build(600, 4), TrafficClass::SlowLoris);
+    let mut pipe = DetectionPipeline::new(bundle, PipelineConfig::rust_pace());
+    let report = pipe.run_sync(&unseen);
+    let s = report.class_summary(TrafficClass::SlowLoris);
+    assert!(
+        s.predicted > 20,
+        "needs final verdicts, got {}",
+        s.predicted
+    );
+    assert!(
+        s.accuracy() > 0.8,
+        "zero-day slowloris accuracy {} ({}/{} wrong)",
+        s.accuracy(),
+        s.misclassified,
+        s.predicted
+    );
+}
+
+#[test]
+fn sflow_sampling_misses_what_int_sees() {
+    use amlight::sflow::{SamplingMode, SflowAgent};
+    let mix = TrafficMix::new(TrafficMixConfig::paper_capture(3, 77));
+    let trace = mix.generate();
+
+    let lab = Testbed::new(TestbedConfig::default());
+    let int_view = lab.run_labeled(&trace);
+    let mut agent = SflowAgent::new(SamplingMode::RandomSkip { period: 256 }, 8);
+    let sflow_view = agent.sample_stream(trace.iter().map(|r| (r.ts_ns, &r.packet, r.class)));
+
+    let int_slowloris = int_view
+        .iter()
+        .filter(|(_, c)| *c == TrafficClass::SlowLoris)
+        .count();
+    let sflow_slowloris = sflow_view
+        .iter()
+        .filter(|(_, c)| *c == TrafficClass::SlowLoris)
+        .count();
+    assert!(
+        int_slowloris > 100,
+        "INT sees the episode ({int_slowloris})"
+    );
+    assert!(
+        sflow_slowloris * 50 < int_slowloris,
+        "sampling must lose at least 98% of SlowLoris ({sflow_slowloris} vs {int_slowloris})"
+    );
+}
+
+#[test]
+fn ensemble_beats_its_weakest_member_on_zero_day() {
+    let lab = Testbed::new(TestbedConfig::default());
+    let library = ReplayLibrary::build(500, 13);
+    let mut training = Vec::new();
+    for class in TrafficClass::ALL {
+        if class != TrafficClass::SlowLoris {
+            training.extend(lab.replay_class(&library, class));
+        }
+    }
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let bundle = train_bundle(&raw, FeatureSet::Int, &small_trainer());
+
+    let unseen = lab.replay_class(&ReplayLibrary::build(500, 14), TrafficClass::SlowLoris);
+    let unseen_raw = dataset_from_int(&unseen, FeatureSet::Int);
+    let mut scaled = unseen_raw.clone();
+    bundle.scaler.transform(&mut scaled);
+
+    let accs = [
+        bundle.mlp.evaluate(&scaled).accuracy(),
+        bundle.forest.evaluate(&scaled).accuracy(),
+        bundle.gnb.evaluate(&scaled).accuracy(),
+    ];
+    let weakest = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let mut ens_ok = 0usize;
+    for i in 0..scaled.len() {
+        if bundle.ensemble_vote(unseen_raw.row(i)) {
+            ens_ok += 1;
+        }
+    }
+    let ens_acc = ens_ok as f64 / scaled.len() as f64;
+    assert!(
+        ens_acc >= weakest,
+        "ensemble {ens_acc} must not trail the weakest member {weakest}"
+    );
+}
