@@ -1,0 +1,140 @@
+//! Single-row vs batched inference on the detection hot path.
+//!
+//! Each model scores the same block of rows twice: once through the
+//! per-row `predict_proba_one` loop (the pre-batching shape of the hot
+//! path) and once through the columnar `predict_proba_batch`. The
+//! `ensemble` group does the same for the full scale-then-2-of-3-vote
+//! decision the pipeline actually runs per flow update.
+
+use amlight_core::testbed::{Testbed, TestbedConfig};
+use amlight_core::trainer::{
+    dataset_from_int, train_bundle, ModelBundle, TrainerConfig, VoteScratch,
+};
+use amlight_features::FeatureSet;
+use amlight_ml::model::BinaryClassifier;
+use amlight_ml::{
+    Dataset, GaussianNb, Knn, Mlp, MlpConfig, RandomForest, RandomForestConfig, StandardScaler,
+};
+use amlight_net::TrafficClass;
+use amlight_traffic::ReplayLibrary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const BATCH: usize = 1024;
+
+struct Fixture {
+    scaled: Dataset,
+    raw: Dataset,
+    bundle: ModelBundle,
+}
+
+fn fixture() -> Fixture {
+    let lab = Testbed::new(TestbedConfig::default());
+    let library = ReplayLibrary::build(900, 41);
+    let mut training = Vec::new();
+    for class in TrafficClass::ALL {
+        if class != TrafficClass::SlowLoris {
+            training.extend(lab.replay_class(&library, class));
+        }
+    }
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let mut scaled = raw.clone();
+    let _ = StandardScaler::fit_transform(&mut scaled);
+    let bundle = train_bundle(
+        &raw,
+        FeatureSet::Int,
+        &TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 8,
+                batch_size: 256,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        },
+    );
+    Fixture {
+        scaled,
+        raw,
+        bundle,
+    }
+}
+
+/// The first `BATCH` rows of `d`, cycled if the dataset is smaller.
+fn block(d: &Dataset) -> (Vec<f64>, usize) {
+    let nf = d.n_features();
+    let mut rows = Vec::with_capacity(BATCH * nf);
+    for i in 0..BATCH {
+        rows.extend_from_slice(d.row(i % d.len()));
+    }
+    (rows, nf)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let f = fixture();
+    let (rows, nf) = block(&f.scaled);
+
+    let models: Vec<(&str, Box<dyn BinaryClassifier>)> = vec![
+        (
+            "rf",
+            Box::new(RandomForest::fit(&f.scaled, &RandomForestConfig::fast(), 1)),
+        ),
+        ("gnb", Box::new(GaussianNb::fit(&f.scaled))),
+        ("knn", Box::new(Knn::fit_subsampled(&f.scaled, 5, 0.05, 1))),
+        (
+            "mlp",
+            Box::new(Mlp::fit(
+                &f.scaled,
+                &MlpConfig {
+                    epochs: 3,
+                    ..MlpConfig::paper_nn()
+                },
+                1,
+            )),
+        ),
+    ];
+
+    let mut g = c.benchmark_group("inference");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for (name, model) in &models {
+        g.bench_with_input(BenchmarkId::new("single", name), model, |b, m| {
+            let mut out = vec![0.0f64; BATCH];
+            b.iter(|| {
+                for (row, o) in rows.chunks_exact(nf).zip(out.iter_mut()) {
+                    *o = m.predict_proba_one(std::hint::black_box(row));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("batched", name), model, |b, m| {
+            let mut out = vec![0.0f64; BATCH];
+            b.iter(|| m.predict_proba_batch(std::hint::black_box(&rows), nf, &mut out))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let f = fixture();
+    let (rows, nf) = block(&f.raw);
+
+    let mut g = c.benchmark_group("ensemble_batch");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("single", |b| {
+        let mut out = vec![false; BATCH];
+        b.iter(|| {
+            for (row, o) in rows.chunks_exact(nf).zip(out.iter_mut()) {
+                *o = f.bundle.ensemble_vote(std::hint::black_box(row));
+            }
+        })
+    });
+    g.bench_function("batched", |b| {
+        let mut scratch = VoteScratch::default();
+        let mut out = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            f.bundle
+                .votes_batch(std::hint::black_box(&rows), nf, &mut scratch, &mut out)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models, bench_ensemble);
+criterion_main!(benches);

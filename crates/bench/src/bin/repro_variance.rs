@@ -71,10 +71,7 @@ fn suite(
             RandomForest::fit(train, &forest_cfg, seed)
         }),
     );
-    row(
-        "GNB",
-        cross_validate(data, k, seed, GaussianNb::fit),
-    );
+    row("GNB", cross_validate(data, k, seed, GaussianNb::fit));
     row(
         "NN",
         cross_validate(data, k, seed, |train| Mlp::fit(train, &mlp_cfg, seed)),

@@ -14,14 +14,13 @@
 //! while shards proceed in parallel. No locks, no cross-shard traffic,
 //! per-flow ordering preserved by construction.
 
-use crate::trainer::ModelBundle;
+use crate::trainer::{ModelBundle, VoteScratch};
 use crate::verdict::{SmoothingWindow, Verdict};
-use amlight_features::{FlowTable, FlowTableConfig, UpdateKind};
+use amlight_features::{FlowTable, FlowTableConfig, ShardRouter, UpdateKind};
 use amlight_int::TelemetryReport;
-use amlight_net::flow::{FnvBuildHasher, FnvHashMap};
+use amlight_net::flow::FnvHashMap;
 use amlight_net::FlowKey;
 use rayon::prelude::*;
-use std::hash::BuildHasher;
 use std::sync::Arc;
 
 /// Per-report outcome, in input order.
@@ -42,24 +41,31 @@ impl BatchOutcome {
     }
 }
 
-/// One shard's full detection state.
+/// One shard's full detection state, plus the scratch buffers its
+/// columnar ensemble call reuses across batches.
 #[derive(Debug)]
 struct Shard {
     table: FlowTable,
     windows: FnvHashMap<FlowKey, SmoothingWindow>,
+    rows: Vec<f64>,
+    decisions: Vec<bool>,
+    scratch: VoteScratch,
 }
 
 /// The sharded detector.
 pub struct BatchDetector {
     bundle: Arc<ModelBundle>,
     shards: Vec<Shard>,
-    hasher: FnvBuildHasher,
+    router: ShardRouter,
     smoothing_window: usize,
 }
 
 impl BatchDetector {
+    /// `shards` is rounded up to a power of two (see [`ShardRouter`]) so
+    /// routing is a bitmask, matching [`amlight_features::ShardedFlowTable`].
     pub fn new(bundle: ModelBundle, table: FlowTableConfig, shards: usize) -> Self {
-        assert!(shards >= 1, "need at least one shard");
+        let router = ShardRouter::new(shards);
+        let shards = router.shard_count();
         let per_shard = FlowTableConfig {
             max_flows: (table.max_flows / shards).max(16),
             ..table
@@ -70,9 +76,12 @@ impl BatchDetector {
                 .map(|_| Shard {
                     table: FlowTable::new(per_shard),
                     windows: FnvHashMap::default(),
+                    rows: Vec::new(),
+                    decisions: Vec::new(),
+                    scratch: VoteScratch::default(),
                 })
                 .collect(),
-            hasher: FnvBuildHasher::default(),
+            router,
             smoothing_window: 3,
         }
     }
@@ -92,12 +101,19 @@ impl BatchDetector {
 
     /// Detect over a batch of telemetry reports. Returns one outcome per
     /// report, in input order.
+    ///
+    /// Each shard makes **one** columnar ensemble call for all the rows
+    /// it judges this batch, instead of a per-report model invocation:
+    /// pass one updates the tables and gathers judged rows contiguously,
+    /// then [`ModelBundle::votes_batch`] scores them, then pass two feeds
+    /// the smoothing windows in input order. Per-flow prediction order is
+    /// unchanged because a flow's reports all land in one shard and both
+    /// passes walk them in input order.
     pub fn detect_batch(&mut self, reports: &[TelemetryReport]) -> Vec<BatchOutcome> {
         let n_shards = self.shards.len();
         let mut routes: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
         for (i, r) in reports.iter().enumerate() {
-            let shard = (self.hasher.hash_one(r.flow) % n_shards as u64) as usize;
-            routes[shard].push(i as u32);
+            routes[self.router.route(r.flow)].push(i as u32);
         }
 
         let bundle = Arc::clone(&self.bundle);
@@ -110,25 +126,31 @@ impl BatchDetector {
             .zip(routes.par_iter())
             .map(|(shard, idxs)| {
                 let mut out = Vec::with_capacity(idxs.len());
-                let mut buf = Vec::with_capacity(16);
+                let mut judged = Vec::with_capacity(idxs.len());
+                shard.rows.clear();
                 for &i in idxs {
                     let report = &reports[i as usize];
                     let (kind, rec) = shard.table.update_int(report);
-                    let outcome = match kind {
-                        UpdateKind::Created => BatchOutcome::Created,
+                    match kind {
+                        UpdateKind::Created => out.push((i, BatchOutcome::Created)),
                         UpdateKind::Updated => {
-                            buf.clear();
-                            rec.features().project_into(feature_set, &mut buf);
-                            let votes = bundle.votes(&buf);
-                            let attack = votes.iter().filter(|&&v| v).count() >= 2;
-                            let w = shard
-                                .windows
-                                .entry(report.flow)
-                                .or_insert_with(|| SmoothingWindow::new(window_size));
-                            BatchOutcome::Judged(w.push(attack))
+                            rec.features().project_into(feature_set, &mut shard.rows);
+                            judged.push(i);
                         }
-                    };
-                    out.push((i, outcome));
+                    }
+                }
+                bundle.votes_batch(
+                    &shard.rows,
+                    feature_set.dim(),
+                    &mut shard.scratch,
+                    &mut shard.decisions,
+                );
+                for (&i, &attack) in judged.iter().zip(&shard.decisions) {
+                    let w = shard
+                        .windows
+                        .entry(reports[i as usize].flow)
+                        .or_insert_with(|| SmoothingWindow::new(window_size));
+                    out.push((i, BatchOutcome::Judged(w.push(attack))));
                 }
                 out
             })

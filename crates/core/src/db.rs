@@ -136,6 +136,20 @@ impl FlowDatabase {
         self.inner.read().predictions.clone()
     }
 
+    /// Cursor-based incremental read of stored predictions: everything
+    /// from index `since` on, plus the next cursor value. Stats pollers
+    /// use this instead of [`FlowDatabase::predictions`], which clones
+    /// the entire append-only history on every call.
+    pub fn predictions_since(&self, since: usize) -> (Vec<PredictionRecord>, usize) {
+        let g = self.inner.read();
+        let start = since.min(g.predictions.len());
+        (g.predictions[start..].to_vec(), g.predictions.len())
+    }
+
+    pub fn prediction_count(&self) -> usize {
+        self.inner.read().predictions.len()
+    }
+
     pub fn flow_count(&self) -> usize {
         self.inner.read().flows.len()
     }
@@ -242,6 +256,40 @@ mod tests {
         assert_eq!(preds.len(), 2);
         assert_eq!(preds[0].label, Some(true));
         assert_eq!(preds[1].label, None);
+    }
+
+    #[test]
+    fn predictions_since_is_exactly_once() {
+        let db = FlowDatabase::new();
+        for i in 0..5u64 {
+            db.store_prediction(PredictionRecord {
+                key: key(1),
+                label: Some(i % 2 == 0),
+                predicted_ns: i * 100,
+                latency_ns: i,
+            });
+        }
+        let (first, cursor) = db.predictions_since(0);
+        assert_eq!(first.len(), 5);
+        assert_eq!(cursor, 5);
+        // Nothing new: empty, cursor stable.
+        let (empty, cursor2) = db.predictions_since(cursor);
+        assert!(empty.is_empty());
+        assert_eq!(cursor2, cursor);
+        // New records appear exactly once; stale cursors past the end
+        // are clamped.
+        db.store_prediction(PredictionRecord {
+            key: key(2),
+            label: None,
+            predicted_ns: 900,
+            latency_ns: 9,
+        });
+        let (more, cursor3) = db.predictions_since(cursor);
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].key, key(2));
+        assert_eq!(cursor3, 6);
+        assert_eq!(db.prediction_count(), 6);
+        assert!(db.predictions_since(100).0.is_empty());
     }
 
     #[test]

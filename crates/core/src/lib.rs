@@ -49,5 +49,5 @@ pub use guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard};
 pub use pipeline::{DetectionPipeline, PipelineConfig, PipelineReport};
 pub use runtime::ThreadedPipeline;
 pub use testbed::{Testbed, TestbedConfig};
-pub use trainer::{train_bundle, ModelBundle, TrainerConfig};
+pub use trainer::{train_bundle, ModelBundle, TrainerConfig, VoteScratch};
 pub use verdict::{SmoothingWindow, Verdict};

@@ -21,7 +21,7 @@
 
 use crate::db::{FlowDatabase, PredictionRecord};
 use crate::guard::{FloodAlert, GuardConfig, NewFlowGuard};
-use crate::trainer::ModelBundle;
+use crate::trainer::{ModelBundle, VoteScratch};
 use crate::verdict::{SmoothingWindow, Verdict};
 use amlight_features::{FeatureSet, FlowTable, FlowTableConfig, UpdateKind};
 use amlight_int::TelemetryReport;
@@ -215,6 +215,21 @@ pub struct DetectionPipeline {
     db: FlowDatabase,
 }
 
+/// Reports per columnar prediction flush in [`DetectionPipeline::run_sync`].
+const PREDICTION_BATCH: usize = 1024;
+
+/// A judged flow update awaiting its micro-batch prediction flush.
+struct PendingUpdate {
+    key: FlowKey,
+    truth: TrafficClass,
+    registered_ns: u64,
+    /// Live flow count when the Data Processor handled this update. The
+    /// scan term of the service-time model must use the table size the
+    /// CentralServer would have observed then, not the size at flush
+    /// time, so deferring predictions cannot change any latency.
+    table_len: u64,
+}
+
 impl DetectionPipeline {
     pub fn new(bundle: ModelBundle, config: PipelineConfig) -> Self {
         Self {
@@ -234,73 +249,101 @@ impl DetectionPipeline {
 
     /// Replay a labeled INT telemetry stream (must be export-time
     /// ordered) through the full detection dataflow.
+    ///
+    /// Predictions are flushed in micro-batches of [`PREDICTION_BATCH`]
+    /// reports through one columnar [`ModelBundle::votes_batch`] call
+    /// instead of three virtual model calls per update. Deferring them is
+    /// invisible to the queueing model: predictions never feed back into
+    /// the flow table, each pending update carries the table size and
+    /// registration stamp from its own collect step, and the flush walks
+    /// updates in input order, so verdicts, latencies, and database
+    /// contents are identical to the one-at-a-time replay.
     pub fn run_sync(&mut self, labeled: &[(TelemetryReport, TrafficClass)]) -> PipelineReport {
         let mut table = FlowTable::new(self.config.table);
         let mut windows: FnvHashMap<FlowKey, SmoothingWindow> = FnvHashMap::default();
         let mut guard = self.config.guard.map(NewFlowGuard::new);
         let mut timeline = Vec::new();
         let mut server_free_ns = 0u64;
-        let mut feature_buf = Vec::with_capacity(15);
         let mut index = 0u64;
 
-        for (report, class) in labeled {
-            // (1)→(2): collection hands the report to the Data Processor.
-            let registered_ns = report.export_ns + self.config.processing_delay_ns;
-            let (kind, rec) = table.update_int(report);
-            let features = rec.features();
-            let update_seq = rec.update_seq;
+        let dim = self.bundle.feature_set.dim();
+        let mut pending: Vec<PendingUpdate> = Vec::with_capacity(PREDICTION_BATCH);
+        let mut rows: Vec<f64> = Vec::with_capacity(PREDICTION_BATCH * dim);
+        let mut decisions: Vec<bool> = Vec::new();
+        let mut scratch = VoteScratch::default();
 
-            // (3): one record per flow in the database.
-            match kind {
-                UpdateKind::Created => {
-                    self.db.record_created(report.flow, features, registered_ns);
-                    if let Some(g) = guard.as_mut() {
-                        g.record_created(report.flow.dst_ip, registered_ns);
+        for chunk in labeled.chunks(PREDICTION_BATCH) {
+            pending.clear();
+            rows.clear();
+
+            for (report, class) in chunk {
+                // (1)→(2): collection hands the report to the Data
+                // Processor.
+                let registered_ns = report.export_ns + self.config.processing_delay_ns;
+                let (kind, rec) = table.update_int(report);
+                let features = rec.features();
+                let update_seq = rec.update_seq;
+
+                // (3): one record per flow in the database.
+                match kind {
+                    UpdateKind::Created => {
+                        // CentralServer skips brand-new flows (§III-3).
+                        self.db.record_created(report.flow, features, registered_ns);
+                        if let Some(g) = guard.as_mut() {
+                            g.record_created(report.flow.dst_ip, registered_ns);
+                        }
                     }
-                    continue; // CentralServer skips brand-new flows (§III-3)
-                }
-                UpdateKind::Updated => {
-                    self.db
-                        .record_updated(report.flow, update_seq, features, registered_ns);
+                    UpdateKind::Updated => {
+                        self.db
+                            .record_updated(report.flow, update_seq, features, registered_ns);
+                        features.project_into(self.bundle.feature_set, &mut rows);
+                        pending.push(PendingUpdate {
+                            key: report.flow,
+                            truth: *class,
+                            registered_ns,
+                            table_len: table.len() as u64,
+                        });
+                    }
                 }
             }
 
-            // (4)→(5): CentralServer discovers the update and queues it at
-            // the single-server Prediction stage. Service cost includes
-            // the record scan proportional to table size.
-            let service_ns = self.config.base_service_ns
-                + self.config.scan_cost_per_flow_ns * table.len() as u64;
-            let start_ns = server_free_ns.max(registered_ns);
-            let predicted_ns = start_ns + service_ns;
-            server_free_ns = predicted_ns;
+            // (5): standardize + predict — one columnar ensemble call for
+            // every update this micro-batch judged.
+            self.bundle
+                .votes_batch(&rows, dim, &mut scratch, &mut decisions);
 
-            // (5): standardize + predict with all three models.
-            feature_buf.clear();
-            features.project_into(self.bundle.feature_set, &mut feature_buf);
-            let votes = self.bundle.votes(&feature_buf);
-            let ensemble = votes.iter().filter(|&&v| v).count() >= 2;
+            for (p, &ensemble) in pending.iter().zip(&decisions) {
+                // (4)→(5): CentralServer discovers the update and queues
+                // it at the single-server Prediction stage. Service cost
+                // includes the record scan proportional to table size.
+                let service_ns =
+                    self.config.base_service_ns + self.config.scan_cost_per_flow_ns * p.table_len;
+                let start_ns = server_free_ns.max(p.registered_ns);
+                let predicted_ns = start_ns + service_ns;
+                server_free_ns = predicted_ns;
 
-            // (6)→(7)→(8): aggregate into a smoothed verdict and store it
-            // with the prediction latency.
-            let window = windows
-                .entry(report.flow)
-                .or_insert_with(|| SmoothingWindow::new(self.config.smoothing_window));
-            let verdict = window.push(ensemble);
-            self.db.store_prediction(PredictionRecord {
-                key: report.flow,
-                label: verdict.label(),
-                predicted_ns,
-                latency_ns: predicted_ns - registered_ns,
-            });
-            timeline.push(TimelinePoint {
-                index,
-                key: report.flow,
-                truth: *class,
-                verdict,
-                registered_ns,
-                predicted_ns,
-            });
-            index += 1;
+                // (6)→(7)→(8): aggregate into a smoothed verdict and
+                // store it with the prediction latency.
+                let window = windows
+                    .entry(p.key)
+                    .or_insert_with(|| SmoothingWindow::new(self.config.smoothing_window));
+                let verdict = window.push(ensemble);
+                self.db.store_prediction(PredictionRecord {
+                    key: p.key,
+                    label: verdict.label(),
+                    predicted_ns,
+                    latency_ns: predicted_ns - p.registered_ns,
+                });
+                timeline.push(TimelinePoint {
+                    index,
+                    key: p.key,
+                    truth: p.truth,
+                    verdict,
+                    registered_ns: p.registered_ns,
+                    predicted_ns,
+                });
+                index += 1;
+            }
         }
 
         PipelineReport {
@@ -492,6 +535,49 @@ mod tests {
                 s.predicted + s.pending,
                 rep.timeline.iter().filter(|p| p.truth == class).count() as u64
             );
+        }
+    }
+
+    #[test]
+    fn microbatching_matches_per_row_oracle() {
+        let train = capture(200);
+        let b = bundle(&train);
+        let cfg = PipelineConfig::rust_pace();
+        // 1400 reports: the run crosses the 1024-report flush boundary.
+        let test = capture(700);
+        let rep = DetectionPipeline::new(b.clone(), cfg).run_sync(&test);
+
+        // Independent oracle: the pre-batching one-row-at-a-time replay.
+        let mut table = FlowTable::new(cfg.table);
+        let mut windows: FnvHashMap<FlowKey, SmoothingWindow> = FnvHashMap::default();
+        let mut server_free = 0u64;
+        let mut oracle = Vec::new();
+        let mut buf = Vec::new();
+        for (report, _) in &test {
+            let registered = report.export_ns + cfg.processing_delay_ns;
+            let (kind, rec) = table.update_int(report);
+            let features = rec.features();
+            if kind == UpdateKind::Created {
+                continue;
+            }
+            let service = cfg.base_service_ns + cfg.scan_cost_per_flow_ns * table.len() as u64;
+            let predicted = server_free.max(registered) + service;
+            server_free = predicted;
+            buf.clear();
+            features.project_into(b.feature_set, &mut buf);
+            let verdict = windows
+                .entry(report.flow)
+                .or_insert_with(|| SmoothingWindow::new(cfg.smoothing_window))
+                .push(b.ensemble_vote(&buf));
+            oracle.push((report.flow, verdict, registered, predicted));
+        }
+
+        assert_eq!(rep.timeline.len(), oracle.len());
+        for (t, (key, verdict, reg, pred)) in rep.timeline.iter().zip(&oracle) {
+            assert_eq!(t.key, *key);
+            assert_eq!(t.verdict, *verdict);
+            assert_eq!(t.registered_ns, *reg);
+            assert_eq!(t.predicted_ns, *pred, "latency model must be unchanged");
         }
     }
 

@@ -10,28 +10,34 @@
 //! `Instant`, not modeled.
 
 use crate::db::{FlowDatabase, PredictionRecord};
-use crate::trainer::ModelBundle;
+use crate::trainer::{ModelBundle, VoteScratch};
 use crate::verdict::SmoothingWindow;
 use amlight_features::{FlowTable, FlowTableConfig, UpdateKind};
 use amlight_int::TelemetryReport;
 use amlight_net::flow::FnvHashMap;
 use amlight_net::FlowKey;
 use crossbeam::channel::bounded;
+use parking_lot::Mutex;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// A prediction job flowing CentralServer → Prediction.
-struct Job {
-    key: FlowKey,
-    features: Vec<f64>,
-    registered_at: Instant,
+/// Most flow updates a single channel message may carry.
+const MAX_JOB_BATCH: usize = 256;
+
+/// A batch of prediction jobs flowing CentralServer → Prediction: one
+/// channel message (and one columnar ensemble call downstream) for every
+/// update the processor had on hand, not one message per flow update.
+struct BatchJob {
+    /// (flow, registration stamp) per judged update, in input order.
+    items: Vec<(FlowKey, Instant)>,
+    /// Row-major raw feature rows, parallel to `items`.
+    rows: Vec<f64>,
 }
 
-/// A vote flowing Prediction → aggregation.
-struct Voted {
-    key: FlowKey,
-    attack: bool,
-    registered_at: Instant,
+/// The scored batch flowing Prediction → aggregation.
+struct BatchVoted {
+    items: Vec<(FlowKey, Instant)>,
+    attacks: Vec<bool>,
 }
 
 /// Summary of a threaded run.
@@ -53,6 +59,9 @@ pub struct ThreadedPipeline {
     bundle: ModelBundle,
     smoothing_window: usize,
     channel_capacity: usize,
+    /// Cursor into the database's prediction history for
+    /// [`ThreadedPipeline::new_predictions`].
+    pred_cursor: Mutex<usize>,
 }
 
 impl ThreadedPipeline {
@@ -62,6 +71,7 @@ impl ThreadedPipeline {
             bundle,
             smoothing_window: 3,
             channel_capacity: 1024,
+            pred_cursor: Mutex::new(0),
         }
     }
 
@@ -74,13 +84,23 @@ impl ThreadedPipeline {
         &self.db
     }
 
+    /// Predictions stored since the previous call — a cursor-based view
+    /// via [`FlowDatabase::predictions_since`], so repeated stats polls
+    /// never re-clone the whole append-only history.
+    pub fn new_predictions(&self) -> Vec<PredictionRecord> {
+        let mut cursor = self.pred_cursor.lock();
+        let (recs, next) = self.db.predictions_since(*cursor);
+        *cursor = next;
+        recs
+    }
+
     /// Run the full pipeline over a report stream. Blocks until every
     /// module drains and joins.
     pub fn run(&self, reports: Vec<TelemetryReport>) -> ThreadedRunStats {
         let reports_in = reports.len() as u64;
         let (col_tx, col_rx) = bounded::<TelemetryReport>(self.channel_capacity);
-        let (job_tx, job_rx) = bounded::<Job>(self.channel_capacity);
-        let (vote_tx, vote_rx) = bounded::<Voted>(self.channel_capacity);
+        let (job_tx, job_rx) = bounded::<BatchJob>(self.channel_capacity);
+        let (vote_tx, vote_rx) = bounded::<BatchVoted>(self.channel_capacity);
 
         // Module 1: INT Data Collection — feeds the processor.
         let collection: JoinHandle<()> = std::thread::spawn(move || {
@@ -101,7 +121,11 @@ impl ThreadedPipeline {
             let mut table = FlowTable::new(FlowTableConfig::default());
             let mut created = 0u64;
             let mut buf = Vec::with_capacity(16);
-            for report in col_rx.iter() {
+            let mut batch = BatchJob {
+                items: Vec::with_capacity(MAX_JOB_BATCH),
+                rows: Vec::new(),
+            };
+            'ingest: for report in col_rx.iter() {
                 let now = Instant::now();
                 let (kind, rec) = table.update_int(&report);
                 let features = rec.features();
@@ -114,29 +138,41 @@ impl ThreadedPipeline {
                         db.record_updated(report.flow, rec.update_seq, features, report.export_ns);
                         buf.clear();
                         features.project_into(feature_set, &mut buf);
-                        let job = Job {
-                            key: report.flow,
-                            features: buf.clone(),
-                            registered_at: now,
-                        };
-                        if job_tx.send(job).is_err() {
-                            break;
+                        batch.items.push((report.flow, now));
+                        batch.rows.extend_from_slice(&buf);
+                        if batch.items.len() >= MAX_JOB_BATCH {
+                            let full = std::mem::replace(
+                                &mut batch,
+                                BatchJob {
+                                    items: Vec::with_capacity(MAX_JOB_BATCH),
+                                    rows: Vec::new(),
+                                },
+                            );
+                            if job_tx.send(full).is_err() {
+                                break 'ingest;
+                            }
                         }
                     }
                 }
             }
+            if !batch.items.is_empty() {
+                let _ = job_tx.send(batch);
+            }
             created
         });
 
-        // Module 4: Prediction — scaler + three models.
+        // Module 4: Prediction — one columnar scaler + ensemble pass per
+        // polled batch instead of a scaler/model walk per flow update.
         let bundle = self.bundle.clone();
         let prediction: JoinHandle<()> = std::thread::spawn(move || {
+            let mut scratch = VoteScratch::default();
+            let mut attacks = Vec::new();
             for job in job_rx.iter() {
-                let attack = bundle.ensemble_vote(&job.features);
-                let voted = Voted {
-                    key: job.key,
-                    attack,
-                    registered_at: job.registered_at,
+                let n_features = job.rows.len() / job.items.len().max(1);
+                bundle.votes_batch(&job.rows, n_features, &mut scratch, &mut attacks);
+                let voted = BatchVoted {
+                    items: job.items,
+                    attacks: std::mem::take(&mut attacks),
                 };
                 if vote_tx.send(voted).is_err() {
                     break;
@@ -154,27 +190,29 @@ impl ThreadedPipeline {
                 let (mut preds, mut attacks, mut normals, mut pendings) = (0u64, 0u64, 0u64, 0u64);
                 let mut lat_sum = 0.0f64;
                 let mut lat_max = 0.0f64;
-                for v in vote_rx.iter() {
-                    let latency = v.registered_at.elapsed();
-                    let lat_us = latency.as_secs_f64() * 1e6;
-                    lat_sum += lat_us;
-                    lat_max = lat_max.max(lat_us);
-                    let w = windows
-                        .entry(v.key)
-                        .or_insert_with(|| SmoothingWindow::new(window_size));
-                    let verdict = w.push(v.attack);
-                    match verdict.label() {
-                        Some(true) => attacks += 1,
-                        Some(false) => normals += 1,
-                        None => pendings += 1,
+                for batch in vote_rx.iter() {
+                    for (&(key, registered_at), &attack) in batch.items.iter().zip(&batch.attacks) {
+                        let latency = registered_at.elapsed();
+                        let lat_us = latency.as_secs_f64() * 1e6;
+                        lat_sum += lat_us;
+                        lat_max = lat_max.max(lat_us);
+                        let w = windows
+                            .entry(key)
+                            .or_insert_with(|| SmoothingWindow::new(window_size));
+                        let verdict = w.push(attack);
+                        match verdict.label() {
+                            Some(true) => attacks += 1,
+                            Some(false) => normals += 1,
+                            None => pendings += 1,
+                        }
+                        preds += 1;
+                        db.store_prediction(PredictionRecord {
+                            key,
+                            label: verdict.label(),
+                            predicted_ns: 0, // wall-clock mode: see latency_ns
+                            latency_ns: latency.as_nanos() as u64,
+                        });
                     }
-                    preds += 1;
-                    db.store_prediction(PredictionRecord {
-                        key: v.key,
-                        label: verdict.label(),
-                        predicted_ns: 0, // wall-clock mode: see latency_ns
-                        latency_ns: latency.as_nanos() as u64,
-                    });
                 }
                 (preds, attacks, normals, pendings, lat_sum, lat_max)
             });

@@ -77,6 +77,16 @@ pub struct ModelBundle {
     pub feature_set: FeatureSet,
 }
 
+/// Caller-owned scratch for [`ModelBundle::votes_batch`]. Reusing it
+/// across batches keeps the detection hot path allocation-free once the
+/// buffers have grown to the working batch size.
+#[derive(Debug, Clone, Default)]
+pub struct VoteScratch {
+    scaled: Vec<f64>,
+    proba: Vec<f64>,
+    counts: Vec<u8>,
+}
+
 impl ModelBundle {
     /// Individual model votes (MLP, RF, GNB order) for a raw (unscaled)
     /// feature row.
@@ -94,6 +104,55 @@ impl ModelBundle {
     pub fn ensemble_vote(&self, raw_features: &[f64]) -> bool {
         let v = self.votes(raw_features);
         v.iter().filter(|&&b| b).count() >= 2
+    }
+
+    /// Batched 2-of-3 ensemble decisions over contiguous row-major raw
+    /// (unscaled) features: one scaler pass, then each member scores the
+    /// whole batch through its columnar `predict_proba_batch` path.
+    ///
+    /// `out` is cleared and refilled with one decision per row, in row
+    /// order, bit-identical to calling [`ModelBundle::ensemble_vote`] on
+    /// each row (member probabilities are bit-identical and vote
+    /// counting is exact integer arithmetic).
+    pub fn votes_batch(
+        &self,
+        rows: &[f64],
+        n_features: usize,
+        scratch: &mut VoteScratch,
+        out: &mut Vec<bool>,
+    ) {
+        assert!(n_features > 0 || rows.is_empty(), "rows need features");
+        let n_rows = rows.len().checked_div(n_features).unwrap_or(0);
+        assert_eq!(
+            rows.len(),
+            n_rows * n_features,
+            "votes_batch: {} values is not a whole number of {n_features}-wide rows",
+            rows.len()
+        );
+        out.clear();
+        out.resize(n_rows, false);
+        if n_rows == 0 {
+            return;
+        }
+
+        scratch.scaled.clear();
+        scratch.scaled.resize(rows.len(), 0.0);
+        self.scaler.transform_into(rows, &mut scratch.scaled);
+
+        scratch.proba.clear();
+        scratch.proba.resize(n_rows, 0.0);
+        scratch.counts.clear();
+        scratch.counts.resize(n_rows, 0);
+        let members: [&dyn BinaryClassifier; 3] = [&self.mlp, &self.forest, &self.gnb];
+        for m in members {
+            m.predict_proba_batch(&scratch.scaled, n_features, &mut scratch.proba);
+            for (c, &p) in scratch.counts.iter_mut().zip(&scratch.proba) {
+                *c += u8::from(p >= 0.5);
+            }
+        }
+        for (o, &c) in out.iter_mut().zip(&scratch.counts) {
+            *o = c >= 2;
+        }
     }
 
     /// Wrap the three members as a [`MajorityEnsemble`] over *scaled*
@@ -272,6 +331,36 @@ mod tests {
     fn empty_training_rejected() {
         let d = Dataset::new(15);
         train_bundle(&d, FeatureSet::Int, &TrainerConfig::default());
+    }
+
+    #[test]
+    fn votes_batch_matches_per_row_ensemble() {
+        let labeled = labeled_reports(120);
+        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let cfg = TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 5,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        };
+        let bundle = train_bundle(&raw, FeatureSet::Int, &cfg);
+
+        let mut scratch = VoteScratch::default();
+        let mut batched = Vec::new();
+        bundle.votes_batch(raw.raw(), raw.n_features(), &mut scratch, &mut batched);
+        assert_eq!(batched.len(), raw.len());
+        for (i, &got) in batched.iter().enumerate() {
+            assert_eq!(got, bundle.ensemble_vote(raw.row(i)), "row {i}");
+        }
+
+        // Empty batch is a no-op; scratch reuse gives identical output.
+        bundle.votes_batch(&[], raw.n_features(), &mut scratch, &mut batched);
+        assert!(batched.is_empty());
+        bundle.votes_batch(raw.raw(), raw.n_features(), &mut scratch, &mut batched);
+        for (i, &got) in batched.iter().enumerate() {
+            assert_eq!(got, bundle.ensemble_vote(raw.row(i)));
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod stats;
 pub mod table;
 pub mod vector;
 
-pub use sharded::{ShardedFlowTable, ShardedUpdate};
+pub use sharded::{ShardRouter, ShardedFlowTable, ShardedUpdate};
 pub use stats::StreamingStats;
 pub use table::{FlowRecord, FlowTable, FlowTableConfig, UpdateKind};
 pub use vector::{FeatureId, FeatureSet, FeatureVector};

@@ -12,8 +12,45 @@ use crate::table::{FlowTable, FlowTableConfig, UpdateKind};
 use crate::vector::FeatureVector;
 use amlight_int::TelemetryReport;
 use amlight_net::flow::FnvBuildHasher;
+use amlight_net::FlowKey;
 use rayon::prelude::*;
 use std::hash::BuildHasher;
+
+/// Routes flow keys to shards with a bitmask over the FNV hash.
+///
+/// The shard count is always a power of two (requests are rounded up),
+/// so routing is `hash & mask` instead of an integer modulo — the
+/// division would otherwise sit in the per-report hot path of every
+/// sharded consumer. Shared by [`ShardedFlowTable`] and the core crate's
+/// `BatchDetector` so both route a given flow identically.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRouter {
+    hasher: FnvBuildHasher,
+    mask: u64,
+}
+
+impl ShardRouter {
+    /// Router for at least `min_shards` shards, rounded up to the next
+    /// power of two.
+    pub fn new(min_shards: usize) -> Self {
+        assert!(min_shards >= 1, "need at least one shard");
+        Self {
+            hasher: FnvBuildHasher::default(),
+            mask: min_shards.next_power_of_two() as u64 - 1,
+        }
+    }
+
+    /// The actual (power-of-two) shard count.
+    pub fn shard_count(&self) -> usize {
+        (self.mask + 1) as usize
+    }
+
+    /// Shard index for a flow key.
+    #[inline]
+    pub fn route(&self, flow: FlowKey) -> usize {
+        (self.hasher.hash_one(flow) & self.mask) as usize
+    }
+}
 
 /// The outcome of one report's ingest, in input order.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,13 +65,15 @@ pub struct ShardedUpdate {
 #[derive(Debug)]
 pub struct ShardedFlowTable {
     shards: Vec<FlowTable>,
-    hasher: FnvBuildHasher,
+    router: ShardRouter,
 }
 
 impl ShardedFlowTable {
-    /// `shards` should be ≥ the worker count; powers of two divide best.
+    /// `shards` should be ≥ the worker count; the count is rounded up to
+    /// a power of two so routing is a bitmask, not a modulo.
     pub fn new(cfg: FlowTableConfig, shards: usize) -> Self {
-        assert!(shards >= 1, "need at least one shard");
+        let router = ShardRouter::new(shards);
+        let shards = router.shard_count();
         // Split the global flow budget across shards.
         let per_shard = FlowTableConfig {
             max_flows: (cfg.max_flows / shards).max(16),
@@ -42,7 +81,7 @@ impl ShardedFlowTable {
         };
         Self {
             shards: (0..shards).map(|_| FlowTable::new(per_shard)).collect(),
-            hasher: FnvBuildHasher::default(),
+            router,
         }
     }
 
@@ -66,11 +105,6 @@ impl ShardedFlowTable {
         self.shards.iter().map(FlowTable::updated).sum()
     }
 
-    #[inline]
-    fn shard_of(&self, report: &TelemetryReport) -> usize {
-        (self.hasher.hash_one(report.flow) % self.shards.len() as u64) as usize
-    }
-
     /// Ingest a batch of reports in parallel. Results come back in input
     /// order; per-flow sequencing is exactly what sequential ingest
     /// would produce.
@@ -79,7 +113,7 @@ impl ShardedFlowTable {
         // Route: per shard, the input indices it owns (order-preserving).
         let mut routes: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
         for (i, r) in reports.iter().enumerate() {
-            routes[self.shard_of(r)].push(i as u32);
+            routes[self.router.route(r.flow)].push(i as u32);
         }
 
         // Process each shard sequentially, shards in parallel.
@@ -104,17 +138,24 @@ impl ShardedFlowTable {
             })
             .collect();
 
-        // Scatter back to input order.
-        let mut results: Vec<Option<ShardedUpdate>> = vec![None; reports.len()];
+        // Scatter back to input order into a pre-sized buffer. Every slot
+        // is overwritten: the routing loop above assigns each input index
+        // to exactly one shard, and each shard echoes back exactly the
+        // indices it was routed.
+        let mut results = vec![
+            ShardedUpdate {
+                kind: UpdateKind::Created,
+                features: FeatureVector::default(),
+                update_seq: 0,
+            };
+            reports.len()
+        ];
         for shard in shard_results {
             for (i, u) in shard {
-                results[i as usize] = Some(u);
+                results[i as usize] = u;
             }
         }
         results
-            .into_iter()
-            .map(|u| u.expect("every report routed to exactly one shard"))
-            .collect()
     }
 
     /// Evict idle flows across all shards (parallel). Returns the total
@@ -255,5 +296,44 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ShardedFlowTable::new(FlowTableConfig::default(), 0);
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        for (requested, actual) in [(1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16)] {
+            let t = ShardedFlowTable::new(FlowTableConfig::default(), requested);
+            assert_eq!(t.shard_count(), actual, "requested {requested}");
+            assert_eq!(ShardRouter::new(requested).shard_count(), actual);
+        }
+    }
+
+    #[test]
+    fn router_mask_matches_modulo_for_pow2() {
+        // With a power-of-two shard count, `hash & mask` must equal
+        // `hash % count` — the routing change is pure strength reduction.
+        let router = ShardRouter::new(8);
+        let hasher = FnvBuildHasher::default();
+        for i in 0..200u64 {
+            let key = report(1000 + (i % 64) as u16, i, 100).flow;
+            let h = hasher.hash_one(key);
+            assert_eq!(router.route(key), (h % 8) as usize);
+        }
+    }
+
+    #[test]
+    fn non_pow2_request_still_matches_sequential() {
+        let reports = batch(2_000, 48);
+        let mut sequential = FlowTable::new(FlowTableConfig::default());
+        let seq_out: Vec<u64> = reports
+            .iter()
+            .map(|r| sequential.update_int(r).1.update_seq)
+            .collect();
+        // Requesting 6 shards yields 8; semantics must be unchanged.
+        let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 6);
+        assert_eq!(sharded.shard_count(), 8);
+        let out = sharded.update_int_batch(&reports);
+        for (u, seq) in out.iter().zip(&seq_out) {
+            assert_eq!(u.update_seq, *seq);
+        }
     }
 }

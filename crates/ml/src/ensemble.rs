@@ -39,6 +39,29 @@ impl BinaryClassifier for MajorityEnsemble {
         votes as f64 / self.members.len() as f64
     }
 
+    /// Member-major batching: each member scores the whole batch through
+    /// its own columnar path, then integer vote counts are converted to
+    /// fractions. Vote counting is exact arithmetic, so the result is
+    /// bit-identical to the per-row vote fraction.
+    fn predict_proba_batch(&self, rows: &[f64], n_features: usize, out: &mut [f64]) {
+        crate::model::check_batch_shape(rows, n_features, out.len());
+        if out.is_empty() {
+            return;
+        }
+        let mut member_proba = vec![0.0; out.len()];
+        let mut counts = vec![0u32; out.len()];
+        for m in &self.members {
+            m.predict_proba_batch(rows, n_features, &mut member_proba);
+            for (c, &p) in counts.iter_mut().zip(&member_proba) {
+                *c += u32::from(p >= 0.5);
+            }
+        }
+        let n = self.members.len() as f64;
+        for (o, c) in out.iter_mut().zip(counts) {
+            *o = f64::from(c) / n;
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Ensemble"
     }

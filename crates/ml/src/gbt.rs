@@ -93,6 +93,37 @@ impl RegressionTree {
         }
     }
 
+    /// Walk four rows down the tree in lockstep. Lanes that reach a
+    /// leaf idle there until the deepest lane finishes; the four chase
+    /// chains stay independent so their node loads overlap.
+    fn predict4(&self, x: [&[f64]; 4]) -> [f64; 4] {
+        let mut i = [0usize; 4];
+        let mut p = [0.0f64; 4];
+        loop {
+            let mut all_leaves = true;
+            for l in 0..4 {
+                match self.nodes[i[l]] {
+                    RNode::Leaf { value } => p[l] = value,
+                    RNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                    } => {
+                        all_leaves = false;
+                        i[l] = if x[l][feature as usize] <= threshold {
+                            left as usize
+                        } else {
+                            left as usize + 1
+                        };
+                    }
+                }
+            }
+            if all_leaves {
+                return p;
+            }
+        }
+    }
+
     /// Fit to `targets` over the selected rows.
     fn fit(
         data: &Dataset,
@@ -303,11 +334,53 @@ impl GradientBoost {
         }
         s
     }
+
+    /// Raw logit scores for a contiguous row-major batch. Four rows
+    /// walk each round's tree in lockstep so the pointer-chase chains
+    /// overlap; accumulation into each row's score happens in round
+    /// order — the same addition sequence as
+    /// [`GradientBoost::decision_function`], so results are
+    /// bit-identical.
+    pub fn decision_function_batch(&self, rows: &[f64], n_features: usize, out: &mut [f64]) {
+        crate::model::check_batch_shape(rows, n_features, out.len());
+        if out.is_empty() {
+            return;
+        }
+        let mut rows4 = rows.chunks_exact(4 * n_features);
+        let mut outs4 = out.chunks_exact_mut(4);
+        for (quad, o4) in rows4.by_ref().zip(outs4.by_ref()) {
+            let (x0, rest) = quad.split_at(n_features);
+            let (x1, rest) = rest.split_at(n_features);
+            let (x2, x3) = rest.split_at(n_features);
+            let mut acc = [self.base_score; 4];
+            for t in &self.trees {
+                let p = t.predict4([x0, x1, x2, x3]);
+                for (a, &pv) in acc.iter_mut().zip(&p) {
+                    *a += self.learning_rate * pv;
+                }
+            }
+            o4.copy_from_slice(&acc);
+        }
+        for (row, o) in rows4
+            .remainder()
+            .chunks_exact(n_features)
+            .zip(outs4.into_remainder())
+        {
+            *o = self.decision_function(row);
+        }
+    }
 }
 
 impl BinaryClassifier for GradientBoost {
     fn predict_proba_one(&self, x: &[f64]) -> f64 {
         sigmoid(self.decision_function(x))
+    }
+
+    fn predict_proba_batch(&self, rows: &[f64], n_features: usize, out: &mut [f64]) {
+        self.decision_function_batch(rows, n_features, out);
+        for o in out.iter_mut() {
+            *o = sigmoid(*o);
+        }
     }
 
     fn name(&self) -> &'static str {

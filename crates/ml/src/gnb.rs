@@ -88,10 +88,11 @@ impl GaussianNb {
         }
         ll
     }
-}
 
-impl BinaryClassifier for GaussianNb {
-    fn predict_proba_one(&self, x: &[f64]) -> f64 {
+    /// Posterior P(attack | x) — the shared core of the single-row and
+    /// batched prediction paths.
+    #[inline]
+    fn posterior(&self, x: &[f64]) -> f64 {
         let lp = self.prior_pos.ln() + Self::log_likelihood(x, &self.mean_pos, &self.var_pos);
         let ln =
             (1.0 - self.prior_pos).ln() + Self::log_likelihood(x, &self.mean_neg, &self.var_neg);
@@ -100,6 +101,49 @@ impl BinaryClassifier for GaussianNb {
         let ep = (lp - m).exp();
         let en = (ln - m).exp();
         ep / (ep + en)
+    }
+}
+
+impl BinaryClassifier for GaussianNb {
+    fn predict_proba_one(&self, x: &[f64]) -> f64 {
+        self.posterior(x)
+    }
+
+    /// One pass over the batch buffer with the per-feature Gaussian
+    /// normalization terms `ln(2πσ²)` hoisted out of the row loop — they
+    /// depend only on the model, and `ln` is deterministic, so caching
+    /// them keeps every row's floating-point op sequence (and therefore
+    /// its bits) identical to [`GaussianNb::predict_proba_one`].
+    fn predict_proba_batch(&self, rows: &[f64], n_features: usize, out: &mut [f64]) {
+        crate::model::check_batch_shape(rows, n_features, out.len());
+        if out.is_empty() {
+            return;
+        }
+        let ln_norm = |var: &[f64]| -> Vec<f64> {
+            var.iter()
+                .map(|&v| (2.0 * std::f64::consts::PI * v).ln())
+                .collect()
+        };
+        let norm_pos = ln_norm(&self.var_pos);
+        let norm_neg = ln_norm(&self.var_neg);
+        let prior_lp = self.prior_pos.ln();
+        let prior_ln = (1.0 - self.prior_pos).ln();
+        let ll = |x: &[f64], mean: &[f64], var: &[f64], norm: &[f64]| -> f64 {
+            let mut acc = 0.0;
+            for (((&xi, &mu), &v), &n) in x.iter().zip(mean).zip(var).zip(norm) {
+                let d = xi - mu;
+                acc += -0.5 * (n + d * d / v);
+            }
+            acc
+        };
+        for (row, o) in rows.chunks_exact(n_features).zip(out.iter_mut()) {
+            let lp = prior_lp + ll(row, &self.mean_pos, &self.var_pos, &norm_pos);
+            let ln = prior_ln + ll(row, &self.mean_neg, &self.var_neg, &norm_neg);
+            let m = lp.max(ln);
+            let ep = (lp - m).exp();
+            let en = (ln - m).exp();
+            *o = ep / (ep + en);
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -81,18 +81,33 @@ impl Knn {
     }
 
     /// Parallel batch prediction (the serial trait path is fine for
-    /// single flows; sweeps want this).
+    /// single flows; sweeps want this). Thin wrapper over the columnar
+    /// [`BinaryClassifier::predict_proba_batch`] path.
     pub fn predict_batch(&self, data: &Dataset) -> Vec<bool> {
-        (0..data.len())
-            .into_par_iter()
-            .map(|i| self.vote(data.row(i)) >= 0.5)
-            .collect()
+        let mut proba = vec![0.0; data.len()];
+        self.predict_proba_batch(data.raw(), data.n_features(), &mut proba);
+        proba.into_iter().map(|p| p >= 0.5).collect()
     }
 }
 
 impl BinaryClassifier for Knn {
     fn predict_proba_one(&self, x: &[f64]) -> f64 {
         self.vote(x)
+    }
+
+    /// Rayon over contiguous query rows — each worker scans the
+    /// memorized training matrix sequentially, so the training data
+    /// streams through cache once per worker instead of once per query
+    /// context switch. Per-row votes are the exact single-row
+    /// computation, so results are bit-identical.
+    fn predict_proba_batch(&self, rows: &[f64], n_features: usize, out: &mut [f64]) {
+        crate::model::check_batch_shape(rows, n_features, out.len());
+        if out.is_empty() {
+            return;
+        }
+        rows.par_chunks_exact(n_features)
+            .zip(out.par_iter_mut())
+            .for_each(|(row, o)| *o = self.vote(row));
     }
 
     fn name(&self) -> &'static str {

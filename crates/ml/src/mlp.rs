@@ -98,6 +98,75 @@ impl Layer {
             z.push(acc);
         }
     }
+
+    /// Z = W·A + b over a feature-major (column-major) batch — the
+    /// matrix-matrix form of [`Layer::forward`]. `a` holds `n_in`
+    /// columns of `n_rows` values each (`a[i * n_rows + r]` is feature
+    /// `i` of row `r`); `z` comes out in the same layout with `n_out`
+    /// columns. The inner loop is a unit-stride AXPY over a row tile,
+    /// which the compiler vectorizes; each row's accumulator still sees
+    /// `b + w0·x0 + w1·x1 + …` in ascending-feature order, so the output
+    /// is bit-identical to calling `forward` row by row.
+    fn forward_batch(&self, a: &[f64], n_rows: usize, z: &mut Vec<f64>) {
+        /// Rows per register tile: 8 × 4 output units of f64
+        /// accumulators fit the vector register file, so `z` is written
+        /// exactly once per element instead of read-modify-written per
+        /// input feature.
+        const RB: usize = 8;
+        /// Output units per register tile.
+        const OB: usize = 4;
+        z.clear();
+        z.resize(n_rows * self.n_out, 0.0);
+        let n_in = self.n_in;
+        let mut r0 = 0;
+        while r0 + RB <= n_rows {
+            let mut o0 = 0;
+            while o0 + OB <= self.n_out {
+                let mut acc = [[0.0f64; RB]; OB];
+                for (u, accu) in acc.iter_mut().enumerate() {
+                    accu.fill(self.b[o0 + u]);
+                }
+                for i in 0..n_in {
+                    let ac = &a[i * n_rows + r0..i * n_rows + r0 + RB];
+                    for (u, accu) in acc.iter_mut().enumerate() {
+                        let w = self.w[(o0 + u) * n_in + i];
+                        for k in 0..RB {
+                            accu[k] += w * ac[k];
+                        }
+                    }
+                }
+                for (u, accu) in acc.iter().enumerate() {
+                    let at = (o0 + u) * n_rows + r0;
+                    z[at..at + RB].copy_from_slice(accu);
+                }
+                o0 += OB;
+            }
+            while o0 < self.n_out {
+                let mut accu = [self.b[o0]; RB];
+                for i in 0..n_in {
+                    let ac = &a[i * n_rows + r0..i * n_rows + r0 + RB];
+                    let w = self.w[o0 * n_in + i];
+                    for k in 0..RB {
+                        accu[k] += w * ac[k];
+                    }
+                }
+                let at = o0 * n_rows + r0;
+                z[at..at + RB].copy_from_slice(&accu);
+                o0 += 1;
+            }
+            r0 += RB;
+        }
+        // Row tail: plain per-(row, unit) dot products, same order.
+        for r in r0..n_rows {
+            for o in 0..self.n_out {
+                let mut acc = self.b[o];
+                for i in 0..n_in {
+                    acc += self.w[o * n_in + i] * a[i * n_rows + r];
+                }
+                z[o * n_rows + r] = acc;
+            }
+        }
+    }
 }
 
 #[inline]
@@ -265,6 +334,47 @@ impl BinaryClassifier for Mlp {
             }
             a.clear();
             a.extend(z.iter().map(|&v| relu(v)));
+        }
+        unreachable!("network has at least one layer")
+    }
+
+    /// Whole-batch forward pass: the batch is transposed once into
+    /// feature-major columns, then every layer runs as one tiled,
+    /// vectorizable matrix-matrix multiply instead of a matrix-vector
+    /// product per row. Two ping-pong activation buffers are the only
+    /// allocations, amortized over the batch.
+    fn predict_proba_batch(&self, rows: &[f64], n_features: usize, out: &mut [f64]) {
+        crate::model::check_batch_shape(rows, n_features, out.len());
+        let n_rows = out.len();
+        if n_rows == 0 {
+            return;
+        }
+        assert_eq!(
+            n_features, self.layers[0].n_in,
+            "feature width does not match the input layer"
+        );
+        let l = self.layers.len();
+        // Transpose row-major input into feature-major columns.
+        let mut a = vec![0.0; rows.len()];
+        for (r, row) in rows.chunks_exact(n_features).enumerate() {
+            for (i, &v) in row.iter().enumerate() {
+                a[i * n_rows + r] = v;
+            }
+        }
+        let mut z: Vec<f64> = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward_batch(&a, n_rows, &mut z);
+            if li + 1 == l {
+                // The output layer has one unit: z is one logit per row.
+                for (o, &v) in out.iter_mut().zip(&z) {
+                    *o = sigmoid(v);
+                }
+                return;
+            }
+            for v in z.iter_mut() {
+                *v = relu(*v);
+            }
+            std::mem::swap(&mut a, &mut z);
         }
         unreachable!("network has at least one layer")
     }

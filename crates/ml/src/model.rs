@@ -3,10 +3,50 @@
 use crate::dataset::Dataset;
 use crate::metrics::ConfusionMatrix;
 
+/// Check the row-major batch geometry shared by every
+/// [`BinaryClassifier::predict_proba_batch`] implementation:
+/// `rows` holds `out.len()` rows of `n_features` values each.
+#[inline]
+pub(crate) fn check_batch_shape(rows: &[f64], n_features: usize, n_out: usize) {
+    assert!(
+        n_features > 0 || n_out == 0,
+        "batch rows need at least one feature"
+    );
+    assert_eq!(
+        rows.len(),
+        n_features * n_out,
+        "batch shape mismatch: {} values is not {} rows × {} features",
+        rows.len(),
+        n_out,
+        n_features
+    );
+}
+
 /// A trained binary classifier. "Positive" (`true`) = attack flow.
 pub trait BinaryClassifier: Send + Sync {
     /// Probability-like score in [0, 1] for one feature vector.
     fn predict_proba_one(&self, x: &[f64]) -> f64;
+
+    /// Probability-like scores for a contiguous row-major batch:
+    /// `rows` holds `out.len()` rows of `n_features` values each, and one
+    /// score per row is written into the caller-owned `out`.
+    ///
+    /// This is the detection hot path. Implementations must be
+    /// *bit-identical* to calling [`predict_proba_one`] row by row —
+    /// batching is a layout/throughput optimization, never a semantic
+    /// change. The default does exactly that delegation; the concrete
+    /// models override it with columnar traversals.
+    ///
+    /// [`predict_proba_one`]: BinaryClassifier::predict_proba_one
+    fn predict_proba_batch(&self, rows: &[f64], n_features: usize, out: &mut [f64]) {
+        check_batch_shape(rows, n_features, out.len());
+        if out.is_empty() {
+            return;
+        }
+        for (row, o) in rows.chunks_exact(n_features).zip(out.iter_mut()) {
+            *o = self.predict_proba_one(row);
+        }
+    }
 
     /// Hard decision at the 0.5 threshold.
     fn predict_one(&self, x: &[f64]) -> bool {
@@ -16,18 +56,20 @@ pub trait BinaryClassifier: Send + Sync {
     /// Model family name for report tables.
     fn name(&self) -> &'static str;
 
-    /// Predict a whole dataset.
+    /// Predict a whole dataset (batched path).
     fn predict(&self, data: &Dataset) -> Vec<bool> {
-        (0..data.len())
-            .map(|i| self.predict_one(data.row(i)))
-            .collect()
+        let mut proba = vec![0.0; data.len()];
+        self.predict_proba_batch(data.raw(), data.n_features(), &mut proba);
+        proba.into_iter().map(|p| p >= 0.5).collect()
     }
 
-    /// Evaluate against a labeled dataset.
+    /// Evaluate against a labeled dataset (batched path).
     fn evaluate(&self, data: &Dataset) -> ConfusionMatrix {
+        let mut proba = vec![0.0; data.len()];
+        self.predict_proba_batch(data.raw(), data.n_features(), &mut proba);
         let mut m = ConfusionMatrix::new();
-        for (row, label) in data.rows() {
-            m.record(label, self.predict_one(row));
+        for (&p, &label) in proba.iter().zip(data.labels()) {
+            m.record(label, p >= 0.5);
         }
         m
     }
@@ -36,6 +78,10 @@ pub trait BinaryClassifier: Send + Sync {
 impl<T: BinaryClassifier + ?Sized> BinaryClassifier for Box<T> {
     fn predict_proba_one(&self, x: &[f64]) -> f64 {
         (**self).predict_proba_one(x)
+    }
+
+    fn predict_proba_batch(&self, rows: &[f64], n_features: usize, out: &mut [f64]) {
+        (**self).predict_proba_batch(rows, n_features, out)
     }
 
     fn predict_one(&self, x: &[f64]) -> bool {
@@ -126,5 +172,33 @@ mod tests {
         let d = blobs(5, 3, 2.0);
         let preds = FirstFeatureStub { threshold: 0.0 }.predict(&d);
         assert_eq!(preds.len(), d.len());
+    }
+
+    #[test]
+    fn default_batch_matches_one_at_a_time() {
+        let d = blobs(10, 3, 2.0);
+        let stub = FirstFeatureStub { threshold: 0.0 };
+        let mut out = vec![0.0; d.len()];
+        stub.predict_proba_batch(d.raw(), d.n_features(), &mut out);
+        for (i, &p) in out.iter().enumerate() {
+            assert_eq!(p, stub.predict_proba_one(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let stub = FirstFeatureStub { threshold: 0.0 };
+        let mut out: Vec<f64> = Vec::new();
+        stub.predict_proba_batch(&[], 3, &mut out);
+        stub.predict_proba_batch(&[], 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch shape mismatch")]
+    fn misshapen_batch_rejected() {
+        let stub = FirstFeatureStub { threshold: 0.0 };
+        let mut out = vec![0.0; 2];
+        stub.predict_proba_batch(&[1.0, 2.0, 3.0], 2, &mut out);
     }
 }

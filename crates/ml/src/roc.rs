@@ -70,10 +70,14 @@ impl RocCurve {
         Self { points, auc }
     }
 
-    /// Score a model over a labeled dataset and build the curve.
+    /// Score a model over a labeled dataset (batched) and build the
+    /// curve.
     pub fn from_model(model: &dyn BinaryClassifier, data: &Dataset) -> Self {
-        let scored: Vec<(f64, bool)> = (0..data.len())
-            .map(|i| (model.predict_proba_one(data.row(i)), data.label(i)))
+        let mut proba = vec![0.0; data.len()];
+        model.predict_proba_batch(data.raw(), data.n_features(), &mut proba);
+        let scored: Vec<(f64, bool)> = proba
+            .into_iter()
+            .zip(data.labels().iter().copied())
             .collect();
         Self::from_scores(&scored)
     }

@@ -88,6 +88,32 @@ impl StandardScaler {
         }
     }
 
+    /// Standardize a contiguous row-major batch into a caller-owned
+    /// buffer. `rows` and `out` hold the same number of complete rows;
+    /// nothing is allocated, so a reused scratch buffer makes the
+    /// per-prediction scaling cost pure arithmetic. Values are written
+    /// with exactly the arithmetic of [`StandardScaler::transform_row`],
+    /// so batched and per-row scaling are bit-identical.
+    pub fn transform_into(&self, rows: &[f64], out: &mut [f64]) {
+        let d = self.means.len();
+        assert_eq!(
+            rows.len(),
+            out.len(),
+            "scaler batch: input and output sizes differ"
+        );
+        assert_eq!(
+            rows.len() % d.max(1),
+            0,
+            "scaler batch: {} values is not a whole number of {d}-wide rows",
+            rows.len()
+        );
+        for (src, dst) in rows.chunks_exact(d).zip(out.chunks_exact_mut(d)) {
+            for (((o, &v), &m), &s) in dst.iter_mut().zip(src).zip(&self.means).zip(&self.stds) {
+                *o = (v - m) / s;
+            }
+        }
+    }
+
     /// Transform a whole dataset in place.
     pub fn transform(&self, data: &mut Dataset) {
         assert_eq!(data.n_features(), self.n_features());
@@ -174,6 +200,29 @@ mod tests {
         let std0 = (2.0f64 / 3.0).sqrt();
         assert!((row[0] - (4.0 - 2.0) / std0).abs() < 1e-12);
         assert_eq!(row[2], 2.0); // (7-5)/1
+    }
+
+    #[test]
+    fn transform_into_matches_row_transform() {
+        let s = StandardScaler::fit(&data());
+        let rows = [4.0, 40.0, 7.0, -1.0, 0.0, 5.0];
+        let mut out = [0.0; 6];
+        s.transform_into(&rows, &mut out);
+        for (chunk, scaled) in rows.chunks_exact(3).zip(out.chunks_exact(3)) {
+            let mut row = chunk.to_vec();
+            s.transform_row(&mut row);
+            assert_eq!(row.as_slice(), scaled, "bit-identical scaling");
+        }
+        // Empty batch is fine.
+        s.transform_into(&[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn transform_into_rejects_ragged_input() {
+        let s = StandardScaler::fit(&data());
+        let mut out = [0.0; 4];
+        s.transform_into(&[1.0, 2.0, 3.0, 4.0], &mut out);
     }
 
     #[test]

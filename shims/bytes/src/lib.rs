@@ -1,0 +1,410 @@
+//! Offline shim for the `bytes` crate: contiguous `Buf`/`BufMut`
+//! cursors plus `Bytes`/`BytesMut` containers. Network byte order for
+//! all multi-byte reads and writes, exactly like the real crate.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Read cursor over contiguous bytes.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes (always the full remainder in this shim).
+    fn chunk(&self) -> &[u8];
+
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    #[inline]
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    #[inline]
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    #[inline]
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    #[inline]
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    #[inline]
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+/// Append-only write cursor.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    #[inline]
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        (**self).put_bytes(val, cnt)
+    }
+}
+
+/// Growable byte buffer: writes append at the back, `Buf` reads consume
+/// from the front.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Take the entire contents, leaving `self` empty.
+    pub fn split(&mut self) -> BytesMut {
+        let taken = self.data.split_off(self.start);
+        self.data.clear();
+        self.start = 0;
+        BytesMut {
+            data: taken,
+            start: 0,
+        }
+    }
+
+    /// Freeze into an immutable, cheaply cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(&self.data[self.start..]),
+            pos: 0,
+        }
+    }
+
+    /// Drop consumed bytes eagerly (keeps the backing store bounded for
+    /// long-lived reassembly buffers).
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start * 2 > self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.start..]
+    }
+}
+
+impl Buf for BytesMut {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of BytesMut");
+        self.start += cnt;
+        self.compact();
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.data.resize(self.data.len() + cnt, val);
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        Self {
+            data: src.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+/// Immutable, cheaply cloneable byte cursor. Consuming via [`Buf`]
+/// shrinks the visible window from the front, so `len`/`is_empty`
+/// reflect the unread remainder, matching the real crate.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self {
+            data: Arc::from(&[][..]),
+            pos: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self {
+            data: Arc::from(src),
+            pos: 0,
+        }
+    }
+
+    /// A sub-view of the unread remainder, sharing the backing store.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::from(&self[lo..hi]),
+            pos: 0,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xab);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xdead_beef);
+        buf.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(buf.len(), 15);
+
+        let mut cursor = buf.freeze();
+        let c2 = cursor.clone();
+        assert_eq!(cursor.get_u8(), 0xab);
+        assert_eq!(cursor.get_u16(), 0x1234);
+        assert_eq!(cursor.get_u32(), 0xdead_beef);
+        assert_eq!(cursor.get_u64(), 0x0102_0304_0506_0708);
+        assert!(cursor.is_empty());
+        assert_eq!(c2.len(), 15, "clones keep their own position");
+    }
+
+    #[test]
+    fn bytesmut_front_consumption() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3, 4, 5]);
+        b.advance(2);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        b.extend_from_slice(&[6]);
+        assert_eq!(&b[..], &[3, 4, 5, 6]);
+        let mut probe = &b[..];
+        assert_eq!(probe.get_u8(), 3);
+        assert_eq!(probe.remaining(), 3);
+        assert_eq!(b.len(), 4, "probe did not consume the buffer");
+    }
+
+    #[test]
+    fn slice_buf_and_copy() {
+        let mut s: &[u8] = &[1, 2, 3, 4];
+        let mut dst = [0u8; 2];
+        s.copy_to_slice(&mut dst);
+        assert_eq!(dst, [1, 2]);
+        assert_eq!(s.remaining(), 2);
+    }
+
+    #[test]
+    fn put_bytes_fills() {
+        let mut b = BytesMut::new();
+        b.put_bytes(0, 5);
+        assert_eq!(&b[..], &[0; 5]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Offline shim for `criterion`: same macro/type surface, simple
+//! wall-clock measurement. Each benchmark is calibrated so one sample
+//! lasts roughly a millisecond, then `sample_size` samples are timed;
+//! the report prints mean and minimum ns/iter plus throughput. All
+//! harness CLI flags (e.g. `--quick`, `--bench`) are ignored.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(1);
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Units a benchmark processes per iteration, for the rate column.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` keeps alive; ignored here
+/// because every iteration runs its own setup.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+/// Benchmark name, optionally parameterized (`group/name/param`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; counts iterations and time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, None, self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, self.throughput, samples, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark(
+    label: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration pass: find how many iterations fill ~1 ms.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample =
+        (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20) as u64;
+
+    let mut mean_sum_ns = 0.0f64;
+    let mut min_ns = f64::INFINITY;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / iters_per_sample as f64;
+        mean_sum_ns += ns;
+        min_ns = min_ns.min(ns);
+    }
+    let mean_ns = mean_sum_ns / samples as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("{} elem/s", si(n as f64 / (mean_ns * 1e-9))),
+        Throughput::Bytes(n) => format!("{}B/s", si(n as f64 / (mean_ns * 1e-9))),
+    });
+    match rate {
+        Some(rate) => println!(
+            "{label:<50} mean {:>12} min {:>12} thrpt {rate}",
+            fmt_ns(mean_ns),
+            fmt_ns(min_ns)
+        ),
+        None => println!(
+            "{label:<50} mean {:>12} min {:>12}",
+            fmt_ns(mean_ns),
+            fmt_ns(min_ns)
+        ),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Declare a benchmark group runner: `criterion_group!(benches, f1, f2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the harness entry point: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // CLI flags (--quick, --bench, filters) are accepted and ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.throughput(Throughput::Elements(64));
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}

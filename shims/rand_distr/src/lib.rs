@@ -1,0 +1,141 @@
+//! Offline shim for `rand_distr`: the three continuous distributions the
+//! traffic generators draw from, via inverse-transform / Box–Muller.
+
+use rand::RngCore;
+use std::fmt;
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types from which values can be sampled.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform in (0, 1] — safe for `ln`.
+#[inline]
+fn open_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard normal via Box–Muller.
+#[inline]
+fn std_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = open_unit(rng);
+    let u2 = open_unit(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Self { lambda })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open_unit(rng).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)`. Generic over the
+/// sample type like the real crate, but only `f64` is implemented.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F = f64> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma >= 0.0 && mu.is_finite() && sigma.is_finite() {
+            Ok(Self { mu, sigma })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * std_normal(rng)).exp()
+    }
+}
+
+/// Pareto distribution with the given scale (minimum) and shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto<F = f64> {
+    scale: F,
+    shape: F,
+}
+
+impl Pareto<f64> {
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if scale > 0.0 && shape > 0.0 && scale.is_finite() && shape.is_finite() {
+            Ok(Self { scale, shape })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale / open_unit(rng).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(LogNormal::new(1.0, -0.1).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn samples_are_plausible() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let exp = Exp::new(2.0).unwrap();
+        let mean: f64 = (0..20_000).map(|_| exp.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.05, "Exp(2) mean ≈ 0.5, got {mean}");
+
+        let par = Pareto::new(3.0, 2.5).unwrap();
+        for _ in 0..1000 {
+            assert!(par.sample(&mut rng) >= 3.0);
+        }
+
+        let ln = LogNormal::new(0.0, 0.5).unwrap();
+        for _ in 0..1000 {
+            assert!(ln.sample(&mut rng) > 0.0);
+        }
+    }
+}

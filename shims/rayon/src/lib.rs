@@ -1,0 +1,115 @@
+//! Offline shim for `rayon`: the parallel-iterator entry points the
+//! workspace uses, executed **sequentially**. Each `par_*` method
+//! returns the corresponding `std` iterator, so every downstream
+//! adapter (`zip`, `map`, `for_each`, `collect`, …) is just the std
+//! `Iterator` machinery and ordering semantics are identical to rayon's
+//! order-preserving collects.
+
+pub mod prelude {
+    /// `par_iter` / `par_chunks_exact` over shared slices.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        #[inline]
+        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T> {
+            self.chunks_exact(chunk_size)
+        }
+
+        #[inline]
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` over exclusive slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        #[inline]
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
+            self.chunks_exact_mut(chunk_size)
+        }
+
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `into_par_iter` for any owned iterable (ranges, `Vec`, …).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        #[inline]
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The shim executes on the calling thread only.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn zip_and_mutate() {
+        let mut a = vec![0; 4];
+        let b = vec![10, 20, 30, 40];
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, y)| *x = *y);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunks_and_ranges() {
+        let rows = [1.0, 2.0, 3.0, 4.0];
+        let mut out = [0.0; 2];
+        rows.par_chunks_exact(2)
+            .zip(out.par_iter_mut())
+            .for_each(|(c, o)| *o = c[0] + c[1]);
+        assert_eq!(out, [3.0, 7.0]);
+
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}

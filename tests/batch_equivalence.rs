@@ -1,0 +1,229 @@
+//! Batched inference must be *bit-identical* to the single-row path.
+//!
+//! The columnar `predict_proba_batch` specializations (tree lockstep
+//! walks, the MLP's register-tiled matrix-matrix forward, GNB's hoisted
+//! normalization terms) are pure layout/throughput changes: every
+//! (row, model) probability must carry exactly the same f64 bits as
+//! `predict_proba_one` on that row, and the ensemble's batched votes
+//! must match `ensemble_vote` decision for decision. These tests pin
+//! that contract across awkward batch sizes (empty, one row, lockstep
+//! and register-tile remainders) and non-finite feature values, plus a
+//! property test over random batches.
+
+use amlight::core::trainer::{train_bundle, TrainerConfig, VoteScratch};
+use amlight::features::FeatureSet;
+use amlight::ml::model::BinaryClassifier;
+use amlight::ml::{
+    Dataset, GaussianNb, GbtConfig, GradientBoost, Knn, Mlp, MlpConfig, RandomForest,
+    RandomForestConfig,
+};
+use proptest::prelude::*;
+
+/// Two deterministic interleaved clusters, jittered enough that trees
+/// actually split and the MLP trains non-trivially.
+fn blobs(n_per_class: usize, n_features: usize) -> Dataset {
+    let mut d = Dataset::new(n_features);
+    for i in 0..n_per_class {
+        let jitter = |k: usize| ((i * 31 + k * 17) % 100) as f64 / 50.0 - 1.0;
+        let neg: Vec<f64> = (0..n_features).map(|k| -2.0 + jitter(k)).collect();
+        let pos: Vec<f64> = (0..n_features).map(|k| 2.0 + jitter(k + 7)).collect();
+        d.push(&neg, false);
+        d.push(&pos, true);
+    }
+    d
+}
+
+/// A row-major block of `n` rows cycled out of `d`.
+fn block(d: &Dataset, n: usize) -> Vec<f64> {
+    let mut rows = Vec::with_capacity(n * d.n_features());
+    for i in 0..n {
+        rows.extend_from_slice(d.row(i % d.len()));
+    }
+    rows
+}
+
+/// Batch sizes that hit the interesting seams: empty, single row, the
+/// 4-row lockstep quads and their remainders, and the MLP's 8-row
+/// register tile and its tail.
+const SIZES: &[usize] = &[0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 64, 100];
+
+fn assert_bit_identical(model: &dyn BinaryClassifier, d: &Dataset) {
+    let nf = d.n_features();
+    for &n in SIZES {
+        let rows = block(d, n);
+        let mut batched = vec![0.0f64; n];
+        model.predict_proba_batch(&rows, nf, &mut batched);
+        for (r, (row, b)) in rows.chunks_exact(nf).zip(&batched).enumerate() {
+            let single = model.predict_proba_one(row);
+            assert_eq!(
+                single.to_bits(),
+                b.to_bits(),
+                "{} row {r} of {n}: single {single:?} != batched {b:?}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn random_forest_batch_is_bit_identical() {
+    let d = blobs(120, 6);
+    let rf = RandomForest::fit(&d, &RandomForestConfig::fast(), 7);
+    assert_bit_identical(&rf, &d);
+}
+
+#[test]
+fn gradient_boost_batch_is_bit_identical() {
+    let d = blobs(120, 6);
+    let gb = GradientBoost::fit(&d, &GbtConfig::fast(), 7);
+    assert_bit_identical(&gb, &d);
+}
+
+#[test]
+fn gnb_batch_is_bit_identical() {
+    let d = blobs(120, 6);
+    let gnb = GaussianNb::fit(&d);
+    assert_bit_identical(&gnb, &d);
+}
+
+#[test]
+fn knn_batch_is_bit_identical() {
+    let d = blobs(60, 5);
+    let knn = Knn::fit(blobs(60, 5), 5);
+    assert_bit_identical(&knn, &d);
+}
+
+#[test]
+fn mlp_batch_is_bit_identical() {
+    let d = blobs(100, 6);
+    // Hidden widths deliberately not multiples of the 4-unit register
+    // tile, so the output-tail path runs too.
+    let cfg = MlpConfig {
+        hidden: vec![9, 5],
+        epochs: 4,
+        batch_size: 32,
+        ..MlpConfig::default()
+    };
+    let mlp = Mlp::fit(&d, &cfg, 3);
+    assert_bit_identical(&mlp, &d);
+}
+
+#[test]
+fn paper_shaped_mlp_batch_is_bit_identical() {
+    let d = blobs(80, 15);
+    let cfg = MlpConfig {
+        epochs: 2,
+        ..MlpConfig::paper_mlp()
+    };
+    let mlp = Mlp::fit(&d, &cfg, 3);
+    assert_bit_identical(&mlp, &d);
+}
+
+#[test]
+fn non_finite_features_stay_bit_identical() {
+    let d = blobs(80, 5);
+    let rf = RandomForest::fit(&d, &RandomForestConfig::fast(), 7);
+    let gb = GradientBoost::fit(&d, &GbtConfig::fast(), 7);
+    let gnb = GaussianNb::fit(&d);
+    let mlp = Mlp::fit(
+        &d,
+        &MlpConfig {
+            hidden: vec![6, 3],
+            epochs: 2,
+            ..MlpConfig::default()
+        },
+        3,
+    );
+    let models: [&dyn BinaryClassifier; 4] = [&rf, &gb, &gnb, &mlp];
+
+    let mut rows = block(&d, 12);
+    rows[0] = f64::NAN;
+    rows[7] = f64::INFINITY;
+    rows[13] = f64::NEG_INFINITY;
+    rows[29] = f64::NAN;
+    let nf = d.n_features();
+    for model in models {
+        let mut batched = vec![0.0f64; 12];
+        model.predict_proba_batch(&rows, nf, &mut batched);
+        for (r, (row, b)) in rows.chunks_exact(nf).zip(&batched).enumerate() {
+            let single = model.predict_proba_one(row);
+            assert_eq!(
+                single.to_bits(),
+                b.to_bits(),
+                "{} row {r} with non-finite input: {single:?} != {b:?}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ensemble_votes_batch_matches_per_row_votes() {
+    let raw = blobs(100, 15);
+    let bundle = train_bundle(
+        &raw,
+        FeatureSet::Int,
+        &TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 2,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        },
+    );
+    let nf = raw.n_features();
+    let mut scratch = VoteScratch::default();
+    let mut out = Vec::new();
+    for &n in SIZES {
+        let rows = block(&raw, n);
+        bundle.votes_batch(&rows, nf, &mut scratch, &mut out);
+        assert_eq!(out.len(), n);
+        for (r, (row, &got)) in rows.chunks_exact(nf).zip(&out).enumerate() {
+            assert_eq!(
+                bundle.ensemble_vote(row),
+                got,
+                "ensemble decision diverged at row {r} of batch {n}"
+            );
+        }
+    }
+}
+
+proptest! {
+    fn random_batches_are_bit_identical(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e3f64..1e3, 5),
+            0..40,
+        ),
+    ) {
+        use std::sync::OnceLock;
+        static MODELS: OnceLock<(RandomForest, GradientBoost, GaussianNb, Mlp)> = OnceLock::new();
+        let (rf, gb, gnb, mlp) = MODELS.get_or_init(|| {
+            let d = blobs(80, 5);
+            (
+                RandomForest::fit(&d, &RandomForestConfig::fast(), 11),
+                GradientBoost::fit(&d, &GbtConfig::fast(), 11),
+                GaussianNb::fit(&d),
+                Mlp::fit(
+                    &d,
+                    &MlpConfig {
+                        hidden: vec![7, 3],
+                        epochs: 2,
+                        ..MlpConfig::default()
+                    },
+                    11,
+                ),
+            )
+        });
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let n = rows.len();
+        let models: [&dyn BinaryClassifier; 4] = [rf, gb, gnb, mlp];
+        for model in models {
+            let mut batched = vec![0.0f64; n];
+            model.predict_proba_batch(&flat, 5, &mut batched);
+            for (row, b) in rows.iter().zip(&batched) {
+                let single = model.predict_proba_one(row);
+                prop_assert_eq!(single.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
