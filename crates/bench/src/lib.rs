@@ -5,6 +5,9 @@
 //! here; Criterion microbenches live in `benches/`. See DESIGN.md §4 for
 //! the experiment index and EXPERIMENTS.md for recorded results.
 
+// Compiler-enforced arm of amlint rule R5: unsafe stays in shims/.
+#![forbid(unsafe_code)]
+
 pub mod capture;
 pub mod figures;
 pub mod tables;

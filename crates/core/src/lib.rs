@@ -34,6 +34,9 @@
 //! reproducible), and [`runtime::ThreadedPipeline`] runs the four modules
 //! as real threads over crossbeam channels.
 
+// Compiler-enforced arm of amlint rule R5: unsafe stays in shims/.
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod db;
 pub mod guard;
@@ -47,7 +50,7 @@ pub use batch::{BatchDetector, BatchOutcome};
 pub use db::{FlowDatabase, PredictionRecord, UpdateEvent};
 pub use guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard};
 pub use pipeline::{DetectionPipeline, PipelineConfig, PipelineReport};
-pub use runtime::ThreadedPipeline;
+pub use runtime::{RuntimeError, ThreadedPipeline};
 pub use testbed::{Testbed, TestbedConfig};
 pub use trainer::{train_bundle, ModelBundle, TrainerConfig, VoteScratch};
 pub use verdict::{SmoothingWindow, Verdict};

@@ -159,7 +159,7 @@ impl PipelineReport {
                 }
             }
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        latencies.sort_by(f64::total_cmp);
         let n = latencies.len();
         let avg = if n == 0 {
             0.0

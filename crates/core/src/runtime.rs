@@ -40,6 +40,25 @@ struct BatchVoted {
     attacks: Vec<bool>,
 }
 
+/// Failure of the threaded runtime: one of the four module threads
+/// panicked, so the pipeline's output cannot be trusted. The always-on
+/// deployment treats this as "restart the detector", not "crash the
+/// collector host" — which is why [`ThreadedPipeline::run`] returns it
+/// instead of propagating the panic (amlint rule R1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// Which Fig. 2 module died.
+    pub module: &'static str,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} thread panicked", self.module)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
 /// Summary of a threaded run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThreadedRunStats {
@@ -95,8 +114,9 @@ impl ThreadedPipeline {
     }
 
     /// Run the full pipeline over a report stream. Blocks until every
-    /// module drains and joins.
-    pub fn run(&self, reports: Vec<TelemetryReport>) -> ThreadedRunStats {
+    /// module drains and joins; a panicked module thread surfaces as
+    /// [`RuntimeError`] naming it.
+    pub fn run(&self, reports: Vec<TelemetryReport>) -> Result<ThreadedRunStats, RuntimeError> {
         let reports_in = reports.len() as u64;
         let (col_tx, col_rx) = bounded::<TelemetryReport>(self.channel_capacity);
         let (job_tx, job_rx) = bounded::<BatchJob>(self.channel_capacity);
@@ -217,13 +237,29 @@ impl ThreadedPipeline {
                 (preds, attacks, normals, pendings, lat_sum, lat_max)
             });
 
-        collection.join().expect("collection thread panicked");
-        let flows_created = processor.join().expect("processor thread panicked");
-        prediction.join().expect("prediction thread panicked");
+        // Join ALL four threads before reporting any failure: a panicked
+        // module drops its channel endpoints, which drains the others to
+        // completion — erroring out early would leave them detached and
+        // still writing to the shared database.
+        let col = collection.join().map_err(|_| RuntimeError {
+            module: "collection",
+        });
+        let proc = processor.join().map_err(|_| RuntimeError {
+            module: "processor",
+        });
+        let pred = prediction.join().map_err(|_| RuntimeError {
+            module: "prediction",
+        });
+        let agg = aggregator.join().map_err(|_| RuntimeError {
+            module: "aggregator",
+        });
+        col?;
+        let flows_created = proc?;
+        pred?;
         let (predictions, attack_verdicts, normal_verdicts, pending_verdicts, lat_sum, lat_max) =
-            aggregator.join().expect("aggregator thread panicked");
+            agg?;
 
-        ThreadedRunStats {
+        Ok(ThreadedRunStats {
             reports_in,
             flows_created,
             predictions,
@@ -236,7 +272,7 @@ impl ThreadedPipeline {
                 lat_sum / predictions as f64
             },
             max_latency_us: lat_max,
-        }
+        })
     }
 }
 
@@ -310,7 +346,7 @@ mod tests {
         let pipe = ThreadedPipeline::new(bundle());
         let reports: Vec<TelemetryReport> = capture(100).into_iter().map(|(r, _)| r).collect();
         let n = reports.len() as u64;
-        let stats = pipe.run(reports);
+        let stats = pipe.run(reports).expect("no module panicked");
         assert_eq!(stats.reports_in, n);
         assert_eq!(stats.flows_created, 8); // 5 benign + 3 attack flows
         assert_eq!(stats.predictions, n - 8);
@@ -328,7 +364,7 @@ mod tests {
     fn latency_is_measured_and_positive() {
         let pipe = ThreadedPipeline::new(bundle());
         let reports: Vec<TelemetryReport> = capture(50).into_iter().map(|(r, _)| r).collect();
-        let stats = pipe.run(reports);
+        let stats = pipe.run(reports).expect("no module panicked");
         assert!(stats.mean_latency_us > 0.0);
         assert!(stats.max_latency_us >= stats.mean_latency_us);
     }
@@ -343,7 +379,7 @@ mod tests {
             .filter(|(_, c)| *c == TrafficClass::SynFlood)
             .map(|(r, _)| r)
             .collect();
-        let stats = pipe.run(reports);
+        let stats = pipe.run(reports).expect("no module panicked");
         assert!(
             stats.attack_verdicts > stats.normal_verdicts,
             "attacks {} vs normals {}",
@@ -355,7 +391,7 @@ mod tests {
     #[test]
     fn empty_stream_is_a_noop() {
         let pipe = ThreadedPipeline::new(bundle());
-        let stats = pipe.run(Vec::new());
+        let stats = pipe.run(Vec::new()).expect("no module panicked");
         assert_eq!(stats.reports_in, 0);
         assert_eq!(stats.predictions, 0);
         assert_eq!(stats.mean_latency_us, 0.0);
@@ -365,7 +401,7 @@ mod tests {
     fn smoothing_window_is_configurable() {
         let pipe = ThreadedPipeline::new(bundle()).with_smoothing_window(1);
         let reports: Vec<TelemetryReport> = capture(30).into_iter().map(|(r, _)| r).collect();
-        let stats = pipe.run(reports);
+        let stats = pipe.run(reports).expect("no module panicked");
         assert_eq!(stats.pending_verdicts, 0, "window of 1 never pends");
     }
 }

@@ -147,7 +147,7 @@ impl ModelBundle {
         for m in members {
             m.predict_proba_batch(&scratch.scaled, n_features, &mut scratch.proba);
             for (c, &p) in scratch.counts.iter_mut().zip(&scratch.proba) {
-                *c += u8::from(p >= 0.5);
+                *c += u8::from(amlight_ml::decide(p));
             }
         }
         for (o, &c) in out.iter_mut().zip(&scratch.counts) {

@@ -15,6 +15,9 @@
 //! stamps with wrapping subtraction, so they inherit the 4.3 s aliasing
 //! artifact the paper describes — on purpose.
 
+// Compiler-enforced arm of amlint rule R5: unsafe stays in shims/.
+#![forbid(unsafe_code)]
+
 pub mod sharded;
 pub mod stats;
 pub mod table;

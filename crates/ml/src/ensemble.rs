@@ -53,7 +53,7 @@ impl BinaryClassifier for MajorityEnsemble {
         for m in &self.members {
             m.predict_proba_batch(rows, n_features, &mut member_proba);
             for (c, &p) in counts.iter_mut().zip(&member_proba) {
-                *c += u32::from(p >= 0.5);
+                *c += u32::from(crate::model::decide(p));
             }
         }
         let n = self.members.len() as f64;

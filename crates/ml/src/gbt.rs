@@ -201,7 +201,7 @@ impl RegressionTree {
                 let i = indices[rng.random_range(0..n)];
                 values.push(data.row(i)[f]);
             }
-            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values.sort_by(f64::total_cmp);
             values.dedup();
             if values.len() < 2 {
                 continue;

@@ -70,7 +70,7 @@ impl Knn {
             let d = Self::dist2(x, row);
             if heap.len() < self.k {
                 heap.push(Entry(d, label));
-            } else if d < heap.peek().unwrap().0 {
+            } else if heap.peek().is_some_and(|top| d < top.0) {
                 heap.pop();
                 heap.push(Entry(d, label));
             }
@@ -86,7 +86,7 @@ impl Knn {
     pub fn predict_batch(&self, data: &Dataset) -> Vec<bool> {
         let mut proba = vec![0.0; data.len()];
         self.predict_proba_batch(data.raw(), data.n_features(), &mut proba);
-        proba.into_iter().map(|p| p >= 0.5).collect()
+        proba.into_iter().map(crate::model::decide).collect()
     }
 }
 

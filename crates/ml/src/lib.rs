@@ -18,9 +18,13 @@
 //!
 //! Everything is deterministic given a seed.
 
+// Compiler-enforced arm of amlint rule R5: unsafe stays in shims/.
+#![forbid(unsafe_code)]
+
 pub mod crossval;
 pub mod dataset;
 pub mod ensemble;
+pub mod error;
 pub mod gbt;
 pub mod gnb;
 pub mod importance;
@@ -35,13 +39,14 @@ pub mod tree;
 pub use crossval::{cross_validate, kfold_indices, CvReport};
 pub use dataset::Dataset;
 pub use ensemble::MajorityEnsemble;
+pub use error::MlError;
 pub use gbt::{GbtConfig, GradientBoost};
 pub use gnb::GaussianNb;
 pub use importance::{permutation_importance, top_k_features};
 pub use knn::Knn;
 pub use metrics::{BinaryMetrics, ConfusionMatrix};
 pub use mlp::{Mlp, MlpConfig};
-pub use model::BinaryClassifier;
+pub use model::{decide, BinaryClassifier};
 pub use roc::{RocCurve, RocPoint};
 pub use scaler::StandardScaler;
 pub use tree::{DecisionTree, RandomForest, RandomForestConfig, TreeConfig};

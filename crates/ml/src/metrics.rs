@@ -74,10 +74,11 @@ impl ConfusionMatrix {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 {
-            0.0
+        let denom = p + r;
+        if denom > 0.0 {
+            2.0 * p * r / denom
         } else {
-            2.0 * p * r / (p + r)
+            0.0
         }
     }
 

@@ -243,7 +243,9 @@ impl Mlp {
             acts.push(data.row(i).to_vec());
             for (li, layer) in self.layers.iter().enumerate() {
                 let mut z = std::mem::take(&mut zs[li]);
-                layer.forward(acts.last().unwrap(), &mut z);
+                // acts[li] is the previous layer's activation: one entry
+                // was pushed before the loop and one per iteration.
+                layer.forward(&acts[li], &mut z);
                 let a = if li + 1 == l {
                     z.iter().map(|&v| sigmoid(v)).collect()
                 } else {

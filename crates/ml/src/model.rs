@@ -50,7 +50,7 @@ pub trait BinaryClassifier: Send + Sync {
 
     /// Hard decision at the 0.5 threshold.
     fn predict_one(&self, x: &[f64]) -> bool {
-        self.predict_proba_one(x) >= 0.5
+        decide(self.predict_proba_one(x))
     }
 
     /// Model family name for report tables.
@@ -60,7 +60,7 @@ pub trait BinaryClassifier: Send + Sync {
     fn predict(&self, data: &Dataset) -> Vec<bool> {
         let mut proba = vec![0.0; data.len()];
         self.predict_proba_batch(data.raw(), data.n_features(), &mut proba);
-        proba.into_iter().map(|p| p >= 0.5).collect()
+        proba.into_iter().map(decide).collect()
     }
 
     /// Evaluate against a labeled dataset (batched path).
@@ -69,10 +69,20 @@ pub trait BinaryClassifier: Send + Sync {
         self.predict_proba_batch(data.raw(), data.n_features(), &mut proba);
         let mut m = ConfusionMatrix::new();
         for (&p, &label) in proba.iter().zip(data.labels()) {
-            m.record(label, p >= 0.5);
+            m.record(label, decide(p));
         }
         m
     }
+}
+
+/// The one place a probability becomes a vote. NaN (a poisoned feature
+/// that survived scaling) is clamped to a benign vote rather than left
+/// to IEEE comparison semantics, so no unclamped NaN ever flows into
+/// the ensemble (amlint rule R3). For real probabilities this is
+/// exactly `p >= 0.5`.
+#[inline]
+pub fn decide(p: f64) -> bool {
+    !p.is_nan() && p >= 0.5
 }
 
 impl<T: BinaryClassifier + ?Sized> BinaryClassifier for Box<T> {

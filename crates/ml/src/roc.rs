@@ -6,6 +6,7 @@
 //! one in 4,096).
 
 use crate::dataset::Dataset;
+use crate::error::MlError;
 use crate::model::BinaryClassifier;
 use serde::{Deserialize, Serialize};
 
@@ -82,18 +83,16 @@ impl RocCurve {
         Self::from_scores(&scored)
     }
 
-    /// The operating point whose threshold is closest to `t`.
-    pub fn at_threshold(&self, t: f64) -> RocPoint {
-        *self
-            .points
+    /// The operating point whose threshold is closest to `t`, or
+    /// [`MlError::EmptyCurve`] for a curve with no points (deserialized
+    /// or hand-built — [`RocCurve::from_scores`] always yields at least
+    /// the (0,0) anchor).
+    pub fn at_threshold(&self, t: f64) -> Result<RocPoint, MlError> {
+        self.points
             .iter()
-            .min_by(|a, b| {
-                (a.threshold - t)
-                    .abs()
-                    .partial_cmp(&(b.threshold - t).abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("curve is never empty")
+            .min_by(|a, b| (a.threshold - t).abs().total_cmp(&(b.threshold - t).abs()))
+            .copied()
+            .ok_or(MlError::EmptyCurve)
     }
 }
 
@@ -152,8 +151,13 @@ mod tests {
     fn at_threshold_picks_nearest() {
         let scored = [(0.9, true), (0.5, false), (0.1, true)];
         let roc = RocCurve::from_scores(&scored);
-        let p = roc.at_threshold(0.51);
+        let p = roc.at_threshold(0.51).unwrap();
         assert_eq!(p.threshold, 0.5);
+        let empty = RocCurve {
+            points: Vec::new(),
+            auc: 0.0,
+        };
+        assert_eq!(empty.at_threshold(0.5), Err(MlError::EmptyCurve));
     }
 
     #[test]

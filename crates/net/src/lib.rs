@@ -14,6 +14,9 @@
 //! sFlow crates can embed real byte-level headers in their datagrams, and
 //! property tests can round-trip arbitrary packets.
 
+// Compiler-enforced arm of amlint rule R5: unsafe stays in shims/.
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod flow;
 pub mod headers;

@@ -18,6 +18,9 @@
 //! 32 bits on export, reproducing the 4.294967296 s wraparound the paper
 //! discusses in §V.
 
+// Compiler-enforced arm of amlint rule R5: unsafe stays in shims/.
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod engine;
 pub mod queue;

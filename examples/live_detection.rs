@@ -41,7 +41,13 @@ fn main() {
             .map(|(r, _)| r)
             .collect();
         let pipeline = ThreadedPipeline::new(bundle.clone());
-        let stats = pipeline.run(reports);
+        let stats = match pipeline.run(reports) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("{} replay aborted: {e}", class.name());
+                continue;
+            }
+        };
         println!(
             "\n{} replay → {} reports, {} flows, {} predictions",
             class.name(),
