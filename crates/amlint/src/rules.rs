@@ -29,6 +29,8 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/core/src/batch.rs",
     "crates/core/src/runtime.rs",
+    "crates/core/src/modules.rs",
+    "crates/core/src/source.rs",
     "crates/core/src/db.rs",
     "crates/features/src/sharded.rs",
 ];
@@ -36,6 +38,8 @@ const HOT_PATH_FILES: &[&str] = &[
 /// Files where R4 (lock-across-send) applies.
 const R4_FILES: &[&str] = &[
     "crates/core/src/runtime.rs",
+    "crates/core/src/modules.rs",
+    "crates/core/src/source.rs",
     "crates/features/src/sharded.rs",
 ];
 

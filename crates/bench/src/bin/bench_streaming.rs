@@ -1,0 +1,143 @@
+//! Streaming runtime throughput: the threaded pipeline over a live,
+//! channel-fed [`ReportSource`], swept across processor shard counts.
+//!
+//! A feeder thread replays a labeled capture into a bounded channel —
+//! the same shape as a production INT collector socket loop — while the
+//! pipeline fans ingest across N processor shards and fans back in at
+//! the single prediction thread. For each shard count we report
+//! end-to-end wall time, reports/second, and the wall-clock prediction
+//! latency distribution the aggregator measured. Writes
+//! `results/streaming.json`.
+//!
+//! Usage: `bench_streaming [--fast] [--seed N]`
+
+use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
+use amlight_core::runtime::ThreadedPipeline;
+use amlight_core::source::ChannelSource;
+use amlight_core::testbed::{Testbed, TestbedConfig};
+use amlight_core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight_features::FeatureSet;
+use amlight_int::TelemetryReport;
+use amlight_ml::{MlpConfig, RandomForestConfig};
+use amlight_net::TrafficClass;
+use amlight_traffic::ReplayLibrary;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ShardRecord {
+    shards: usize,
+    reports: u64,
+    predictions: u64,
+    wall_ms: f64,
+    reports_per_s: f64,
+    mean_latency_us: f64,
+    max_latency_us: f64,
+}
+
+#[derive(Serialize)]
+struct StreamingReport {
+    seed: u64,
+    fast: bool,
+    records: Vec<ShardRecord>,
+}
+
+fn main() {
+    let fast = flag_fast();
+    let seed = arg_seed(616);
+    let lab = Testbed::new(TestbedConfig::default());
+
+    // Offline phase: a quick but real bundle.
+    let library = ReplayLibrary::build(if fast { 200 } else { 600 }, seed);
+    let mut training = Vec::new();
+    for class in TrafficClass::ALL {
+        if class != TrafficClass::SlowLoris {
+            training.extend(lab.replay_class(&library, class));
+        }
+    }
+    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let bundle = train_bundle(
+        &raw,
+        FeatureSet::Int,
+        &TrainerConfig {
+            mlp: MlpConfig {
+                epochs: if fast { 4 } else { 10 },
+                ..MlpConfig::paper_mlp()
+            },
+            forest: RandomForestConfig {
+                n_trees: if fast { 10 } else { 30 },
+                ..RandomForestConfig::fast()
+            },
+            ..Default::default()
+        },
+    );
+
+    // Online phase: one shared replay, streamed once per shard count.
+    let replay = ReplayLibrary::build(if fast { 300 } else { 1200 }, seed ^ 0xA11CE);
+    let mut reports: Vec<TelemetryReport> = Vec::new();
+    for class in TrafficClass::ALL {
+        reports.extend(lab.replay_class(&replay, class).into_iter().map(|(r, _)| r));
+    }
+    reports.sort_by_key(|r| r.export_ns);
+    banner(&format!(
+        "streaming runtime: {} reports, shard sweep",
+        reports.len()
+    ));
+    println!(
+        "{:>7} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "shards", "wall ms", "reports/s", "predictions", "mean lat µs", "max lat µs"
+    );
+
+    let mut records = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let pipe = ThreadedPipeline::new(bundle.clone()).with_shards(shards);
+        let (tx, source) = ChannelSource::bounded(1024);
+        let stream = reports.clone();
+        let start = Instant::now();
+        let handle = pipe.start(source);
+        let feeder = std::thread::spawn(move || {
+            for r in stream {
+                if tx.send(r).is_err() {
+                    break;
+                }
+            }
+        });
+        let _ = feeder.join();
+        let stats = match handle.join() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{shards}-shard run failed: {e}");
+                continue;
+            }
+        };
+        let wall = start.elapsed().as_secs_f64();
+        let rec = ShardRecord {
+            shards,
+            reports: stats.reports_in,
+            predictions: stats.predictions,
+            wall_ms: wall * 1e3,
+            reports_per_s: stats.reports_in as f64 / wall.max(1e-9),
+            mean_latency_us: stats.mean_latency_us,
+            max_latency_us: stats.max_latency_us,
+        };
+        println!(
+            "{:>7} {:>10.2} {:>12.0} {:>12} {:>14.1} {:>14.1}",
+            rec.shards,
+            rec.wall_ms,
+            rec.reports_per_s,
+            rec.predictions,
+            rec.mean_latency_us,
+            rec.max_latency_us
+        );
+        records.push(rec);
+    }
+
+    write_json(
+        "streaming",
+        &StreamingReport {
+            seed,
+            fast,
+            records,
+        },
+    );
+}

@@ -62,6 +62,11 @@ COMMANDS:
                    --capture <file>    input capture (default capture.json)
                    --bundle <file>     trained bundle (default bundle.json)
                    --paper-pace        model the paper's prototype latencies
+                   --threaded          stream through the threaded runtime
+                                       (wall-clock latency) instead of the
+                                       virtual-time driver
+                   --shards <n>        processor shards for --threaded
+                                       (default 1, rounded to power of two)
     microburst   scan a capture's queue telemetry for microbursts
                    --capture <file>    input capture (default capture.json)
     demo         run capture → train → detect end to end in memory
@@ -119,7 +124,10 @@ impl Args {
     }
 
     fn is_switch(name: &str) -> bool {
-        matches!(name, "paper-pace" | "include-slowloris" | "fast")
+        matches!(
+            name,
+            "paper-pace" | "include-slowloris" | "fast" | "threaded"
+        )
     }
 
     /// String flag with a default.
@@ -186,6 +194,16 @@ mod tests {
         let args = Args::parse(["detect", "--paper-pace"]).unwrap();
         assert!(args.has("paper-pace"));
         assert!(!args.has("include-slowloris"));
+    }
+
+    #[test]
+    fn threaded_switch_and_shards_flag() {
+        let args = Args::parse(["detect", "--threaded", "--shards", "4"]).unwrap();
+        assert!(args.has("threaded"));
+        assert_eq!(args.get_u64("shards", 1).unwrap(), 4);
+        // --shards without --threaded still parses; detect decides.
+        let args = Args::parse(["detect", "--shards", "2"]).unwrap();
+        assert!(!args.has("threaded"));
     }
 
     #[test]

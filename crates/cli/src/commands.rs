@@ -2,6 +2,8 @@
 
 use crate::args::{Args, Command, USAGE};
 use amlight_core::pipeline::{DetectionPipeline, PipelineConfig};
+use amlight_core::runtime::ThreadedPipeline;
+use amlight_core::source::ReplaySource;
 use amlight_core::testbed::{Testbed, TestbedConfig};
 use amlight_core::trainer::{dataset_from_int, train_bundle, ModelBundle, TrainerConfig};
 use amlight_features::FeatureSet;
@@ -187,6 +189,12 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let capture = CaptureFile::load(args.get("capture", "capture.json"))?;
     let bundle = ModelBundle::load(args.get("bundle", "bundle.json"))?;
+
+    if args.has("threaded") {
+        let shards = args.get_u64("shards", 1).map_err(bad)? as usize;
+        return cmd_detect_threaded(&capture, bundle, shards, out);
+    }
+
     let pace = if args.has("paper-pace") {
         PipelineConfig::paper_pace()
     } else {
@@ -196,6 +204,37 @@ fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let mut pipeline = DetectionPipeline::new(bundle, pace);
     let report = pipeline.run_sync(&capture.reports);
     print_detection(&report, out)
+}
+
+/// The streaming path: replay the capture through the threaded runtime
+/// (real module threads, sharded processors, wall-clock latency).
+fn cmd_detect_threaded(
+    capture: &CaptureFile,
+    bundle: ModelBundle,
+    shards: usize,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    let pipeline = ThreadedPipeline::new(bundle).with_shards(shards.max(1));
+    let stats = pipeline
+        .start(ReplaySource::from_labeled(&capture.reports))
+        .join()
+        .map_err(bad)?;
+    writeln!(
+        out,
+        "threaded replay: {} reports → {} flows, {} predictions",
+        stats.reports_in, stats.flows_created, stats.predictions
+    )?;
+    writeln!(
+        out,
+        "verdicts: {} attack / {} normal / {} pending",
+        stats.attack_verdicts, stats.normal_verdicts, stats.pending_verdicts
+    )?;
+    writeln!(
+        out,
+        "wall-clock prediction latency: mean {:.1} µs, max {:.1} µs",
+        stats.mean_latency_us, stats.max_latency_us
+    )?;
+    Ok(())
 }
 
 fn print_detection(
@@ -343,6 +382,20 @@ mod tests {
         let text = run_tokens(&["detect", "--capture", cap_s, "--bundle", bun_s]).unwrap();
         assert!(text.contains("overall accuracy"), "{text}");
         assert!(text.contains("SlowLoris") || text.contains("Benign"));
+
+        let text = run_tokens(&[
+            "detect",
+            "--capture",
+            cap_s,
+            "--bundle",
+            bun_s,
+            "--threaded",
+            "--shards",
+            "4",
+        ])
+        .unwrap();
+        assert!(text.contains("threaded replay"), "{text}");
+        assert!(text.contains("wall-clock prediction latency"), "{text}");
 
         let text = run_tokens(&["microburst", "--capture", cap_s]).unwrap();
         assert!(text.contains("microburst"), "{text}");

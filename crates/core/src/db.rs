@@ -150,6 +150,22 @@ impl FlowDatabase {
         self.inner.read().predictions.len()
     }
 
+    /// Per-flow verdict sequences, in each flow's own prediction order.
+    ///
+    /// Store order *across* flows is nondeterministic once processor
+    /// shards aggregate concurrently, but each flow's predictions are
+    /// produced by exactly one shard in arrival order — so this grouping
+    /// is the shard-count-invariant view of a run (used by the
+    /// shard-invariance tests and stats tooling).
+    pub fn verdict_sequences(&self) -> FnvHashMap<FlowKey, Vec<Option<bool>>> {
+        let g = self.inner.read();
+        let mut out: FnvHashMap<FlowKey, Vec<Option<bool>>> = FnvHashMap::default();
+        for p in &g.predictions {
+            out.entry(p.key).or_default().push(p.label);
+        }
+        out
+    }
+
     pub fn flow_count(&self) -> usize {
         self.inner.read().flows.len()
     }
@@ -290,6 +306,23 @@ mod tests {
         assert_eq!(cursor3, 6);
         assert_eq!(db.prediction_count(), 6);
         assert!(db.predictions_since(100).0.is_empty());
+    }
+
+    #[test]
+    fn verdict_sequences_group_per_flow_in_order() {
+        let db = FlowDatabase::new();
+        for (port, label) in [(1, Some(true)), (2, None), (1, Some(false)), (1, None)] {
+            db.store_prediction(PredictionRecord {
+                key: key(port),
+                label,
+                predicted_ns: 0,
+                latency_ns: 0,
+            });
+        }
+        let seqs = db.verdict_sequences();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[&key(1)], vec![Some(true), Some(false), None]);
+        assert_eq!(seqs[&key(2)], vec![None]);
     }
 
     #[test]

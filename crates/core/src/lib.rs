@@ -40,8 +40,10 @@
 pub mod batch;
 pub mod db;
 pub mod guard;
+pub mod modules;
 pub mod pipeline;
 pub mod runtime;
+pub mod source;
 pub mod testbed;
 pub mod trainer;
 pub mod verdict;
@@ -49,8 +51,14 @@ pub mod verdict;
 pub use batch::{BatchDetector, BatchOutcome};
 pub use db::{FlowDatabase, PredictionRecord, UpdateEvent};
 pub use guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard};
+pub use modules::{
+    Aggregator, Clock, Ingest, JudgedUpdate, Predictor, Processor, VirtualClock, WallClock,
+};
 pub use pipeline::{DetectionPipeline, PipelineConfig, PipelineReport};
-pub use runtime::{RuntimeError, ThreadedPipeline};
+pub use runtime::{RunHandle, RuntimeError, ThreadedPipeline};
+pub use source::{
+    ChannelSource, CollectorSource, IterSource, ReplaySource, ReportSource, SourcePoll,
+};
 pub use testbed::{Testbed, TestbedConfig};
 pub use trainer::{train_bundle, ModelBundle, TrainerConfig, VoteScratch};
-pub use verdict::{SmoothingWindow, Verdict};
+pub use verdict::{SmoothingWindow, Verdict, VerdictCounts};

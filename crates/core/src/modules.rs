@@ -1,0 +1,396 @@
+//! The shared Fig. 2 stage layer: one implementation of the paper's
+//! module logic, used by every driver.
+//!
+//! Before this layer existed the dataflow was implemented twice — once
+//! in the virtual-time [`crate::pipeline::DetectionPipeline`] and again,
+//! with subtly diverging logic, in the wall-clock
+//! [`crate::runtime::ThreadedPipeline`]. The three structs here are the
+//! single source of truth for the module semantics:
+//!
+//! * [`Processor`] — Fig. 2's *Data Processor* ingest half plus the
+//!   *CentralServer*'s update-forwarding rule: flow-table update, one
+//!   record per flow in the [`FlowDatabase`], and feature-row projection
+//!   for **updated** flows only (brand-new flows are never forwarded to
+//!   Prediction, §III-3).
+//! * [`Predictor`] — Fig. 2's *Prediction* module: pre-fitted scaler +
+//!   pre-trained ensemble, one columnar [`ModelBundle::votes_batch`]
+//!   call per micro-batch.
+//! * [`Aggregator`] — the Data Processor's aggregation half: per-flow
+//!   smoothing windows, verdict counting, and the stored
+//!   [`PredictionRecord`] with its prediction-latency stamp.
+//!
+//! Time is abstracted behind [`Clock`] so the same stages serve both
+//! drivers: [`VirtualClock`] stamps reports with modeled collector time
+//! (export time plus a fixed processing delay), [`WallClock`] with
+//! monotonic nanoseconds since the pipeline epoch.
+
+use crate::db::{FlowDatabase, PredictionRecord};
+use crate::trainer::{ModelBundle, VoteScratch};
+use crate::verdict::{SmoothingWindow, Verdict, VerdictCounts};
+use amlight_features::UpdateKind;
+use amlight_features::{FeatureSet, FlowTable, FlowTableConfig};
+use amlight_int::TelemetryReport;
+use amlight_net::flow::FnvHashMap;
+use amlight_net::FlowKey;
+use std::time::Instant;
+
+/// The time base a [`Processor`] stamps registrations with.
+///
+/// Implementations must be cheap: `register_ns` sits in the per-report
+/// hot path.
+pub trait Clock: Send {
+    /// Registration timestamp (collector-clock ns) for a report entering
+    /// the Data Processor.
+    fn register_ns(&self, report: &TelemetryReport) -> u64;
+}
+
+/// Deterministic virtual time: a report is registered a fixed processing
+/// delay after its export time. This is the [`DetectionPipeline`]'s time
+/// base (latency then comes from its explicit queueing model).
+///
+/// [`DetectionPipeline`]: crate::pipeline::DetectionPipeline
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualClock {
+    /// Data Processor handling cost per report, ns.
+    pub processing_delay_ns: u64,
+}
+
+impl Clock for VirtualClock {
+    #[inline]
+    fn register_ns(&self, report: &TelemetryReport) -> u64 {
+        report.export_ns + self.processing_delay_ns
+    }
+}
+
+/// Monotonic wall time, as nanoseconds since a shared pipeline epoch.
+///
+/// Every module of a [`crate::runtime::ThreadedPipeline`] run clones the
+/// same epoch, so registration stamps from the processor shards and
+/// prediction stamps from the aggregator are directly comparable — this
+/// is what lets wall-clock [`PredictionRecord`]s carry a real
+/// `predicted_ns` instead of a placeholder.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A fresh epoch; clone it into every stage of one run.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Monotonic ns elapsed since the epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    #[inline]
+    fn register_ns(&self, _report: &TelemetryReport) -> u64 {
+        self.now_ns()
+    }
+}
+
+/// A flow update the CentralServer forwards to Prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JudgedUpdate {
+    pub key: FlowKey,
+    /// Collector-clock registration stamp from the driver's [`Clock`].
+    pub registered_ns: u64,
+    /// Live flow count in this processor's table when the update was
+    /// handled — the queueing model's record-scan term must use the size
+    /// the CentralServer would have observed *then*.
+    pub table_len: u64,
+}
+
+/// Outcome of one report's ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// First packet of a flow: recorded, never forwarded (§III-3).
+    Created { key: FlowKey, registered_ns: u64 },
+    /// An existing flow's update, forwarded for prediction; its feature
+    /// row was appended to the caller's row buffer.
+    Judged(JudgedUpdate),
+}
+
+/// Fig. 2 Data Processor (ingest half) + CentralServer forwarding rule.
+#[derive(Debug)]
+pub struct Processor<C: Clock> {
+    table: FlowTable,
+    db: FlowDatabase,
+    clock: C,
+    feature_set: FeatureSet,
+    created: u64,
+}
+
+impl<C: Clock> Processor<C> {
+    pub fn new(
+        table: FlowTableConfig,
+        db: FlowDatabase,
+        clock: C,
+        feature_set: FeatureSet,
+    ) -> Self {
+        Self {
+            table: FlowTable::new(table),
+            db,
+            clock,
+            feature_set,
+            created: 0,
+        }
+    }
+
+    /// Ingest one report: update the flow table, write the database
+    /// record, and — for updates only — append the projected feature row
+    /// to `rows` and return the judged update. This is the one place the
+    /// created-vs-updated forwarding decision lives.
+    pub fn ingest(&mut self, report: &TelemetryReport, rows: &mut Vec<f64>) -> Ingest {
+        let registered_ns = self.clock.register_ns(report);
+        let (kind, rec) = self.table.update_int(report);
+        let features = rec.features();
+        match kind {
+            UpdateKind::Created => {
+                self.created += 1;
+                self.db.record_created(report.flow, features, registered_ns);
+                Ingest::Created {
+                    key: report.flow,
+                    registered_ns,
+                }
+            }
+            UpdateKind::Updated => {
+                self.db
+                    .record_updated(report.flow, rec.update_seq, features, registered_ns);
+                features.project_into(self.feature_set, rows);
+                Ingest::Judged(JudgedUpdate {
+                    key: report.flow,
+                    registered_ns,
+                    table_len: self.table.len() as u64,
+                })
+            }
+        }
+    }
+
+    /// Flows created by this processor so far.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Live flows in this processor's table.
+    pub fn flow_count(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// Fig. 2 Prediction: scaler + MLP/RF/GNB ensemble, batched.
+#[derive(Debug)]
+pub struct Predictor {
+    bundle: ModelBundle,
+    scratch: VoteScratch,
+}
+
+impl Predictor {
+    pub fn new(bundle: ModelBundle) -> Self {
+        Self {
+            bundle,
+            scratch: VoteScratch::default(),
+        }
+    }
+
+    pub fn bundle(&self) -> &ModelBundle {
+        &self.bundle
+    }
+
+    pub fn feature_set(&self) -> FeatureSet {
+        self.bundle.feature_set
+    }
+
+    /// One columnar 2-of-3 ensemble pass over contiguous row-major raw
+    /// feature rows; `decisions` is cleared and refilled in row order.
+    pub fn predict(&mut self, rows: &[f64], decisions: &mut Vec<bool>) {
+        self.bundle.votes_batch(
+            rows,
+            self.bundle.feature_set.dim(),
+            &mut self.scratch,
+            decisions,
+        );
+    }
+}
+
+/// Fig. 2 Data Processor (aggregation half): smoothing + stored verdicts.
+#[derive(Debug)]
+pub struct Aggregator {
+    db: FlowDatabase,
+    windows: FnvHashMap<FlowKey, SmoothingWindow>,
+    window_size: usize,
+    counts: VerdictCounts,
+    latency_sum_us: f64,
+    latency_max_us: f64,
+}
+
+impl Aggregator {
+    pub fn new(db: FlowDatabase, window_size: usize) -> Self {
+        Self {
+            db,
+            windows: FnvHashMap::default(),
+            window_size,
+            counts: VerdictCounts::default(),
+            latency_sum_us: 0.0,
+            latency_max_us: 0.0,
+        }
+    }
+
+    /// Fold one ensemble decision into the flow's smoothing window,
+    /// store the [`PredictionRecord`] (with `predicted_ns` and the
+    /// latency against `registered_ns`), and return the smoothed
+    /// verdict.
+    pub fn aggregate(
+        &mut self,
+        key: FlowKey,
+        attack: bool,
+        registered_ns: u64,
+        predicted_ns: u64,
+    ) -> Verdict {
+        let window = self
+            .windows
+            .entry(key)
+            .or_insert_with(|| SmoothingWindow::new(self.window_size));
+        let verdict = window.push(attack);
+        self.counts.observe(verdict);
+        let latency_ns = predicted_ns.saturating_sub(registered_ns);
+        let lat_us = latency_ns as f64 / 1e3;
+        self.latency_sum_us += lat_us;
+        self.latency_max_us = self.latency_max_us.max(lat_us);
+        self.db.store_prediction(PredictionRecord {
+            key,
+            label: verdict.label(),
+            predicted_ns,
+            latency_ns,
+        });
+        verdict
+    }
+
+    /// Verdict tallies so far.
+    pub fn counts(&self) -> VerdictCounts {
+        self.counts
+    }
+
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.counts.predictions == 0 {
+            0.0
+        } else {
+            self.latency_sum_us / self.counts.predictions as f64
+        }
+    }
+
+    pub fn max_latency_us(&self) -> f64 {
+        self.latency_max_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_int::{HopMetadata, InstructionSet};
+    use amlight_net::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn report(port: u16, t_ns: u64) -> TelemetryReport {
+        TelemetryReport {
+            flow: FlowKey::new(
+                Ipv4Addr::new(9, 9, 9, 9),
+                Ipv4Addr::new(10, 0, 0, 2),
+                port,
+                80,
+                Protocol::Tcp,
+            ),
+            ip_len: 120,
+            tcp_flags: Some(0x02),
+            instructions: InstructionSet::amlight(),
+            hops: vec![HopMetadata {
+                switch_id: 0,
+                ingress_tstamp: t_ns as u32,
+                egress_tstamp: (t_ns as u32).wrapping_add(300),
+                hop_latency: 0,
+                queue_occupancy: 0,
+            }],
+            export_ns: t_ns,
+        }
+    }
+
+    #[test]
+    fn processor_forwards_updates_only() {
+        let db = FlowDatabase::new();
+        let mut p = Processor::new(
+            FlowTableConfig::default(),
+            db.clone(),
+            VirtualClock {
+                processing_delay_ns: 10,
+            },
+            FeatureSet::Int,
+        );
+        let mut rows = Vec::new();
+
+        let first = p.ingest(&report(1, 100), &mut rows);
+        assert_eq!(
+            first,
+            Ingest::Created {
+                key: report(1, 100).flow,
+                registered_ns: 110,
+            }
+        );
+        assert!(rows.is_empty(), "created flows are never forwarded");
+        assert_eq!(db.update_count(), 0);
+
+        let second = p.ingest(&report(1, 200), &mut rows);
+        match second {
+            Ingest::Judged(j) => {
+                assert_eq!(j.registered_ns, 210);
+                assert_eq!(j.table_len, 1);
+            }
+            other => panic!("expected judged update, got {other:?}"),
+        }
+        assert_eq!(rows.len(), FeatureSet::Int.dim());
+        assert_eq!(db.update_count(), 1);
+        assert_eq!(p.created(), 1);
+        assert_eq!(p.flow_count(), 1);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_and_shared() {
+        let clock = WallClock::new();
+        let sibling = clock; // Copy: same epoch
+        let a = clock.register_ns(&report(1, 0));
+        let b = sibling.now_ns();
+        assert!(b >= a, "clones share the epoch: {b} < {a}");
+    }
+
+    #[test]
+    fn aggregator_counts_and_stamps() {
+        let db = FlowDatabase::new();
+        let mut agg = Aggregator::new(db.clone(), 3);
+        let key = report(7, 0).flow;
+        assert_eq!(agg.aggregate(key, true, 100, 400), Verdict::Pending);
+        assert_eq!(agg.aggregate(key, true, 200, 600), Verdict::Pending);
+        assert_eq!(agg.aggregate(key, true, 300, 800), Verdict::Attack);
+        let c = agg.counts();
+        assert_eq!(c.predictions, 3);
+        assert_eq!(c.attacks, 1);
+        assert_eq!(c.pendings, 2);
+        let preds = db.predictions();
+        assert_eq!(preds.len(), 3);
+        assert_eq!(preds[0].predicted_ns, 400);
+        assert_eq!(preds[0].latency_ns, 300);
+        assert_eq!(preds[2].label, Some(true));
+        assert!(agg.max_latency_us() >= agg.mean_latency_us());
+    }
+}

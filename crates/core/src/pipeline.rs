@@ -2,8 +2,13 @@
 //!
 //! [`DetectionPipeline::run_sync`] replays a labeled telemetry stream
 //! through the full Fig. 2 dataflow in one thread, advancing a virtual
-//! clock. Prediction latency (paper Table VI, cols 3–4) is produced by an
-//! explicit queueing model of the CentralServer + Prediction path:
+//! clock. The module semantics — flow-table ingest, the CentralServer's
+//! updates-only forwarding rule, batched ensemble voting, and verdict
+//! smoothing — live in the shared [`crate::modules`] stage layer
+//! ([`Processor`] / [`Predictor`] / [`Aggregator`]); this driver owns
+//! only what is specific to virtual time. Prediction latency (paper
+//! Table VI, cols 3–4) is produced by an explicit queueing model of the
+//! CentralServer + Prediction path:
 //!
 //! * a single FIFO server handles one flow-update prediction at a time;
 //! * each prediction costs `base_service_ns` **plus
@@ -19,13 +24,13 @@
 //! (Python/JavaScript-era service times, for reproducing the paper's
 //! absolute latency scale).
 
-use crate::db::{FlowDatabase, PredictionRecord};
+use crate::db::FlowDatabase;
 use crate::guard::{FloodAlert, GuardConfig, NewFlowGuard};
-use crate::trainer::{ModelBundle, VoteScratch};
-use crate::verdict::{SmoothingWindow, Verdict};
-use amlight_features::{FeatureSet, FlowTable, FlowTableConfig, UpdateKind};
+use crate::modules::{Aggregator, Ingest, JudgedUpdate, Predictor, Processor, VirtualClock};
+use crate::trainer::ModelBundle;
+use crate::verdict::Verdict;
+use amlight_features::{FeatureSet, FlowTableConfig};
 use amlight_int::TelemetryReport;
-use amlight_net::flow::FnvHashMap;
 use amlight_net::{FlowKey, TrafficClass};
 use serde::{Deserialize, Serialize};
 
@@ -211,30 +216,18 @@ impl PipelineReport {
 /// The synchronous, virtual-time pipeline.
 pub struct DetectionPipeline {
     config: PipelineConfig,
-    bundle: ModelBundle,
+    predictor: Predictor,
     db: FlowDatabase,
 }
 
 /// Reports per columnar prediction flush in [`DetectionPipeline::run_sync`].
 const PREDICTION_BATCH: usize = 1024;
 
-/// A judged flow update awaiting its micro-batch prediction flush.
-struct PendingUpdate {
-    key: FlowKey,
-    truth: TrafficClass,
-    registered_ns: u64,
-    /// Live flow count when the Data Processor handled this update. The
-    /// scan term of the service-time model must use the table size the
-    /// CentralServer would have observed then, not the size at flush
-    /// time, so deferring predictions cannot change any latency.
-    table_len: u64,
-}
-
 impl DetectionPipeline {
     pub fn new(bundle: ModelBundle, config: PipelineConfig) -> Self {
         Self {
             config,
-            bundle,
+            predictor: Predictor::new(bundle),
             db: FlowDatabase::new(),
         }
     }
@@ -244,102 +237,86 @@ impl DetectionPipeline {
     }
 
     pub fn feature_set(&self) -> FeatureSet {
-        self.bundle.feature_set
+        self.predictor.feature_set()
     }
 
     /// Replay a labeled INT telemetry stream (must be export-time
     /// ordered) through the full detection dataflow.
     ///
-    /// Predictions are flushed in micro-batches of [`PREDICTION_BATCH`]
-    /// reports through one columnar [`ModelBundle::votes_batch`] call
-    /// instead of three virtual model calls per update. Deferring them is
-    /// invisible to the queueing model: predictions never feed back into
-    /// the flow table, each pending update carries the table size and
-    /// registration stamp from its own collect step, and the flush walks
-    /// updates in input order, so verdicts, latencies, and database
-    /// contents are identical to the one-at-a-time replay.
+    /// Ingest, forwarding, prediction, and aggregation are the shared
+    /// [`crate::modules`] stages under a [`VirtualClock`]; this method
+    /// adds only the virtual-time queueing model. Predictions are
+    /// flushed in micro-batches of [`PREDICTION_BATCH`] reports through
+    /// one columnar ensemble call instead of three virtual model calls
+    /// per update. Deferring them is invisible to the queueing model:
+    /// predictions never feed back into the flow table, each pending
+    /// update carries the table size and registration stamp from its own
+    /// collect step, and the flush walks updates in input order, so
+    /// verdicts, latencies, and database contents are identical to the
+    /// one-at-a-time replay.
     pub fn run_sync(&mut self, labeled: &[(TelemetryReport, TrafficClass)]) -> PipelineReport {
-        let mut table = FlowTable::new(self.config.table);
-        let mut windows: FnvHashMap<FlowKey, SmoothingWindow> = FnvHashMap::default();
+        // (1)→(3): the shared Data Processor stage under virtual time.
+        let mut processor = Processor::new(
+            self.config.table,
+            self.db.clone(),
+            VirtualClock {
+                processing_delay_ns: self.config.processing_delay_ns,
+            },
+            self.predictor.feature_set(),
+        );
+        // (6)→(8): the shared aggregation stage (fresh windows per run).
+        let mut aggregator = Aggregator::new(self.db.clone(), self.config.smoothing_window);
         let mut guard = self.config.guard.map(NewFlowGuard::new);
         let mut timeline = Vec::new();
         let mut server_free_ns = 0u64;
         let mut index = 0u64;
 
-        let dim = self.bundle.feature_set.dim();
-        let mut pending: Vec<PendingUpdate> = Vec::with_capacity(PREDICTION_BATCH);
+        let dim = self.predictor.feature_set().dim();
+        let mut pending: Vec<(JudgedUpdate, TrafficClass)> = Vec::with_capacity(PREDICTION_BATCH);
         let mut rows: Vec<f64> = Vec::with_capacity(PREDICTION_BATCH * dim);
         let mut decisions: Vec<bool> = Vec::new();
-        let mut scratch = VoteScratch::default();
 
         for chunk in labeled.chunks(PREDICTION_BATCH) {
             pending.clear();
             rows.clear();
 
             for (report, class) in chunk {
-                // (1)→(2): collection hands the report to the Data
-                // Processor.
-                let registered_ns = report.export_ns + self.config.processing_delay_ns;
-                let (kind, rec) = table.update_int(report);
-                let features = rec.features();
-                let update_seq = rec.update_seq;
-
-                // (3): one record per flow in the database.
-                match kind {
-                    UpdateKind::Created => {
-                        // CentralServer skips brand-new flows (§III-3).
-                        self.db.record_created(report.flow, features, registered_ns);
+                // One ingest call decides created-vs-updated, writes the
+                // database record, and projects the feature row (§III-3:
+                // brand-new flows are never forwarded).
+                match processor.ingest(report, &mut rows) {
+                    Ingest::Created { key, registered_ns } => {
                         if let Some(g) = guard.as_mut() {
-                            g.record_created(report.flow.dst_ip, registered_ns);
+                            g.record_created(key.dst_ip, registered_ns);
                         }
                     }
-                    UpdateKind::Updated => {
-                        self.db
-                            .record_updated(report.flow, update_seq, features, registered_ns);
-                        features.project_into(self.bundle.feature_set, &mut rows);
-                        pending.push(PendingUpdate {
-                            key: report.flow,
-                            truth: *class,
-                            registered_ns,
-                            table_len: table.len() as u64,
-                        });
-                    }
+                    Ingest::Judged(judged) => pending.push((judged, *class)),
                 }
             }
 
             // (5): standardize + predict — one columnar ensemble call for
             // every update this micro-batch judged.
-            self.bundle
-                .votes_batch(&rows, dim, &mut scratch, &mut decisions);
+            self.predictor.predict(&rows, &mut decisions);
 
-            for (p, &ensemble) in pending.iter().zip(&decisions) {
+            for ((judged, truth), &ensemble) in pending.iter().zip(&decisions) {
                 // (4)→(5): CentralServer discovers the update and queues
                 // it at the single-server Prediction stage. Service cost
                 // includes the record scan proportional to table size.
-                let service_ns =
-                    self.config.base_service_ns + self.config.scan_cost_per_flow_ns * p.table_len;
-                let start_ns = server_free_ns.max(p.registered_ns);
+                let service_ns = self.config.base_service_ns
+                    + self.config.scan_cost_per_flow_ns * judged.table_len;
+                let start_ns = server_free_ns.max(judged.registered_ns);
                 let predicted_ns = start_ns + service_ns;
                 server_free_ns = predicted_ns;
 
-                // (6)→(7)→(8): aggregate into a smoothed verdict and
-                // store it with the prediction latency.
-                let window = windows
-                    .entry(p.key)
-                    .or_insert_with(|| SmoothingWindow::new(self.config.smoothing_window));
-                let verdict = window.push(ensemble);
-                self.db.store_prediction(PredictionRecord {
-                    key: p.key,
-                    label: verdict.label(),
-                    predicted_ns,
-                    latency_ns: predicted_ns - p.registered_ns,
-                });
+                // (6)→(7)→(8): smoothed verdict + stored latency stamp.
+                let verdict =
+                    aggregator.aggregate(judged.key, ensemble, judged.registered_ns, predicted_ns);
                 timeline.push(TimelinePoint {
                     index,
-                    key: p.key,
-                    truth: p.truth,
+                    key: judged.key,
+                    truth: *truth,
                     verdict,
-                    registered_ns: p.registered_ns,
+                    registered_ns: judged.registered_ns,
                     predicted_ns,
                 });
                 index += 1;
@@ -349,7 +326,7 @@ impl DetectionPipeline {
         PipelineReport {
             timeline,
             total_reports: labeled.len() as u64,
-            total_flows: table.len() as u64,
+            total_flows: processor.flow_count() as u64,
             flood_alerts: guard.map(NewFlowGuard::finish).unwrap_or_default(),
         }
     }
@@ -359,8 +336,11 @@ impl DetectionPipeline {
 mod tests {
     use super::*;
     use crate::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+    use crate::verdict::SmoothingWindow;
+    use amlight_features::{FlowTable, UpdateKind};
     use amlight_int::{HopMetadata, InstructionSet};
     use amlight_ml::MlpConfig;
+    use amlight_net::flow::FnvHashMap;
     use amlight_net::{FlowKey, Protocol};
     use std::net::Ipv4Addr;
 

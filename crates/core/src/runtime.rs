@@ -1,50 +1,87 @@
-//! The threaded runtime: the four Fig. 2 modules as real OS threads
-//! connected by crossbeam channels, sharing the [`FlowDatabase`].
+//! The threaded runtime: the Fig. 2 modules as real OS threads connected
+//! by crossbeam channels, sharing the [`FlowDatabase`].
 //!
-//! This is the live-deployment shape of the mechanism — the same
-//! dataflow as [`crate::pipeline::DetectionPipeline`], but with actual
-//! concurrency: collection → processor (channel), processor → database
-//! (shared store), central server polls the database and feeds the
-//! prediction thread, predictions return to the processor for
-//! aggregation. Wall-clock prediction latency is measured with
-//! `Instant`, not modeled.
+//! This is the live-deployment shape of the mechanism — the same module
+//! logic as [`crate::pipeline::DetectionPipeline`] (both drivers are
+//! built on the shared [`crate::modules`] stages), but with actual
+//! concurrency and a wall clock instead of a virtual one:
+//!
+//! * **collection** drains a streaming [`ReportSource`] (iterator,
+//!   channel, capture replay, or raw INT byte stream) and fans reports
+//!   out to the processor shards, routed by
+//!   [`amlight_features::sharded::ShardRouter`] so a given flow always
+//!   lands on the same shard;
+//! * **processor shards** (N threads) each own a private
+//!   [`Processor`] — flow table + database writes + the CentralServer's
+//!   updates-only forwarding rule — and micro-batch judged updates
+//!   ([`MAX_JOB_BATCH`] per channel message) toward prediction;
+//! * **prediction** (one thread) fans the shard batches back in and runs
+//!   one columnar ensemble pass per batch via the shared [`Predictor`];
+//! * **aggregation** (one thread) folds votes into per-flow smoothing
+//!   windows with the shared [`Aggregator`], stamping every stored
+//!   [`PredictionRecord`] with a real wall-clock `predicted_ns` (no more
+//!   placeholder zeros) and the measured prediction latency.
+//!
+//! Every stage stamps time with one shared [`WallClock`] epoch, so
+//! registration and prediction stamps are directly comparable.
+//!
+//! [`ThreadedPipeline::start`] returns a [`RunHandle`] with an explicit
+//! lifecycle: `drain()` waits for everything ingested so far to flow all
+//! the way to the database, `stop()` ends collection early, and
+//! `join()` blocks until the source ends and every module thread exits.
+//! [`ThreadedPipeline::run`] keeps the old batch ergonomics as a
+//! `start(IterSource) + join()` wrapper.
 
 use crate::db::{FlowDatabase, PredictionRecord};
-use crate::trainer::{ModelBundle, VoteScratch};
-use crate::verdict::SmoothingWindow;
-use amlight_features::{FlowTable, FlowTableConfig, UpdateKind};
+use crate::modules::{Clock, Ingest, Predictor, Processor, WallClock};
+use crate::source::{IterSource, ReportSource, SourcePoll};
+use crate::trainer::ModelBundle;
+use crate::verdict::VerdictCounts;
+use amlight_features::sharded::ShardRouter;
+use amlight_features::FlowTableConfig;
 use amlight_int::TelemetryReport;
-use amlight_net::flow::FnvHashMap;
 use amlight_net::FlowKey;
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, TryRecvError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Most flow updates a single channel message may carry.
 const MAX_JOB_BATCH: usize = 256;
 
-/// A batch of prediction jobs flowing CentralServer → Prediction: one
-/// channel message (and one columnar ensemble call downstream) for every
-/// update the processor had on hand, not one message per flow update.
+/// A batch of prediction jobs flowing shard → Prediction: one channel
+/// message (and one columnar ensemble call downstream) for every update
+/// the shard had on hand, not one message per flow update.
 struct BatchJob {
-    /// (flow, registration stamp) per judged update, in input order.
-    items: Vec<(FlowKey, Instant)>,
+    /// (flow, wall-clock registration stamp ns) per judged update, in
+    /// the shard's arrival order.
+    items: Vec<(FlowKey, u64)>,
     /// Row-major raw feature rows, parallel to `items`.
     rows: Vec<f64>,
 }
 
+impl BatchJob {
+    fn empty() -> Self {
+        Self {
+            items: Vec::with_capacity(MAX_JOB_BATCH),
+            rows: Vec::new(),
+        }
+    }
+}
+
 /// The scored batch flowing Prediction → aggregation.
 struct BatchVoted {
-    items: Vec<(FlowKey, Instant)>,
+    items: Vec<(FlowKey, u64)>,
     attacks: Vec<bool>,
 }
 
-/// Failure of the threaded runtime: one of the four module threads
-/// panicked, so the pipeline's output cannot be trusted. The always-on
-/// deployment treats this as "restart the detector", not "crash the
-/// collector host" — which is why [`ThreadedPipeline::run`] returns it
-/// instead of propagating the panic (amlint rule R1).
+/// Failure of the threaded runtime: one of the module threads panicked,
+/// so the pipeline's output cannot be trusted. The always-on deployment
+/// treats this as "restart the detector", not "crash the collector
+/// host" — which is why [`RunHandle::join`] returns it instead of
+/// propagating the panic (amlint rule R1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeError {
     /// Which Fig. 2 module died.
@@ -72,12 +109,24 @@ pub struct ThreadedRunStats {
     pub max_latency_us: f64,
 }
 
-/// The live four-module pipeline.
+/// Sets a flag when dropped — survives panics, so [`RunHandle::drain`]
+/// can never spin forever on a dead aggregator.
+struct SetOnDrop(Arc<AtomicBool>);
+
+impl Drop for SetOnDrop {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// The live multi-module pipeline.
 pub struct ThreadedPipeline {
     db: FlowDatabase,
     bundle: ModelBundle,
     smoothing_window: usize,
     channel_capacity: usize,
+    shards: usize,
+    table: FlowTableConfig,
     /// Cursor into the database's prediction history for
     /// [`ThreadedPipeline::new_predictions`].
     pred_cursor: Mutex<usize>,
@@ -90,12 +139,33 @@ impl ThreadedPipeline {
             bundle,
             smoothing_window: 3,
             channel_capacity: 1024,
+            shards: 1,
+            table: FlowTableConfig::default(),
             pred_cursor: Mutex::new(0),
         }
     }
 
     pub fn with_smoothing_window(mut self, window: usize) -> Self {
         self.smoothing_window = window;
+        self
+    }
+
+    /// Fan ingest across at least `shards` processor shards (rounded up
+    /// to a power of two by the router). Per-flow order — and therefore
+    /// every per-flow verdict sequence — is independent of the count,
+    /// because a flow always routes to the same shard.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Flow-table housekeeping for every processor shard. Each shard
+    /// gets the *full* configuration (not a split budget): shard tables
+    /// partition the flow space, and keeping per-shard limits identical
+    /// to the single-shard ones is what makes shard count observable
+    /// only as throughput.
+    pub fn with_table(mut self, table: FlowTableConfig) -> Self {
+        self.table = table;
         self
     }
 
@@ -113,165 +183,274 @@ impl ThreadedPipeline {
         recs
     }
 
-    /// Run the full pipeline over a report stream. Blocks until every
-    /// module drains and joins; a panicked module thread surfaces as
+    /// Run the full pipeline over an in-memory report batch: the
+    /// pre-streaming API, kept as `start(IterSource) + join()`. Blocks
+    /// until every module drains; a panicked module thread surfaces as
     /// [`RuntimeError`] naming it.
     pub fn run(&self, reports: Vec<TelemetryReport>) -> Result<ThreadedRunStats, RuntimeError> {
-        let reports_in = reports.len() as u64;
-        let (col_tx, col_rx) = bounded::<TelemetryReport>(self.channel_capacity);
+        self.start(IterSource::from(reports)).join()
+    }
+
+    /// Spawn the module threads over a streaming source and return the
+    /// lifecycle handle. The run ends when the source reports
+    /// [`SourcePoll::End`] (e.g. every channel sender dropped) or
+    /// [`RunHandle::stop`] is called.
+    pub fn start<S: ReportSource + 'static>(&self, source: S) -> RunHandle {
+        let router = ShardRouter::new(self.shards);
+        let n_shards = router.shard_count();
+        let clock = WallClock::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let mut shard_txs = Vec::with_capacity(n_shards);
+        let mut shard_rxs = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = bounded::<TelemetryReport>(self.channel_capacity);
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
         let (job_tx, job_rx) = bounded::<BatchJob>(self.channel_capacity);
         let (vote_tx, vote_rx) = bounded::<BatchVoted>(self.channel_capacity);
 
-        // Module 1: INT Data Collection — feeds the processor.
-        let collection: JoinHandle<()> = std::thread::spawn(move || {
-            for r in reports {
-                if col_tx.send(r).is_err() {
-                    break;
-                }
-            }
-        });
-
-        // Module 2a: Data Processor (ingest half) — flow table + DB +
-        // CentralServer hand-off. The CentralServer's DB poll is folded
-        // into the same thread to keep the dataflow deterministic; it
-        // still only forwards *updates*, never creations.
-        let db = self.db.clone();
-        let feature_set = self.bundle.feature_set;
-        let processor: JoinHandle<u64> = std::thread::spawn(move || {
-            let mut table = FlowTable::new(FlowTableConfig::default());
-            let mut created = 0u64;
-            let mut buf = Vec::with_capacity(16);
-            let mut batch = BatchJob {
-                items: Vec::with_capacity(MAX_JOB_BATCH),
-                rows: Vec::new(),
-            };
-            'ingest: for report in col_rx.iter() {
-                let now = Instant::now();
-                let (kind, rec) = table.update_int(&report);
-                let features = rec.features();
-                match kind {
-                    UpdateKind::Created => {
-                        created += 1;
-                        db.record_created(report.flow, features, report.export_ns);
+        // Module 1: INT Data Collection — drains the source and fans
+        // reports out by flow hash. Exiting drops every shard sender,
+        // which cascades shutdown through the whole pipeline.
+        let collection: JoinHandle<u64> = {
+            let stop = Arc::clone(&stop);
+            let in_flight = Arc::clone(&in_flight);
+            std::thread::spawn(move || {
+                let mut source = source;
+                let mut reports_in = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    match source.poll_report() {
+                        SourcePoll::Report(report) => {
+                            let shard = router.route(report.flow);
+                            in_flight.fetch_add(1, Ordering::AcqRel);
+                            if shard_txs[shard].send(report).is_err() {
+                                in_flight.fetch_sub(1, Ordering::AcqRel);
+                                break;
+                            }
+                            reports_in += 1;
+                        }
+                        // Blocking sources already waited briefly before
+                        // reporting Idle; just re-check the stop flag.
+                        SourcePoll::Idle => std::thread::yield_now(),
+                        SourcePoll::End => break,
                     }
-                    UpdateKind::Updated => {
-                        db.record_updated(report.flow, rec.update_seq, features, report.export_ns);
-                        buf.clear();
-                        features.project_into(feature_set, &mut buf);
-                        batch.items.push((report.flow, now));
-                        batch.rows.extend_from_slice(&buf);
-                        if batch.items.len() >= MAX_JOB_BATCH {
-                            let full = std::mem::replace(
-                                &mut batch,
-                                BatchJob {
-                                    items: Vec::with_capacity(MAX_JOB_BATCH),
-                                    rows: Vec::new(),
-                                },
-                            );
+                }
+                reports_in
+            })
+        };
+
+        // Module 2a: Data Processor shards — per-shard flow table + DB
+        // writes + the CentralServer's updates-only forwarding, via the
+        // shared Processor stage. Batches flush when full *or* when the
+        // shard channel goes momentarily idle, so a trickling live
+        // source still sees its updates predicted promptly.
+        let processors: Vec<JoinHandle<u64>> = shard_rxs
+            .into_iter()
+            .map(|shard_rx| {
+                let db = self.db.clone();
+                let feature_set = self.bundle.feature_set;
+                let table = self.table;
+                let job_tx = job_tx.clone();
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::spawn(move || {
+                    let mut processor = Processor::new(table, db, clock, feature_set);
+                    let mut batch = BatchJob::empty();
+                    'work: loop {
+                        let Ok(report) = shard_rx.recv() else {
+                            break 'work;
+                        };
+                        ingest_report(&mut processor, &report, &mut batch, &in_flight);
+                        while batch.items.len() < MAX_JOB_BATCH {
+                            match shard_rx.try_recv() {
+                                Ok(report) => {
+                                    ingest_report(&mut processor, &report, &mut batch, &in_flight);
+                                }
+                                Err(TryRecvError::Empty) => break,
+                                Err(TryRecvError::Disconnected) => break,
+                            }
+                        }
+                        if !batch.items.is_empty() {
+                            let full = std::mem::replace(&mut batch, BatchJob::empty());
                             if job_tx.send(full).is_err() {
-                                break 'ingest;
+                                break 'work;
                             }
                         }
                     }
-                }
-            }
-            if !batch.items.is_empty() {
-                let _ = job_tx.send(batch);
-            }
-            created
-        });
+                    if !batch.items.is_empty() {
+                        let _ = job_tx.send(batch);
+                    }
+                    processor.created()
+                })
+            })
+            .collect();
+        // The spawn loop cloned per-shard senders; drop the original so
+        // the job channel closes once every shard exits.
+        drop(job_tx);
 
-        // Module 4: Prediction — one columnar scaler + ensemble pass per
-        // polled batch instead of a scaler/model walk per flow update.
-        let bundle = self.bundle.clone();
-        let prediction: JoinHandle<()> = std::thread::spawn(move || {
-            let mut scratch = VoteScratch::default();
-            let mut attacks = Vec::new();
-            for job in job_rx.iter() {
-                let n_features = job.rows.len() / job.items.len().max(1);
-                bundle.votes_batch(&job.rows, n_features, &mut scratch, &mut attacks);
-                let voted = BatchVoted {
-                    items: job.items,
-                    attacks: std::mem::take(&mut attacks),
-                };
-                if vote_tx.send(voted).is_err() {
-                    break;
-                }
-            }
-        });
-
-        // Module 2b: Data Processor (aggregation half) — smoothing +
-        // latency stamping back into the database.
-        let db = self.db.clone();
-        let window_size = self.smoothing_window;
-        let aggregator: JoinHandle<(u64, u64, u64, u64, f64, f64)> =
+        // Module 4: Prediction — shard batches fan back in here; one
+        // columnar scaler + ensemble pass per batch.
+        let prediction: JoinHandle<()> = {
+            let bundle = self.bundle.clone();
             std::thread::spawn(move || {
-                let mut windows: FnvHashMap<FlowKey, SmoothingWindow> = FnvHashMap::default();
-                let (mut preds, mut attacks, mut normals, mut pendings) = (0u64, 0u64, 0u64, 0u64);
-                let mut lat_sum = 0.0f64;
-                let mut lat_max = 0.0f64;
-                for batch in vote_rx.iter() {
-                    for (&(key, registered_at), &attack) in batch.items.iter().zip(&batch.attacks) {
-                        let latency = registered_at.elapsed();
-                        let lat_us = latency.as_secs_f64() * 1e6;
-                        lat_sum += lat_us;
-                        lat_max = lat_max.max(lat_us);
-                        let w = windows
-                            .entry(key)
-                            .or_insert_with(|| SmoothingWindow::new(window_size));
-                        let verdict = w.push(attack);
-                        match verdict.label() {
-                            Some(true) => attacks += 1,
-                            Some(false) => normals += 1,
-                            None => pendings += 1,
-                        }
-                        preds += 1;
-                        db.store_prediction(PredictionRecord {
-                            key,
-                            label: verdict.label(),
-                            predicted_ns: 0, // wall-clock mode: see latency_ns
-                            latency_ns: latency.as_nanos() as u64,
-                        });
+                let mut predictor = Predictor::new(bundle);
+                let mut attacks = Vec::new();
+                for job in job_rx.iter() {
+                    predictor.predict(&job.rows, &mut attacks);
+                    let voted = BatchVoted {
+                        items: job.items,
+                        attacks: std::mem::take(&mut attacks),
+                    };
+                    if vote_tx.send(voted).is_err() {
+                        break;
                     }
                 }
-                (preds, attacks, normals, pendings, lat_sum, lat_max)
-            });
+            })
+        };
 
-        // Join ALL four threads before reporting any failure: a panicked
-        // module drops its channel endpoints, which drains the others to
-        // completion — erroring out early would leave them detached and
-        // still writing to the shared database.
-        let col = collection.join().map_err(|_| RuntimeError {
+        // Module 2b: Data Processor (aggregation half) — smoothing +
+        // the stored verdict with a real wall-clock prediction stamp.
+        let aggregator: JoinHandle<(VerdictCounts, f64, f64)> = {
+            let db = self.db.clone();
+            let window_size = self.smoothing_window;
+            let in_flight = Arc::clone(&in_flight);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let _done_guard = SetOnDrop(done);
+                let mut agg = crate::modules::Aggregator::new(db, window_size);
+                for batch in vote_rx.iter() {
+                    for (&(key, registered_ns), &attack) in batch.items.iter().zip(&batch.attacks) {
+                        let predicted_ns = clock.now_ns();
+                        agg.aggregate(key, attack, registered_ns, predicted_ns);
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                (agg.counts(), agg.mean_latency_us(), agg.max_latency_us())
+            })
+        };
+
+        RunHandle {
+            collection,
+            processors,
+            prediction,
+            aggregator,
+            stop,
+            in_flight,
+            done,
+        }
+    }
+}
+
+/// One report through the shared Processor stage, batching judged
+/// updates. Created flows retire from the in-flight count here (they
+/// never reach aggregation, §III-3); judged ones retire after their
+/// verdict is stored.
+fn ingest_report<C: Clock>(
+    processor: &mut Processor<C>,
+    report: &TelemetryReport,
+    batch: &mut BatchJob,
+    in_flight: &AtomicUsize,
+) {
+    match processor.ingest(report, &mut batch.rows) {
+        Ingest::Created { .. } => {
+            in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+        Ingest::Judged(judged) => batch.items.push((judged.key, judged.registered_ns)),
+    }
+}
+
+/// Consecutive zero-in-flight observations [`RunHandle::drain`] requires
+/// before declaring the pipeline quiescent (spaced [`DRAIN_POLL`] apart —
+/// long enough for a report sitting in a channel source's buffer to be
+/// polled up and counted).
+const DRAIN_STABLE_POLLS: u32 = 5;
+const DRAIN_POLL: Duration = Duration::from_micros(400);
+
+/// A running threaded pipeline: the explicit lifecycle around
+/// [`ThreadedPipeline::start`].
+pub struct RunHandle {
+    collection: JoinHandle<u64>,
+    processors: Vec<JoinHandle<u64>>,
+    prediction: JoinHandle<()>,
+    aggregator: JoinHandle<(VerdictCounts, f64, f64)>,
+    stop: Arc<AtomicBool>,
+    in_flight: Arc<AtomicUsize>,
+    done: Arc<AtomicBool>,
+}
+
+impl RunHandle {
+    /// Ask collection to stop reading the source. Reports already
+    /// ingested still flow through to the database; follow with
+    /// [`RunHandle::join`] to wait for that.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Block until everything ingested so far has been fully processed
+    /// (its verdict stored) — the pipeline stays running and the source
+    /// stays open. Returns immediately if the pipeline already shut
+    /// down.
+    pub fn drain(&self) {
+        let mut stable = 0u32;
+        while stable < DRAIN_STABLE_POLLS {
+            if self.done.load(Ordering::Acquire) {
+                return;
+            }
+            if self.in_flight.load(Ordering::Acquire) == 0 {
+                stable += 1;
+            } else {
+                stable = 0;
+            }
+            std::thread::sleep(DRAIN_POLL);
+        }
+    }
+
+    /// Wait for the source to end (or [`RunHandle::stop`]) and every
+    /// module thread to exit. Joins ALL threads before reporting any
+    /// failure: a panicked module drops its channel endpoints, which
+    /// drains the others to completion — erroring out early would leave
+    /// them detached and still writing to the shared database.
+    pub fn join(self) -> Result<ThreadedRunStats, RuntimeError> {
+        let col = self.collection.join().map_err(|_| RuntimeError {
             module: "collection",
         });
-        let proc = processor.join().map_err(|_| RuntimeError {
-            module: "processor",
-        });
-        let pred = prediction.join().map_err(|_| RuntimeError {
+        let mut flows_created = 0u64;
+        let mut shard_err = None;
+        for shard in self.processors {
+            match shard.join() {
+                Ok(created) => flows_created += created,
+                Err(_) => {
+                    shard_err = Some(RuntimeError {
+                        module: "processor",
+                    });
+                }
+            }
+        }
+        let pred = self.prediction.join().map_err(|_| RuntimeError {
             module: "prediction",
         });
-        let agg = aggregator.join().map_err(|_| RuntimeError {
+        let agg = self.aggregator.join().map_err(|_| RuntimeError {
             module: "aggregator",
         });
-        col?;
-        let flows_created = proc?;
+        let reports_in = col?;
+        if let Some(err) = shard_err {
+            return Err(err);
+        }
         pred?;
-        let (predictions, attack_verdicts, normal_verdicts, pending_verdicts, lat_sum, lat_max) =
-            agg?;
+        let (counts, mean_latency_us, max_latency_us) = agg?;
 
         Ok(ThreadedRunStats {
             reports_in,
             flows_created,
-            predictions,
-            attack_verdicts,
-            normal_verdicts,
-            pending_verdicts,
-            mean_latency_us: if predictions == 0 {
-                0.0
-            } else {
-                lat_sum / predictions as f64
-            },
-            max_latency_us: lat_max,
+            predictions: counts.predictions,
+            attack_verdicts: counts.attacks,
+            normal_verdicts: counts.normals,
+            pending_verdicts: counts.pendings,
+            mean_latency_us,
+            max_latency_us,
         })
     }
 }
@@ -279,6 +458,7 @@ impl ThreadedPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::ChannelSource;
     use crate::trainer::{dataset_from_int, train_bundle, TrainerConfig};
     use amlight_features::FeatureSet;
     use amlight_int::{HopMetadata, InstructionSet};
@@ -403,5 +583,61 @@ mod tests {
         let reports: Vec<TelemetryReport> = capture(30).into_iter().map(|(r, _)| r).collect();
         let stats = pipe.run(reports).expect("no module panicked");
         assert_eq!(stats.pending_verdicts, 0, "window of 1 never pends");
+    }
+
+    #[test]
+    fn wall_clock_prediction_stamps_are_real() {
+        let pipe = ThreadedPipeline::new(bundle());
+        let reports: Vec<TelemetryReport> = capture(40).into_iter().map(|(r, _)| r).collect();
+        pipe.run(reports).expect("no module panicked");
+        let preds = pipe.database().predictions();
+        assert!(!preds.is_empty());
+        for p in preds {
+            assert!(p.predicted_ns > 0, "placeholder stamp leaked through");
+            assert!(p.latency_ns <= p.predicted_ns);
+        }
+    }
+
+    #[test]
+    fn channel_source_lifecycle_drain_then_join() {
+        let pipe = ThreadedPipeline::new(bundle()).with_shards(2);
+        let reports: Vec<TelemetryReport> = capture(60).into_iter().map(|(r, _)| r).collect();
+        let n = reports.len() as u64;
+        let (tx, source) = ChannelSource::bounded(64);
+        let handle = pipe.start(source);
+
+        let (first, rest) = reports.split_at(reports.len() / 2);
+        for r in first {
+            tx.send(r.clone()).expect("pipeline is live");
+        }
+        handle.drain();
+        let mid = pipe.database().prediction_count();
+        assert!(mid > 0, "drained pipeline must have stored verdicts");
+
+        for r in rest {
+            tx.send(r.clone()).expect("pipeline is live");
+        }
+        drop(tx); // end of stream
+        let stats = handle.join().expect("no module panicked");
+        assert_eq!(stats.reports_in, n);
+        assert_eq!(stats.flows_created, 8);
+        assert_eq!(stats.predictions, n - 8);
+        assert!(pipe.database().prediction_count() >= mid);
+    }
+
+    #[test]
+    fn stop_ends_collection_early() {
+        let pipe = ThreadedPipeline::new(bundle());
+        let (tx, source) = ChannelSource::bounded(64);
+        let handle = pipe.start(source);
+        for r in capture(10).into_iter().map(|(r, _)| r) {
+            tx.send(r).expect("pipeline is live");
+        }
+        handle.drain();
+        handle.stop();
+        // Sender still alive: only stop() can end this run.
+        let stats = handle.join().expect("no module panicked");
+        assert_eq!(stats.reports_in, 20);
+        drop(tx);
     }
 }

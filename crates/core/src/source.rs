@@ -1,0 +1,294 @@
+//! Streaming report sources for the threaded runtime.
+//!
+//! The paper's INT Data Collection module is an always-on reader of the
+//! collector port; a production detector therefore cannot demand a fully
+//! materialized `Vec<TelemetryReport>` up front. [`ReportSource`] is the
+//! pull interface the runtime's collection stage drains instead, with
+//! four implementations:
+//!
+//! * [`IterSource`] — any in-memory iterator (the old `Vec` replay path
+//!   is `IterSource::from(vec)`);
+//! * [`ChannelSource`] — a bounded crossbeam channel fed by external
+//!   producers; the stream ends when every sender is dropped;
+//! * [`ReplaySource`] — a capture replayed in export-time order, the
+//!   shape the experiment binaries feed the virtual-time driver;
+//! * [`CollectorSource`] — an [`amlight_int::IntCollector`] adapter that
+//!   decodes a raw sink byte stream chunk by chunk, tolerating split and
+//!   malformed reports exactly like the standalone collector.
+//!
+//! Sources are *polled*, not blocked on: [`SourcePoll::Idle`] lets the
+//! collection stage stay responsive to `stop()` while a live source has
+//! nothing to hand over yet.
+
+use amlight_int::{IntCollector, TelemetryReport};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// One poll of a [`ReportSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourcePoll {
+    /// A report is ready.
+    Report(TelemetryReport),
+    /// Nothing right now, but the stream is still open — poll again.
+    Idle,
+    /// The stream has ended; no further reports will ever arrive.
+    End,
+}
+
+/// A pull-based stream of telemetry reports.
+///
+/// `Send + 'static` because the runtime's collection stage owns the
+/// source on its own thread.
+pub trait ReportSource: Send {
+    /// Fetch the next report, or report idleness / end of stream. May
+    /// block briefly (sub-millisecond) but must not block indefinitely:
+    /// the collection stage checks its stop flag between polls.
+    fn poll_report(&mut self) -> SourcePoll;
+}
+
+/// An in-memory iterator source. Never idles: it either yields or ends.
+#[derive(Debug)]
+pub struct IterSource<I> {
+    iter: I,
+}
+
+impl<I> IterSource<I>
+where
+    I: Iterator<Item = TelemetryReport> + Send,
+{
+    pub fn new(iter: I) -> Self {
+        Self { iter }
+    }
+}
+
+impl From<Vec<TelemetryReport>> for IterSource<std::vec::IntoIter<TelemetryReport>> {
+    fn from(reports: Vec<TelemetryReport>) -> Self {
+        Self::new(reports.into_iter())
+    }
+}
+
+impl<I> ReportSource for IterSource<I>
+where
+    I: Iterator<Item = TelemetryReport> + Send,
+{
+    fn poll_report(&mut self) -> SourcePoll {
+        match self.iter.next() {
+            Some(r) => SourcePoll::Report(r),
+            None => SourcePoll::End,
+        }
+    }
+}
+
+/// How long a [`ChannelSource`] poll waits before reporting `Idle`.
+const CHANNEL_POLL: Duration = Duration::from_micros(200);
+
+/// A live, channel-fed source: producers hold the [`Sender`] half and
+/// the pipeline drains the receiver. Ends when every sender is dropped.
+#[derive(Debug)]
+pub struct ChannelSource {
+    rx: Receiver<TelemetryReport>,
+}
+
+impl ChannelSource {
+    /// A bounded feed; hand the sender to the producer (collector socket
+    /// loop, traffic generator, test harness, …).
+    pub fn bounded(capacity: usize) -> (Sender<TelemetryReport>, Self) {
+        let (tx, rx) = bounded(capacity.max(1));
+        (tx, Self { rx })
+    }
+
+    /// Wrap an existing receiver.
+    pub fn from_receiver(rx: Receiver<TelemetryReport>) -> Self {
+        Self { rx }
+    }
+}
+
+impl ReportSource for ChannelSource {
+    fn poll_report(&mut self) -> SourcePoll {
+        match self.rx.recv_timeout(CHANNEL_POLL) {
+            Ok(r) => SourcePoll::Report(r),
+            Err(RecvTimeoutError::Timeout) => SourcePoll::Idle,
+            Err(RecvTimeoutError::Disconnected) => SourcePoll::End,
+        }
+    }
+}
+
+/// A capture replay: reports are re-sorted into export-time order (the
+/// order the collector would have emitted them) and streamed once.
+#[derive(Debug)]
+pub struct ReplaySource {
+    reports: std::vec::IntoIter<TelemetryReport>,
+}
+
+impl ReplaySource {
+    pub fn new(mut reports: Vec<TelemetryReport>) -> Self {
+        reports.sort_by_key(|r| r.export_ns);
+        Self {
+            reports: reports.into_iter(),
+        }
+    }
+
+    /// Strip labels off a labeled capture (the experiment binaries' and
+    /// CLI's on-disk format) and replay the reports.
+    pub fn from_labeled<L>(labeled: &[(TelemetryReport, L)]) -> Self {
+        Self::new(labeled.iter().map(|(r, _)| r.clone()).collect())
+    }
+}
+
+impl ReportSource for ReplaySource {
+    fn poll_report(&mut self) -> SourcePoll {
+        match self.reports.next() {
+            Some(r) => SourcePoll::Report(r),
+            None => SourcePoll::End,
+        }
+    }
+}
+
+/// The INT collector adapter: pulls raw byte chunks from the sink and
+/// streams every report the [`IntCollector`] decodes out of them.
+///
+/// A chunk that completes no report (split delivery, garbage awaiting
+/// resync) yields [`SourcePoll::Idle`], not `End` — exactly the
+/// collector's own "more bytes coming" semantics.
+pub struct CollectorSource<B> {
+    chunks: B,
+    collector: IntCollector,
+    decoded: VecDeque<TelemetryReport>,
+    scratch: Vec<TelemetryReport>,
+}
+
+impl<B> CollectorSource<B>
+where
+    B: Iterator<Item = Vec<u8>> + Send,
+{
+    pub fn new(chunks: B) -> Self {
+        Self {
+            chunks,
+            collector: IntCollector::new(),
+            decoded: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Decoder statistics (resyncs, malformed reports, bytes consumed).
+    pub fn stats(&self) -> amlight_int::CollectorStats {
+        self.collector.stats()
+    }
+}
+
+impl<B> ReportSource for CollectorSource<B>
+where
+    B: Iterator<Item = Vec<u8>> + Send,
+{
+    fn poll_report(&mut self) -> SourcePoll {
+        if let Some(r) = self.decoded.pop_front() {
+            return SourcePoll::Report(r);
+        }
+        match self.chunks.next() {
+            Some(chunk) => {
+                self.scratch.clear();
+                self.collector.ingest_into(&chunk, &mut self.scratch);
+                self.decoded.extend(self.scratch.drain(..));
+                match self.decoded.pop_front() {
+                    Some(r) => SourcePoll::Report(r),
+                    None => SourcePoll::Idle, // partial report buffered
+                }
+            }
+            None => SourcePoll::End,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_int::{HopMetadata, InstructionSet};
+    use amlight_net::{FlowKey, Protocol};
+    use std::net::Ipv4Addr;
+
+    fn report(tag: u32) -> TelemetryReport {
+        TelemetryReport {
+            flow: FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                (2000 + tag) as u16,
+                80,
+                Protocol::Tcp,
+            ),
+            ip_len: 60,
+            tcp_flags: Some(0x02),
+            instructions: InstructionSet::amlight(),
+            hops: vec![HopMetadata {
+                switch_id: tag,
+                ..Default::default()
+            }],
+            export_ns: u64::from(tag) * 500,
+        }
+    }
+
+    fn drain(source: &mut impl ReportSource) -> Vec<TelemetryReport> {
+        let mut out = Vec::new();
+        loop {
+            match source.poll_report() {
+                SourcePoll::Report(r) => out.push(r),
+                SourcePoll::Idle => continue,
+                SourcePoll::End => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn iter_source_yields_then_ends() {
+        let reports: Vec<_> = (0..5).map(report).collect();
+        let mut src = IterSource::from(reports.clone());
+        assert_eq!(drain(&mut src), reports);
+        assert_eq!(src.poll_report(), SourcePoll::End, "End is sticky");
+    }
+
+    #[test]
+    fn channel_source_idles_then_ends() {
+        let (tx, mut src) = ChannelSource::bounded(4);
+        assert_eq!(src.poll_report(), SourcePoll::Idle);
+        tx.send(report(1)).unwrap();
+        assert_eq!(src.poll_report(), SourcePoll::Report(report(1)));
+        drop(tx);
+        assert_eq!(src.poll_report(), SourcePoll::End);
+    }
+
+    #[test]
+    fn replay_source_orders_by_export_time() {
+        let mut shuffled = vec![report(3), report(1), report(2)];
+        shuffled.swap(0, 2);
+        let mut src = ReplaySource::new(shuffled);
+        let got = drain(&mut src);
+        assert_eq!(got, vec![report(1), report(2), report(3)]);
+    }
+
+    #[test]
+    fn replay_source_strips_labels() {
+        let labeled = vec![(report(2), "b"), (report(1), "a")];
+        let mut src = ReplaySource::from_labeled(&labeled);
+        assert_eq!(drain(&mut src), vec![report(1), report(2)]);
+    }
+
+    #[test]
+    fn collector_source_decodes_split_chunks() {
+        let reports: Vec<_> = (0..6).map(report).collect();
+        let stream = IntCollector::encode_stream(&reports);
+        let chunks: Vec<Vec<u8>> = stream.chunks(7).map(<[u8]>::to_vec).collect();
+        let mut src = CollectorSource::new(chunks.into_iter());
+        assert_eq!(drain(&mut src), reports);
+        assert_eq!(src.stats().reports_decoded, 6);
+    }
+
+    #[test]
+    fn collector_source_survives_garbage() {
+        let good = report(9);
+        let mut bytes = vec![0xde, 0xad, 0xbe, 0xef];
+        bytes.extend_from_slice(&IntCollector::encode_stream(std::slice::from_ref(&good)));
+        let mut src = CollectorSource::new(vec![bytes].into_iter());
+        assert_eq!(drain(&mut src), vec![good]);
+        assert!(src.stats().resyncs >= 1);
+    }
+}

@@ -28,6 +28,38 @@ impl Verdict {
     }
 }
 
+/// Running tallies of smoothed verdicts, one `observe` per prediction.
+///
+/// Shared by the [`crate::modules::Aggregator`] stage and the threaded
+/// runtime's run statistics so every driver counts identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictCounts {
+    pub predictions: u64,
+    pub attacks: u64,
+    pub normals: u64,
+    pub pendings: u64,
+}
+
+impl VerdictCounts {
+    /// Tally one smoothed verdict.
+    pub fn observe(&mut self, verdict: Verdict) {
+        self.predictions += 1;
+        match verdict {
+            Verdict::Pending => self.pendings += 1,
+            Verdict::Normal => self.normals += 1,
+            Verdict::Attack => self.attacks += 1,
+        }
+    }
+
+    /// Fold another tally in (e.g. across processor shards).
+    pub fn merge(&mut self, other: VerdictCounts) {
+        self.predictions += other.predictions;
+        self.attacks += other.attacks;
+        self.normals += other.normals;
+        self.pendings += other.pendings;
+    }
+}
+
 /// Majority over a sliding window of the most recent predictions.
 ///
 /// ```
@@ -171,5 +203,19 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_window_rejected() {
         SmoothingWindow::new(0);
+    }
+
+    #[test]
+    fn verdict_counts_observe_and_merge() {
+        let mut a = VerdictCounts::default();
+        a.observe(Verdict::Pending);
+        a.observe(Verdict::Attack);
+        let mut b = VerdictCounts::default();
+        b.observe(Verdict::Normal);
+        a.merge(b);
+        assert_eq!(a.predictions, 3);
+        assert_eq!(a.attacks, 1);
+        assert_eq!(a.normals, 1);
+        assert_eq!(a.pendings, 1);
     }
 }

@@ -21,8 +21,10 @@ use std::hash::BuildHasher;
 /// The shard count is always a power of two (requests are rounded up),
 /// so routing is `hash & mask` instead of an integer modulo — the
 /// division would otherwise sit in the per-report hot path of every
-/// sharded consumer. Shared by [`ShardedFlowTable`] and the core crate's
-/// `BatchDetector` so both route a given flow identically.
+/// sharded consumer. Shared by [`ShardedFlowTable`], the core crate's
+/// `BatchDetector`, and the threaded runtime's collection→shard fan-out
+/// (`ThreadedPipeline::with_shards`), so all consumers route a given
+/// flow identically.
 #[derive(Debug, Clone, Default)]
 pub struct ShardRouter {
     hasher: FnvBuildHasher,

@@ -42,8 +42,17 @@ impl IntCollector {
 
     /// Feed raw bytes from the sink; returns every complete report.
     pub fn ingest(&mut self, bytes: &[u8]) -> Vec<TelemetryReport> {
-        self.buffer.extend_from_slice(bytes);
         let mut out = Vec::new();
+        self.ingest_into(bytes, &mut out);
+        out
+    }
+
+    /// Allocation-reusing form of [`IntCollector::ingest`]: appends every
+    /// complete report to `out` instead of returning a fresh vector.
+    /// Streaming consumers (e.g. `amlight_core`'s `CollectorSource`)
+    /// call this once per byte chunk with a long-lived buffer.
+    pub fn ingest_into(&mut self, bytes: &[u8], out: &mut Vec<TelemetryReport>) {
+        self.buffer.extend_from_slice(bytes);
         loop {
             if self.buffer.is_empty() {
                 break;
@@ -66,7 +75,6 @@ impl IntCollector {
                 }
             }
         }
-        out
     }
 
     /// Skip forward to the next plausible report magic.

@@ -1,11 +1,14 @@
-//! Live detection: the four Fig. 2 modules running as real threads over
-//! crossbeam channels, with wall-clock latency measurement.
+//! Live detection: the Fig. 2 modules running as real threads — a
+//! channel-fed streaming source fanning out to sharded processors, with
+//! wall-clock latency measurement and an explicit start/drain/stop
+//! lifecycle.
 //!
 //! ```sh
 //! cargo run --release --example live_detection
 //! ```
 
 use amlight::core::runtime::ThreadedPipeline;
+use amlight::core::source::ChannelSource;
 use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
 use amlight::features::FeatureSet;
 use amlight::net::TrafficClass;
@@ -27,8 +30,9 @@ fn main() {
     let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
     println!("bundle trained on {} telemetry rows", raw.len());
 
-    // Online phase: threads — collection → processor → prediction →
-    // aggregation — sharing the flow database.
+    // Online phase: a live producer feeds the collection module through
+    // a bounded channel; ingest fans out across 4 processor shards and
+    // fans back in at the prediction thread.
     let replay = ReplayLibrary::build(600, 77);
     for class in [
         TrafficClass::Benign,
@@ -40,8 +44,27 @@ fn main() {
             .into_iter()
             .map(|(r, _)| r)
             .collect();
-        let pipeline = ThreadedPipeline::new(bundle.clone());
-        let stats = match pipeline.run(reports) {
+        let pipeline = ThreadedPipeline::new(bundle.clone()).with_shards(4);
+        let (tx, source) = ChannelSource::bounded(1024);
+        let handle = pipeline.start(source);
+
+        // The producer half of a live deployment: here a thread replaying
+        // a capture, in production the INT collector socket loop.
+        let feeder = std::thread::spawn(move || {
+            let mut sent = 0u64;
+            for r in reports {
+                if tx.send(r).is_err() {
+                    break;
+                }
+                sent += 1;
+            }
+            sent // dropping tx ends the stream
+        });
+
+        let sent = feeder.join().unwrap_or(0);
+        handle.drain(); // everything ingested so far is now in the DB
+        let mid_predictions = pipeline.database().prediction_count();
+        let stats = match handle.join() {
             Ok(stats) => stats,
             Err(e) => {
                 eprintln!("{} replay aborted: {e}", class.name());
@@ -49,11 +72,13 @@ fn main() {
             }
         };
         println!(
-            "\n{} replay → {} reports, {} flows, {} predictions",
+            "\n{} replay → {} reports streamed ({} sent), {} flows across 4 shards, {} predictions ({} at drain)",
             class.name(),
             stats.reports_in,
+            sent,
             stats.flows_created,
-            stats.predictions
+            stats.predictions,
+            mid_predictions,
         );
         println!(
             "  verdicts: {} attack / {} normal / {} pending",

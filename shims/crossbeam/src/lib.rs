@@ -4,10 +4,16 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Cloneable producer half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
@@ -25,6 +31,12 @@ pub mod channel {
     /// Consumer half of a bounded channel.
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv()
@@ -32,6 +44,13 @@ pub mod channel {
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks for at most `timeout`; distinguishes an empty channel
+        /// (`Timeout`) from one whose senders are all gone
+        /// (`Disconnected`).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Blocking iterator that ends when all senders disconnect.
