@@ -24,15 +24,20 @@
 use crate::lexer::{Comment, Lexed, TokKind, Token};
 use crate::{Diagnostic, FileClass};
 
-/// Hot-path modules for R1 (workspace-relative path suffixes).
+/// Hot-path modules for R1 (workspace-relative path suffixes). The
+/// sFlow agent and datagram codec joined the list when the telemetry-
+/// generic event layer put them on the live ingest path.
 const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/core/src/batch.rs",
     "crates/core/src/runtime.rs",
     "crates/core/src/modules.rs",
     "crates/core/src/source.rs",
+    "crates/core/src/event.rs",
     "crates/core/src/db.rs",
     "crates/features/src/sharded.rs",
+    "crates/sflow/src/agent.rs",
+    "crates/sflow/src/datagram.rs",
 ];
 
 /// Files where R4 (lock-across-send) applies.
@@ -40,7 +45,10 @@ const R4_FILES: &[&str] = &[
     "crates/core/src/runtime.rs",
     "crates/core/src/modules.rs",
     "crates/core/src/source.rs",
+    "crates/core/src/event.rs",
     "crates/features/src/sharded.rs",
+    "crates/sflow/src/agent.rs",
+    "crates/sflow/src/datagram.rs",
 ];
 
 /// Is this file part of the detection hot path (R1 scope)?

@@ -1,5 +1,5 @@
 //! Streaming runtime throughput: the threaded pipeline over a live,
-//! channel-fed [`ReportSource`], swept across processor shard counts.
+//! channel-fed [`EventSource`], swept across processor shard counts.
 //!
 //! A feeder thread replays a labeled capture into a bounded channel —
 //! the same shape as a production INT collector socket loop — while the
@@ -97,7 +97,7 @@ fn main() {
         let handle = pipe.start(source);
         let feeder = std::thread::spawn(move || {
             for r in stream {
-                if tx.send(r).is_err() {
+                if tx.send(r.into()).is_err() {
                     break;
                 }
             }
@@ -113,10 +113,10 @@ fn main() {
         let wall = start.elapsed().as_secs_f64();
         let rec = ShardRecord {
             shards,
-            reports: stats.reports_in,
+            reports: stats.events_in,
             predictions: stats.predictions,
             wall_ms: wall * 1e3,
-            reports_per_s: stats.reports_in as f64 / wall.max(1e-9),
+            reports_per_s: stats.events_in as f64 / wall.max(1e-9),
             mean_latency_us: stats.mean_latency_us,
             max_latency_us: stats.max_latency_us,
         };

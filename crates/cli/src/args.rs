@@ -56,11 +56,20 @@ COMMANDS:
     train        train scaler + MLP/RF/GNB bundle from a capture
                    --capture <file>    input capture (default capture.json)
                    --out <file>        bundle path (default bundle.json)
+                   --telemetry <b>     backend view to train on: int | sflow
+                                       (default int; sflow resamples the
+                                       capture 1-in-N and drops the queue
+                                       features)
+                   --sample-period <n> sFlow sampling period for --telemetry
+                                       sflow (default 256)
                    --include-slowloris train on SlowLoris too (default: held
                                        out as the zero-day attack)
     detect       replay a capture through the detection pipeline
                    --capture <file>    input capture (default capture.json)
                    --bundle <file>     trained bundle (default bundle.json)
+                   --telemetry <b>     backend to replay: int | sflow
+                                       (default int; must match the bundle)
+                   --sample-period <n> sFlow sampling period (default 256)
                    --paper-pace        model the paper's prototype latencies
                    --threaded          stream through the threaded runtime
                                        (wall-clock latency) instead of the
@@ -204,6 +213,18 @@ mod tests {
         // --shards without --threaded still parses; detect decides.
         let args = Args::parse(["detect", "--shards", "2"]).unwrap();
         assert!(!args.has("threaded"));
+    }
+
+    #[test]
+    fn telemetry_flag_parses_for_train_and_detect() {
+        let args = Args::parse(["train", "--telemetry", "sflow", "--sample-period", "64"]).unwrap();
+        assert_eq!(args.get("telemetry", "int"), "sflow");
+        assert_eq!(args.get_u64("sample-period", 256).unwrap(), 64);
+        let args = Args::parse(["detect", "--telemetry", "int"]).unwrap();
+        assert_eq!(args.get("telemetry", "int"), "int");
+        // Defaults to INT when the flag is absent.
+        let args = Args::parse(["detect"]).unwrap();
+        assert_eq!(args.get("telemetry", "int"), "int");
     }
 
     #[test]

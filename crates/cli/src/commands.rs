@@ -1,15 +1,19 @@
 //! The subcommand implementations.
 
 use crate::args::{Args, Command, USAGE};
+use amlight_core::event::{sample_reports, TelemetryBackend};
 use amlight_core::pipeline::{DetectionPipeline, PipelineConfig};
 use amlight_core::runtime::ThreadedPipeline;
-use amlight_core::source::ReplaySource;
+use amlight_core::source::{ReplaySource, SflowReplaySource};
 use amlight_core::testbed::{Testbed, TestbedConfig};
-use amlight_core::trainer::{dataset_from_int, train_bundle, ModelBundle, TrainerConfig};
+use amlight_core::trainer::{
+    dataset_from_int, dataset_from_sflow, train_bundle, ModelBundle, TrainerConfig,
+};
 use amlight_features::FeatureSet;
 use amlight_int::microburst::detect_from_reports;
 use amlight_int::{MicroburstConfig, TelemetryReport};
 use amlight_net::TrafficClass;
+use amlight_sflow::{FlowSample, SamplingMode, SflowAgent};
 use amlight_traffic::{TrafficMix, TrafficMixConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -112,6 +116,29 @@ fn bad(e: impl fmt::Display) -> CliError {
     CliError::Usage(e.to_string())
 }
 
+/// Parse `--telemetry` (default `int`).
+fn telemetry_backend(args: &Args) -> Result<TelemetryBackend, CliError> {
+    let name = args.get("telemetry", "int");
+    TelemetryBackend::parse(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "--telemetry expects `int` or `sflow`, got `{name}`"
+        ))
+    })
+}
+
+/// Re-observe an INT capture through a seeded sFlow sampling agent:
+/// each report is one packet at the observation point, so the agent's
+/// 1-in-N decision produces the sampled view of the same traffic.
+fn sflow_view(capture: &CaptureFile, period: u32) -> Vec<(FlowSample, TrafficClass)> {
+    let mut agent = SflowAgent::new(
+        SamplingMode::RandomSkip {
+            period: period.max(1),
+        },
+        capture.seed,
+    );
+    sample_reports(&capture.reports, &mut agent)
+}
+
 fn cmd_capture(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let path = args.get("out", "capture.json").to_string();
     let day_len = args.get_u64("day-len", 10).map_err(bad)?;
@@ -154,6 +181,8 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let capture_path = args.get("capture", "capture.json").to_string();
     let bundle_path = args.get("out", "bundle.json").to_string();
     let include_slowloris = args.has("include-slowloris");
+    let backend = telemetry_backend(args)?;
+    let period = args.get_u64("sample-period", 256).map_err(bad)? as u32;
 
     let capture = CaptureFile::load(&capture_path)?;
     let training: Vec<_> = capture
@@ -164,17 +193,40 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         .collect();
     writeln!(
         out,
-        "training on {} of {} reports{}…",
+        "training on {} of {} reports ({} view){}…",
         training.len(),
         capture.reports.len(),
+        backend.name(),
         if include_slowloris {
             ""
         } else {
             " (SlowLoris held out as zero-day)"
         }
     )?;
-    let raw = dataset_from_int(&training, FeatureSet::Int);
-    let bundle = train_bundle(&raw, FeatureSet::Int, &training_config(args.has("fast")));
+    let raw = match backend {
+        TelemetryBackend::Int => dataset_from_int(&training, FeatureSet::Int),
+        TelemetryBackend::Sflow => {
+            let filtered = CaptureFile {
+                seed: capture.seed,
+                day_len_s: capture.day_len_s,
+                hops: capture.hops,
+                reports: training,
+            };
+            let samples = sflow_view(&filtered, period);
+            writeln!(
+                out,
+                "sFlow 1-in-{period} sampling kept {} of {} reports",
+                samples.len(),
+                filtered.reports.len()
+            )?;
+            dataset_from_sflow(&samples)
+        }
+    };
+    let bundle = train_bundle(
+        &raw,
+        backend.feature_set(),
+        &training_config(args.has("fast")),
+    );
     bundle.save(&bundle_path)?;
     writeln!(
         out,
@@ -187,12 +239,33 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let backend = telemetry_backend(args)?;
+    let period = args.get_u64("sample-period", 256).map_err(bad)? as u32;
     let capture = CaptureFile::load(args.get("capture", "capture.json"))?;
     let bundle = ModelBundle::load(args.get("bundle", "bundle.json"))?;
 
+    if bundle.feature_set != backend.feature_set() {
+        return Err(CliError::Usage(format!(
+            "bundle was trained on {:?} features but --telemetry {} needs {:?}; \
+             retrain with `amlight train --telemetry {}`",
+            bundle.feature_set,
+            backend.name(),
+            backend.feature_set(),
+            backend.name(),
+        )));
+    }
+
     if args.has("threaded") {
         let shards = args.get_u64("shards", 1).map_err(bad)? as usize;
-        return cmd_detect_threaded(&capture, bundle, shards, out);
+        let pipeline = ThreadedPipeline::new(bundle).with_shards(shards.max(1));
+        let handle = match backend {
+            TelemetryBackend::Int => pipeline.start(ReplaySource::from_labeled(&capture.reports)),
+            TelemetryBackend::Sflow => {
+                let samples = sflow_view(&capture, period);
+                pipeline.start(SflowReplaySource::from_labeled(&samples))
+            }
+        };
+        return print_threaded(handle.join().map_err(bad)?, backend, out);
     }
 
     let pace = if args.has("paper-pace") {
@@ -202,33 +275,54 @@ fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     };
 
     let mut pipeline = DetectionPipeline::new(bundle, pace);
-    let report = pipeline.run_sync(&capture.reports);
+    let report = match backend {
+        TelemetryBackend::Int => pipeline.run_sync(&capture.reports),
+        TelemetryBackend::Sflow => {
+            let samples = sflow_view(&capture, period);
+            writeln!(
+                out,
+                "sFlow 1-in-{period} sampling kept {} of {} reports",
+                samples.len(),
+                capture.reports.len()
+            )?;
+            pipeline.run_sync_sflow(&samples)
+        }
+    };
     print_detection(&report, out)
 }
 
-/// The streaming path: replay the capture through the threaded runtime
-/// (real module threads, sharded processors, wall-clock latency).
-fn cmd_detect_threaded(
-    capture: &CaptureFile,
-    bundle: ModelBundle,
-    shards: usize,
+/// Streaming-path summary: both backends replay through the same
+/// threaded runtime, so the printout is backend-tagged but identical in
+/// shape. Labels rode through the channels, so recall needs no
+/// side-channel lookup.
+fn print_threaded(
+    stats: amlight_core::runtime::ThreadedRunStats,
+    backend: TelemetryBackend,
     out: &mut impl Write,
 ) -> Result<(), CliError> {
-    let pipeline = ThreadedPipeline::new(bundle).with_shards(shards.max(1));
-    let stats = pipeline
-        .start(ReplaySource::from_labeled(&capture.reports))
-        .join()
-        .map_err(bad)?;
     writeln!(
         out,
-        "threaded replay: {} reports → {} flows, {} predictions",
-        stats.reports_in, stats.flows_created, stats.predictions
+        "threaded {} replay: {} events → {} flows, {} predictions",
+        backend.name(),
+        stats.events_in,
+        stats.flows_created,
+        stats.predictions
     )?;
     writeln!(
         out,
         "verdicts: {} attack / {} normal / {} pending",
         stats.attack_verdicts, stats.normal_verdicts, stats.pending_verdicts
     )?;
+    if stats.labeled.labeled_updates() > 0 {
+        writeln!(
+            out,
+            "labeled recall: {:.4} ({} of {} attack updates; false-alarm rate {:.4})",
+            stats.labeled.recall(),
+            stats.labeled.attack_hits,
+            stats.labeled.attack_updates,
+            stats.labeled.false_alarm_rate(),
+        )?;
+    }
     writeln!(
         out,
         "wall-clock prediction latency: mean {:.1} µs, max {:.1} µs",
@@ -394,7 +488,8 @@ mod tests {
             "4",
         ])
         .unwrap();
-        assert!(text.contains("threaded replay"), "{text}");
+        assert!(text.contains("threaded int replay"), "{text}");
+        assert!(text.contains("labeled recall"), "{text}");
         assert!(text.contains("wall-clock prediction latency"), "{text}");
 
         let text = run_tokens(&["microburst", "--capture", cap_s]).unwrap();
@@ -402,6 +497,79 @@ mod tests {
 
         std::fs::remove_file(&cap).ok();
         std::fs::remove_file(&bun).ok();
+    }
+
+    #[test]
+    fn sflow_train_detect_roundtrip() {
+        let cap = tmp("sflow-cap.json");
+        let bun = tmp("sflow-bun.json");
+        let cap_s = cap.to_str().unwrap();
+        let bun_s = bun.to_str().unwrap();
+
+        run_tokens(&["capture", "--out", cap_s, "--day-len", "3", "--seed", "11"]).unwrap();
+        // A tight period keeps enough samples to train on a tiny capture.
+        let text = run_tokens(&[
+            "train",
+            "--capture",
+            cap_s,
+            "--out",
+            bun_s,
+            "--fast",
+            "--telemetry",
+            "sflow",
+            "--sample-period",
+            "8",
+        ])
+        .unwrap();
+        assert!(text.contains("sflow view"), "{text}");
+        assert!(text.contains("sFlow 1-in-8 sampling kept"), "{text}");
+
+        // An INT-features bundle must be rejected for an sFlow replay
+        // (and vice versa) before any work happens.
+        let text = run_tokens(&[
+            "detect",
+            "--capture",
+            cap_s,
+            "--bundle",
+            bun_s,
+            "--telemetry",
+            "sflow",
+            "--sample-period",
+            "8",
+        ])
+        .unwrap();
+        assert!(text.contains("overall accuracy"), "{text}");
+
+        let err = run_tokens(&["detect", "--capture", cap_s, "--bundle", bun_s]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("--telemetry"), "{err}");
+
+        let text = run_tokens(&[
+            "detect",
+            "--capture",
+            cap_s,
+            "--bundle",
+            bun_s,
+            "--telemetry",
+            "sflow",
+            "--sample-period",
+            "8",
+            "--threaded",
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        assert!(text.contains("threaded sflow replay"), "{text}");
+
+        std::fs::remove_file(&cap).ok();
+        std::fs::remove_file(&bun).ok();
+    }
+
+    #[test]
+    fn bad_telemetry_value_is_a_usage_error() {
+        let err = run_tokens(&["detect", "--telemetry", "netflow"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("netflow"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! The telemetry-generic event layer: one abstraction over both
+//! telemetry backends the paper compares.
+//!
+//! The paper's headline result is *comparative* — INT's per-packet
+//! reports against sFlow's 1-in-4,096 sampling (Fig. 5) — so the
+//! pipeline must be able to run either backend through the *same*
+//! Fig. 2 stages. [`TelemetryEvent`] is the unified currency: an INT
+//! [`TelemetryReport`] or an sFlow [`FlowSample`], each implying its
+//! [`FeatureSet`] (INT sees queue occupancy, sFlow does not — 15-wide
+//! vs 12-wide rows). The [`Telemetry`] trait is the zero-cost static
+//! face of the same dispatch: the virtual-time driver stays monomorphic
+//! over `TelemetryReport` (bit-identical to the pre-refactor path)
+//! while the streaming runtime moves owned [`TelemetryEvent`]s through
+//! its channels.
+//!
+//! Both event kinds carry the same [`FlowKey`] 5-tuple, so shard
+//! routing ([`amlight_features::ShardRouter`]) hashes identically for
+//! both backends — a flow lands on the same shard no matter which
+//! telemetry system observed it.
+
+use amlight_features::{FeatureSet, FlowRecord, FlowTable, UpdateKind};
+use amlight_int::TelemetryReport;
+use amlight_net::{FlowKey, TrafficClass};
+use amlight_sflow::{FlowSample, SflowAgent};
+use serde::{Deserialize, Serialize};
+
+/// Which telemetry system produced a stream — the CLI/bench selector.
+/// (JSON outputs use [`TelemetryBackend::name`] for the lowercase form;
+/// the serde shim has no field-attribute support.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TelemetryBackend {
+    /// Per-packet in-band telemetry reports.
+    Int,
+    /// Sampled sFlow observation.
+    Sflow,
+}
+
+impl TelemetryBackend {
+    pub fn name(self) -> &'static str {
+        match self {
+            TelemetryBackend::Int => "int",
+            TelemetryBackend::Sflow => "sflow",
+        }
+    }
+
+    /// The feature projection this backend's events can populate.
+    pub fn feature_set(self) -> FeatureSet {
+        match self {
+            TelemetryBackend::Int => FeatureSet::Int,
+            TelemetryBackend::Sflow => FeatureSet::Sflow,
+        }
+    }
+
+    /// Parse a `--telemetry` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "int" => Some(TelemetryBackend::Int),
+            "sflow" => Some(TelemetryBackend::Sflow),
+            _ => None,
+        }
+    }
+}
+
+/// One telemetry observation from either backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    Int(TelemetryReport),
+    Sflow(FlowSample),
+}
+
+impl TelemetryEvent {
+    pub fn backend(&self) -> TelemetryBackend {
+        match self {
+            TelemetryEvent::Int(_) => TelemetryBackend::Int,
+            TelemetryEvent::Sflow(_) => TelemetryBackend::Sflow,
+        }
+    }
+}
+
+impl From<TelemetryReport> for TelemetryEvent {
+    fn from(r: TelemetryReport) -> Self {
+        TelemetryEvent::Int(r)
+    }
+}
+
+impl From<FlowSample> for TelemetryEvent {
+    fn from(s: FlowSample) -> Self {
+        TelemetryEvent::Sflow(s)
+    }
+}
+
+/// What the shared Fig. 2 stages need from a telemetry observation:
+/// a flow identity for routing, a native timestamp for the clock, and
+/// the right [`FlowTable`] update.
+///
+/// Implemented for [`TelemetryReport`], [`FlowSample`], and the dynamic
+/// [`TelemetryEvent`], so drivers can stay monomorphic over one backend
+/// (the virtual-time replay) or mix both behind the enum (the streaming
+/// runtime).
+pub trait Telemetry {
+    /// The 5-tuple the event belongs to — both backends carry the full
+    /// key, which is what makes shard routing backend-agnostic.
+    fn flow(&self) -> FlowKey;
+
+    /// The event's native clock: INT export time, sFlow observation
+    /// time (both ns). Feeds [`crate::modules::Clock::register_ns`].
+    fn event_ns(&self) -> u64;
+
+    /// The feature projection this event's table update can populate.
+    fn feature_set(&self) -> FeatureSet;
+
+    /// Apply the backend-specific flow-table update.
+    fn update<'t>(&self, table: &'t mut FlowTable) -> (UpdateKind, &'t FlowRecord);
+}
+
+impl Telemetry for TelemetryReport {
+    #[inline]
+    fn flow(&self) -> FlowKey {
+        self.flow
+    }
+
+    #[inline]
+    fn event_ns(&self) -> u64 {
+        self.export_ns
+    }
+
+    #[inline]
+    fn feature_set(&self) -> FeatureSet {
+        FeatureSet::Int
+    }
+
+    #[inline]
+    fn update<'t>(&self, table: &'t mut FlowTable) -> (UpdateKind, &'t FlowRecord) {
+        table.update_int(self)
+    }
+}
+
+impl Telemetry for FlowSample {
+    #[inline]
+    fn flow(&self) -> FlowKey {
+        self.flow
+    }
+
+    #[inline]
+    fn event_ns(&self) -> u64 {
+        self.observed_ns
+    }
+
+    #[inline]
+    fn feature_set(&self) -> FeatureSet {
+        FeatureSet::Sflow
+    }
+
+    #[inline]
+    fn update<'t>(&self, table: &'t mut FlowTable) -> (UpdateKind, &'t FlowRecord) {
+        table.update_sflow(self)
+    }
+}
+
+impl Telemetry for TelemetryEvent {
+    #[inline]
+    fn flow(&self) -> FlowKey {
+        match self {
+            TelemetryEvent::Int(r) => r.flow,
+            TelemetryEvent::Sflow(s) => s.flow,
+        }
+    }
+
+    #[inline]
+    fn event_ns(&self) -> u64 {
+        match self {
+            TelemetryEvent::Int(r) => r.export_ns,
+            TelemetryEvent::Sflow(s) => s.observed_ns,
+        }
+    }
+
+    #[inline]
+    fn feature_set(&self) -> FeatureSet {
+        self.backend().feature_set()
+    }
+
+    #[inline]
+    fn update<'t>(&self, table: &'t mut FlowTable) -> (UpdateKind, &'t FlowRecord) {
+        match self {
+            TelemetryEvent::Int(r) => table.update_int(r),
+            TelemetryEvent::Sflow(s) => table.update_sflow(s),
+        }
+    }
+}
+
+/// A [`TelemetryEvent`] with optional ground truth riding along.
+///
+/// This is what streaming sources hand the runtime: labels from a
+/// replayed capture flow through collection → shard → prediction →
+/// aggregation so a run can report recall directly
+/// ([`crate::verdict::RecallCounts`]) instead of reconstructing it from
+/// a side-channel lookup table. Live sources leave `truth` as `None`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledEvent {
+    pub event: TelemetryEvent,
+    pub truth: Option<TrafficClass>,
+}
+
+impl LabeledEvent {
+    pub fn new(event: TelemetryEvent) -> Self {
+        Self { event, truth: None }
+    }
+
+    pub fn with_truth(event: TelemetryEvent, truth: TrafficClass) -> Self {
+        Self {
+            event,
+            truth: Some(truth),
+        }
+    }
+}
+
+impl From<TelemetryEvent> for LabeledEvent {
+    fn from(event: TelemetryEvent) -> Self {
+        Self::new(event)
+    }
+}
+
+impl From<TelemetryReport> for LabeledEvent {
+    fn from(report: TelemetryReport) -> Self {
+        Self::new(report.into())
+    }
+}
+
+impl From<FlowSample> for LabeledEvent {
+    fn from(sample: FlowSample) -> Self {
+        Self::new(sample.into())
+    }
+}
+
+/// Re-observe an INT capture through an sFlow agent: each report is one
+/// packet through the switch, so running the sampling state machine
+/// over the report stream yields exactly the [`FlowSample`]s a
+/// co-located sFlow agent would have exported for the same traffic.
+/// Labels ride along. This is how the CLI derives the sFlow view of an
+/// on-disk capture (whose packets are long gone).
+pub fn sample_reports(
+    labeled: &[(TelemetryReport, TrafficClass)],
+    agent: &mut SflowAgent,
+) -> Vec<(FlowSample, TrafficClass)> {
+    let mut out = Vec::new();
+    for (report, class) in labeled {
+        if let Some(sample) = agent.observe_headers(
+            report.export_ns,
+            report.flow,
+            report.ip_len,
+            report.tcp_flags,
+        ) {
+            out.push((sample, *class));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_features::FlowTableConfig;
+    use amlight_int::{HopMetadata, InstructionSet};
+    use amlight_net::Protocol;
+    use amlight_sflow::SamplingMode;
+    use std::net::Ipv4Addr;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    fn report(port: u16, t_ns: u64) -> TelemetryReport {
+        TelemetryReport {
+            flow: key(port),
+            ip_len: 200,
+            tcp_flags: Some(0x02),
+            instructions: InstructionSet::amlight(),
+            hops: vec![HopMetadata {
+                switch_id: 0,
+                ingress_tstamp: t_ns as u32,
+                egress_tstamp: (t_ns as u32).wrapping_add(250),
+                hop_latency: 0,
+                queue_occupancy: 3,
+            }],
+            export_ns: t_ns,
+        }
+    }
+
+    fn sample(port: u16, t_ns: u64) -> FlowSample {
+        FlowSample {
+            flow: key(port),
+            ip_len: 200,
+            tcp_flags: Some(0x02),
+            observed_ns: t_ns,
+            sampling_period: 64,
+        }
+    }
+
+    #[test]
+    fn event_accessors_cover_both_backends() {
+        let int: TelemetryEvent = report(1, 500).into();
+        let sf: TelemetryEvent = sample(2, 900).into();
+        assert_eq!(int.flow(), key(1));
+        assert_eq!(sf.flow(), key(2));
+        assert_eq!(int.event_ns(), 500);
+        assert_eq!(sf.event_ns(), 900);
+        assert_eq!(int.feature_set(), FeatureSet::Int);
+        assert_eq!(sf.feature_set(), FeatureSet::Sflow);
+        assert_eq!(int.backend().name(), "int");
+        assert_eq!(sf.backend().name(), "sflow");
+    }
+
+    #[test]
+    fn enum_update_matches_direct_table_calls() {
+        let mut direct = FlowTable::new(FlowTableConfig::default());
+        let mut via_event = FlowTable::new(FlowTableConfig::default());
+
+        let r = report(1, 100);
+        let s = sample(1, 300);
+        let (k1, rec1) = direct.update_int(&r);
+        let f1 = rec1.features();
+        let (k2, rec2) = TelemetryEvent::from(r).update(&mut via_event);
+        assert_eq!(k1, k2);
+        assert_eq!(f1, rec2.features());
+
+        let (k1, rec1) = direct.update_sflow(&s);
+        let f1 = rec1.features();
+        let (k2, rec2) = TelemetryEvent::from(s).update(&mut via_event);
+        assert_eq!(k1, k2);
+        assert_eq!(f1, rec2.features());
+    }
+
+    #[test]
+    fn backend_parse_roundtrips() {
+        for b in [TelemetryBackend::Int, TelemetryBackend::Sflow] {
+            assert_eq!(TelemetryBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(TelemetryBackend::parse("netflow"), None);
+        assert_eq!(TelemetryBackend::Sflow.feature_set(), FeatureSet::Sflow);
+    }
+
+    #[test]
+    fn labeled_event_from_either_backend() {
+        let le: LabeledEvent = report(4, 0).into();
+        assert_eq!(le.truth, None);
+        let le = LabeledEvent::with_truth(sample(4, 0).into(), TrafficClass::SlowLoris);
+        assert_eq!(le.truth, Some(TrafficClass::SlowLoris));
+    }
+
+    #[test]
+    fn sample_reports_mirrors_agent_over_packets() {
+        // 1-in-4 deterministic sampling over 40 reports → 10 samples,
+        // each carrying the report's header fields and label.
+        let labeled: Vec<(TelemetryReport, TrafficClass)> = (0..40u64)
+            .map(|i| (report((i % 4) as u16, i * 10), TrafficClass::SynFlood))
+            .collect();
+        let mut agent = SflowAgent::new(
+            SamplingMode::Deterministic {
+                period: 4,
+                phase: 0,
+            },
+            0,
+        );
+        let sampled = sample_reports(&labeled, &mut agent);
+        assert_eq!(sampled.len(), 10);
+        assert_eq!(agent.observed(), 40);
+        for (s, class) in &sampled {
+            assert_eq!(*class, TrafficClass::SynFlood);
+            assert_eq!(s.ip_len, 200);
+            assert_eq!(s.tcp_flags, Some(0x02));
+        }
+        assert_eq!(sampled[0].0.observed_ns, 0);
+        assert_eq!(sampled[1].0.observed_ns, 40);
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod batch;
 pub mod db;
+pub mod event;
 pub mod guard;
 pub mod modules;
 pub mod pipeline;
@@ -50,6 +51,7 @@ pub mod verdict;
 
 pub use batch::{BatchDetector, BatchOutcome};
 pub use db::{FlowDatabase, PredictionRecord, UpdateEvent};
+pub use event::{sample_reports, LabeledEvent, Telemetry, TelemetryBackend, TelemetryEvent};
 pub use guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard};
 pub use modules::{
     Aggregator, Clock, Ingest, JudgedUpdate, Predictor, Processor, VirtualClock, WallClock,
@@ -57,8 +59,9 @@ pub use modules::{
 pub use pipeline::{DetectionPipeline, PipelineConfig, PipelineReport};
 pub use runtime::{RunHandle, RuntimeError, ThreadedPipeline};
 pub use source::{
-    ChannelSource, CollectorSource, IterSource, ReplaySource, ReportSource, SourcePoll,
+    ChannelSource, CollectorSource, EventSource, IterSource, ReplaySource, SflowAgentSource,
+    SflowReplaySource, SourcePoll,
 };
 pub use testbed::{Testbed, TestbedConfig};
 pub use trainer::{train_bundle, ModelBundle, TrainerConfig, VoteScratch};
-pub use verdict::{SmoothingWindow, Verdict, VerdictCounts};
+pub use verdict::{RecallCounts, SmoothingWindow, Verdict, VerdictCounts};

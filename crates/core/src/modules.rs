@@ -20,45 +20,50 @@
 //!   [`PredictionRecord`] with its prediction-latency stamp.
 //!
 //! Time is abstracted behind [`Clock`] so the same stages serve both
-//! drivers: [`VirtualClock`] stamps reports with modeled collector time
-//! (export time plus a fixed processing delay), [`WallClock`] with
-//! monotonic nanoseconds since the pipeline epoch.
+//! drivers: [`VirtualClock`] stamps events with modeled collector time
+//! (native event time plus a fixed processing delay), [`WallClock`]
+//! with monotonic nanoseconds since the pipeline epoch. The telemetry
+//! backend is abstracted behind [`crate::event::Telemetry`], so the
+//! same [`Processor`] ingests INT reports and sFlow samples — the only
+//! backend-specific step is the flow-table update dispatch.
 
 use crate::db::{FlowDatabase, PredictionRecord};
+use crate::event::Telemetry;
 use crate::trainer::{ModelBundle, VoteScratch};
 use crate::verdict::{SmoothingWindow, Verdict, VerdictCounts};
 use amlight_features::UpdateKind;
 use amlight_features::{FeatureSet, FlowTable, FlowTableConfig};
-use amlight_int::TelemetryReport;
 use amlight_net::flow::FnvHashMap;
 use amlight_net::FlowKey;
 use std::time::Instant;
 
 /// The time base a [`Processor`] stamps registrations with.
 ///
-/// Implementations must be cheap: `register_ns` sits in the per-report
-/// hot path.
+/// Implementations must be cheap: `register_ns` sits in the per-event
+/// hot path. The argument is the event's *native* timestamp
+/// ([`Telemetry::event_ns`]: INT export time, sFlow observation time),
+/// which is what makes the clock telemetry-generic.
 pub trait Clock: Send {
-    /// Registration timestamp (collector-clock ns) for a report entering
-    /// the Data Processor.
-    fn register_ns(&self, report: &TelemetryReport) -> u64;
+    /// Registration timestamp (collector-clock ns) for an event with
+    /// native timestamp `event_ns` entering the Data Processor.
+    fn register_ns(&self, event_ns: u64) -> u64;
 }
 
-/// Deterministic virtual time: a report is registered a fixed processing
-/// delay after its export time. This is the [`DetectionPipeline`]'s time
-/// base (latency then comes from its explicit queueing model).
+/// Deterministic virtual time: an event is registered a fixed processing
+/// delay after its native timestamp. This is the [`DetectionPipeline`]'s
+/// time base (latency then comes from its explicit queueing model).
 ///
 /// [`DetectionPipeline`]: crate::pipeline::DetectionPipeline
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VirtualClock {
-    /// Data Processor handling cost per report, ns.
+    /// Data Processor handling cost per event, ns.
     pub processing_delay_ns: u64,
 }
 
 impl Clock for VirtualClock {
     #[inline]
-    fn register_ns(&self, report: &TelemetryReport) -> u64 {
-        report.export_ns + self.processing_delay_ns
+    fn register_ns(&self, event_ns: u64) -> u64 {
+        event_ns + self.processing_delay_ns
     }
 }
 
@@ -97,7 +102,7 @@ impl Default for WallClock {
 
 impl Clock for WallClock {
     #[inline]
-    fn register_ns(&self, _report: &TelemetryReport) -> u64 {
+    fn register_ns(&self, _event_ns: u64) -> u64 {
         self.now_ns()
     }
 }
@@ -150,29 +155,30 @@ impl<C: Clock> Processor<C> {
         }
     }
 
-    /// Ingest one report: update the flow table, write the database
-    /// record, and — for updates only — append the projected feature row
-    /// to `rows` and return the judged update. This is the one place the
-    /// created-vs-updated forwarding decision lives.
-    pub fn ingest(&mut self, report: &TelemetryReport, rows: &mut Vec<f64>) -> Ingest {
-        let registered_ns = self.clock.register_ns(report);
-        let (kind, rec) = self.table.update_int(report);
+    /// Ingest one telemetry event — INT report, sFlow sample, or the
+    /// unified [`crate::event::TelemetryEvent`]: update the flow table
+    /// via the backend-specific [`Telemetry::update`] dispatch, write
+    /// the database record, and — for updates only — append the
+    /// projected feature row to `rows` and return the judged update.
+    /// This is the one place the created-vs-updated forwarding decision
+    /// lives, and it is identical for both telemetry backends.
+    pub fn ingest<E: Telemetry>(&mut self, event: &E, rows: &mut Vec<f64>) -> Ingest {
+        let key = event.flow();
+        let registered_ns = self.clock.register_ns(event.event_ns());
+        let (kind, rec) = event.update(&mut self.table);
         let features = rec.features();
         match kind {
             UpdateKind::Created => {
                 self.created += 1;
-                self.db.record_created(report.flow, features, registered_ns);
-                Ingest::Created {
-                    key: report.flow,
-                    registered_ns,
-                }
+                self.db.record_created(key, features, registered_ns);
+                Ingest::Created { key, registered_ns }
             }
             UpdateKind::Updated => {
                 self.db
-                    .record_updated(report.flow, rec.update_seq, features, registered_ns);
+                    .record_updated(key, rec.update_seq, features, registered_ns);
                 features.project_into(self.feature_set, rows);
                 Ingest::Judged(JudgedUpdate {
-                    key: report.flow,
+                    key,
                     registered_ns,
                     table_len: self.table.len() as u64,
                 })
@@ -300,8 +306,10 @@ impl Aggregator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amlight_int::{HopMetadata, InstructionSet};
+    use crate::event::TelemetryEvent;
+    use amlight_int::{HopMetadata, InstructionSet, TelemetryReport};
     use amlight_net::Protocol;
+    use amlight_sflow::FlowSample;
     use std::net::Ipv4Addr;
 
     fn report(port: u16, t_ns: u64) -> TelemetryReport {
@@ -369,9 +377,44 @@ mod tests {
     fn wall_clock_is_monotone_and_shared() {
         let clock = WallClock::new();
         let sibling = clock; // Copy: same epoch
-        let a = clock.register_ns(&report(1, 0));
+        let a = clock.register_ns(0);
         let b = sibling.now_ns();
         assert!(b >= a, "clones share the epoch: {b} < {a}");
+    }
+
+    #[test]
+    fn processor_ingests_sflow_through_the_same_path() {
+        let db = FlowDatabase::new();
+        let mut p = Processor::new(
+            FlowTableConfig::default(),
+            db.clone(),
+            VirtualClock {
+                processing_delay_ns: 10,
+            },
+            FeatureSet::Sflow,
+        );
+        let sample = |t_ns: u64| FlowSample {
+            flow: report(5, 0).flow,
+            ip_len: 40,
+            tcp_flags: Some(0x02),
+            observed_ns: t_ns,
+            sampling_period: 4096,
+        };
+        let mut rows = Vec::new();
+
+        // Same created-vs-updated forwarding rule, registration stamped
+        // off the sample's observation time.
+        match p.ingest(&sample(100), &mut rows) {
+            Ingest::Created { registered_ns, .. } => assert_eq!(registered_ns, 110),
+            other => panic!("expected created, got {other:?}"),
+        }
+        assert!(rows.is_empty());
+        match p.ingest(&TelemetryEvent::from(sample(200)), &mut rows) {
+            Ingest::Judged(j) => assert_eq!(j.registered_ns, 210),
+            other => panic!("expected judged update, got {other:?}"),
+        }
+        assert_eq!(rows.len(), FeatureSet::Sflow.dim());
+        assert_eq!(db.update_count(), 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! absolute latency scale).
 
 use crate::db::FlowDatabase;
+use crate::event::Telemetry;
 use crate::guard::{FloodAlert, GuardConfig, NewFlowGuard};
 use crate::modules::{Aggregator, Ingest, JudgedUpdate, Predictor, Processor, VirtualClock};
 use crate::trainer::ModelBundle;
@@ -255,6 +256,24 @@ impl DetectionPipeline {
     /// verdicts, latencies, and database contents are identical to the
     /// one-at-a-time replay.
     pub fn run_sync(&mut self, labeled: &[(TelemetryReport, TrafficClass)]) -> PipelineReport {
+        self.run_labeled(labeled)
+    }
+
+    /// Replay a labeled sFlow sample stream (must be observed-time
+    /// ordered) through the *same* dataflow — the backend only changes
+    /// which flow-table update runs and which feature projection the
+    /// bundle was trained on ([`FeatureSet::Sflow`]).
+    pub fn run_sync_sflow(
+        &mut self,
+        labeled: &[(amlight_sflow::FlowSample, TrafficClass)],
+    ) -> PipelineReport {
+        self.run_labeled(labeled)
+    }
+
+    /// The telemetry-generic Fig. 2 replay both public entry points
+    /// share. Static dispatch over [`Telemetry`] keeps the INT path
+    /// monomorphic — bit-identical to the pre-refactor driver.
+    fn run_labeled<E: Telemetry>(&mut self, labeled: &[(E, TrafficClass)]) -> PipelineReport {
         // (1)→(3): the shared Data Processor stage under virtual time.
         let mut processor = Processor::new(
             self.config.table,

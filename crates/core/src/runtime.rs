@@ -6,15 +6,20 @@
 //! built on the shared [`crate::modules`] stages), but with actual
 //! concurrency and a wall clock instead of a virtual one:
 //!
-//! * **collection** drains a streaming [`ReportSource`] (iterator,
-//!   channel, capture replay, or raw INT byte stream) and fans reports
-//!   out to the processor shards, routed by
-//!   [`amlight_features::sharded::ShardRouter`] so a given flow always
-//!   lands on the same shard;
+//! * **collection** drains a streaming [`EventSource`] (iterator,
+//!   channel, capture replay, raw INT byte stream, or a live sFlow
+//!   sampling agent — both telemetry backends speak
+//!   [`crate::event::LabeledEvent`]) and fans events out to the
+//!   processor shards, routed by
+//!   [`amlight_features::sharded::ShardRouter`] over the event's
+//!   5-tuple, which both backends carry — so a given flow always lands
+//!   on the same shard no matter which telemetry system observed it;
 //! * **processor shards** (N threads) each own a private
 //!   [`Processor`] — flow table + database writes + the CentralServer's
-//!   updates-only forwarding rule — and micro-batch judged updates
-//!   ([`MAX_JOB_BATCH`] per channel message) toward prediction;
+//!   updates-only forwarding rule, with the backend-specific table
+//!   update behind [`crate::event::Telemetry`] dispatch — and
+//!   micro-batch judged updates ([`MAX_JOB_BATCH`] per channel message)
+//!   toward prediction;
 //! * **prediction** (one thread) fans the shard batches back in and runs
 //!   one columnar ensemble pass per batch via the shared [`Predictor`];
 //! * **aggregation** (one thread) folds votes into per-flow smoothing
@@ -33,14 +38,15 @@
 //! `start(IterSource) + join()` wrapper.
 
 use crate::db::{FlowDatabase, PredictionRecord};
+use crate::event::{LabeledEvent, Telemetry};
 use crate::modules::{Clock, Ingest, Predictor, Processor, WallClock};
-use crate::source::{IterSource, ReportSource, SourcePoll};
+use crate::source::{EventSource, IterSource, SourcePoll};
 use crate::trainer::ModelBundle;
-use crate::verdict::VerdictCounts;
+use crate::verdict::{RecallCounts, VerdictCounts};
 use amlight_features::sharded::ShardRouter;
 use amlight_features::FlowTableConfig;
 use amlight_int::TelemetryReport;
-use amlight_net::FlowKey;
+use amlight_net::{FlowKey, TrafficClass};
 use crossbeam::channel::{bounded, TryRecvError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -55,9 +61,10 @@ const MAX_JOB_BATCH: usize = 256;
 /// message (and one columnar ensemble call downstream) for every update
 /// the shard had on hand, not one message per flow update.
 struct BatchJob {
-    /// (flow, wall-clock registration stamp ns) per judged update, in
-    /// the shard's arrival order.
-    items: Vec<(FlowKey, u64)>,
+    /// (flow, wall-clock registration stamp ns, ground truth if the
+    /// source was labeled) per judged update, in the shard's arrival
+    /// order.
+    items: Vec<(FlowKey, u64, Option<TrafficClass>)>,
     /// Row-major raw feature rows, parallel to `items`.
     rows: Vec<f64>,
 }
@@ -73,7 +80,7 @@ impl BatchJob {
 
 /// The scored batch flowing Prediction → aggregation.
 struct BatchVoted {
-    items: Vec<(FlowKey, u64)>,
+    items: Vec<(FlowKey, u64, Option<TrafficClass>)>,
     attacks: Vec<bool>,
 }
 
@@ -99,12 +106,17 @@ impl std::error::Error for RuntimeError {}
 /// Summary of a threaded run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThreadedRunStats {
-    pub reports_in: u64,
+    /// Telemetry events ingested (INT reports and/or sFlow samples).
+    pub events_in: u64,
     pub flows_created: u64,
     pub predictions: u64,
     pub attack_verdicts: u64,
     pub normal_verdicts: u64,
     pub pending_verdicts: u64,
+    /// Ground-truth-aware tallies, populated when the source threaded
+    /// labels through (e.g. a capture replay). All-zero for unlabeled
+    /// live streams.
+    pub labeled: RecallCounts,
     pub mean_latency_us: f64,
     pub max_latency_us: f64,
 }
@@ -183,7 +195,7 @@ impl ThreadedPipeline {
         recs
     }
 
-    /// Run the full pipeline over an in-memory report batch: the
+    /// Run the full pipeline over an in-memory INT report batch: the
     /// pre-streaming API, kept as `start(IterSource) + join()`. Blocks
     /// until every module drains; a panicked module thread surfaces as
     /// [`RuntimeError`] naming it.
@@ -191,11 +203,20 @@ impl ThreadedPipeline {
         self.start(IterSource::from(reports)).join()
     }
 
+    /// Same batch ergonomics for the sFlow backend: the bundle should be
+    /// trained on [`amlight_features::FeatureSet::Sflow`].
+    pub fn run_samples(
+        &self,
+        samples: Vec<amlight_sflow::FlowSample>,
+    ) -> Result<ThreadedRunStats, RuntimeError> {
+        self.start(IterSource::from(samples)).join()
+    }
+
     /// Spawn the module threads over a streaming source and return the
     /// lifecycle handle. The run ends when the source reports
     /// [`SourcePoll::End`] (e.g. every channel sender dropped) or
     /// [`RunHandle::stop`] is called.
-    pub fn start<S: ReportSource + 'static>(&self, source: S) -> RunHandle {
+    pub fn start<S: EventSource + 'static>(&self, source: S) -> RunHandle {
         let router = ShardRouter::new(self.shards);
         let n_shards = router.shard_count();
         let clock = WallClock::new();
@@ -206,32 +227,34 @@ impl ThreadedPipeline {
         let mut shard_txs = Vec::with_capacity(n_shards);
         let mut shard_rxs = Vec::with_capacity(n_shards);
         for _ in 0..n_shards {
-            let (tx, rx) = bounded::<TelemetryReport>(self.channel_capacity);
+            let (tx, rx) = bounded::<LabeledEvent>(self.channel_capacity);
             shard_txs.push(tx);
             shard_rxs.push(rx);
         }
         let (job_tx, job_rx) = bounded::<BatchJob>(self.channel_capacity);
         let (vote_tx, vote_rx) = bounded::<BatchVoted>(self.channel_capacity);
 
-        // Module 1: INT Data Collection — drains the source and fans
-        // reports out by flow hash. Exiting drops every shard sender,
-        // which cascades shutdown through the whole pipeline.
+        // Module 1: Data Collection — drains the source (either
+        // telemetry backend) and fans events out by flow hash; both
+        // event kinds carry the 5-tuple, so routing is backend-blind.
+        // Exiting drops every shard sender, which cascades shutdown
+        // through the whole pipeline.
         let collection: JoinHandle<u64> = {
             let stop = Arc::clone(&stop);
             let in_flight = Arc::clone(&in_flight);
             std::thread::spawn(move || {
                 let mut source = source;
-                let mut reports_in = 0u64;
+                let mut events_in = 0u64;
                 while !stop.load(Ordering::Acquire) {
-                    match source.poll_report() {
-                        SourcePoll::Report(report) => {
-                            let shard = router.route(report.flow);
+                    match source.poll_event() {
+                        SourcePoll::Event(event) => {
+                            let shard = router.route(event.event.flow());
                             in_flight.fetch_add(1, Ordering::AcqRel);
-                            if shard_txs[shard].send(report).is_err() {
+                            if shard_txs[shard].send(event).is_err() {
                                 in_flight.fetch_sub(1, Ordering::AcqRel);
                                 break;
                             }
-                            reports_in += 1;
+                            events_in += 1;
                         }
                         // Blocking sources already waited briefly before
                         // reporting Idle; just re-check the stop flag.
@@ -239,7 +262,7 @@ impl ThreadedPipeline {
                         SourcePoll::End => break,
                     }
                 }
-                reports_in
+                events_in
             })
         };
 
@@ -260,14 +283,14 @@ impl ThreadedPipeline {
                     let mut processor = Processor::new(table, db, clock, feature_set);
                     let mut batch = BatchJob::empty();
                     'work: loop {
-                        let Ok(report) = shard_rx.recv() else {
+                        let Ok(event) = shard_rx.recv() else {
                             break 'work;
                         };
-                        ingest_report(&mut processor, &report, &mut batch, &in_flight);
+                        ingest_event(&mut processor, &event, &mut batch, &in_flight);
                         while batch.items.len() < MAX_JOB_BATCH {
                             match shard_rx.try_recv() {
-                                Ok(report) => {
-                                    ingest_report(&mut processor, &report, &mut batch, &in_flight);
+                                Ok(event) => {
+                                    ingest_event(&mut processor, &event, &mut batch, &in_flight);
                                 }
                                 Err(TryRecvError::Empty) => break,
                                 Err(TryRecvError::Disconnected) => break,
@@ -313,7 +336,10 @@ impl ThreadedPipeline {
 
         // Module 2b: Data Processor (aggregation half) — smoothing +
         // the stored verdict with a real wall-clock prediction stamp.
-        let aggregator: JoinHandle<(VerdictCounts, f64, f64)> = {
+        // When the source threaded labels through, every smoothed
+        // verdict is also scored against its ground truth here, so the
+        // run reports recall without a side-channel lookup table.
+        let aggregator: JoinHandle<(VerdictCounts, RecallCounts, f64, f64)> = {
             let db = self.db.clone();
             let window_size = self.smoothing_window;
             let in_flight = Arc::clone(&in_flight);
@@ -321,14 +347,25 @@ impl ThreadedPipeline {
             std::thread::spawn(move || {
                 let _done_guard = SetOnDrop(done);
                 let mut agg = crate::modules::Aggregator::new(db, window_size);
+                let mut labeled = RecallCounts::default();
                 for batch in vote_rx.iter() {
-                    for (&(key, registered_ns), &attack) in batch.items.iter().zip(&batch.attacks) {
+                    for (&(key, registered_ns, truth), &attack) in
+                        batch.items.iter().zip(&batch.attacks)
+                    {
                         let predicted_ns = clock.now_ns();
-                        agg.aggregate(key, attack, registered_ns, predicted_ns);
+                        let verdict = agg.aggregate(key, attack, registered_ns, predicted_ns);
+                        if let Some(class) = truth {
+                            labeled.observe(class.label(), verdict);
+                        }
                         in_flight.fetch_sub(1, Ordering::AcqRel);
                     }
                 }
-                (agg.counts(), agg.mean_latency_us(), agg.max_latency_us())
+                (
+                    agg.counts(),
+                    labeled,
+                    agg.mean_latency_us(),
+                    agg.max_latency_us(),
+                )
             })
         };
 
@@ -344,21 +381,25 @@ impl ThreadedPipeline {
     }
 }
 
-/// One report through the shared Processor stage, batching judged
-/// updates. Created flows retire from the in-flight count here (they
-/// never reach aggregation, §III-3); judged ones retire after their
-/// verdict is stored.
-fn ingest_report<C: Clock>(
+/// One telemetry event (either backend) through the shared Processor
+/// stage, batching judged updates. Created flows retire from the
+/// in-flight count here (they never reach aggregation, §III-3); judged
+/// ones retire after their verdict is stored. The event's ground truth,
+/// if any, rides along with the judged item so aggregation can score
+/// the verdict.
+fn ingest_event<C: Clock>(
     processor: &mut Processor<C>,
-    report: &TelemetryReport,
+    event: &LabeledEvent,
     batch: &mut BatchJob,
     in_flight: &AtomicUsize,
 ) {
-    match processor.ingest(report, &mut batch.rows) {
+    match processor.ingest(&event.event, &mut batch.rows) {
         Ingest::Created { .. } => {
             in_flight.fetch_sub(1, Ordering::AcqRel);
         }
-        Ingest::Judged(judged) => batch.items.push((judged.key, judged.registered_ns)),
+        Ingest::Judged(judged) => batch
+            .items
+            .push((judged.key, judged.registered_ns, event.truth)),
     }
 }
 
@@ -375,7 +416,7 @@ pub struct RunHandle {
     collection: JoinHandle<u64>,
     processors: Vec<JoinHandle<u64>>,
     prediction: JoinHandle<()>,
-    aggregator: JoinHandle<(VerdictCounts, f64, f64)>,
+    aggregator: JoinHandle<(VerdictCounts, RecallCounts, f64, f64)>,
     stop: Arc<AtomicBool>,
     in_flight: Arc<AtomicUsize>,
     done: Arc<AtomicBool>,
@@ -435,20 +476,21 @@ impl RunHandle {
         let agg = self.aggregator.join().map_err(|_| RuntimeError {
             module: "aggregator",
         });
-        let reports_in = col?;
+        let events_in = col?;
         if let Some(err) = shard_err {
             return Err(err);
         }
         pred?;
-        let (counts, mean_latency_us, max_latency_us) = agg?;
+        let (counts, labeled, mean_latency_us, max_latency_us) = agg?;
 
         Ok(ThreadedRunStats {
-            reports_in,
+            events_in,
             flows_created,
             predictions: counts.predictions,
             attack_verdicts: counts.attacks,
             normal_verdicts: counts.normals,
             pending_verdicts: counts.pendings,
+            labeled,
             mean_latency_us,
             max_latency_us,
         })
@@ -527,7 +569,7 @@ mod tests {
         let reports: Vec<TelemetryReport> = capture(100).into_iter().map(|(r, _)| r).collect();
         let n = reports.len() as u64;
         let stats = pipe.run(reports).expect("no module panicked");
-        assert_eq!(stats.reports_in, n);
+        assert_eq!(stats.events_in, n);
         assert_eq!(stats.flows_created, 8); // 5 benign + 3 attack flows
         assert_eq!(stats.predictions, n - 8);
         assert_eq!(
@@ -572,7 +614,7 @@ mod tests {
     fn empty_stream_is_a_noop() {
         let pipe = ThreadedPipeline::new(bundle());
         let stats = pipe.run(Vec::new()).expect("no module panicked");
-        assert_eq!(stats.reports_in, 0);
+        assert_eq!(stats.events_in, 0);
         assert_eq!(stats.predictions, 0);
         assert_eq!(stats.mean_latency_us, 0.0);
     }
@@ -608,18 +650,18 @@ mod tests {
 
         let (first, rest) = reports.split_at(reports.len() / 2);
         for r in first {
-            tx.send(r.clone()).expect("pipeline is live");
+            tx.send(r.clone().into()).expect("pipeline is live");
         }
         handle.drain();
         let mid = pipe.database().prediction_count();
         assert!(mid > 0, "drained pipeline must have stored verdicts");
 
         for r in rest {
-            tx.send(r.clone()).expect("pipeline is live");
+            tx.send(r.clone().into()).expect("pipeline is live");
         }
         drop(tx); // end of stream
         let stats = handle.join().expect("no module panicked");
-        assert_eq!(stats.reports_in, n);
+        assert_eq!(stats.events_in, n);
         assert_eq!(stats.flows_created, 8);
         assert_eq!(stats.predictions, n - 8);
         assert!(pipe.database().prediction_count() >= mid);
@@ -631,13 +673,13 @@ mod tests {
         let (tx, source) = ChannelSource::bounded(64);
         let handle = pipe.start(source);
         for r in capture(10).into_iter().map(|(r, _)| r) {
-            tx.send(r).expect("pipeline is live");
+            tx.send(r.into()).expect("pipeline is live");
         }
         handle.drain();
         handle.stop();
         // Sender still alive: only stop() can end this run.
         let stats = handle.join().expect("no module panicked");
-        assert_eq!(stats.reports_in, 20);
+        assert_eq!(stats.events_in, 20);
         drop(tx);
     }
 }

@@ -1,50 +1,61 @@
-//! Streaming report sources for the threaded runtime.
+//! Streaming event sources for the threaded runtime.
 //!
 //! The paper's INT Data Collection module is an always-on reader of the
 //! collector port; a production detector therefore cannot demand a fully
-//! materialized `Vec<TelemetryReport>` up front. [`ReportSource`] is the
-//! pull interface the runtime's collection stage drains instead, with
-//! four implementations:
+//! materialized event vector up front. [`EventSource`] is the pull
+//! interface the runtime's collection stage drains instead — generic
+//! over the telemetry backend, because every source yields
+//! [`LabeledEvent`]s (an INT report *or* an sFlow sample, with optional
+//! ground truth riding along for evaluation runs):
 //!
 //! * [`IterSource`] — any in-memory iterator (the old `Vec` replay path
 //!   is `IterSource::from(vec)`);
 //! * [`ChannelSource`] — a bounded crossbeam channel fed by external
 //!   producers; the stream ends when every sender is dropped;
-//! * [`ReplaySource`] — a capture replayed in export-time order, the
-//!   shape the experiment binaries feed the virtual-time driver;
+//! * [`ReplaySource`] — an INT capture replayed in export-time order,
+//!   labels preserved, the shape the experiment binaries feed the
+//!   runtime;
 //! * [`CollectorSource`] — an [`amlight_int::IntCollector`] adapter that
 //!   decodes a raw sink byte stream chunk by chunk, tolerating split and
-//!   malformed reports exactly like the standalone collector.
+//!   malformed reports exactly like the standalone collector;
+//! * [`SflowReplaySource`] — the sFlow twin of [`ReplaySource`]: labeled
+//!   samples replayed in observation order;
+//! * [`SflowAgentSource`] — an [`SflowAgent`] driven over a packet
+//!   trace, emitting only the packets the sampling state machine
+//!   selects (the live-agent shape of the paper's sFlow baseline).
 //!
 //! Sources are *polled*, not blocked on: [`SourcePoll::Idle`] lets the
 //! collection stage stay responsive to `stop()` while a live source has
 //! nothing to hand over yet.
 
+use crate::event::{LabeledEvent, Telemetry};
 use amlight_int::{IntCollector, TelemetryReport};
+use amlight_net::{PacketRecord, Trace, TrafficClass};
+use amlight_sflow::{FlowSample, SflowAgent};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::time::Duration;
 
-/// One poll of a [`ReportSource`].
+/// One poll of an [`EventSource`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SourcePoll {
-    /// A report is ready.
-    Report(TelemetryReport),
+    /// An event is ready.
+    Event(LabeledEvent),
     /// Nothing right now, but the stream is still open — poll again.
     Idle,
-    /// The stream has ended; no further reports will ever arrive.
+    /// The stream has ended; no further events will ever arrive.
     End,
 }
 
-/// A pull-based stream of telemetry reports.
+/// A pull-based stream of telemetry events from either backend.
 ///
 /// `Send + 'static` because the runtime's collection stage owns the
 /// source on its own thread.
-pub trait ReportSource: Send {
-    /// Fetch the next report, or report idleness / end of stream. May
+pub trait EventSource: Send {
+    /// Fetch the next event, or report idleness / end of stream. May
     /// block briefly (sub-millisecond) but must not block indefinitely:
     /// the collection stage checks its stop flag between polls.
-    fn poll_report(&mut self) -> SourcePoll;
+    fn poll_event(&mut self) -> SourcePoll;
 }
 
 /// An in-memory iterator source. Never idles: it either yields or ends.
@@ -55,26 +66,41 @@ pub struct IterSource<I> {
 
 impl<I> IterSource<I>
 where
-    I: Iterator<Item = TelemetryReport> + Send,
+    I: Iterator<Item = LabeledEvent> + Send,
 {
     pub fn new(iter: I) -> Self {
         Self { iter }
     }
 }
 
-impl From<Vec<TelemetryReport>> for IterSource<std::vec::IntoIter<TelemetryReport>> {
+/// The pre-streaming `Vec` replay paths, one per backend.
+impl From<Vec<TelemetryReport>> for IterSource<std::vec::IntoIter<LabeledEvent>> {
     fn from(reports: Vec<TelemetryReport>) -> Self {
-        Self::new(reports.into_iter())
+        let events: Vec<LabeledEvent> = reports.into_iter().map(LabeledEvent::from).collect();
+        Self::new(events.into_iter())
     }
 }
 
-impl<I> ReportSource for IterSource<I>
+impl From<Vec<FlowSample>> for IterSource<std::vec::IntoIter<LabeledEvent>> {
+    fn from(samples: Vec<FlowSample>) -> Self {
+        let events: Vec<LabeledEvent> = samples.into_iter().map(LabeledEvent::from).collect();
+        Self::new(events.into_iter())
+    }
+}
+
+impl From<Vec<LabeledEvent>> for IterSource<std::vec::IntoIter<LabeledEvent>> {
+    fn from(events: Vec<LabeledEvent>) -> Self {
+        Self::new(events.into_iter())
+    }
+}
+
+impl<I> EventSource for IterSource<I>
 where
-    I: Iterator<Item = TelemetryReport> + Send,
+    I: Iterator<Item = LabeledEvent> + Send,
 {
-    fn poll_report(&mut self) -> SourcePoll {
+    fn poll_event(&mut self) -> SourcePoll {
         match self.iter.next() {
-            Some(r) => SourcePoll::Report(r),
+            Some(e) => SourcePoll::Event(e),
             None => SourcePoll::End,
         }
     }
@@ -85,63 +111,167 @@ const CHANNEL_POLL: Duration = Duration::from_micros(200);
 
 /// A live, channel-fed source: producers hold the [`Sender`] half and
 /// the pipeline drains the receiver. Ends when every sender is dropped.
+/// Producers send [`LabeledEvent`]s — `report.into()` / `sample.into()`
+/// for unlabeled live feeds.
 #[derive(Debug)]
 pub struct ChannelSource {
-    rx: Receiver<TelemetryReport>,
+    rx: Receiver<LabeledEvent>,
 }
 
 impl ChannelSource {
     /// A bounded feed; hand the sender to the producer (collector socket
     /// loop, traffic generator, test harness, …).
-    pub fn bounded(capacity: usize) -> (Sender<TelemetryReport>, Self) {
+    pub fn bounded(capacity: usize) -> (Sender<LabeledEvent>, Self) {
         let (tx, rx) = bounded(capacity.max(1));
         (tx, Self { rx })
     }
 
     /// Wrap an existing receiver.
-    pub fn from_receiver(rx: Receiver<TelemetryReport>) -> Self {
+    pub fn from_receiver(rx: Receiver<LabeledEvent>) -> Self {
         Self { rx }
     }
 }
 
-impl ReportSource for ChannelSource {
-    fn poll_report(&mut self) -> SourcePoll {
+impl EventSource for ChannelSource {
+    fn poll_event(&mut self) -> SourcePoll {
         match self.rx.recv_timeout(CHANNEL_POLL) {
-            Ok(r) => SourcePoll::Report(r),
+            Ok(e) => SourcePoll::Event(e),
             Err(RecvTimeoutError::Timeout) => SourcePoll::Idle,
             Err(RecvTimeoutError::Disconnected) => SourcePoll::End,
         }
     }
 }
 
-/// A capture replay: reports are re-sorted into export-time order (the
-/// order the collector would have emitted them) and streamed once.
+/// Restore a batch of labeled events to native-timestamp order and
+/// stream them once — shared by both backends' replay sources.
+fn replay_order(mut events: Vec<LabeledEvent>) -> std::vec::IntoIter<LabeledEvent> {
+    events.sort_by_key(|e| e.event.event_ns());
+    events.into_iter()
+}
+
+/// An INT capture replay: reports are re-sorted into export-time order
+/// (the order the collector would have emitted them) and streamed once.
+/// Labels survive the trip — [`ReplaySource::from_labeled`] threads the
+/// capture's ground truth into every event, so a streaming run can
+/// report recall directly.
 #[derive(Debug)]
 pub struct ReplaySource {
-    reports: std::vec::IntoIter<TelemetryReport>,
+    events: std::vec::IntoIter<LabeledEvent>,
 }
 
 impl ReplaySource {
-    pub fn new(mut reports: Vec<TelemetryReport>) -> Self {
-        reports.sort_by_key(|r| r.export_ns);
+    pub fn new(reports: Vec<TelemetryReport>) -> Self {
         Self {
-            reports: reports.into_iter(),
+            events: replay_order(reports.into_iter().map(LabeledEvent::from).collect()),
         }
     }
 
-    /// Strip labels off a labeled capture (the experiment binaries' and
-    /// CLI's on-disk format) and replay the reports.
-    pub fn from_labeled<L>(labeled: &[(TelemetryReport, L)]) -> Self {
-        Self::new(labeled.iter().map(|(r, _)| r.clone()).collect())
+    /// Replay a labeled capture (the experiment binaries' and CLI's
+    /// on-disk format) with the ground truth riding along.
+    pub fn from_labeled(labeled: &[(TelemetryReport, TrafficClass)]) -> Self {
+        Self {
+            events: replay_order(
+                labeled
+                    .iter()
+                    .map(|(r, c)| LabeledEvent::with_truth(r.clone().into(), *c))
+                    .collect(),
+            ),
+        }
     }
 }
 
-impl ReportSource for ReplaySource {
-    fn poll_report(&mut self) -> SourcePoll {
-        match self.reports.next() {
-            Some(r) => SourcePoll::Report(r),
+impl EventSource for ReplaySource {
+    fn poll_event(&mut self) -> SourcePoll {
+        match self.events.next() {
+            Some(e) => SourcePoll::Event(e),
             None => SourcePoll::End,
         }
+    }
+}
+
+/// The sFlow twin of [`ReplaySource`]: samples replayed in observation
+/// order, labels preserved.
+#[derive(Debug)]
+pub struct SflowReplaySource {
+    events: std::vec::IntoIter<LabeledEvent>,
+}
+
+impl SflowReplaySource {
+    pub fn new(samples: Vec<FlowSample>) -> Self {
+        Self {
+            events: replay_order(samples.into_iter().map(LabeledEvent::from).collect()),
+        }
+    }
+
+    /// Replay labeled samples (e.g. from [`SflowAgent::sample_stream`]
+    /// or [`crate::event::sample_reports`]) with ground truth attached.
+    pub fn from_labeled(labeled: &[(FlowSample, TrafficClass)]) -> Self {
+        Self {
+            events: replay_order(
+                labeled
+                    .iter()
+                    .map(|(s, c)| LabeledEvent::with_truth((*s).into(), *c))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl EventSource for SflowReplaySource {
+    fn poll_event(&mut self) -> SourcePoll {
+        match self.events.next() {
+            Some(e) => SourcePoll::Event(e),
+            None => SourcePoll::End,
+        }
+    }
+}
+
+/// Packets an [`SflowAgentSource`] offers its agent per poll before
+/// yielding `Idle`: under 1-in-4,096 sampling most polls select nothing,
+/// and the collection stage must still get its stop-flag check in.
+const AGENT_BURST: usize = 4096;
+
+/// An [`SflowAgent`] driven over a packet trace: the source *is* the
+/// sampling switch. Every packet is offered to the agent's state
+/// machine; only the selected ones become events, each labeled with the
+/// trace's ground-truth class. This is the live-agent shape of the
+/// paper's sFlow baseline — the detector downstream sees 1-in-N of the
+/// traffic, which is exactly why SlowLoris vanishes (Fig. 5).
+pub struct SflowAgentSource {
+    agent: SflowAgent,
+    packets: std::vec::IntoIter<PacketRecord>,
+}
+
+impl SflowAgentSource {
+    /// Sample `trace` through `agent` (time order restored if needed).
+    pub fn new(agent: SflowAgent, trace: &Trace) -> Self {
+        let mut records: Vec<PacketRecord> = trace.records().to_vec();
+        if !trace.is_sorted() {
+            records.sort_by_key(|r| r.ts_ns);
+        }
+        Self {
+            agent,
+            packets: records.into_iter(),
+        }
+    }
+
+    /// Sampling statistics so far (packets observed vs selected).
+    pub fn agent(&self) -> &SflowAgent {
+        &self.agent
+    }
+}
+
+impl EventSource for SflowAgentSource {
+    fn poll_event(&mut self) -> SourcePoll {
+        for _ in 0..AGENT_BURST {
+            let Some(rec) = self.packets.next() else {
+                return SourcePoll::End;
+            };
+            if let Some(sample) = self.agent.observe(rec.ts_ns, &rec.packet) {
+                return SourcePoll::Event(LabeledEvent::with_truth(sample.into(), rec.class));
+            }
+        }
+        SourcePoll::Idle
     }
 }
 
@@ -177,13 +307,13 @@ where
     }
 }
 
-impl<B> ReportSource for CollectorSource<B>
+impl<B> EventSource for CollectorSource<B>
 where
     B: Iterator<Item = Vec<u8>> + Send,
 {
-    fn poll_report(&mut self) -> SourcePoll {
+    fn poll_event(&mut self) -> SourcePoll {
         if let Some(r) = self.decoded.pop_front() {
-            return SourcePoll::Report(r);
+            return SourcePoll::Event(r.into());
         }
         match self.chunks.next() {
             Some(chunk) => {
@@ -191,7 +321,7 @@ where
                 self.collector.ingest_into(&chunk, &mut self.scratch);
                 self.decoded.extend(self.scratch.drain(..));
                 match self.decoded.pop_front() {
-                    Some(r) => SourcePoll::Report(r),
+                    Some(r) => SourcePoll::Event(r.into()),
                     None => SourcePoll::Idle, // partial report buffered
                 }
             }
@@ -203,8 +333,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::TelemetryEvent;
     use amlight_int::{HopMetadata, InstructionSet};
-    use amlight_net::{FlowKey, Protocol};
+    use amlight_net::{FlowKey, PacketBuilder, Protocol};
+    use amlight_sflow::SamplingMode;
     use std::net::Ipv4Addr;
 
     fn report(tag: u32) -> TelemetryReport {
@@ -227,33 +359,69 @@ mod tests {
         }
     }
 
-    fn drain(source: &mut impl ReportSource) -> Vec<TelemetryReport> {
+    fn sample(tag: u32) -> FlowSample {
+        FlowSample {
+            flow: FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                (3000 + tag) as u16,
+                80,
+                Protocol::Tcp,
+            ),
+            ip_len: 60,
+            tcp_flags: Some(0x02),
+            observed_ns: u64::from(tag) * 700,
+            sampling_period: 64,
+        }
+    }
+
+    fn drain(source: &mut impl EventSource) -> Vec<LabeledEvent> {
         let mut out = Vec::new();
         loop {
-            match source.poll_report() {
-                SourcePoll::Report(r) => out.push(r),
+            match source.poll_event() {
+                SourcePoll::Event(e) => out.push(e),
                 SourcePoll::Idle => continue,
                 SourcePoll::End => return out,
             }
         }
     }
 
+    fn int_events(events: &[LabeledEvent]) -> Vec<TelemetryReport> {
+        events
+            .iter()
+            .map(|e| match &e.event {
+                TelemetryEvent::Int(r) => r.clone(),
+                other => panic!("expected INT event, got {other:?}"),
+            })
+            .collect()
+    }
+
     #[test]
     fn iter_source_yields_then_ends() {
         let reports: Vec<_> = (0..5).map(report).collect();
         let mut src = IterSource::from(reports.clone());
-        assert_eq!(drain(&mut src), reports);
-        assert_eq!(src.poll_report(), SourcePoll::End, "End is sticky");
+        assert_eq!(int_events(&drain(&mut src)), reports);
+        assert_eq!(src.poll_event(), SourcePoll::End, "End is sticky");
+    }
+
+    #[test]
+    fn iter_source_takes_sflow_samples_too() {
+        let samples: Vec<_> = (0..3).map(sample).collect();
+        let mut src = IterSource::from(samples.clone());
+        let got = drain(&mut src);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].event, TelemetryEvent::Sflow(samples[0]));
+        assert_eq!(got[0].truth, None);
     }
 
     #[test]
     fn channel_source_idles_then_ends() {
         let (tx, mut src) = ChannelSource::bounded(4);
-        assert_eq!(src.poll_report(), SourcePoll::Idle);
-        tx.send(report(1)).unwrap();
-        assert_eq!(src.poll_report(), SourcePoll::Report(report(1)));
+        assert_eq!(src.poll_event(), SourcePoll::Idle);
+        tx.send(report(1).into()).unwrap();
+        assert_eq!(src.poll_event(), SourcePoll::Event(report(1).into()));
         drop(tx);
-        assert_eq!(src.poll_report(), SourcePoll::End);
+        assert_eq!(src.poll_event(), SourcePoll::End);
     }
 
     #[test]
@@ -261,15 +429,93 @@ mod tests {
         let mut shuffled = vec![report(3), report(1), report(2)];
         shuffled.swap(0, 2);
         let mut src = ReplaySource::new(shuffled);
-        let got = drain(&mut src);
+        let got = int_events(&drain(&mut src));
         assert_eq!(got, vec![report(1), report(2), report(3)]);
     }
 
     #[test]
-    fn replay_source_strips_labels() {
-        let labeled = vec![(report(2), "b"), (report(1), "a")];
+    fn replay_source_threads_labels() {
+        let labeled = vec![
+            (report(2), TrafficClass::SynFlood),
+            (report(1), TrafficClass::Benign),
+        ];
         let mut src = ReplaySource::from_labeled(&labeled);
-        assert_eq!(drain(&mut src), vec![report(1), report(2)]);
+        let got = drain(&mut src);
+        assert_eq!(got.len(), 2);
+        // Re-sorted by export time, each event still wearing its label.
+        assert_eq!(got[0].event, TelemetryEvent::Int(report(1)));
+        assert_eq!(got[0].truth, Some(TrafficClass::Benign));
+        assert_eq!(got[1].truth, Some(TrafficClass::SynFlood));
+    }
+
+    #[test]
+    fn sflow_replay_source_orders_and_labels() {
+        let labeled = vec![
+            (sample(5), TrafficClass::SlowLoris),
+            (sample(1), TrafficClass::Benign),
+            (sample(3), TrafficClass::SlowLoris),
+        ];
+        let mut src = SflowReplaySource::from_labeled(&labeled);
+        let got = drain(&mut src);
+        let times: Vec<u64> = got.iter().map(|e| e.event.event_ns()).collect();
+        assert_eq!(times, vec![700, 2100, 3500]);
+        assert_eq!(got[0].truth, Some(TrafficClass::Benign));
+        assert_eq!(got[2].truth, Some(TrafficClass::SlowLoris));
+    }
+
+    #[test]
+    fn sflow_agent_source_samples_a_trace() {
+        // 1-in-4 deterministic sampling over a 40-packet trace.
+        let pkt = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .tcp_syn(4242, 80, 1);
+        let trace: Trace = (0..40u64)
+            .map(|i| PacketRecord {
+                ts_ns: i * 100,
+                packet: pkt,
+                class: TrafficClass::SynFlood,
+            })
+            .collect();
+        let agent = SflowAgent::new(
+            SamplingMode::Deterministic {
+                period: 4,
+                phase: 0,
+            },
+            0,
+        );
+        let mut src = SflowAgentSource::new(agent, &trace);
+        let got = drain(&mut src);
+        assert_eq!(got.len(), 10);
+        assert_eq!(src.agent().observed(), 40);
+        assert_eq!(src.agent().sampled(), 10);
+        for e in &got {
+            assert_eq!(e.truth, Some(TrafficClass::SynFlood));
+            assert!(matches!(e.event, TelemetryEvent::Sflow(_)));
+        }
+    }
+
+    #[test]
+    fn sflow_agent_source_idles_on_long_unsampled_stretches() {
+        // Period large enough that the first AGENT_BURST packets can all
+        // be skipped → Idle, then the stream still ends cleanly.
+        let pkt = PacketBuilder::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .tcp_syn(4242, 80, 1);
+        let trace: Trace = (0..AGENT_BURST as u64 + 10)
+            .map(|i| PacketRecord {
+                ts_ns: i,
+                packet: pkt,
+                class: TrafficClass::Benign,
+            })
+            .collect();
+        let agent = SflowAgent::new(
+            SamplingMode::Deterministic {
+                period: u32::MAX,
+                phase: 1_000_000,
+            },
+            0,
+        );
+        let mut src = SflowAgentSource::new(agent, &trace);
+        assert_eq!(src.poll_event(), SourcePoll::Idle);
+        assert_eq!(src.poll_event(), SourcePoll::End);
     }
 
     #[test]
@@ -278,7 +524,7 @@ mod tests {
         let stream = IntCollector::encode_stream(&reports);
         let chunks: Vec<Vec<u8>> = stream.chunks(7).map(<[u8]>::to_vec).collect();
         let mut src = CollectorSource::new(chunks.into_iter());
-        assert_eq!(drain(&mut src), reports);
+        assert_eq!(int_events(&drain(&mut src)), reports);
         assert_eq!(src.stats().reports_decoded, 6);
     }
 
@@ -288,7 +534,7 @@ mod tests {
         let mut bytes = vec![0xde, 0xad, 0xbe, 0xef];
         bytes.extend_from_slice(&IntCollector::encode_stream(std::slice::from_ref(&good)));
         let mut src = CollectorSource::new(vec![bytes].into_iter());
-        assert_eq!(drain(&mut src), vec![good]);
+        assert_eq!(int_events(&drain(&mut src)), vec![good]);
         assert!(src.stats().resyncs >= 1);
     }
 }

@@ -60,6 +60,86 @@ impl VerdictCounts {
     }
 }
 
+/// Ground-truth-aware verdict tallies for labeled runs.
+///
+/// When a replayed capture threads its labels through the streaming
+/// path ([`crate::event::LabeledEvent`]), the aggregation stage can
+/// score every smoothed verdict against the truth as it lands — no
+/// side-channel lookup table after the run. Pending verdicts count
+/// against recall: a flow that never leaves the smoothing warm-up
+/// (sFlow's sparse-sample failure mode) was *not* detected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecallCounts {
+    /// Judged updates whose ground truth was an attack class.
+    pub attack_updates: u64,
+    /// … of those, final `Attack` verdicts (true positives).
+    pub attack_hits: u64,
+    /// … of those, still inside the smoothing warm-up.
+    pub attack_pending: u64,
+    /// Judged updates whose ground truth was benign.
+    pub benign_updates: u64,
+    /// … of those, wrongly given a final `Attack` verdict.
+    pub benign_false_alarms: u64,
+    /// … of those, still inside the smoothing warm-up.
+    pub benign_pending: u64,
+}
+
+impl RecallCounts {
+    /// Tally one smoothed verdict against its ground truth
+    /// (`attack_truth` is the paper's binary coding: attack = true).
+    pub fn observe(&mut self, attack_truth: bool, verdict: Verdict) {
+        if attack_truth {
+            self.attack_updates += 1;
+            match verdict {
+                Verdict::Attack => self.attack_hits += 1,
+                Verdict::Pending => self.attack_pending += 1,
+                Verdict::Normal => {}
+            }
+        } else {
+            self.benign_updates += 1;
+            match verdict {
+                Verdict::Attack => self.benign_false_alarms += 1,
+                Verdict::Pending => self.benign_pending += 1,
+                Verdict::Normal => {}
+            }
+        }
+    }
+
+    /// Labeled updates seen in total.
+    pub fn labeled_updates(&self) -> u64 {
+        self.attack_updates + self.benign_updates
+    }
+
+    /// Attack updates flagged as attacks — pending ones count against
+    /// recall (undetected is undetected, however it happened).
+    pub fn recall(&self) -> f64 {
+        if self.attack_updates == 0 {
+            0.0
+        } else {
+            self.attack_hits as f64 / self.attack_updates as f64
+        }
+    }
+
+    /// Benign updates wrongly flagged as attacks.
+    pub fn false_alarm_rate(&self) -> f64 {
+        if self.benign_updates == 0 {
+            0.0
+        } else {
+            self.benign_false_alarms as f64 / self.benign_updates as f64
+        }
+    }
+
+    /// Fold another tally in (e.g. across processor shards).
+    pub fn merge(&mut self, other: RecallCounts) {
+        self.attack_updates += other.attack_updates;
+        self.attack_hits += other.attack_hits;
+        self.attack_pending += other.attack_pending;
+        self.benign_updates += other.benign_updates;
+        self.benign_false_alarms += other.benign_false_alarms;
+        self.benign_pending += other.benign_pending;
+    }
+}
+
 /// Majority over a sliding window of the most recent predictions.
 ///
 /// ```
@@ -203,6 +283,38 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_window_rejected() {
         SmoothingWindow::new(0);
+    }
+
+    #[test]
+    fn recall_counts_score_against_truth() {
+        let mut r = RecallCounts::default();
+        r.observe(true, Verdict::Pending);
+        r.observe(true, Verdict::Attack);
+        r.observe(true, Verdict::Attack);
+        r.observe(true, Verdict::Normal); // missed attack update
+        r.observe(false, Verdict::Normal);
+        r.observe(false, Verdict::Attack); // false alarm
+        assert_eq!(r.attack_updates, 4);
+        assert_eq!(r.attack_hits, 2);
+        assert_eq!(r.attack_pending, 1);
+        assert_eq!(r.benign_updates, 2);
+        assert_eq!(r.benign_false_alarms, 1);
+        assert_eq!(r.labeled_updates(), 6);
+        assert!((r.recall() - 0.5).abs() < 1e-12);
+        assert!((r.false_alarm_rate() - 0.5).abs() < 1e-12);
+
+        let mut other = RecallCounts::default();
+        other.observe(true, Verdict::Attack);
+        r.merge(other);
+        assert_eq!(r.attack_updates, 5);
+        assert_eq!(r.attack_hits, 3);
+    }
+
+    #[test]
+    fn empty_recall_counts_are_zero_not_nan() {
+        let r = RecallCounts::default();
+        assert_eq!(r.recall(), 0.0);
+        assert_eq!(r.false_alarm_rate(), 0.0);
     }
 
     #[test]

@@ -103,6 +103,26 @@ impl SflowAgent {
 
     /// Offer one packet observation; returns a sample if selected.
     pub fn observe(&mut self, ts_ns: u64, packet: &Packet) -> Option<FlowSample> {
+        self.observe_headers(
+            ts_ns,
+            packet.flow_key(),
+            packet.ip_len(),
+            packet.tcp_flags().map(|f| f.bits()),
+        )
+    }
+
+    /// Header-level observation: the sampling decision only needs the
+    /// packet count / timestamp, and a [`FlowSample`] only carries header
+    /// fields — so streams that never materialize a full [`Packet`]
+    /// (e.g. an INT report replay re-observed through sFlow sampling)
+    /// can drive the same agent state machine.
+    pub fn observe_headers(
+        &mut self,
+        ts_ns: u64,
+        flow: amlight_net::FlowKey,
+        ip_len: u16,
+        tcp_flags: Option<u8>,
+    ) -> Option<FlowSample> {
         self.observed += 1;
         let take = match self.mode {
             SamplingMode::Deterministic { period, .. } => {
@@ -139,9 +159,9 @@ impl SflowAgent {
         }
         self.sampled += 1;
         Some(FlowSample {
-            flow: packet.flow_key(),
-            ip_len: packet.ip_len(),
-            tcp_flags: packet.tcp_flags().map(|f| f.bits()),
+            flow,
+            ip_len,
+            tcp_flags,
             observed_ns: ts_ns,
             sampling_period: self.period().unwrap_or(0),
         })
@@ -308,5 +328,25 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].1, TrafficClass::Benign);
         assert_eq!(got[1].1, TrafficClass::SlowLoris);
+    }
+
+    #[test]
+    fn observe_headers_matches_observe() {
+        // Same seed, same timestamps: the header-level entry point must
+        // drive the sampling state machine identically to observe().
+        let p = pkt();
+        let mut by_packet = SflowAgent::new(SamplingMode::RandomSkip { period: 8 }, 3);
+        let mut by_header = SflowAgent::new(SamplingMode::RandomSkip { period: 8 }, 3);
+        for i in 0..500u64 {
+            let a = by_packet.observe(i, &p);
+            let b = by_header.observe_headers(
+                i,
+                p.flow_key(),
+                p.ip_len(),
+                p.tcp_flags().map(|f| f.bits()),
+            );
+            assert_eq!(a, b, "packet {i}");
+        }
+        assert_eq!(by_packet.sampled(), by_header.sampled());
     }
 }

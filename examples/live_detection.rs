@@ -53,7 +53,7 @@ fn main() {
         let feeder = std::thread::spawn(move || {
             let mut sent = 0u64;
             for r in reports {
-                if tx.send(r).is_err() {
+                if tx.send(r.into()).is_err() {
                     break;
                 }
                 sent += 1;
@@ -74,7 +74,7 @@ fn main() {
         println!(
             "\n{} replay → {} reports streamed ({} sent), {} flows across 4 shards, {} predictions ({} at drain)",
             class.name(),
-            stats.reports_in,
+            stats.events_in,
             sent,
             stats.flows_created,
             stats.predictions,

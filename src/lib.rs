@@ -36,11 +36,14 @@ pub mod prelude {
     pub use amlight_core::{
         batch::{BatchDetector, BatchOutcome},
         db::FlowDatabase,
+        event::{sample_reports, LabeledEvent, Telemetry, TelemetryBackend, TelemetryEvent},
         guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard},
         pipeline::{DetectionPipeline, PipelineConfig, PipelineReport},
+        runtime::ThreadedPipeline,
+        source::{EventSource, ReplaySource, SflowAgentSource, SflowReplaySource},
         testbed::{Testbed, TestbedConfig},
         trainer::{dataset_from_int, dataset_from_sflow, train_bundle, ModelBundle, TrainerConfig},
-        verdict::{SmoothingWindow, Verdict},
+        verdict::{RecallCounts, SmoothingWindow, Verdict},
     };
     pub use amlight_features::{
         FeatureSet, FeatureVector, FlowTable, FlowTableConfig, ShardedFlowTable,

@@ -1,14 +1,18 @@
-//! Integration: the streaming threaded runtime — report sources, the
-//! start/drain/stop lifecycle, and shard-count invariance of the
-//! detection output.
+//! Integration: the streaming threaded runtime — telemetry event
+//! sources (both backends), the start/drain/stop lifecycle, label
+//! threading, and shard-count invariance of the detection output.
 
+use amlight::core::event::sample_reports;
 use amlight::core::runtime::ThreadedPipeline;
 use amlight::core::source::{ChannelSource, CollectorSource, ReplaySource};
-use amlight::core::trainer::{dataset_from_int, train_bundle, ModelBundle, TrainerConfig};
-use amlight::features::FeatureSet;
+use amlight::core::trainer::{
+    dataset_from_int, dataset_from_sflow, train_bundle, ModelBundle, TrainerConfig,
+};
+use amlight::features::{FeatureSet, FlowTable, FlowTableConfig, UpdateKind};
 use amlight::int::{IntCollector, TelemetryReport};
 use amlight::ml::MlpConfig;
 use amlight::net::{FlowKey, Protocol, TrafficClass};
+use amlight::sflow::{FlowSample, SamplingMode, SflowAgent};
 use std::net::Ipv4Addr;
 
 fn report(src: u8, port: u16, t_ns: u64, len: u16, qocc: u32) -> TelemetryReport {
@@ -115,7 +119,7 @@ fn channel_source_with_shards_processes_everything() {
     let handle = pipe.start(source);
     let feeder = std::thread::spawn(move || {
         for r in reports {
-            if tx.send(r).is_err() {
+            if tx.send(r.into()).is_err() {
                 break;
             }
         }
@@ -123,7 +127,7 @@ fn channel_source_with_shards_processes_everything() {
     feeder.join().expect("feeder finished");
     let stats = handle.join().expect("no module thread panicked");
 
-    assert_eq!(stats.reports_in, n);
+    assert_eq!(stats.events_in, n);
     assert_eq!(stats.flows_created, 18);
     assert_eq!(stats.predictions, n - 18);
     assert_eq!(
@@ -150,7 +154,7 @@ fn lifecycle_drain_observes_quiescence_and_stop_ends_run() {
     let reports: Vec<TelemetryReport> = capture(40).into_iter().map(|(r, _)| r).collect();
     let n = reports.len() as u64;
     for r in reports {
-        tx.send(r).expect("pipeline is live");
+        tx.send(r.into()).expect("pipeline is live");
     }
     handle.drain();
     // Quiescent: every sent report reached the database (18 creations,
@@ -160,7 +164,7 @@ fn lifecycle_drain_observes_quiescence_and_stop_ends_run() {
 
     handle.stop(); // sender is still alive — only stop() ends this run
     let stats = handle.join().expect("no module thread panicked");
-    assert_eq!(stats.reports_in, n);
+    assert_eq!(stats.events_in, n);
     drop(tx);
 }
 
@@ -178,15 +182,16 @@ fn collector_source_feeds_pipeline_from_raw_bytes() {
         .join()
         .expect("no module thread panicked");
 
-    assert_eq!(stats.reports_in, n);
+    assert_eq!(stats.events_in, n);
     assert_eq!(stats.flows_created, 18);
     assert_eq!(stats.predictions, n - 18);
 }
 
-/// ReplaySource restores export order and strips labels, so a labeled
-/// capture can drive the threaded runtime directly.
+/// ReplaySource restores export order and threads labels through the
+/// channels, so a labeled capture drives the threaded runtime directly
+/// *and* the run reports recall without a side-channel lookup.
 #[test]
-fn replay_source_runs_labeled_captures() {
+fn replay_source_runs_labeled_captures_and_reports_recall() {
     let labeled = capture(50);
     let n = labeled.len() as u64;
     let pipe = ThreadedPipeline::new(bundle());
@@ -194,6 +199,182 @@ fn replay_source_runs_labeled_captures() {
         .start(ReplaySource::from_labeled(&labeled))
         .join()
         .expect("no module thread panicked");
-    assert_eq!(stats.reports_in, n);
+    assert_eq!(stats.events_in, n);
     assert_eq!(stats.flows_created, 18);
+    // Every prediction came from a labeled event, so the recall tallies
+    // must cover all of them — and this trained contrast detects the
+    // flood.
+    assert_eq!(stats.labeled.labeled_updates(), stats.predictions);
+    assert!(stats.labeled.attack_updates > 0);
+    // Pending verdicts count against recall, and a 50-update capture
+    // spends a visible fraction of each flow inside the warm-up — so the
+    // bar is "clearly detecting", not "near-perfect".
+    assert!(
+        stats.labeled.recall() > 0.6,
+        "recall {}",
+        stats.labeled.recall()
+    );
+    assert!(
+        stats.labeled.false_alarm_rate() < 0.2,
+        "far {}",
+        stats.labeled.false_alarm_rate()
+    );
+}
+
+/// Unlabeled sources (plain report vectors) leave the recall tallies
+/// untouched.
+#[test]
+fn unlabeled_runs_have_empty_recall_tallies() {
+    let pipe = ThreadedPipeline::new(bundle());
+    let reports: Vec<TelemetryReport> = capture(30).into_iter().map(|(r, _)| r).collect();
+    let stats = pipe.run(reports).expect("no module thread panicked");
+    assert!(stats.predictions > 0);
+    assert_eq!(stats.labeled.labeled_updates(), 0);
+}
+
+fn sample(src: u8, port: u16, t_ns: u64, len: u16) -> FlowSample {
+    FlowSample {
+        flow: FlowKey::new(
+            Ipv4Addr::new(10, 9, 0, src),
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+            80,
+            Protocol::Tcp,
+        ),
+        ip_len: len,
+        tcp_flags: Some(0x02),
+        observed_ns: t_ns,
+        sampling_period: 4096,
+    }
+}
+
+/// Satellite invariant: the flow table's housekeeping (creation,
+/// budget-driven eviction, idle-timeout eviction) is telemetry-blind.
+/// The same (flow, timestamp) stream produces the identical per-step
+/// `UpdateKind` sequence and final counters whether it arrives as INT
+/// reports or as sFlow samples — shared cases swept over table configs,
+/// rstest-style.
+#[test]
+fn sflow_and_int_table_housekeeping_parity() {
+    let cases = [
+        ("default", FlowTableConfig::default()),
+        (
+            "tight-budget",
+            FlowTableConfig {
+                max_flows: 4,
+                ..FlowTableConfig::default()
+            },
+        ),
+        (
+            "short-idle",
+            FlowTableConfig {
+                idle_timeout_ns: 500_000, // 0.5 ms — benign cadence is 1 ms
+                ..FlowTableConfig::default()
+            },
+        ),
+        (
+            "tight-and-short",
+            FlowTableConfig {
+                max_flows: 3,
+                idle_timeout_ns: 2_000_000,
+            },
+        ),
+    ];
+    // 18 flows, interleaved cadences — enough churn to trip both the
+    // budget and the idle timeout in the tight cases.
+    let stream: Vec<(u8, u16, u64, u16)> = capture(40)
+        .into_iter()
+        .map(|(r, _)| {
+            (
+                r.flow.src_ip.octets()[3],
+                r.flow.src_port,
+                r.export_ns,
+                r.ip_len,
+            )
+        })
+        .collect();
+
+    for (name, cfg) in cases {
+        let mut int_table = FlowTable::new(cfg);
+        let mut sflow_table = FlowTable::new(cfg);
+        for &(src, port, t_ns, len) in &stream {
+            let (int_kind, _) = int_table.update_int(&report(src, port, t_ns, len, 0));
+            let (sflow_kind, _) = sflow_table.update_sflow(&sample(src, port, t_ns, len));
+            assert_eq!(int_kind, sflow_kind, "case `{name}` diverged at t={t_ns}");
+            assert!(matches!(
+                int_kind,
+                UpdateKind::Created | UpdateKind::Updated
+            ));
+        }
+        assert_eq!(int_table.len(), sflow_table.len(), "case `{name}` len");
+        assert_eq!(
+            int_table.created(),
+            sflow_table.created(),
+            "case `{name}` created"
+        );
+        assert_eq!(
+            int_table.evicted(),
+            sflow_table.evicted(),
+            "case `{name}` evicted"
+        );
+        if name == "tight-budget" {
+            assert!(int_table.len() <= 4, "budget must bind");
+            assert!(int_table.evicted() > 0, "budget case must actually evict");
+        }
+    }
+}
+
+/// The shard-invariance tentpole holds for the sFlow backend too: a
+/// sampled stream routed by the same 5-tuple hash produces bit-identical
+/// per-flow verdict sequences at 1, 2, and 8 shards.
+#[test]
+fn sflow_shard_count_is_invisible_to_verdicts() {
+    // Derive the sampled view of a labeled INT capture (1-in-4 so the
+    // test has enough updates), then train an sFlow-features bundle on
+    // half and replay the other half.
+    let mut agent = SflowAgent::new(
+        SamplingMode::Deterministic {
+            period: 4,
+            phase: 0,
+        },
+        9,
+    );
+    let samples = sample_reports(&capture(400), &mut agent);
+    let (train, test) = samples.split_at(samples.len() / 2);
+    let raw = dataset_from_sflow(train);
+    let b = train_bundle(
+        &raw,
+        FeatureSet::Sflow,
+        &TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 6,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        },
+    );
+    let test_samples: Vec<FlowSample> = test.iter().map(|(s, _)| *s).collect();
+
+    let mut baseline = None;
+    for shards in [1usize, 2, 8] {
+        let pipe = ThreadedPipeline::new(b.clone()).with_shards(shards);
+        let stats = pipe
+            .run_samples(test_samples.clone())
+            .expect("no module thread panicked");
+        assert_eq!(
+            stats.events_in,
+            test_samples.len() as u64,
+            "{shards} shards"
+        );
+        let seqs = pipe.database().verdict_sequences();
+        match &baseline {
+            None => baseline = Some(seqs),
+            Some(expected) => {
+                assert_eq!(
+                    &seqs, expected,
+                    "sFlow per-flow verdict sequences changed at {shards} shards"
+                );
+            }
+        }
+    }
 }
