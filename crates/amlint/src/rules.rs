@@ -36,6 +36,11 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/event.rs",
     "crates/core/src/db.rs",
     "crates/features/src/sharded.rs",
+    "crates/features/src/table.rs",
+    "crates/int/src/hops.rs",
+    "crates/int/src/report.rs",
+    "crates/int/src/collector.rs",
+    "crates/int/src/metadata.rs",
     "crates/sflow/src/agent.rs",
     "crates/sflow/src/datagram.rs",
 ];

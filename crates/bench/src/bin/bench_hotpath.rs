@@ -21,6 +21,11 @@ use amlight_traffic::ReplayLibrary;
 use serde::Serialize;
 use std::time::Instant;
 
+/// Counting allocator, so the batched paths can report allocations per
+/// row alongside throughput.
+#[global_allocator]
+static ALLOC: stats_alloc::StatsAlloc = stats_alloc::StatsAlloc;
+
 #[derive(Serialize)]
 struct HotpathRecord {
     model: String,
@@ -38,6 +43,9 @@ struct HotpathReport {
     records: Vec<HotpathRecord>,
     /// batched ÷ single rows/s per (model, batch), keyed `model@batch`.
     speedups: Vec<(String, f64)>,
+    /// Steady-state allocations per row on the batched ensemble path,
+    /// keyed `ensemble@batch`. Warm scratch should hold this at zero.
+    allocs_per_row: Vec<(String, f64)>,
 }
 
 /// Time `work` (which processes `rows_per_call` rows per call) long
@@ -134,6 +142,7 @@ fn main() {
 
     let mut records = Vec::new();
     let mut speedups = Vec::new();
+    let mut allocs_per_row = Vec::new();
     for &batch in batches {
         let rows = block(&scaled, batch);
         for (name, model) in &models {
@@ -171,6 +180,14 @@ fn main() {
             &mut records,
             &mut speedups,
         );
+
+        // Steady-state allocation count on the warm batched path (the
+        // measure() warmup above already grew scratch to high water).
+        let region = stats_alloc::Region::new();
+        bundle.votes_batch(&raw_rows, nf, &mut scratch, &mut out);
+        let per_row = region.change().acquisitions() as f64 / batch as f64;
+        println!("ensemble@{batch}: {per_row:.3} allocs/row steady state");
+        allocs_per_row.push((format!("ensemble@{batch}"), per_row));
     }
 
     write_json(
@@ -180,6 +197,7 @@ fn main() {
             n_features: nf,
             records,
             speedups,
+            allocs_per_row,
         },
     );
 }

@@ -287,7 +287,8 @@ mod tests {
                 egress_tstamp: (t_ns as u32).wrapping_add(250),
                 hop_latency: 0,
                 queue_occupancy: 3,
-            }],
+            }]
+            .into(),
             export_ns: t_ns,
         }
     }

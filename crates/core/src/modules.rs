@@ -330,7 +330,8 @@ mod tests {
                 egress_tstamp: (t_ns as u32).wrapping_add(300),
                 hop_latency: 0,
                 queue_occupancy: 0,
-            }],
+            }]
+            .into(),
             export_ns: t_ns,
         }
     }

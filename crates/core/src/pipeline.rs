@@ -381,7 +381,8 @@ mod tests {
                 egress_tstamp: (t_ns as u32).wrapping_add(500),
                 hop_latency: 0,
                 queue_occupancy: qocc,
-            }],
+            }]
+            .into(),
             export_ns: t_ns,
         }
     }

@@ -57,10 +57,27 @@ use std::time::Duration;
 /// Most flow updates a single channel message may carry.
 const MAX_JOB_BATCH: usize = 256;
 
+/// How many recycled [`BatchJob`] shells (per shard) and prediction
+/// scratch vectors the pool channels hold. Deep enough to cover the
+/// batches in flight across the job and vote channels under normal
+/// pacing; when the pool momentarily runs dry a fresh buffer is
+/// allocated, and when it is full a returning buffer is simply dropped —
+/// both paths are non-blocking, so recycling can never deadlock the
+/// pipeline.
+const POOL_DEPTH: usize = 32;
+
 /// A batch of prediction jobs flowing shard → Prediction: one channel
 /// message (and one columnar ensemble call downstream) for every update
 /// the shard had on hand, not one message per flow update.
+///
+/// After aggregation stores the batch's verdicts, the (cleared) shell
+/// travels back to its shard over a per-shard pool channel, so the
+/// steady-state hot path reuses `items`/`rows` capacity instead of
+/// allocating per batch.
 struct BatchJob {
+    /// Which processor shard built this batch — the return address for
+    /// buffer recycling.
+    shard: usize,
     /// (flow, wall-clock registration stamp ns, ground truth if the
     /// source was labeled) per judged update, in the shard's arrival
     /// order.
@@ -70,17 +87,20 @@ struct BatchJob {
 }
 
 impl BatchJob {
-    fn empty() -> Self {
+    fn empty(shard: usize) -> Self {
         Self {
+            shard,
             items: Vec::with_capacity(MAX_JOB_BATCH),
             rows: Vec::new(),
         }
     }
 }
 
-/// The scored batch flowing Prediction → aggregation.
+/// The scored batch flowing Prediction → aggregation. Carries the whole
+/// job (not just its items) so aggregation can recycle the row buffers
+/// back to the owning shard.
 struct BatchVoted {
-    items: Vec<(FlowKey, u64, Option<TrafficClass>)>,
+    job: BatchJob,
     attacks: Vec<bool>,
 }
 
@@ -234,6 +254,20 @@ impl ThreadedPipeline {
         let (job_tx, job_rx) = bounded::<BatchJob>(self.channel_capacity);
         let (vote_tx, vote_rx) = bounded::<BatchVoted>(self.channel_capacity);
 
+        // Buffer-recycling pools: aggregation returns drained BatchJob
+        // shells to their owning shard, and drained vote vectors to
+        // prediction. Strictly non-blocking on both ends (try_recv to
+        // acquire, try_send to return) so the pools can only ever save
+        // allocations, never stall the pipeline.
+        let mut pool_txs = Vec::with_capacity(n_shards);
+        let mut pool_rxs = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = bounded::<BatchJob>(POOL_DEPTH);
+            pool_txs.push(tx);
+            pool_rxs.push(rx);
+        }
+        let (scratch_tx, scratch_rx) = bounded::<Vec<bool>>(POOL_DEPTH);
+
         // Module 1: Data Collection — drains the source (either
         // telemetry backend) and fans events out by flow hash; both
         // event kinds carry the 5-tuple, so routing is backend-blind.
@@ -273,7 +307,9 @@ impl ThreadedPipeline {
         // source still sees its updates predicted promptly.
         let processors: Vec<JoinHandle<u64>> = shard_rxs
             .into_iter()
-            .map(|shard_rx| {
+            .zip(pool_rxs)
+            .enumerate()
+            .map(|(shard_idx, (shard_rx, pool_rx))| {
                 let db = self.db.clone();
                 let feature_set = self.bundle.feature_set;
                 let table = self.table;
@@ -281,7 +317,7 @@ impl ThreadedPipeline {
                 let in_flight = Arc::clone(&in_flight);
                 std::thread::spawn(move || {
                     let mut processor = Processor::new(table, db, clock, feature_set);
-                    let mut batch = BatchJob::empty();
+                    let mut batch = BatchJob::empty(shard_idx);
                     'work: loop {
                         let Ok(event) = shard_rx.recv() else {
                             break 'work;
@@ -297,7 +333,13 @@ impl ThreadedPipeline {
                             }
                         }
                         if !batch.items.is_empty() {
-                            let full = std::mem::replace(&mut batch, BatchJob::empty());
+                            // Prefer a recycled shell (cleared by the
+                            // aggregator) over a fresh allocation.
+                            let shell = match pool_rx.try_recv() {
+                                Ok(recycled) => recycled,
+                                Err(_) => BatchJob::empty(shard_idx),
+                            };
+                            let full = std::mem::replace(&mut batch, shell);
                             if job_tx.send(full).is_err() {
                                 break 'work;
                             }
@@ -320,14 +362,12 @@ impl ThreadedPipeline {
             let bundle = self.bundle.clone();
             std::thread::spawn(move || {
                 let mut predictor = Predictor::new(bundle);
-                let mut attacks = Vec::new();
                 for job in job_rx.iter() {
+                    // Vote buffers round-trip through aggregation and come
+                    // back via the scratch pool; predict() clears them.
+                    let mut attacks: Vec<bool> = scratch_rx.try_recv().unwrap_or_default();
                     predictor.predict(&job.rows, &mut attacks);
-                    let voted = BatchVoted {
-                        items: job.items,
-                        attacks: std::mem::take(&mut attacks),
-                    };
-                    if vote_tx.send(voted).is_err() {
+                    if vote_tx.send(BatchVoted { job, attacks }).is_err() {
                         break;
                     }
                 }
@@ -350,7 +390,7 @@ impl ThreadedPipeline {
                 let mut labeled = RecallCounts::default();
                 for batch in vote_rx.iter() {
                     for (&(key, registered_ns, truth), &attack) in
-                        batch.items.iter().zip(&batch.attacks)
+                        batch.job.items.iter().zip(&batch.attacks)
                     {
                         let predicted_ns = clock.now_ns();
                         let verdict = agg.aggregate(key, attack, registered_ns, predicted_ns);
@@ -359,6 +399,18 @@ impl ThreadedPipeline {
                         }
                         in_flight.fetch_sub(1, Ordering::AcqRel);
                     }
+                    // Recycle: drained shells go home to their shard,
+                    // vote vectors back to prediction. try_send — a full
+                    // pool (or an exited stage) just drops the buffer.
+                    let BatchVoted {
+                        mut job,
+                        mut attacks,
+                    } = batch;
+                    job.items.clear();
+                    job.rows.clear();
+                    let _ = pool_txs[job.shard].try_send(job);
+                    attacks.clear();
+                    let _ = scratch_tx.try_send(attacks);
                 }
                 (
                     agg.counts(),
@@ -526,7 +578,8 @@ mod tests {
                 egress_tstamp: (t_ns as u32).wrapping_add(400),
                 hop_latency: 0,
                 queue_occupancy: qocc,
-            }],
+            }]
+            .into(),
             export_ns: t_ns,
         }
     }

@@ -37,6 +37,11 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 /// One poll of an [`EventSource`].
+///
+/// `Event` is large (the report's hop stack is inline, not boxed) on
+/// purpose: polls consume it in place, and boxing would put one heap
+/// allocation on every event of the ingest path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum SourcePoll {
     /// An event is ready.
@@ -354,7 +359,8 @@ mod tests {
             hops: vec![HopMetadata {
                 switch_id: tag,
                 ..Default::default()
-            }],
+            }]
+            .into(),
             export_ns: u64::from(tag) * 500,
         }
     }

@@ -222,7 +222,8 @@ mod tests {
                 egress_tstamp: seqno * 1_000 + 500,
                 hop_latency: 0,
                 queue_occupancy: qocc,
-            }],
+            }]
+            .into(),
             export_ns: u64::from(seqno) * 1_000,
         }
     }

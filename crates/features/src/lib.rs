@@ -18,6 +18,7 @@
 // Compiler-enforced arm of amlint rule R5: unsafe stays in shims/.
 #![forbid(unsafe_code)]
 
+pub mod reference;
 pub mod sharded;
 pub mod stats;
 pub mod table;

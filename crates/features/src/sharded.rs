@@ -63,10 +63,22 @@ pub struct ShardedUpdate {
     pub update_seq: u64,
 }
 
+/// Per-shard routing and result scratch, retained across batches so the
+/// steady-state batch path performs no allocations (capacities grow to
+/// the high-water mark once, then are reused).
+#[derive(Debug, Default)]
+struct ShardScratch {
+    /// Input indices routed to this shard, in input order.
+    idxs: Vec<u32>,
+    /// This shard's `(input index, update)` results.
+    out: Vec<(u32, ShardedUpdate)>,
+}
+
 /// A flow table split into independently processed shards.
 #[derive(Debug)]
 pub struct ShardedFlowTable {
     shards: Vec<FlowTable>,
+    scratch: Vec<ShardScratch>,
     router: ShardRouter,
 }
 
@@ -83,6 +95,7 @@ impl ShardedFlowTable {
         };
         Self {
             shards: (0..shards).map(|_| FlowTable::new(per_shard)).collect(),
+            scratch: (0..shards).map(|_| ShardScratch::default()).collect(),
             router,
         }
     }
@@ -111,23 +124,37 @@ impl ShardedFlowTable {
     /// order; per-flow sequencing is exactly what sequential ingest
     /// would produce.
     pub fn update_int_batch(&mut self, reports: &[TelemetryReport]) -> Vec<ShardedUpdate> {
-        let n_shards = self.shards.len();
+        let mut results = Vec::new();
+        self.update_int_batch_into(reports, &mut results);
+        results
+    }
+
+    /// Scratch-reusing form of [`ShardedFlowTable::update_int_batch`]:
+    /// writes the input-ordered results into `results` (cleared first).
+    /// Routing and per-shard result buffers persist inside `self`, so a
+    /// steady-state caller that also reuses `results` allocates nothing.
+    pub fn update_int_batch_into(
+        &mut self,
+        reports: &[TelemetryReport],
+        results: &mut Vec<ShardedUpdate>,
+    ) {
         // Route: per shard, the input indices it owns (order-preserving).
-        let mut routes: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for s in &mut self.scratch {
+            s.idxs.clear();
+            s.out.clear();
+        }
         for (i, r) in reports.iter().enumerate() {
-            routes[self.router.route(r.flow)].push(i as u32);
+            self.scratch[self.router.route(r.flow)].idxs.push(i as u32);
         }
 
         // Process each shard sequentially, shards in parallel.
-        let shard_results: Vec<Vec<(u32, ShardedUpdate)>> = self
-            .shards
+        self.shards
             .par_iter_mut()
-            .zip(routes.par_iter())
-            .map(|(table, idxs)| {
-                let mut out = Vec::with_capacity(idxs.len());
-                for &i in idxs {
+            .zip(self.scratch.par_iter_mut())
+            .for_each(|(table, scratch)| {
+                for &i in &scratch.idxs {
                     let (kind, rec) = table.update_int(&reports[i as usize]);
-                    out.push((
+                    scratch.out.push((
                         i,
                         ShardedUpdate {
                             kind,
@@ -136,28 +163,26 @@ impl ShardedFlowTable {
                         },
                     ));
                 }
-                out
-            })
-            .collect();
+            });
 
         // Scatter back to input order into a pre-sized buffer. Every slot
         // is overwritten: the routing loop above assigns each input index
         // to exactly one shard, and each shard echoes back exactly the
         // indices it was routed.
-        let mut results = vec![
+        results.clear();
+        results.resize(
+            reports.len(),
             ShardedUpdate {
                 kind: UpdateKind::Created,
                 features: FeatureVector::default(),
                 update_seq: 0,
-            };
-            reports.len()
-        ];
-        for shard in shard_results {
-            for (i, u) in shard {
+            },
+        );
+        for shard in &self.scratch {
+            for &(i, u) in &shard.out {
                 results[i as usize] = u;
             }
         }
-        results
     }
 
     /// Evict idle flows across all shards (parallel). Returns the total
@@ -195,7 +220,8 @@ mod tests {
                 egress_tstamp: (t_ns as u32).wrapping_add(500),
                 hop_latency: 0,
                 queue_occupancy: 0,
-            }],
+            }]
+            .into(),
             export_ns: t_ns,
         }
     }
@@ -277,6 +303,29 @@ mod tests {
         assert!(first.iter().any(|u| u.kind == UpdateKind::Created));
         assert!(second.iter().all(|u| u.kind == UpdateKind::Updated));
         assert_eq!(sharded.created(), 8);
+    }
+
+    #[test]
+    fn into_variant_reuses_results_buffer() {
+        let reports = batch(900, 24);
+        let mut fresh = ShardedFlowTable::new(FlowTableConfig::default(), 4);
+        let expected = fresh.update_int_batch(&reports);
+
+        let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 4);
+        let mut results = Vec::new();
+        // Stale oversized content must be fully replaced, not appended to.
+        sharded.update_int_batch_into(&reports[..600], &mut results);
+        assert_eq!(results.len(), 600);
+        let cap = results.capacity();
+        sharded.update_int_batch_into(&reports[600..], &mut results);
+        assert_eq!(results.len(), 300);
+        assert_eq!(results.capacity(), cap, "buffer reused, not reallocated");
+
+        // Same state evolution as the one-shot batch path.
+        let mut replay = ShardedFlowTable::new(FlowTableConfig::default(), 4);
+        let mut out = Vec::new();
+        replay.update_int_batch_into(&reports, &mut out);
+        assert_eq!(out, expected);
     }
 
     #[test]

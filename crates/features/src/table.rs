@@ -3,10 +3,11 @@
 use crate::stats::StreamingStats;
 use crate::vector::{FeatureId, FeatureVector};
 use amlight_int::TelemetryReport;
-use amlight_net::flow::FnvHashMap;
+use amlight_net::flow::FnvBuildHasher;
 use amlight_net::{FlowKey, Protocol};
 use amlight_sflow::FlowSample;
 use serde::{Deserialize, Serialize};
+use std::hash::BuildHasher;
 
 /// Whether an ingest created a new record or updated an existing one.
 ///
@@ -50,7 +51,7 @@ pub struct FlowRecord {
 }
 
 impl FlowRecord {
-    fn new(key: FlowKey, now_ns: u64) -> Self {
+    pub(crate) fn new(key: FlowKey, now_ns: u64) -> Self {
         Self {
             key,
             first_seen_ns: now_ns,
@@ -67,6 +68,43 @@ impl FlowRecord {
             iat_stats: StreamingStats::new(),
             qocc_stats: StreamingStats::new(),
         }
+    }
+
+    /// One telemetry observation: derive the inter-arrival time from the
+    /// record's clock state, remember the new clocks, fold the packet
+    /// into the aggregates. This is the *entire* per-event record update,
+    /// shared by the slab table and the reference hashmap table
+    /// ([`crate::reference::HashFlowTable`]) so their records are
+    /// bit-identical by construction.
+    pub(crate) fn observe(
+        &mut self,
+        now_ns: u64,
+        len: u16,
+        stamp32: Option<u32>,
+        observed_ns: Option<u64>,
+        qocc: Option<u32>,
+    ) {
+        // Inter-arrival: INT path uses wrapped 32-bit stamps; sFlow path
+        // uses the full-width agent clock. sFlow samples can arrive out
+        // of order (UDP transport, multiple agents), so the full-width
+        // difference saturates instead of underflowing.
+        let iat_s = match (
+            stamp32,
+            self.last_stamp32,
+            observed_ns,
+            self.last_observed_ns,
+        ) {
+            (Some(s), Some(prev), _, _) => Some(f64::from(s.wrapping_sub(prev)) / 1e9),
+            (_, _, Some(o), Some(prev)) => Some(o.saturating_sub(prev) as f64 / 1e9),
+            _ => None,
+        };
+        if let Some(s) = stamp32 {
+            self.last_stamp32 = Some(s);
+        }
+        if let Some(o) = observed_ns {
+            self.last_observed_ns = Some(o);
+        }
+        self.push_packet(now_ns, len, iat_s, qocc);
     }
 
     fn push_packet(&mut self, now_ns: u64, len: u16, iat_s: Option<f64>, qocc: Option<u32>) {
@@ -136,7 +174,25 @@ impl Default for FlowTableConfig {
     }
 }
 
-/// The flow table. Keyed by [`FlowKey`] with an FNV hasher (hot path).
+/// Sentinel for an unoccupied bucket in the open-addressing index.
+const EMPTY: u32 = u32::MAX;
+
+/// Buckets allocated on the first insert (power of two).
+const INITIAL_BUCKETS: usize = 16;
+
+/// The flow table: a slab of records plus a compact open-addressing
+/// index keyed by the [`FlowKey`]'s FNV hash.
+///
+/// Records live contiguously in `slots` (feature extraction walks them
+/// cache-linearly); the `buckets` index maps hash → slot with linear
+/// probing. Removal is tombstone-free: the bucket cluster is repaired
+/// with backward-shift deletion and the slab hole is filled by
+/// `swap_remove`, so lookups never scan deleted entries and the table
+/// performs **zero allocations in steady state** — only index growth
+/// (amortized, on new-flow creation) touches the allocator.
+///
+/// Semantics are bit-identical to the pre-slab `FnvHashMap` table; the
+/// equivalence oracle lives in [`crate::reference::HashFlowTable`].
 ///
 /// ```
 /// use amlight_features::{FlowTable, FlowTableConfig, UpdateKind};
@@ -149,7 +205,7 @@ impl Default for FlowTableConfig {
 ///     ip_len: 60,
 ///     tcp_flags: Some(0x02),
 ///     instructions: InstructionSet::amlight(),
-///     hops: vec![HopMetadata::default()],
+///     hops: vec![HopMetadata::default()].into(),
 ///     export_ns: 1_000,
 /// };
 /// let (kind, record) = table.update_int(&report);
@@ -159,7 +215,15 @@ impl Default for FlowTableConfig {
 #[derive(Debug)]
 pub struct FlowTable {
     cfg: FlowTableConfig,
-    flows: FnvHashMap<FlowKey, FlowRecord>,
+    hasher: FnvBuildHasher,
+    /// Dense slab of live records.
+    slots: Vec<FlowRecord>,
+    /// Cached key hash per slot, parallel to `slots` (rehash-free index
+    /// growth and cheap bucket repair).
+    hashes: Vec<u64>,
+    /// Open-addressing index: slot number or [`EMPTY`], linear probing,
+    /// power-of-two length.
+    buckets: Vec<u32>,
     created: u64,
     updated: u64,
     evicted: u64,
@@ -175,7 +239,10 @@ impl FlowTable {
     pub fn new(cfg: FlowTableConfig) -> Self {
         Self {
             cfg,
-            flows: FnvHashMap::default(),
+            hasher: FnvBuildHasher::default(),
+            slots: Vec::new(),
+            hashes: Vec::new(),
+            buckets: Vec::new(),
             created: 0,
             updated: 0,
             evicted: 0,
@@ -183,11 +250,11 @@ impl FlowTable {
     }
 
     pub fn len(&self) -> usize {
-        self.flows.len()
+        self.slots.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.slots.is_empty()
     }
 
     pub fn created(&self) -> u64 {
@@ -203,11 +270,12 @@ impl FlowTable {
     }
 
     pub fn get(&self, key: &FlowKey) -> Option<&FlowRecord> {
-        self.flows.get(key)
+        let slot = self.find_slot(*key, self.hasher.hash_one(*key))?;
+        self.slots.get(slot)
     }
 
     pub fn records(&self) -> impl Iterator<Item = &FlowRecord> {
-        self.flows.values()
+        self.slots.iter()
     }
 
     /// Ingest an INT telemetry report. Inter-arrival derives from the
@@ -244,37 +312,23 @@ impl FlowTable {
         observed_ns: Option<u64>,
         qocc: Option<u32>,
     ) -> (UpdateKind, &FlowRecord) {
-        if self.flows.len() >= self.cfg.max_flows && !self.flows.contains_key(&key) {
-            self.evict_idle(now_ns);
-        }
-        let entry = self.flows.entry(key);
-        let kind = match &entry {
-            std::collections::hash_map::Entry::Occupied(_) => UpdateKind::Updated,
-            std::collections::hash_map::Entry::Vacant(_) => UpdateKind::Created,
+        let hash = self.hasher.hash_one(key);
+        let (kind, slot) = match self.find_slot(key, hash) {
+            Some(slot) => {
+                self.updated += 1;
+                self.slots[slot].update_seq += 1;
+                (UpdateKind::Updated, slot)
+            }
+            None => {
+                if self.slots.len() >= self.cfg.max_flows {
+                    self.evict_idle(now_ns);
+                }
+                self.created += 1;
+                (UpdateKind::Created, self.insert_slot(key, hash, now_ns))
+            }
         };
-        let rec = entry.or_insert_with(|| FlowRecord::new(key, now_ns));
-        if kind == UpdateKind::Created {
-            self.created += 1;
-        } else {
-            self.updated += 1;
-            rec.update_seq += 1;
-        }
-
-        // Inter-arrival: INT path uses wrapped 32-bit stamps; sFlow path
-        // uses the full-width agent clock.
-        let iat_s = match (stamp32, rec.last_stamp32, observed_ns, rec.last_observed_ns) {
-            (Some(s), Some(prev), _, _) => Some(f64::from(s.wrapping_sub(prev)) / 1e9),
-            (_, _, Some(o), Some(prev)) => Some((o - prev) as f64 / 1e9),
-            _ => None,
-        };
-        if let Some(s) = stamp32 {
-            rec.last_stamp32 = Some(s);
-        }
-        if let Some(o) = observed_ns {
-            rec.last_observed_ns = Some(o);
-        }
-        rec.push_packet(now_ns, len, iat_s, qocc);
-        (kind, &*rec)
+        self.slots[slot].observe(now_ns, len, stamp32, observed_ns, qocc);
+        (kind, &self.slots[slot])
     }
 
     /// Evict records idle past the timeout as of `now_ns`. Returns the
@@ -282,17 +336,27 @@ impl FlowTable {
     /// evicts the single longest-idle record (to guarantee progress).
     pub fn evict_idle(&mut self, now_ns: u64) -> usize {
         let deadline = now_ns.saturating_sub(self.cfg.idle_timeout_ns);
-        let before = self.flows.len();
-        self.flows.retain(|_, r| r.last_seen_ns >= deadline);
-        let mut evicted = before - self.flows.len();
-        if evicted == 0 && self.flows.len() >= self.cfg.max_flows {
-            if let Some(oldest) = self
-                .flows
-                .values()
-                .min_by_key(|r| r.last_seen_ns)
-                .map(|r| r.key)
-            {
-                self.flows.remove(&oldest);
+        let before = self.slots.len();
+        let mut i = 0usize;
+        while i < self.slots.len() {
+            if self.slots[i].last_seen_ns < deadline {
+                // swap_remove refills slot i with the last record; do not
+                // advance, the replacement needs the same check.
+                self.remove_slot(i);
+            } else {
+                i += 1;
+            }
+        }
+        let mut evicted = before - self.slots.len();
+        if evicted == 0 && self.slots.len() >= self.cfg.max_flows {
+            let oldest = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.last_seen_ns)
+                .map(|(i, _)| i);
+            if let Some(slot) = oldest {
+                self.remove_slot(slot);
                 evicted = 1;
             }
         }
@@ -303,11 +367,114 @@ impl FlowTable {
     /// Protocol histogram over live flows — cheap observability hook.
     pub fn protocol_split(&self) -> (usize, usize) {
         let tcp = self
-            .flows
-            .values()
+            .slots
+            .iter()
             .filter(|r| r.key.protocol == Protocol::Tcp)
             .count();
-        (tcp, self.flows.len() - tcp)
+        (tcp, self.slots.len() - tcp)
+    }
+
+    // ---- slab / index internals -------------------------------------
+
+    /// Linear-probe lookup. The load factor is capped below 1 (see
+    /// [`FlowTable::insert_slot`]), so an empty bucket always terminates
+    /// the probe.
+    #[inline]
+    fn find_slot(&self, key: FlowKey, hash: u64) -> Option<usize> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut b = (hash as usize) & mask;
+        loop {
+            let s = self.buckets[b];
+            if s == EMPTY {
+                return None;
+            }
+            let s = s as usize;
+            if self.hashes[s] == hash && self.slots[s].key == key {
+                return Some(s);
+            }
+            b = (b + 1) & mask;
+        }
+    }
+
+    /// Append a fresh record to the slab and index it. Grows the bucket
+    /// array (outside steady state) to keep load ≤ 7/8.
+    fn insert_slot(&mut self, key: FlowKey, hash: u64, now_ns: u64) -> usize {
+        if (self.slots.len() + 1) * 8 > self.buckets.len() * 7 {
+            self.grow_buckets();
+        }
+        let mask = self.buckets.len() - 1;
+        let mut b = (hash as usize) & mask;
+        while self.buckets[b] != EMPTY {
+            b = (b + 1) & mask;
+        }
+        let slot = self.slots.len();
+        self.buckets[b] = slot as u32;
+        self.slots.push(FlowRecord::new(key, now_ns));
+        self.hashes.push(hash);
+        slot
+    }
+
+    /// Double the bucket array and re-index every slot from its cached
+    /// hash (records are never touched).
+    fn grow_buckets(&mut self) {
+        let new_cap = (self.buckets.len() * 2).max(INITIAL_BUCKETS);
+        self.buckets.clear();
+        self.buckets.resize(new_cap, EMPTY);
+        let mask = new_cap - 1;
+        for (slot, &h) in self.hashes.iter().enumerate() {
+            let mut b = (h as usize) & mask;
+            while self.buckets[b] != EMPTY {
+                b = (b + 1) & mask;
+            }
+            self.buckets[b] = slot as u32;
+        }
+    }
+
+    /// Remove the record in `slot`: backward-shift the bucket cluster
+    /// (tombstone-free), then `swap_remove` the slab hole and re-point
+    /// the moved record's bucket. O(cluster length), no allocation.
+    fn remove_slot(&mut self, slot: usize) {
+        let mask = self.buckets.len() - 1;
+
+        // Locate the bucket holding `slot` (reachable from its hash by
+        // the linear-probe invariant).
+        let mut b = (self.hashes[slot] as usize) & mask;
+        while self.buckets[b] != slot as u32 {
+            b = (b + 1) & mask;
+        }
+
+        // Backward-shift deletion: close the gap by pulling cluster
+        // entries whose probe path crosses it.
+        let mut gap = b;
+        let mut j = (gap + 1) & mask;
+        while self.buckets[j] != EMPTY {
+            let s = self.buckets[j] as usize;
+            let ideal = (self.hashes[s] as usize) & mask;
+            // The entry at j may fill the gap iff its probe walked
+            // through the gap position, i.e. its displacement from the
+            // ideal bucket reaches at least back to the gap.
+            if j.wrapping_sub(ideal) & mask >= j.wrapping_sub(gap) & mask {
+                self.buckets[gap] = self.buckets[j];
+                gap = j;
+            }
+            j = (j + 1) & mask;
+        }
+        self.buckets[gap] = EMPTY;
+
+        // Fill the slab hole with the last record and fix its bucket.
+        let last = self.slots.len() - 1;
+        self.slots.swap_remove(slot);
+        self.hashes.swap_remove(slot);
+        if slot != last {
+            let mut b = (self.hashes[slot] as usize) & mask;
+            while self.buckets[b] != last as u32 {
+                b = (b + 1) & mask;
+            }
+            self.buckets[b] = slot as u32;
+        }
     }
 }
 
@@ -340,7 +507,8 @@ mod tests {
                 egress_tstamp: egress32,
                 hop_latency: 0,
                 queue_occupancy: qocc,
-            }],
+            }]
+            .into(),
             export_ns,
         }
     }
@@ -478,6 +646,116 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert!(t.get(&key(1)).is_none());
         assert!(t.get(&key(4)).is_some());
+    }
+
+    /// Regression: sFlow samples can arrive out of order (UDP transport,
+    /// multiple agents). An older observation must saturate the IAT to
+    /// zero, not underflow the u64 clock difference into a ~584-year
+    /// inter-arrival.
+    #[test]
+    fn reordered_sflow_sample_saturates_iat() {
+        let mut t = FlowTable::default();
+        let newer = FlowSample {
+            flow: key(7),
+            ip_len: 500,
+            tcp_flags: Some(0x10),
+            observed_ns: 5_000_000,
+            sampling_period: 4096,
+        };
+        let older = FlowSample {
+            observed_ns: 2_000_000, // arrives second, observed earlier
+            ip_len: 600,
+            ..newer
+        };
+        t.update_sflow(&newer);
+        let (_, rec) = t.update_sflow(&older);
+        assert_eq!(
+            rec.last_inter_arrival_s, 0.0,
+            "reordered sample must clamp, not wrap to ~1.8e10 s"
+        );
+        assert!(rec.duration_s().is_finite());
+        assert!(rec.features().get(FeatureId::InterArrivalCum) < 1.0);
+    }
+
+    /// Eviction path under sustained capacity pressure with *no* idle
+    /// flows: every new flow must make progress via the oldest-idle
+    /// fallback, the table must not grow past `max_flows`, and the
+    /// counters must account for every record that passed through.
+    #[test]
+    fn full_table_with_no_idle_flows_keeps_making_progress() {
+        const CAP: usize = 64;
+        let mut t = FlowTable::new(FlowTableConfig {
+            idle_timeout_ns: u64::MAX / 2, // idle sweep never fires
+            max_flows: CAP,
+        });
+        // Strictly increasing clock: nothing ever idles out, so each
+        // over-capacity insert exercises the single-eviction fallback.
+        for i in 0..10 * CAP as u64 {
+            let port = 1 + i as u16; // all distinct: worst-case pressure
+            t.update_int(&report(
+                port,
+                1_000 * (i + 1),
+                (1_000 * (i + 1)) as u32,
+                40,
+                0,
+            ));
+            assert!(t.len() <= CAP, "table exceeded cap at step {i}");
+        }
+        assert_eq!(t.len(), CAP);
+        assert_eq!(
+            t.evicted(),
+            t.created() - CAP as u64,
+            "every create past cap evicted one"
+        );
+        assert_eq!(t.created() + t.updated(), 10 * CAP as u64);
+        // The survivors are exactly the most recent CAP distinct flows.
+        let mut seen: Vec<u64> = t.records().map(|r| r.last_seen_ns).collect();
+        seen.sort_unstable();
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Slab-index stress: interleaved inserts and removals must keep the
+    /// open-addressing index consistent (every live key findable, every
+    /// removed key gone) across swap_remove relocations and backward-shift
+    /// cluster repairs.
+    #[test]
+    fn slab_index_survives_churn() {
+        let mut t = FlowTable::new(FlowTableConfig {
+            idle_timeout_ns: 500,
+            max_flows: 10_000,
+        });
+        let mut live: Vec<u16> = Vec::new();
+        let mut clock = 0u64;
+        for round in 0u16..40 {
+            // Insert a batch of new flows...
+            for p in 0..23u16 {
+                let port = round * 100 + p + 1;
+                clock += 10;
+                t.update_int(&report(port, clock, clock as u32, 40, 0));
+                live.push(port);
+            }
+            // ...touch a stale subset so only the rest idles out.
+            clock += 1_000;
+            let keep_from = live.len().saturating_sub(11);
+            for &port in &live[keep_from..] {
+                clock += 1;
+                t.update_int(&report(port, clock, clock as u32, 40, 0));
+            }
+            clock += 400;
+            t.evict_idle(clock);
+            let (gone, kept) = live.split_at(keep_from);
+            for &port in gone {
+                assert!(t.get(&key(port)).is_none(), "evicted {port} still findable");
+            }
+            for &port in kept {
+                assert!(
+                    t.get(&key(port)).is_some(),
+                    "live {port} lost by index repair"
+                );
+            }
+            live = kept.to_vec();
+        }
+        assert_eq!(t.len(), live.len());
     }
 
     #[test]

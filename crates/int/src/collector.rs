@@ -126,7 +126,8 @@ mod tests {
             hops: vec![HopMetadata {
                 switch_id: tag,
                 ..Default::default()
-            }],
+            }]
+            .into(),
             export_ns: u64::from(tag) * 1000,
         }
     }

@@ -1,0 +1,337 @@
+//! [`HopStack`]: the per-report hop container, inline up to
+//! [`MAX_INLINE_HOPS`] entries.
+//!
+//! AmLight's INT deployment spans a handful of switches, so nearly every
+//! telemetry report carries a short metadata stack — well under the
+//! wire-format ceiling of [`crate::report::MAX_REPORT_HOPS`]. Storing
+//! those hops in a `Vec` put one heap allocation (and one pointer chase)
+//! in front of *every* decoded report; this container keeps the common
+//! case inline in the report struct itself and falls back to a heap
+//! spill **explicitly** only when a report exceeds the inline bound.
+//!
+//! Representation invariant: the stack is *inline* (`spill` empty,
+//! elements in `inline[..len]`) or *spilled* (`len == 0`, elements in
+//! `spill`). A spilled stack that is cleared returns to inline mode but
+//! keeps its spill capacity, so even the overflow path stops allocating
+//! after warmup when the container is reused.
+//!
+//! The container dereferences to `[HopMetadata]`, so all slice reads
+//! (`len`, `iter`, `first`, `last`, indexing, `windows`, …) work
+//! unchanged; mutation is limited to the small API the decode and
+//! telemetry-budget paths need (`push`, `clear`, `retain`).
+
+use crate::metadata::HopMetadata;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Hops stored inline before the stack spills to the heap.
+///
+/// Eight covers every AmLight path (and then some) while keeping
+/// `TelemetryReport` comfortably copyable; the wire format still allows
+/// up to [`crate::report::MAX_REPORT_HOPS`] — longer stacks are decoded
+/// correctly through the spill fallback, they just pay the allocation.
+pub const MAX_INLINE_HOPS: usize = 8;
+
+/// Fixed-capacity inline hop array with an explicit heap fallback.
+#[derive(Clone)]
+pub struct HopStack {
+    inline: [HopMetadata; MAX_INLINE_HOPS],
+    /// Live inline entries; always 0 while spilled.
+    len: u8,
+    /// Overflow storage; non-empty iff the stack has spilled.
+    spill: Vec<HopMetadata>,
+}
+
+impl HopStack {
+    /// An empty, inline stack. Never allocates.
+    pub const fn new() -> Self {
+        Self {
+            inline: [HopMetadata {
+                switch_id: 0,
+                ingress_tstamp: 0,
+                egress_tstamp: 0,
+                hop_latency: 0,
+                queue_occupancy: 0,
+            }; MAX_INLINE_HOPS],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Has this stack overflowed into its heap fallback?
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// The hops as a slice, source hop first.
+    #[inline]
+    pub fn as_slice(&self) -> &[HopMetadata] {
+        if self.spill.is_empty() {
+            &self.inline[..usize::from(self.len)]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Mutable slice over the hops.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [HopMetadata] {
+        if self.spill.is_empty() {
+            &mut self.inline[..usize::from(self.len)]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Append a hop, spilling to the heap when the inline bound is
+    /// exceeded. The spill migration copies the inline entries once;
+    /// afterwards pushes go straight to the heap buffer.
+    pub fn push(&mut self, hop: HopMetadata) {
+        if !self.spill.is_empty() {
+            self.spill.push(hop);
+        } else if usize::from(self.len) < MAX_INLINE_HOPS {
+            self.inline[usize::from(self.len)] = hop;
+            self.len += 1;
+        } else {
+            self.spill.reserve(MAX_INLINE_HOPS + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(hop);
+            self.len = 0;
+        }
+    }
+
+    /// Drop every hop. A spilled stack returns to inline mode but keeps
+    /// its heap capacity for the next overflow.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Keep only the hops `f` approves, preserving order (in place, no
+    /// allocation in either mode).
+    pub fn retain(&mut self, mut f: impl FnMut(&HopMetadata) -> bool) {
+        if !self.spill.is_empty() {
+            self.spill.retain(|h| f(h));
+            return;
+        }
+        let mut kept = 0usize;
+        for i in 0..usize::from(self.len) {
+            if f(&self.inline[i]) {
+                self.inline[kept] = self.inline[i];
+                kept += 1;
+            }
+        }
+        self.len = kept as u8;
+    }
+}
+
+impl Default for HopStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for HopStack {
+    type Target = [HopMetadata];
+
+    #[inline]
+    fn deref(&self) -> &[HopMetadata] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for HopStack {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [HopMetadata] {
+        self.as_mut_slice()
+    }
+}
+
+impl std::fmt::Debug for HopStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+// Equality is over the logical hop sequence — inline vs spilled is a
+// storage detail, and stale inline slots past `len` must never leak
+// into comparisons (which is why this is not derived).
+impl PartialEq for HopStack {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for HopStack {}
+
+impl PartialEq<Vec<HopMetadata>> for HopStack {
+    fn eq(&self, other: &Vec<HopMetadata>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[HopMetadata]> for HopStack {
+    fn eq(&self, other: &[HopMetadata]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl FromIterator<HopMetadata> for HopStack {
+    fn from_iter<I: IntoIterator<Item = HopMetadata>>(iter: I) -> Self {
+        let mut stack = Self::new();
+        for hop in iter {
+            stack.push(hop);
+        }
+        stack
+    }
+}
+
+impl From<Vec<HopMetadata>> for HopStack {
+    fn from(hops: Vec<HopMetadata>) -> Self {
+        if hops.len() > MAX_INLINE_HOPS {
+            Self {
+                inline: Self::new().inline,
+                len: 0,
+                spill: hops,
+            }
+        } else {
+            hops.into_iter().collect()
+        }
+    }
+}
+
+impl<const N: usize> From<[HopMetadata; N]> for HopStack {
+    fn from(hops: [HopMetadata; N]) -> Self {
+        hops.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a HopStack {
+    type Item = &'a HopMetadata;
+    type IntoIter = std::slice::Iter<'a, HopMetadata>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// Serialized exactly like `Vec<HopMetadata>` (a plain array), so
+// captures written before the inline representation existed still load,
+// and the JSON shape of `TelemetryReport` is unchanged.
+impl Serialize for HopStack {
+    fn to_value(&self) -> Value {
+        Value::Array(self.as_slice().iter().map(|h| h.to_value()).collect())
+    }
+}
+
+impl Deserialize for HopStack {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        let mut stack = Self::new();
+        for item in items {
+            stack.push(HopMetadata::from_value(item)?);
+        }
+        Ok(stack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(id: u32) -> HopMetadata {
+        HopMetadata {
+            switch_id: id,
+            ingress_tstamp: id * 10,
+            egress_tstamp: id * 10 + 5,
+            hop_latency: 5,
+            queue_occupancy: id,
+        }
+    }
+
+    #[test]
+    fn stays_inline_up_to_the_bound() {
+        let mut s = HopStack::new();
+        for i in 0..MAX_INLINE_HOPS as u32 {
+            s.push(hop(i));
+        }
+        assert_eq!(s.len(), MAX_INLINE_HOPS);
+        assert!(!s.spilled());
+        assert_eq!(s.first().map(|h| h.switch_id), Some(0));
+        assert_eq!(s.last().map(|h| h.switch_id), Some(7));
+    }
+
+    #[test]
+    fn overflow_spills_and_preserves_order() {
+        let s: HopStack = (0..12).map(hop).collect();
+        assert_eq!(s.len(), 12);
+        assert!(s.spilled());
+        let ids: Vec<u32> = s.iter().map(|h| h.switch_id).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_returns_to_inline_mode() {
+        let mut s: HopStack = (0..12).map(hop).collect();
+        assert!(s.spilled());
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.spilled());
+        s.push(hop(99));
+        assert_eq!(s.len(), 1);
+        assert!(!s.spilled(), "post-clear pushes use the inline buffer");
+    }
+
+    #[test]
+    fn retain_works_in_both_modes() {
+        let mut inline: HopStack = (0..5).map(hop).collect();
+        inline.retain(|h| h.switch_id % 2 == 0);
+        assert_eq!(
+            inline.iter().map(|h| h.switch_id).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+
+        let mut spilled: HopStack = (0..10).map(hop).collect();
+        spilled.retain(|h| h.switch_id < 3);
+        assert_eq!(spilled.len(), 3);
+        assert!(spilled.spilled(), "retain never migrates storage");
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline: HopStack = (0..3).map(hop).collect();
+        let mut spilled: HopStack = (0..12).map(hop).collect();
+        spilled.retain(|h| h.switch_id < 3);
+        assert_eq!(inline, spilled);
+        assert_eq!(inline, (0..3).map(hop).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_vec_roundtrips_both_sizes() {
+        for n in [0usize, 3, MAX_INLINE_HOPS, MAX_INLINE_HOPS + 4] {
+            let v: Vec<HopMetadata> = (0..n as u32).map(hop).collect();
+            let s = HopStack::from(v.clone());
+            assert_eq!(s, v);
+            assert_eq!(s.spilled(), n > MAX_INLINE_HOPS);
+        }
+    }
+
+    #[test]
+    fn serde_format_matches_vec() {
+        for n in [0u32, 4, 11] {
+            let v: Vec<HopMetadata> = (0..n).map(hop).collect();
+            let s: HopStack = v.iter().copied().collect();
+            assert_eq!(s.to_value(), v.to_value(), "n={n}");
+            let back = HopStack::from_value(&v.to_value()).unwrap();
+            assert_eq!(back, s);
+        }
+        assert!(HopStack::from_value(&Value::Int(7)).is_err());
+    }
+
+    #[test]
+    fn indexing_and_mutation_through_deref() {
+        let mut s: HopStack = (0..4).map(hop).collect();
+        s[2].queue_occupancy = 77;
+        assert_eq!(s[2].queue_occupancy, 77);
+        assert_eq!(s.windows(2).count(), 3);
+    }
+}

@@ -20,6 +20,7 @@
 pub mod budget;
 pub mod collector;
 pub mod header;
+pub mod hops;
 pub mod metadata;
 pub mod microburst;
 pub mod pipeline;
@@ -28,6 +29,7 @@ pub mod report;
 pub use budget::{BudgetedTelemetry, OverheadStats, TelemetryBudget};
 pub use collector::{CollectorStats, IntCollector};
 pub use header::{Instruction, InstructionSet, IntHeader};
+pub use hops::{HopStack, MAX_INLINE_HOPS};
 pub use metadata::HopMetadata;
 pub use microburst::{Microburst, MicroburstConfig, MicroburstDetector};
 pub use pipeline::{IntInstrumenter, IntRole};

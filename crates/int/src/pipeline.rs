@@ -114,7 +114,7 @@ impl IntInstrumenter {
             .map(|j| {
                 let rec = &records[j.trace_idx as usize];
                 let budget = self.hop_budget as usize;
-                let hops: Vec<HopMetadata> = j
+                let hops: crate::hops::HopStack = j
                     .hops
                     .iter()
                     .take(budget)
@@ -148,7 +148,7 @@ impl IntInstrumenter {
             .filter(|j| j.delivered_ns.is_some())
             .map(|j| {
                 let rec = &records[j.trace_idx as usize];
-                let hops: Vec<HopMetadata> = j
+                let hops: crate::hops::HopStack = j
                     .hops
                     .iter()
                     .take(self.hop_budget as usize)

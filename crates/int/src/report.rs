@@ -1,6 +1,7 @@
 //! Telemetry reports — what the INT sink exports to the collector.
 
 use crate::header::InstructionSet;
+use crate::hops::HopStack;
 use crate::metadata::HopMetadata;
 use amlight_net::{CodecError, Decode, Encode, FlowKey};
 use bytes::{Buf, BufMut};
@@ -27,8 +28,11 @@ pub struct TelemetryReport {
     pub tcp_flags: Option<u8>,
     /// Which fields each stack entry carries.
     pub instructions: InstructionSet,
-    /// Per-hop metadata, source hop first.
-    pub hops: Vec<HopMetadata>,
+    /// Per-hop metadata, source hop first. Inline up to
+    /// [`crate::hops::MAX_INLINE_HOPS`] entries; longer stacks spill to
+    /// the heap explicitly (see [`HopStack`]), so decoding a typical
+    /// AmLight report allocates nothing.
+    pub hops: HopStack,
     /// Sink export time, full-width ns (collector-side bookkeeping; NOT
     /// part of the 32-bit INT stamps).
     pub export_ns: u64,
@@ -119,7 +123,10 @@ impl Decode for TelemetryReport {
         let flow = FlowKey::from_bytes(&key_bytes)
             .ok_or(CodecError::Malformed("bad flow key in report"))?;
         let export_ns = buf.get_u64();
-        let mut hops = Vec::with_capacity(hop_count);
+        // Inline for hop_count ≤ MAX_INLINE_HOPS (every AmLight report);
+        // HopStack spills explicitly for the 9..=16 tail the wire format
+        // still permits.
+        let mut hops = HopStack::new();
         for _ in 0..hop_count {
             hops.push(HopMetadata::decode_selected(&instructions, buf)?);
         }
@@ -185,6 +192,24 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_past_inline_bound_spills() {
+        let r = report(crate::hops::MAX_INLINE_HOPS + 3);
+        assert!(r.hops.spilled());
+        let mut cursor = r.encode_to_bytes().freeze();
+        let back = TelemetryReport::decode(&mut cursor).unwrap();
+        assert_eq!(back, r);
+        assert!(back.hops.spilled(), "decode takes the explicit fallback");
+    }
+
+    #[test]
+    fn typical_decode_stays_inline() {
+        let r = report(5);
+        let mut cursor = r.encode_to_bytes().freeze();
+        let back = TelemetryReport::decode(&mut cursor).unwrap();
+        assert!(!back.hops.spilled());
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let r = report(1);
         let mut bytes = r.encode_to_bytes();
@@ -229,7 +254,7 @@ mod tests {
     #[test]
     fn zero_hop_report_is_legal() {
         let r = TelemetryReport {
-            hops: vec![],
+            hops: HopStack::new(),
             ..report(0)
         };
         let mut cursor = r.encode_to_bytes().freeze();

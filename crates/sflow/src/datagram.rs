@@ -140,20 +140,24 @@ impl SflowCollector {
     }
 
     /// Ingest one encoded datagram.
+    ///
+    /// Samples decode straight into the collector's long-lived buffer —
+    /// no intermediate [`SflowDatagram`] (and no per-datagram `Vec`), so
+    /// once the buffer has grown to the working-set size, ingest
+    /// performs zero heap allocations. A datagram that fails mid-decode
+    /// contributes nothing: partially decoded samples are rolled back.
     pub fn ingest(&mut self, bytes: &[u8]) -> Result<usize, CodecError> {
         let mut cursor = bytes;
-        match SflowDatagram::decode(&mut cursor) {
-            Ok(d) => {
+        match self.decode_into_samples(&mut cursor) {
+            Ok((sequence, n)) => {
                 if let Some(prev) = self.last_seq {
-                    let gap = d.sequence.wrapping_sub(prev);
+                    let gap = sequence.wrapping_sub(prev);
                     if gap > 1 {
                         self.lost_datagrams += u64::from(gap - 1);
                     }
                 }
-                self.last_seq = Some(d.sequence);
+                self.last_seq = Some(sequence);
                 self.datagrams += 1;
-                let n = d.samples.len();
-                self.samples.extend(d.samples);
                 Ok(n)
             }
             Err(e) => {
@@ -161,6 +165,37 @@ impl SflowCollector {
                 Err(e)
             }
         }
+    }
+
+    /// Decode one datagram's header and append its samples to
+    /// `self.samples`; returns (sequence, sample count). All-or-nothing:
+    /// on error the buffer is truncated back to its prior length.
+    fn decode_into_samples<B: Buf>(&mut self, buf: &mut B) -> Result<(u32, usize), CodecError> {
+        const FIXED: usize = 2 + 4 + 4 + 2;
+        if buf.remaining() < FIXED {
+            return Err(CodecError::Truncated {
+                needed: FIXED,
+                had: buf.remaining(),
+            });
+        }
+        if buf.get_u16() != DATAGRAM_MAGIC {
+            return Err(CodecError::Malformed("bad sFlow datagram magic"));
+        }
+        let mut oct = [0u8; 4];
+        buf.copy_to_slice(&mut oct);
+        let sequence = buf.get_u32();
+        let count = buf.get_u16() as usize;
+        let before = self.samples.len();
+        for _ in 0..count {
+            match FlowSample::decode(buf) {
+                Ok(s) => self.samples.push(s),
+                Err(e) => {
+                    self.samples.truncate(before);
+                    return Err(e);
+                }
+            }
+        }
+        Ok((sequence, count))
     }
 
     pub fn samples(&self) -> &[FlowSample] {
@@ -276,6 +311,24 @@ mod tests {
             .ingest(&[0xde, 0xad, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0])
             .is_err());
         assert_eq!(c.decode_errors(), 2);
+    }
+
+    #[test]
+    fn mid_datagram_error_rolls_back_partial_samples() {
+        let agent = Ipv4Addr::new(192, 0, 2, 1);
+        let all: Vec<FlowSample> = (0..6).map(sample).collect();
+        let grams = batch_into_datagrams(agent, &all, 3);
+        let mut c = SflowCollector::new();
+        c.ingest(&grams[0]).unwrap();
+        // Truncate the second datagram inside its 2nd sample: the first
+        // sample decodes fine but must not survive the failed ingest.
+        let cut = &grams[1][..grams[1].len() - FlowSample::WIRE_LEN - 4];
+        assert!(matches!(c.ingest(cut), Err(CodecError::Truncated { .. })));
+        assert_eq!(c.samples().len(), 3, "partial decode fully rolled back");
+        assert_eq!(c.decode_errors(), 1);
+        // The collector keeps working afterwards.
+        c.ingest(&grams[1]).unwrap();
+        assert_eq!(c.samples().len(), 6);
     }
 
     #[test]

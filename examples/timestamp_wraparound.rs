@@ -29,7 +29,8 @@ fn report(flow: FlowKey, t_true_ns: u64, len: u16) -> TelemetryReport {
             egress_tstamp: stamp,
             hop_latency: 0,
             queue_occupancy: 0,
-        }],
+        }]
+        .into(),
         export_ns: t_true_ns,
     }
 }

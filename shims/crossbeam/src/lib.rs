@@ -4,7 +4,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     /// Cloneable producer half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -25,6 +25,14 @@ pub mod channel {
         /// Blocks while the channel is full; errors when disconnected.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        /// Never blocks: `Full` when the channel is at capacity,
+        /// `Disconnected` when the receiver is gone. The buffer-recycling
+        /// pools in the threaded runtime lean on this — returning a spent
+        /// buffer must never stall the stage doing the returning.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
         }
     }
 

@@ -1,0 +1,153 @@
+//! Offline shim for `stats_alloc`: a counting wrapper around the system
+//! allocator.
+//!
+//! Register it as the `#[global_allocator]` of a benchmark binary, then
+//! bracket a region of interest with [`Region::new`] /
+//! [`Region::change`] to count how many heap allocations the region
+//! performed. The bench crate uses this to *gate* the hot path's
+//! "zero allocations per event in steady state" claim — a regression
+//! shows up as a non-zero delta, not as a slow creep in a throughput
+//! number.
+//!
+//! Counters are global process-wide atomics: cheap enough to leave on
+//! (one relaxed fetch_add per malloc/realloc/free), and exact as long as
+//! no *other* thread allocates inside the bracketed region — bench
+//! binaries measure on the main thread with worker threads quiesced.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static REALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Counting allocator: forwards every call to [`System`] and bumps the
+/// global counters.
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: stats_alloc::StatsAlloc = stats_alloc::StatsAlloc;
+/// ```
+pub struct StatsAlloc;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// GlobalAlloc contract; counter updates are non-allocating atomics.
+unsafe impl GlobalAlloc for StatsAlloc {
+    // SAFETY: delegates to `System.alloc` under the caller's contract.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: caller upholds the GlobalAlloc contract for `layout`.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: delegates to `System.dealloc` under the caller's contract.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller guarantees `ptr` came from this allocator with
+        // this `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: delegates to `System.realloc` under the caller's contract.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        REALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: caller guarantees `ptr`/`layout` validity and a
+        // non-zero `new_size`, per the GlobalAlloc contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// A snapshot of the global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Calls to `alloc`.
+    pub allocations: u64,
+    /// Calls to `dealloc`.
+    pub deallocations: u64,
+    /// Calls to `realloc` (growth of an existing block).
+    pub reallocations: u64,
+    /// Total bytes requested across alloc + realloc.
+    pub bytes_allocated: u64,
+}
+
+impl Stats {
+    /// Heap operations that acquire or grow memory — the number the
+    /// zero-alloc gate cares about (frees are not regressions).
+    pub fn acquisitions(&self) -> u64 {
+        self.allocations + self.reallocations
+    }
+}
+
+/// Read the current global counters.
+pub fn snapshot() -> Stats {
+    Stats {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        deallocations: DEALLOCATIONS.load(Ordering::Relaxed),
+        reallocations: REALLOCATIONS.load(Ordering::Relaxed),
+        bytes_allocated: BYTES_ALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
+/// Brackets a measured region: captures the counters at construction,
+/// reports the delta on [`Region::change`].
+#[derive(Debug)]
+pub struct Region {
+    start: Stats,
+}
+
+impl Region {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self { start: snapshot() }
+    }
+
+    /// Counter deltas since this region began (or since the last
+    /// [`Region::reset`]).
+    pub fn change(&self) -> Stats {
+        let now = snapshot();
+        Stats {
+            allocations: now.allocations - self.start.allocations,
+            deallocations: now.deallocations - self.start.deallocations,
+            reallocations: now.reallocations - self.start.reallocations,
+            bytes_allocated: now.bytes_allocated - self.start.bytes_allocated,
+        }
+    }
+
+    /// Restart the bracket at the current counters.
+    pub fn reset(&mut self) {
+        self.start = snapshot();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not register StatsAlloc as its global
+    // allocator, so counters only move if some other test in the same
+    // process does — exercise the arithmetic directly instead.
+    #[test]
+    fn region_delta_arithmetic() {
+        let region = Region {
+            start: Stats {
+                allocations: 10,
+                deallocations: 4,
+                reallocations: 2,
+                bytes_allocated: 640,
+            },
+        };
+        ALLOCATIONS.store(13, Ordering::Relaxed);
+        DEALLOCATIONS.store(5, Ordering::Relaxed);
+        REALLOCATIONS.store(3, Ordering::Relaxed);
+        BYTES_ALLOCATED.store(1024, Ordering::Relaxed);
+        let d = region.change();
+        assert_eq!(d.allocations, 3);
+        assert_eq!(d.deallocations, 1);
+        assert_eq!(d.reallocations, 1);
+        assert_eq!(d.bytes_allocated, 384);
+        assert_eq!(d.acquisitions(), 4);
+    }
+}

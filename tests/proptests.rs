@@ -202,6 +202,104 @@ proptest! {
             truth[..n].iter().zip(&pred).filter(|(t, p)| t != p).count());
     }
 
+    /// The slab/open-addressing [`FlowTable`] is bit-identical to the
+    /// hashmap reference implementation under arbitrary interleavings of
+    /// INT ingest, sFlow ingest, and idle eviction. The clock is strictly
+    /// increasing so every record's `last_seen_ns` is unique — the
+    /// oldest-idle eviction fallback then has one well-defined victim in
+    /// both tables, making the comparison exact rather than modulo ties.
+    #[test]
+    fn slab_flow_table_matches_hashmap_reference(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u16..12, 40u16..1500, any::<u32>()),
+            1..400,
+        ),
+    ) {
+        use amlight::features::reference::HashFlowTable;
+        use amlight::sflow::FlowSample;
+
+        let cfg = FlowTableConfig {
+            idle_timeout_ns: 50_000,
+            max_flows: 8, // below the 12-key universe: eviction fires
+        };
+        let mut slab = FlowTable::new(cfg);
+        let mut reference = HashFlowTable::new(cfg);
+        let flow = |port: u16| FlowKey::new(
+            [10, 0, 0, 1].into(),
+            [10, 0, 0, 2].into(),
+            5000 + port,
+            443,
+            Protocol::Tcp,
+        );
+
+        for (i, &(op, k, len, stamp)) in ops.iter().enumerate() {
+            let now = (i as u64 + 1) * 10_000;
+            match op {
+                0..=3 => {
+                    let report = TelemetryReport {
+                        flow: flow(k),
+                        ip_len: len,
+                        tcp_flags: Some(0x02),
+                        instructions: InstructionSet::amlight(),
+                        hops: vec![HopMetadata {
+                            switch_id: 1,
+                            ingress_tstamp: stamp.wrapping_sub(400),
+                            egress_tstamp: stamp,
+                            hop_latency: 0,
+                            queue_occupancy: stamp % 32,
+                        }].into(),
+                        export_ns: now,
+                    };
+                    let (k1, r1) = slab.update_int(&report);
+                    let (f1, seq1, pkts1) = (r1.features(), r1.update_seq, r1.packet_count);
+                    let (k2, r2) = reference.update_int(&report);
+                    prop_assert_eq!(k1, k2);
+                    prop_assert_eq!(seq1, r2.update_seq);
+                    prop_assert_eq!(pkts1, r2.packet_count);
+                    prop_assert_eq!(f1, r2.features());
+                }
+                4..=6 => {
+                    let sample = FlowSample {
+                        flow: flow(k),
+                        ip_len: len,
+                        tcp_flags: Some(0x10),
+                        observed_ns: now,
+                        sampling_period: 4096,
+                    };
+                    let (k1, r1) = slab.update_sflow(&sample);
+                    let (f1, seq1) = (r1.features(), r1.update_seq);
+                    let (k2, r2) = reference.update_sflow(&sample);
+                    prop_assert_eq!(k1, k2);
+                    prop_assert_eq!(seq1, r2.update_seq);
+                    prop_assert_eq!(f1, r2.features());
+                }
+                _ => {
+                    prop_assert_eq!(slab.evict_idle(now), reference.evict_idle(now));
+                }
+            }
+        }
+
+        prop_assert_eq!(slab.len(), reference.len());
+        prop_assert_eq!(slab.created(), reference.created());
+        prop_assert_eq!(slab.updated(), reference.updated());
+        prop_assert_eq!(slab.evicted(), reference.evicted());
+        for port in 0..12u16 {
+            match (slab.get(&flow(port)), reference.get(&flow(port))) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.features(), b.features());
+                    prop_assert_eq!(a.packet_count, b.packet_count);
+                    prop_assert_eq!(a.last_seen_ns, b.last_seen_ns);
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "presence diverged for port {}: slab={} ref={}",
+                    port, a.is_some(), b.is_some()
+                ),
+            }
+        }
+    }
+
     #[test]
     fn flow_table_count_conservation(
         keys in proptest::collection::vec(0u16..20, 1..300),
@@ -221,7 +319,7 @@ proptest! {
                 ip_len: 40,
                 tcp_flags: Some(2),
                 instructions: InstructionSet::amlight(),
-                hops: vec![HopMetadata::default()],
+                hops: vec![HopMetadata::default()].into(),
                 export_ns: i as u64,
             };
             table.update_int(&report);

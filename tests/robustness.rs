@@ -31,7 +31,8 @@ fn sample_report(tag: u32) -> TelemetryReport {
             egress_tstamp: tag.wrapping_mul(997).wrapping_add(400),
             hop_latency: 0,
             queue_occupancy: tag % 8,
-        }],
+        }]
+        .into(),
         export_ns: u64::from(tag) * 1_000,
     }
 }

@@ -34,7 +34,8 @@ fn report(src: u8, port: u16, t_ns: u64, len: u16, qocc: u32) -> TelemetryReport
             egress_tstamp: (t_ns as u32).wrapping_add(400),
             hop_latency: 0,
             queue_occupancy: qocc,
-        }],
+        }]
+        .into(),
         export_ns: t_ns,
     }
 }
