@@ -26,7 +26,9 @@ use crate::{Diagnostic, FileClass};
 
 /// Hot-path modules for R1 (workspace-relative path suffixes). The
 /// sFlow agent and datagram codec joined the list when the telemetry-
-/// generic event layer put them on the live ingest path.
+/// generic event layer put them on the live ingest path; the ingest
+/// server and the mailbox it publishes through joined when the socket
+/// front end made them the first thing a wire datagram touches.
 const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/core/src/batch.rs",
@@ -35,8 +37,10 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/source.rs",
     "crates/core/src/event.rs",
     "crates/core/src/db.rs",
+    "crates/core/src/mailbox.rs",
     "crates/features/src/sharded.rs",
     "crates/features/src/table.rs",
+    "crates/ingest/src/lib.rs",
     "crates/int/src/hops.rs",
     "crates/int/src/report.rs",
     "crates/int/src/collector.rs",
@@ -51,7 +55,9 @@ const R4_FILES: &[&str] = &[
     "crates/core/src/modules.rs",
     "crates/core/src/source.rs",
     "crates/core/src/event.rs",
+    "crates/core/src/mailbox.rs",
     "crates/features/src/sharded.rs",
+    "crates/ingest/src/lib.rs",
     "crates/sflow/src/agent.rs",
     "crates/sflow/src/datagram.rs",
 ];

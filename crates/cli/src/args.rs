@@ -21,6 +21,8 @@ pub enum Command {
     Train,
     /// Run the detection pipeline over a capture with a trained bundle.
     Detect,
+    /// Send a capture's telemetry at a listening `detect --listen`.
+    Replay,
     /// Scan a capture for queue microbursts.
     Microburst,
     /// End-to-end demonstration (capture → train → detect) in memory.
@@ -76,6 +78,30 @@ COMMANDS:
                                        virtual-time driver
                    --shards <n>        processor shards for --threaded
                                        (default 1, rounded to power of two)
+                   --listen <url>      run as a collector daemon instead of
+                                       replaying: bind udp://host:port or
+                                       tcp://host:port (port 0 = ephemeral)
+                                       and detect on whatever arrives; the
+                                       wire framing follows --telemetry
+                                       (sflow is UDP-only)
+                   --listeners <n>     SO_REUSEPORT listener threads
+                                       (default 1)
+                   --duration-ms <n>   listen window (default 10000)
+                   --max-events <n>    stop after n decoded events
+                                       (default 0 = until the window ends)
+                   --port-file <file>  write the bound port for scripts
+                                       that bound port 0
+                   --require-clean     exit nonzero unless the run decoded
+                                       events, produced predictions, and
+                                       saw zero decode errors
+    replay       send a capture's telemetry at a detect --listen daemon
+                   --capture <file>    input capture (default capture.json)
+                   --to <url>          destination udp://host:port or
+                                       tcp://host:port
+                   --telemetry <b>     wire framing: int | sflow
+                                       (default int; must match the daemon)
+                   --sample-period <n> sFlow sampling period (default 256)
+                   --per-datagram <n>  reports per UDP datagram (default 4)
     microburst   scan a capture's queue telemetry for microbursts
                    --capture <file>    input capture (default capture.json)
     demo         run capture → train → detect end to end in memory
@@ -95,6 +121,7 @@ impl Args {
             Some("capture") => Command::Capture,
             Some("train") => Command::Train,
             Some("detect") => Command::Detect,
+            Some("replay") => Command::Replay,
             Some("microburst") => Command::Microburst,
             Some("demo") => Command::Demo,
             Some("help") | Some("--help") | Some("-h") | None => Command::Help,
@@ -135,7 +162,7 @@ impl Args {
     fn is_switch(name: &str) -> bool {
         matches!(
             name,
-            "paper-pace" | "include-slowloris" | "fast" | "threaded"
+            "paper-pace" | "include-slowloris" | "fast" | "threaded" | "require-clean"
         )
     }
 
@@ -170,6 +197,7 @@ mod tests {
             ("capture", Command::Capture),
             ("train", Command::Train),
             ("detect", Command::Detect),
+            ("replay", Command::Replay),
             ("microburst", Command::Microburst),
             ("demo", Command::Demo),
             ("help", Command::Help),
@@ -225,6 +253,25 @@ mod tests {
         // Defaults to INT when the flag is absent.
         let args = Args::parse(["detect"]).unwrap();
         assert_eq!(args.get("telemetry", "int"), "int");
+    }
+
+    #[test]
+    fn listen_flags_parse() {
+        let args = Args::parse([
+            "detect",
+            "--listen",
+            "udp://127.0.0.1:0",
+            "--listeners",
+            "4",
+            "--require-clean",
+        ])
+        .unwrap();
+        assert_eq!(args.get("listen", ""), "udp://127.0.0.1:0");
+        assert_eq!(args.get_u64("listeners", 1).unwrap(), 4);
+        assert!(args.has("require-clean"));
+        let args = Args::parse(["replay", "--to", "tcp://127.0.0.1:9000"]).unwrap();
+        assert_eq!(args.command, Command::Replay);
+        assert_eq!(args.get("to", ""), "tcp://127.0.0.1:9000");
     }
 
     #[test]

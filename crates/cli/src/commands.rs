@@ -10,10 +10,11 @@ use amlight_core::trainer::{
     dataset_from_int, dataset_from_sflow, train_bundle, ModelBundle, TrainerConfig,
 };
 use amlight_features::FeatureSet;
+use amlight_ingest::{IngestServer, ListenerConfig, WireProtocol};
 use amlight_int::microburst::detect_from_reports;
-use amlight_int::{MicroburstConfig, TelemetryReport};
+use amlight_int::{IntCollector, MicroburstConfig, TelemetryReport};
 use amlight_net::TrafficClass;
-use amlight_sflow::{FlowSample, SamplingMode, SflowAgent};
+use amlight_sflow::{batch_into_datagrams, FlowSample, SamplingMode, SflowAgent};
 use amlight_traffic::{TrafficMix, TrafficMixConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -107,6 +108,7 @@ pub fn run(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         Command::Capture => cmd_capture(args, out),
         Command::Train => cmd_train(args, out),
         Command::Detect => cmd_detect(args, out),
+        Command::Replay => cmd_replay(args, out),
         Command::Microburst => cmd_microburst(args, out),
         Command::Demo => cmd_demo(args, out),
     }
@@ -239,6 +241,9 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    if !args.get("listen", "").is_empty() {
+        return cmd_detect_listen(args, out);
+    }
     let backend = telemetry_backend(args)?;
     let period = args.get_u64("sample-period", 256).map_err(bad)? as u32;
     let capture = CaptureFile::load(args.get("capture", "capture.json"))?;
@@ -289,6 +294,185 @@ fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         }
     };
     print_detection(&report, out)
+}
+
+/// Split `udp://host:port` / `tcp://host:port` into (is_tcp, addr).
+fn parse_endpoint(url: &str) -> Result<(bool, std::net::SocketAddr), CliError> {
+    let usage = || {
+        CliError::Usage(format!(
+            "expected udp://host:port or tcp://host:port, got `{url}`"
+        ))
+    };
+    let (scheme, rest) = url.split_once("://").ok_or_else(usage)?;
+    let tcp = match scheme {
+        "udp" => false,
+        "tcp" => true,
+        _ => return Err(usage()),
+    };
+    use std::net::ToSocketAddrs;
+    let addr = rest
+        .to_socket_addrs()
+        .map_err(|_| usage())?
+        .find(|a| a.is_ipv4())
+        .ok_or_else(usage)?;
+    Ok((tcp, addr))
+}
+
+/// Map `--telemetry` × URL scheme onto a wire framing.
+fn wire_protocol(backend: TelemetryBackend, tcp: bool) -> Result<WireProtocol, CliError> {
+    match (backend, tcp) {
+        (TelemetryBackend::Sflow, false) => Ok(WireProtocol::SflowUdp),
+        (TelemetryBackend::Sflow, true) => Err(CliError::Usage(
+            "sFlow telemetry is UDP-only; use udp://host:port".to_string(),
+        )),
+        (TelemetryBackend::Int, false) => Ok(WireProtocol::IntUdp),
+        (TelemetryBackend::Int, true) => Ok(WireProtocol::IntTcp),
+    }
+}
+
+/// `detect --listen`: run as a live collector daemon. Binds a sharded
+/// `SO_REUSEPORT` listener group, streams whatever arrives through the
+/// threaded pipeline, and stops after `--duration-ms` (or sooner once
+/// `--max-events` have been decoded).
+fn cmd_detect_listen(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let backend = telemetry_backend(args)?;
+    let (tcp, addr) = parse_endpoint(args.get("listen", ""))?;
+    let protocol = wire_protocol(backend, tcp)?;
+    let listeners = args.get_u64("listeners", 1).map_err(bad)? as usize;
+    let duration_ms = args.get_u64("duration-ms", 10_000).map_err(bad)?;
+    let max_events = args.get_u64("max-events", 0).map_err(bad)?;
+    let shards = args.get_u64("shards", 1).map_err(bad)? as usize;
+
+    let bundle = ModelBundle::load(args.get("bundle", "bundle.json"))?;
+    if bundle.feature_set != backend.feature_set() {
+        return Err(CliError::Usage(format!(
+            "bundle was trained on {:?} features but --telemetry {} needs {:?}",
+            bundle.feature_set,
+            backend.name(),
+            backend.feature_set(),
+        )));
+    }
+
+    let server = IngestServer::bind(ListenerConfig::new(addr, protocol).listeners(listeners))
+        .map_err(CliError::Io)?;
+    let local = server.local_addr();
+    let port_file = args.get("port-file", "");
+    if !port_file.is_empty() {
+        std::fs::write(port_file, local.port().to_string())?;
+    }
+    writeln!(
+        out,
+        "listening on {}://{local} — {} listener thread(s), {} framing",
+        if tcp { "tcp" } else { "udp" },
+        listeners.max(1),
+        protocol.name(),
+    )?;
+
+    let pipeline = ThreadedPipeline::new(bundle).with_shards(shards.max(1));
+    let handle = pipeline.start(server.source());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(duration_ms);
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        if max_events > 0 && server.stats().events_decoded >= max_events {
+            break;
+        }
+        if std::time::Instant::now() >= deadline {
+            break;
+        }
+    }
+    let ingest = server.shutdown();
+    let stats = handle.join().map_err(bad)?;
+    let predictions = stats.predictions;
+    writeln!(
+        out,
+        "ingest: {} datagrams, {} bytes, {} events decoded, {} decode errors, {} events shed",
+        ingest.datagrams,
+        ingest.bytes,
+        ingest.events_decoded,
+        ingest.decode_errors,
+        ingest.events_dropped,
+    )?;
+    print_threaded(stats, backend, out)?;
+    if args.has("require-clean") {
+        if ingest.events_decoded == 0 || ingest.decode_errors > 0 || predictions == 0 {
+            return Err(CliError::Usage(format!(
+                "run was not clean: {} events decoded, {} decode errors, {} predictions",
+                ingest.events_decoded, ingest.decode_errors, predictions,
+            )));
+        }
+        writeln!(out, "clean run: decoded events, zero decode errors")?;
+    }
+    Ok(())
+}
+
+/// `replay`: push a capture's telemetry at a listening daemon over the
+/// wire — the sender half of the loopback smoke test.
+fn cmd_replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
+    let backend = telemetry_backend(args)?;
+    let url = args.get("to", "");
+    if url.is_empty() {
+        return Err(CliError::Usage(
+            "replay needs --to udp://host:port or tcp://host:port".to_string(),
+        ));
+    }
+    let (tcp, addr) = parse_endpoint(url)?;
+    let protocol = wire_protocol(backend, tcp)?;
+    let period = args.get_u64("sample-period", 256).map_err(bad)? as u32;
+    let per_datagram = args.get_u64("per-datagram", 4).map_err(bad)?.max(1) as usize;
+    let capture = CaptureFile::load(args.get("capture", "capture.json"))?;
+
+    match protocol {
+        WireProtocol::IntTcp => {
+            let reports: Vec<TelemetryReport> =
+                capture.reports.iter().map(|(r, _)| r.clone()).collect();
+            let bytes = IntCollector::encode_stream(&reports);
+            let mut stream = std::net::TcpStream::connect(addr)?;
+            stream.write_all(&bytes)?;
+            writeln!(
+                out,
+                "sent {} reports ({} bytes) over tcp to {addr}",
+                reports.len(),
+                bytes.len(),
+            )?;
+        }
+        WireProtocol::IntUdp => {
+            let sock = std::net::UdpSocket::bind("0.0.0.0:0")?;
+            let mut datagrams = 0u64;
+            let mut reports = 0u64;
+            let mut scratch = Vec::with_capacity(per_datagram);
+            for chunk in capture.reports.chunks(per_datagram) {
+                scratch.clear();
+                scratch.extend(chunk.iter().map(|(r, _)| r.clone()));
+                let dgram = IntCollector::encode_stream(&scratch);
+                sock.send_to(&dgram, addr)?;
+                datagrams += 1;
+                reports += scratch.len() as u64;
+            }
+            writeln!(
+                out,
+                "sent {reports} reports in {datagrams} udp datagrams to {addr}",
+            )?;
+        }
+        WireProtocol::SflowUdp => {
+            let samples: Vec<FlowSample> = sflow_view(&capture, period)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
+            let grams =
+                batch_into_datagrams(std::net::Ipv4Addr::LOCALHOST, &samples, per_datagram.max(1));
+            let sock = std::net::UdpSocket::bind("0.0.0.0:0")?;
+            for g in &grams {
+                sock.send_to(g, addr)?;
+            }
+            writeln!(
+                out,
+                "sent {} sFlow samples (1-in-{period}) in {} udp datagrams to {addr}",
+                samples.len(),
+                grams.len(),
+            )?;
+        }
+    }
+    Ok(())
 }
 
 /// Streaming-path summary: both backends replay through the same
@@ -563,6 +747,93 @@ mod tests {
 
         std::fs::remove_file(&cap).ok();
         std::fs::remove_file(&bun).ok();
+    }
+
+    #[test]
+    fn listen_then_replay_loopback_roundtrip() {
+        let cap = tmp("listen-cap.json");
+        let bun = tmp("listen-bun.json");
+        let port_file = tmp("listen-port.txt");
+        let cap_s = cap.to_str().unwrap().to_string();
+        let bun_s = bun.to_str().unwrap().to_string();
+        let port_s = port_file.to_str().unwrap().to_string();
+
+        run_tokens(&["capture", "--out", &cap_s, "--day-len", "2", "--seed", "13"]).unwrap();
+        run_tokens(&["train", "--capture", &cap_s, "--out", &bun_s, "--fast"]).unwrap();
+        std::fs::remove_file(&port_file).ok();
+
+        // Daemon in a thread: ephemeral port, stop after 1000 events
+        // (or the 10s safety window).
+        let daemon = {
+            let bun_s = bun_s.clone();
+            let port_s = port_s.clone();
+            std::thread::spawn(move || {
+                run_tokens(&[
+                    "detect",
+                    "--listen",
+                    "udp://127.0.0.1:0",
+                    "--bundle",
+                    &bun_s,
+                    "--port-file",
+                    &port_s,
+                    "--listeners",
+                    "2",
+                    "--max-events",
+                    "1000",
+                    "--duration-ms",
+                    "10000",
+                    "--require-clean",
+                ])
+            })
+        };
+
+        // Wait for the daemon to publish its port.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let port = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = s.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never wrote its port"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let to = format!("udp://127.0.0.1:{port}");
+        let text = run_tokens(&["replay", "--capture", &cap_s, "--to", &to]).unwrap();
+        assert!(text.contains("udp datagrams"), "{text}");
+
+        let text = daemon.join().unwrap().unwrap();
+        assert!(text.contains("listening on udp://"), "{text}");
+        assert!(text.contains("events decoded"), "{text}");
+        assert!(text.contains("clean run"), "{text}");
+
+        std::fs::remove_file(&cap).ok();
+        std::fs::remove_file(&bun).ok();
+        std::fs::remove_file(&port_file).ok();
+    }
+
+    #[test]
+    fn sflow_over_tcp_is_a_usage_error() {
+        let err = run_tokens(&[
+            "detect",
+            "--listen",
+            "tcp://127.0.0.1:0",
+            "--telemetry",
+            "sflow",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("UDP-only"), "{err}");
+
+        let err = run_tokens(&["replay", "--to", "ftp://127.0.0.1:1"]).unwrap_err();
+        assert!(err.to_string().contains("udp://"), "{err}");
+
+        let err = run_tokens(&["replay"]).unwrap_err();
+        assert!(err.to_string().contains("--to"), "{err}");
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod batch;
 pub mod db;
 pub mod event;
 pub mod guard;
+pub mod mailbox;
 pub mod modules;
 pub mod pipeline;
 pub mod runtime;
@@ -53,6 +54,7 @@ pub use batch::{BatchDetector, BatchOutcome};
 pub use db::{FlowDatabase, PredictionRecord, UpdateEvent};
 pub use event::{sample_reports, LabeledEvent, Telemetry, TelemetryBackend, TelemetryEvent};
 pub use guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard};
+pub use mailbox::{EventMailbox, OverflowPolicy};
 pub use modules::{
     Aggregator, Clock, Ingest, JudgedUpdate, Predictor, Processor, VirtualClock, WallClock,
 };
@@ -60,7 +62,7 @@ pub use pipeline::{DetectionPipeline, PipelineConfig, PipelineReport};
 pub use runtime::{RunHandle, RuntimeError, ThreadedPipeline};
 pub use source::{
     ChannelSource, CollectorSource, EventSource, IterSource, ReplaySource, SflowAgentSource,
-    SflowReplaySource, SourcePoll,
+    SflowReplaySource, SocketSource, SourcePoll,
 };
 pub use testbed::{Testbed, TestbedConfig};
 pub use trainer::{train_bundle, ModelBundle, TrainerConfig, VoteScratch};

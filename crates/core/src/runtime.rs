@@ -282,6 +282,11 @@ impl ThreadedPipeline {
                 while !stop.load(Ordering::Acquire) {
                     match source.poll_event() {
                         SourcePoll::Event(event) => {
+                            // Unbox at the fan-out: the shard channels
+                            // move owned events, and the Box has done
+                            // its job (one pointer-sized poll result
+                            // instead of a ~200-byte enum copy).
+                            let event = *event;
                             let shard = router.route(event.event.flow());
                             in_flight.fetch_add(1, Ordering::AcqRel);
                             if shard_txs[shard].send(event).is_err() {

@@ -19,6 +19,16 @@ pub struct CollectorStats {
     pub resyncs: u64,
 }
 
+/// What [`IntCollector::decode_datagram_into`] made of one datagram:
+/// every byte is classified as part of a decoded report or blamed on a
+/// decode error (malformed bytes resynced past, or a truncated tail
+/// that atomic datagram framing can never complete).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatagramOutcome {
+    pub reports: u32,
+    pub decode_errors: u32,
+}
+
 /// Streaming telemetry-report decoder.
 #[derive(Debug, Default)]
 pub struct IntCollector {
@@ -89,6 +99,53 @@ impl IntCollector {
             .unwrap_or(self.buffer.len());
         self.stats.bytes_consumed += pos as u64;
         self.buffer.advance(pos);
+    }
+
+    /// Decode one self-contained *datagram* of reports — the UDP
+    /// framing, where each datagram must carry only whole reports.
+    ///
+    /// Unlike the streaming [`IntCollector::ingest_into`], there is no
+    /// cross-call reassembly buffer: a report truncated at the end of
+    /// the datagram can never be completed by later bytes (UDP gives no
+    /// ordering or adjacency guarantee), so a truncated tail is
+    /// classified as a decode error rather than parked. Malformed bytes
+    /// mid-datagram resync to the next magic exactly like the stream
+    /// decoder. Stateless: safe to call from any listener thread.
+    pub fn decode_datagram_into(bytes: &[u8], out: &mut Vec<TelemetryReport>) -> DatagramOutcome {
+        let mut outcome = DatagramOutcome::default();
+        let mut buf = bytes;
+        while !buf.is_empty() {
+            let mut probe = buf;
+            let before = probe.remaining();
+            match TelemetryReport::decode(&mut probe) {
+                Ok(report) => {
+                    let used = before - probe.remaining();
+                    buf = &buf[used.min(buf.len())..];
+                    outcome.reports += 1;
+                    out.push(report);
+                }
+                Err(CodecError::Truncated { .. }) => {
+                    // Atomic framing: a split report cannot continue in
+                    // another datagram.
+                    outcome.decode_errors += 1;
+                    break;
+                }
+                Err(CodecError::Malformed(_)) => {
+                    outcome.decode_errors += 1;
+                    let magic = REPORT_MAGIC.to_be_bytes();
+                    let skip = match buf.len() {
+                        0 | 1 => buf.len(),
+                        _ => buf[1..]
+                            .windows(2)
+                            .position(|w| w == magic)
+                            .map(|p| p + 1)
+                            .unwrap_or(buf.len()),
+                    };
+                    buf = &buf[skip.min(buf.len())..];
+                }
+            }
+        }
+        outcome
     }
 
     /// Encode a batch of reports as one contiguous stream (test/bench
@@ -193,6 +250,52 @@ mod tests {
         let got = c.ingest(&junk);
         assert!(got.is_empty());
         assert_eq!(c.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn datagram_mode_decodes_whole_reports() {
+        let reports: Vec<_> = (0..4).map(report).collect();
+        let dgram = IntCollector::encode_stream(&reports);
+        let mut out = Vec::new();
+        let outcome = IntCollector::decode_datagram_into(&dgram, &mut out);
+        assert_eq!(out, reports);
+        assert_eq!(
+            outcome,
+            DatagramOutcome {
+                reports: 4,
+                decode_errors: 0
+            }
+        );
+    }
+
+    #[test]
+    fn datagram_mode_counts_truncated_tail_as_error() {
+        let reports: Vec<_> = (0..2).map(report).collect();
+        let stream = IntCollector::encode_stream(&reports);
+        // Cut the second report short: first decodes, tail is an error.
+        let cut = stream.len() - 3;
+        let mut out = Vec::new();
+        let outcome = IntCollector::decode_datagram_into(&stream[..cut], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(outcome.reports, 1);
+        assert_eq!(outcome.decode_errors, 1);
+        // No hidden state: the same bytes decode identically again.
+        let mut again = Vec::new();
+        let outcome2 = IntCollector::decode_datagram_into(&stream[..cut], &mut again);
+        assert_eq!(outcome, outcome2);
+    }
+
+    #[test]
+    fn datagram_mode_resyncs_past_garbage() {
+        let good = report(9);
+        let mut dgram = BytesMut::new();
+        dgram.extend_from_slice(&[0x1a, 0x17, 0xff, 0xee]); // magic + bad version
+        dgram.extend_from_slice(&IntCollector::encode_stream(std::slice::from_ref(&good)));
+        let mut out = Vec::new();
+        let outcome = IntCollector::decode_datagram_into(&dgram, &mut out);
+        assert_eq!(out, vec![good]);
+        assert_eq!(outcome.reports, 1);
+        assert!(outcome.decode_errors >= 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod pipeline;
 pub mod report;
 
 pub use budget::{BudgetedTelemetry, OverheadStats, TelemetryBudget};
-pub use collector::{CollectorStats, IntCollector};
+pub use collector::{CollectorStats, DatagramOutcome, IntCollector};
 pub use header::{Instruction, InstructionSet, IntHeader};
 pub use hops::{HopStack, MAX_INLINE_HOPS};
 pub use metadata::HopMetadata;

@@ -206,6 +206,15 @@ impl SflowCollector {
         std::mem::take(&mut self.samples)
     }
 
+    /// Drop buffered samples while keeping the backing allocation.
+    /// Listener hot loops iterate [`SflowCollector::samples`], copy what
+    /// they need, then call this — unlike
+    /// [`SflowCollector::take_samples`], which hands the vector away and
+    /// forces a fresh allocation on the next datagram.
+    pub fn clear_samples(&mut self) {
+        self.samples.clear();
+    }
+
     pub fn datagrams(&self) -> u64 {
         self.datagrams
     }
@@ -350,6 +359,21 @@ mod tests {
         c.ingest(&grams[0]).unwrap();
         assert_eq!(c.take_samples().len(), 1);
         assert!(c.samples().is_empty());
+    }
+
+    #[test]
+    fn clear_samples_keeps_the_allocation() {
+        let mut c = SflowCollector::new();
+        let samples: Vec<_> = (0..8).map(sample).collect();
+        let grams = batch_into_datagrams(Ipv4Addr::new(1, 1, 1, 1), &samples, 10);
+        c.ingest(&grams[0]).unwrap();
+        assert_eq!(c.samples().len(), 8);
+        c.clear_samples();
+        assert!(c.samples().is_empty());
+        // Counters survive the clear; only the buffered samples go.
+        assert_eq!(c.datagrams(), 1);
+        c.ingest(&grams[0]).unwrap();
+        assert_eq!(c.samples().len(), 8);
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod datagram;
 
 pub use agent::{SamplingMode, SflowAgent, AMLIGHT_SAMPLING_RATE};
 pub use counters::{CounterRecord, FlowCounterPoller};
-pub use datagram::{FlowSample, SflowCollector, SflowDatagram};
+pub use datagram::{batch_into_datagrams, FlowSample, SflowCollector, SflowDatagram};

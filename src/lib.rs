@@ -24,6 +24,7 @@
 
 pub use amlight_core as core;
 pub use amlight_features as features;
+pub use amlight_ingest as ingest;
 pub use amlight_int as int;
 pub use amlight_ml as ml;
 pub use amlight_net as net;
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use amlight_features::{
         FeatureSet, FeatureVector, FlowTable, FlowTableConfig, ShardedFlowTable,
     };
+    pub use amlight_ingest::{IngestServer, IngestStats, ListenerConfig, WireProtocol};
     pub use amlight_int::{
         BudgetedTelemetry, IntCollector, MicroburstConfig, MicroburstDetector, TelemetryBudget,
         TelemetryReport,

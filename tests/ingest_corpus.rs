@@ -1,0 +1,245 @@
+//! Adversarial wire-input corpus for the ingest decoders: truncated,
+//! corrupted, and oversized sFlow datagrams and INT report fragments.
+//!
+//! Two invariants, checked over generated corpora:
+//!
+//! 1. **No panics.** Whatever arrives off the socket, the decoders
+//!    return — the listener threads in `amlight-ingest` run these on
+//!    every datagram, and a panic there kills a listener silently.
+//! 2. **Every rejection is classified.** Each input ends up in exactly
+//!    one counter: accepted (`datagrams` / `reports`) or rejected
+//!    (`decode_errors`). Nothing is silently swallowed, so the ingest
+//!    server's accounting (`events_decoded + decode_errors`) stays
+//!    audit-exact under garbage.
+
+use amlight::int::{HopMetadata, InstructionSet, IntCollector, TelemetryReport};
+use amlight::net::{FlowKey, Protocol};
+use amlight::sflow::{batch_into_datagrams, FlowSample, SflowCollector};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn sample(tag: u32) -> FlowSample {
+    FlowSample {
+        flow: FlowKey::new(
+            Ipv4Addr::new(192, 168, (tag >> 8) as u8, tag as u8),
+            Ipv4Addr::new(10, 0, 0, 2),
+            (1024 + tag % 40_000) as u16,
+            443,
+            if tag.is_multiple_of(3) {
+                Protocol::Udp
+            } else {
+                Protocol::Tcp
+            },
+        ),
+        ip_len: 60 + (tag % 1400) as u16,
+        tcp_flags: if tag.is_multiple_of(3) { None } else { Some(0x10) },
+        observed_ns: u64::from(tag) * 1_000,
+        sampling_period: 256,
+    }
+}
+
+fn int_report(tag: u32) -> TelemetryReport {
+    TelemetryReport {
+        flow: FlowKey::new(
+            Ipv4Addr::new(10, 1, (tag >> 8) as u8, tag as u8),
+            Ipv4Addr::new(10, 2, 0, 1),
+            (2048 + tag % 30_000) as u16,
+            80,
+            Protocol::Tcp,
+        ),
+        ip_len: 80 + (tag % 900) as u16,
+        tcp_flags: Some(0x18),
+        instructions: InstructionSet::amlight(),
+        hops: vec![HopMetadata {
+            switch_id: tag % 16,
+            ingress_tstamp: tag.wrapping_mul(7919),
+            egress_tstamp: tag.wrapping_mul(7919).wrapping_add(350),
+            hop_latency: 350,
+            queue_occupancy: tag % 32,
+        }]
+        .into(),
+        export_ns: u64::from(tag) * 640,
+    }
+}
+
+/// The mutations the corpus applies to a valid wire image.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mutation {
+    /// Leave the bytes alone — the corpus must keep accepting valid
+    /// input while rejecting the rest.
+    Keep,
+    /// Cut the tail off at a fraction of the full length.
+    Truncate(u16),
+    /// XOR one byte somewhere in the image.
+    Flip { at: u16, with: u8 },
+    /// Append random-length trailing garbage (an "oversized" frame:
+    /// more bytes than the header accounts for).
+    Pad(u8),
+    /// Replace the whole image with garbage of the same length.
+    Garbage(u64),
+}
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        Just(Mutation::Keep),
+        (any::<u16>()).prop_map(Mutation::Truncate),
+        (any::<u16>(), 1u8..=255).prop_map(|(at, with)| Mutation::Flip { at, with }),
+        (1u8..=255).prop_map(Mutation::Pad),
+        (any::<u64>()).prop_map(Mutation::Garbage),
+    ]
+}
+
+fn mutate(valid: &[u8], m: Mutation) -> Vec<u8> {
+    let mut bytes = valid.to_vec();
+    match m {
+        Mutation::Keep => {}
+        Mutation::Truncate(frac) => {
+            let keep = (frac as usize) % bytes.len().max(1);
+            bytes.truncate(keep);
+        }
+        Mutation::Flip { at, with } => {
+            let i = (at as usize) % bytes.len().max(1);
+            if let Some(b) = bytes.get_mut(i) {
+                *b ^= with;
+            }
+        }
+        Mutation::Pad(extra) => {
+            let mut x = 0x9e37u16;
+            for _ in 0..extra {
+                x = x.wrapping_mul(31).wrapping_add(17);
+                bytes.push(x as u8);
+            }
+        }
+        Mutation::Garbage(seed) => {
+            let mut x = seed | 1;
+            for b in bytes.iter_mut() {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *b = (x >> 56) as u8;
+            }
+        }
+    }
+    bytes
+}
+
+proptest! {
+    /// Every sFlow datagram the collector sees — valid, truncated,
+    /// corrupted, or oversized — lands in exactly one counter, the
+    /// sample buffer only ever grows by whole accepted datagrams, and
+    /// nothing panics.
+    #[test]
+    fn sflow_collector_classifies_every_datagram(
+        corpus in proptest::collection::vec((1u8..12, arb_mutation()), 1..24),
+    ) {
+        let mut collector = SflowCollector::new();
+        let mut tag = 1u32;
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for (n_samples, mutation) in corpus {
+            let samples: Vec<FlowSample> = (0..n_samples)
+                .map(|i| {
+                    tag = tag.wrapping_add(u32::from(i) + 1);
+                    sample(tag)
+                })
+                .collect();
+            let valid = &batch_into_datagrams(Ipv4Addr::LOCALHOST, &samples, 64)[0];
+            let bytes = mutate(valid, mutation);
+
+            let before = collector.samples().len();
+            match collector.ingest(&bytes) {
+                Ok(n) => {
+                    accepted += 1;
+                    prop_assert_eq!(collector.samples().len(), before + n);
+                }
+                Err(_) => {
+                    rejected += 1;
+                    // All-or-nothing: a failed datagram rolls back.
+                    prop_assert_eq!(collector.samples().len(), before);
+                }
+            }
+        }
+        prop_assert_eq!(collector.datagrams(), accepted);
+        prop_assert_eq!(collector.decode_errors(), rejected);
+    }
+
+    /// Pure garbage never panics the sFlow collector and is always
+    /// counted as exactly one decode error per attempt.
+    #[test]
+    fn sflow_collector_counts_garbage(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..4096),
+            1..16,
+        ),
+    ) {
+        let mut collector = SflowCollector::new();
+        let mut outcomes = 0u64;
+        for frame in &frames {
+            let _ = collector.ingest(frame);
+            outcomes += 1;
+        }
+        prop_assert_eq!(collector.datagrams() + collector.decode_errors(), outcomes);
+    }
+
+    /// Datagram-mode INT decode classifies every non-empty input: at
+    /// least one report or one decode error, never a panic, and the
+    /// output vector grows by exactly the reported count.
+    #[test]
+    fn int_datagram_decode_classifies_every_input(
+        n_reports in 1usize..8,
+        mutation in arb_mutation(),
+    ) {
+        let reports: Vec<TelemetryReport> =
+            (0..n_reports as u32).map(|i| int_report(i * 31 + 7)).collect();
+        let valid = IntCollector::encode_stream(&reports);
+        let bytes = mutate(&valid, mutation);
+
+        let mut out = Vec::new();
+        let outcome = IntCollector::decode_datagram_into(&bytes, &mut out);
+        prop_assert_eq!(out.len(), outcome.reports as usize);
+        if !bytes.is_empty() {
+            prop_assert!(
+                outcome.reports + outcome.decode_errors >= 1,
+                "unclassified input: {:?} on {} bytes", outcome, bytes.len()
+            );
+        }
+        if mutation == Mutation::Keep {
+            prop_assert_eq!(out.len(), n_reports);
+            prop_assert_eq!(outcome.decode_errors, 0);
+        }
+    }
+
+    /// The streaming INT collector survives a corrupted stream split at
+    /// arbitrary fragment boundaries (the TCP listener's read pattern),
+    /// keeps its byte accounting consistent, and its output matches its
+    /// own decoded-report counter.
+    #[test]
+    fn int_stream_collector_survives_fragmented_corruption(
+        mutation in arb_mutation(),
+        cut_seed in any::<u64>(),
+    ) {
+        let reports: Vec<TelemetryReport> =
+            (0..12u32).map(|i| int_report(i * 101 + 3)).collect();
+        let valid = IntCollector::encode_stream(&reports);
+        let bytes = mutate(&valid, mutation);
+
+        let mut collector = IntCollector::new();
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        let mut x = cut_seed | 1;
+        while offset < bytes.len() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let take = 1 + (x >> 56) as usize % 96;
+            let end = (offset + take).min(bytes.len());
+            collector.ingest_into(&bytes[offset..end], &mut out);
+            offset = end;
+        }
+        let stats = collector.stats();
+        prop_assert_eq!(out.len() as u64, stats.reports_decoded);
+        prop_assert!(
+            stats.bytes_consumed as usize + collector.pending_bytes() <= bytes.len() + 64,
+            "stream accounting drifted: consumed {} + pending {} vs fed {}",
+            stats.bytes_consumed, collector.pending_bytes(), bytes.len()
+        );
+    }
+}
