@@ -23,12 +23,37 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod xrules;
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// JSON report schema version. v2 added `version` itself, `hot_roots`
+/// (the annotation drift gate), and the cross-file rules R6–R9.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Hot-path roots that must stay annotated (`// amlint: hot`) — the
+/// floor the drift gate and `--self-check` enforce. Removing one of
+/// these annotations without updating amlint itself is a CI failure:
+/// the zero-alloc / no-panic proofs silently stop covering that
+/// entry point otherwise.
+pub const EXPECTED_HOT_ROOTS: &[&str] = &[
+    "crates/core/src/mailbox.rs::acquire",
+    "crates/core/src/mailbox.rs::pop",
+    "crates/core/src/mailbox.rs::publish",
+    "crates/core/src/modules.rs::ingest",
+    "crates/features/src/sharded.rs::update_int_batch_into",
+    "crates/features/src/table.rs::update_int",
+    "crates/features/src/table.rs::update_sflow",
+    "crates/int/src/collector.rs::decode_datagram_into",
+    "crates/int/src/collector.rs::ingest_into",
+    "crates/sflow/src/datagram.rs::ingest",
+];
 
 /// How a file is classified for rule applicability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,11 +92,39 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// One lexed + parsed source file, the unit the workspace rules
+/// consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub rel: String,
+    pub class: FileClass,
+    pub lexed: lexer::Lexed,
+    pub parsed: parser::ParsedFile,
+}
+
+impl SourceFile {
+    pub fn new(rel: String, source: &str) -> Self {
+        let class = classify(&rel);
+        let lexed = lexer::lex(source);
+        let parsed = parser::parse(&lexed);
+        SourceFile {
+            rel,
+            class,
+            lexed,
+            parsed,
+        }
+    }
+}
+
 /// Lint results for a whole tree.
 #[derive(Debug, Default)]
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     pub files_scanned: usize,
+    /// `file::fn` for every `// amlint: hot` annotation found — part of
+    /// the JSON snapshot so removing a root annotation fails the drift
+    /// gate.
+    pub hot_roots: Vec<String>,
 }
 
 impl Report {
@@ -89,9 +142,21 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + self.diagnostics.len() * 128);
         s.push_str("{\n");
+        s.push_str(&format!("  \"version\": {},\n", SCHEMA_VERSION));
         s.push_str(&format!("  \"violations\": {},\n", self.violations()));
         s.push_str(&format!("  \"suppressed\": {},\n", self.suppressed()));
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"hot_roots\": [");
+        for (i, r) in self.hot_roots.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{}\"", json_escape(r)));
+        }
+        if !self.hot_roots.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
         s.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -147,18 +212,63 @@ pub fn classify(rel: &str) -> FileClass {
     }
 }
 
-/// Lint one source text as if it lived at `rel` in the workspace.
+/// Lint one source text as if it lived at `rel` in the workspace —
+/// the full rule set, with the workspace graph built from this one
+/// file.
 pub fn lint_source(rel: &str, source: &str) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(source);
-    let mut diags = rules::check(rel, classify(rel), &lexed);
-    apply_suppressions(&lexed.comments, &mut diags);
-    diags
+    lint_files(&[(rel, source)])
+}
+
+/// Lint a set of sources as a self-contained workspace (the fixture
+/// API for the cross-file rules: each entry is `(workspace-relative
+/// path, source text)`).
+pub fn lint_files(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .map(|(rel, src)| SourceFile::new(rel.to_string(), src))
+        .collect();
+    analyze(&sources).0
+}
+
+/// Run per-file rules (R1–R5) plus workspace rules (R6–R9) over parsed
+/// sources; returns (diagnostics, hot roots).
+pub fn analyze(sources: &[SourceFile]) -> (Vec<Diagnostic>, Vec<String>) {
+    let mut diags = Vec::new();
+    for f in sources {
+        diags.extend(rules::check(&f.rel, f.class, &f.lexed));
+    }
+    xrules::check_workspace(sources, &mut diags);
+    for f in sources {
+        let mut mine: Vec<&mut Diagnostic> = diags.iter_mut().filter(|d| d.file == f.rel).collect();
+        apply_suppressions(&f.lexed.comments, &mut mine);
+        apply_fn_suppressions(f, &mut mine);
+    }
+    diags.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+            .then(a.message.cmp(&b.message))
+    });
+    let mut hot_roots: Vec<String> = sources
+        .iter()
+        .flat_map(|f| {
+            f.parsed
+                .fns
+                .iter()
+                .filter(|i| i.hot)
+                .map(|i| format!("{}::{}", f.rel, i.name))
+        })
+        .collect();
+    hot_roots.sort();
+    hot_roots.dedup();
+    (diags, hot_roots)
 }
 
 /// Honor `// amlint: allow(<rules>) -- <reason>` comments: a suppression
 /// on the diagnostic's line, or on the line directly above it, marks the
 /// finding suppressed (it stays in the report for counting).
-fn apply_suppressions(comments: &[lexer::Comment], diags: &mut [Diagnostic]) {
+fn apply_suppressions(comments: &[lexer::Comment], diags: &mut [&mut Diagnostic]) {
     let supps: Vec<(u32, Vec<String>, Option<String>)> = comments
         .iter()
         .filter_map(|c| parse_suppression(&c.text).map(|(rules, why)| (c.end_line, rules, why)))
@@ -167,6 +277,50 @@ fn apply_suppressions(comments: &[lexer::Comment], diags: &mut [Diagnostic]) {
         for (line, rules, why) in &supps {
             let line_matches = *line == d.line || *line + 1 == d.line;
             if line_matches && rules.iter().any(|r| r == d.rule) {
+                d.suppressed = true;
+                d.suppress_reason = why.clone();
+            }
+        }
+    }
+}
+
+/// Cross-file rules the fn-level escape applies to: an `allow(...)`
+/// comment bound to a `fn` item (leading comment within 3 lines above
+/// it) suppresses matching R6–R9 findings anywhere in that fn's span.
+/// One documented invariant then covers e.g. every masked index in a
+/// slab probe loop, instead of a comment per line. R1–R5 keep their
+/// strictly line-level placement.
+const FN_SUPPRESSABLE: &[&str] = &["R6", "R7", "R8", "R9"];
+
+fn apply_fn_suppressions(file: &SourceFile, diags: &mut [&mut Diagnostic]) {
+    let tokens = &file.lexed.tokens;
+    for c in &file.lexed.comments {
+        let Some((rules, why)) = parse_suppression(&c.text) else {
+            continue;
+        };
+        // Leading comments only, same binding rule as hot/cold.
+        if tokens.iter().any(|t| t.line == c.start_line) {
+            continue;
+        }
+        let Some(f) = file
+            .parsed
+            .fns
+            .iter()
+            .find(|f| f.line >= c.end_line && f.line <= c.end_line + 3)
+        else {
+            continue;
+        };
+        let end_line = f
+            .body
+            .and_then(|(_, e)| tokens.get(e.saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(f.line);
+        for d in diags.iter_mut() {
+            if d.line >= f.line
+                && d.line <= end_line
+                && rules.iter().any(|r| r == d.rule)
+                && FN_SUPPRESSABLE.contains(&d.rule)
+            {
                 d.suppressed = true;
                 d.suppress_reason = why.clone();
             }
@@ -223,7 +377,7 @@ fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 /// Lint the whole workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let files = collect_rs_files(root)?;
-    let mut report = Report::default();
+    let mut sources = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -231,13 +385,14 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = fs::read_to_string(&path)?;
-        report.diagnostics.extend(lint_source(&rel, &source));
-        report.files_scanned += 1;
+        sources.push(SourceFile::new(rel, &source));
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(report)
+    let (diagnostics, hot_roots) = analyze(&sources);
+    Ok(Report {
+        diagnostics,
+        files_scanned: sources.len(),
+        hot_roots,
+    })
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
 //! amlint CLI — the CI gate.
 //!
 //! ```sh
-//! cargo run -p amlint                   # human-readable findings
-//! cargo run -p amlint -- --format json  # machine-readable, for results/
+//! cargo run -p amlint                     # human-readable findings
+//! cargo run -p amlint -- --format json    # machine-readable, for results/
+//! cargo run -p amlint -- --format github  # ::error workflow commands
+//! cargo run -p amlint -- --self-check     # lint amlint itself + root inventory
 //! ```
 //!
 //! Exits 0 when every finding is suppressed (or there are none), 1 on
@@ -13,19 +15,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-struct Args {
-    root: PathBuf,
-    json: bool,
-    quiet: bool,
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
 }
 
-const USAGE: &str = "usage: amlint [--root PATH] [--format text|json] [--quiet]";
+struct Args {
+    root: PathBuf,
+    format: Format,
+    quiet: bool,
+    self_check: bool,
+}
+
+const USAGE: &str = "usage: amlint [--root PATH] [--format text|json|github] [--quiet] [--self-check]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::new(),
-        json: false,
+        format: Format::Text,
         quiet: false,
+        self_check: false,
     };
     let mut root: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
@@ -36,10 +47,14 @@ fn parse_args() -> Result<Args, String> {
                 root = Some(PathBuf::from(v));
             }
             "--format" => match it.next().as_deref() {
-                Some("json") => args.json = true,
-                Some("text") => args.json = false,
-                other => return Err(format!("--format must be text or json, got {other:?}")),
+                Some("json") => args.format = Format::Json,
+                Some("text") => args.format = Format::Text,
+                Some("github") => args.format = Format::Github,
+                other => {
+                    return Err(format!("--format must be text, json or github, got {other:?}"))
+                }
             },
+            "--self-check" => args.self_check = true,
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
@@ -71,6 +86,62 @@ fn find_workspace_root() -> Result<PathBuf, String> {
     }
 }
 
+/// GitHub Actions workflow commands: one `::error` per live violation
+/// (annotated inline on the PR diff), `::notice` for suppressed sites.
+fn print_github(report: &amlint::Report) {
+    for d in &report.diagnostics {
+        let level = if d.suppressed { "notice" } else { "error" };
+        // Workflow-command data: escape %, CR, LF per the Actions spec.
+        let esc = |s: &str| s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A");
+        println!(
+            "::{level} file={},line={},title=amlint {}::{}",
+            esc(&d.file),
+            d.line,
+            d.rule,
+            esc(&d.message)
+        );
+    }
+    println!(
+        "amlint: {} violation(s), {} suppressed, {} files scanned",
+        report.violations(),
+        report.suppressed(),
+        report.files_scanned
+    );
+}
+
+/// `--self-check`: amlint lints its own crate (the analyzer must pass
+/// its own rules) and verifies the hot-root inventory — every root in
+/// [`amlint::EXPECTED_HOT_ROOTS`] must still carry its `// amlint: hot`
+/// annotation somewhere in the workspace.
+fn self_check(report: &amlint::Report) -> Result<(), String> {
+    let own: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| !d.suppressed && d.file.starts_with("crates/amlint/"))
+        .collect();
+    if !own.is_empty() {
+        let mut msg = String::from("amlint fails its own rules:\n");
+        for d in &own {
+            msg.push_str(&format!("  {d}\n"));
+        }
+        return Err(msg);
+    }
+    let missing: Vec<&str> = amlint::EXPECTED_HOT_ROOTS
+        .iter()
+        .filter(|r| !report.hot_roots.iter().any(|h| h == *r))
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "hot-path root annotations missing (drift gate): {}\n\
+             restore the `// amlint: hot` annotation or update EXPECTED_HOT_ROOTS \
+             alongside the snapshot",
+            missing.join(", ")
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -88,20 +159,38 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.json {
-        print!("{}", report.to_json());
-    } else {
-        if !args.quiet {
-            for d in &report.diagnostics {
-                println!("{d}");
+    if args.self_check {
+        return match self_check(&report) {
+            Ok(()) => {
+                println!(
+                    "amlint --self-check: ok ({} hot roots, own crate clean)",
+                    report.hot_roots.len()
+                );
+                ExitCode::SUCCESS
             }
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    match args.format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Github => print_github(&report),
+        Format::Text => {
+            if !args.quiet {
+                for d in &report.diagnostics {
+                    println!("{d}");
+                }
+            }
+            println!(
+                "amlint: {} violation(s), {} suppressed, {} files scanned",
+                report.violations(),
+                report.suppressed(),
+                report.files_scanned
+            );
         }
-        println!(
-            "amlint: {} violation(s), {} suppressed, {} files scanned",
-            report.violations(),
-            report.suppressed(),
-            report.files_scanned
-        );
     }
 
     if report.violations() > 0 {

@@ -71,6 +71,7 @@ impl FlowDatabase {
 
     /// Record a freshly *created* flow entry. Not added to the change
     /// log.
+    // amlint: cold -- Fig. 2 DB module: RwLock'd store polled by the central server
     pub fn record_created(&self, key: FlowKey, features: FeatureVector, registered_ns: u64) {
         let mut g = self.inner.write();
         let seq = g.next_seq;
@@ -90,6 +91,7 @@ impl FlowDatabase {
 
     /// Record an *update* to an existing flow. Returns the global change
     /// sequence. Updates are what pollers see.
+    // amlint: cold -- Fig. 2 DB module: RwLock'd store polled by the central server
     pub fn record_updated(
         &self,
         key: FlowKey,

@@ -56,6 +56,7 @@ impl CountMinSketch {
         Self::new(2048, 4)
     }
 
+    // amlint: allow(R8) -- SEEDS indexed mod its length
     #[inline]
     fn cell(&self, row: usize, key: u64) -> usize {
         // Row-seeded multiply-shift hashing; odd multipliers.
@@ -77,6 +78,7 @@ impl CountMinSketch {
     }
 
     /// Add `count` to `key`; returns the new (over-)estimate.
+    // amlint: allow(R8) -- cell() = row*width + h%width < depth*width = counters.len()
     pub fn increment(&mut self, key: u64, count: u32) -> u32 {
         self.total += u64::from(count);
         let mut est = u32::MAX;
@@ -89,6 +91,7 @@ impl CountMinSketch {
     }
 
     /// Point estimate (minimum over rows).
+    // amlint: allow(R8) -- cell() = row*width + h%width < depth*width = counters.len()
     pub fn estimate(&self, key: u64) -> u32 {
         (0..self.depth)
             .map(|row| self.counters[self.cell(row, key)])
@@ -180,9 +183,11 @@ impl NewFlowGuard {
             self.epoch_start_ns += self.cfg.epoch_ns;
         }
         self.sketch.increment(Self::key(dst), 1);
+        // amlint: cold -- bounded: one entry per victim destination, cleared each epoch
         self.active_dsts.entry(dst).or_insert(());
     }
 
+    // amlint: cold -- per-epoch (1 s) close-out, not the per-event path
     fn close_epoch(&mut self) {
         let dsts: Vec<Ipv4Addr> = self.active_dsts.keys().copied().collect();
         for dst in dsts {

@@ -96,6 +96,7 @@ impl EventMailbox {
     /// Take an empty batch shell to fill — recycled when available,
     /// fresh otherwise. The steady state never allocates: every shell
     /// the consumer recycles comes back through here.
+    // amlint: hot
     pub fn acquire(&self) -> Vec<LabeledEvent> {
         self.inner.lock().free.pop().unwrap_or_default()
     }
@@ -103,6 +104,7 @@ impl EventMailbox {
     /// Publish a filled batch. Returns how many *events* the policy had
     /// to shed to honor the capacity bound (0 = stored cleanly). Empty
     /// batches are recycled without occupying a slot.
+    // amlint: hot
     pub fn publish(&self, batch: Vec<LabeledEvent>) -> usize {
         if batch.is_empty() {
             self.recycle(batch);
@@ -112,6 +114,7 @@ impl EventMailbox {
         let mut shed = 0usize;
         let mut guard = self.inner.lock();
         if guard.ready.len() < self.capacity {
+            // amlint: cold -- ready queue bounded by `capacity`, checked above
             guard.ready.push_back(batch);
         } else {
             match self.policy {
@@ -120,9 +123,11 @@ impl EventMailbox {
                         shed = oldest.len();
                         oldest.clear();
                         if guard.free.len() <= self.capacity {
+                            // amlint: cold -- capacity-bounded free list of recycled shells
                             guard.free.push(oldest);
                         }
                     }
+                    // amlint: cold -- slot just vacated by pop_front: stays within capacity
                     guard.ready.push_back(batch);
                 }
                 OverflowPolicy::DropNewest => {
@@ -130,6 +135,7 @@ impl EventMailbox {
                     let mut batch = batch;
                     batch.clear();
                     if guard.free.len() <= self.capacity {
+                        // amlint: cold -- capacity-bounded free list of recycled shells
                         guard.free.push(batch);
                     }
                 }
@@ -152,16 +158,19 @@ impl EventMailbox {
     }
 
     /// Take the oldest pending batch, if any.
+    // amlint: hot
     pub fn pop(&self) -> Option<Vec<LabeledEvent>> {
         self.inner.lock().ready.pop_front()
     }
 
     /// Return a drained shell to the free list (capacity-bounded so a
     /// burst can't permanently hoard memory).
+    // amlint: hot
     pub fn recycle(&self, mut batch: Vec<LabeledEvent>) {
         batch.clear();
         let mut guard = self.inner.lock();
         if guard.free.len() <= self.capacity {
+            // amlint: cold -- capacity-bounded free list of recycled shells
             guard.free.push(batch);
         }
     }

@@ -162,6 +162,7 @@ impl<C: Clock> Processor<C> {
     /// projected feature row to `rows` and return the judged update.
     /// This is the one place the created-vs-updated forwarding decision
     /// lives, and it is identical for both telemetry backends.
+    // amlint: hot
     pub fn ingest<E: Telemetry>(&mut self, event: &E, rows: &mut Vec<f64>) -> Ingest {
         let key = event.flow();
         let registered_ns = self.clock.register_ns(event.event_ns());

@@ -444,6 +444,7 @@ impl ThreadedPipeline {
 /// ones retire after their verdict is stored. The event's ground truth,
 /// if any, rides along with the judged item so aggregation can score
 /// the verdict.
+// amlint: hot
 fn ingest_event<C: Clock>(
     processor: &mut Processor<C>,
     event: &LabeledEvent,
@@ -456,6 +457,7 @@ fn ingest_event<C: Clock>(
         }
         Ingest::Judged(judged) => batch
             .items
+            // amlint: cold -- pooled BatchJob buffer, reused across batches
             .push((judged.key, judged.registered_ns, event.truth)),
     }
 }

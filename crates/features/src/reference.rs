@@ -67,6 +67,7 @@ impl HashFlowTable {
     }
 
     /// See [`crate::FlowTable::update_int`].
+    // amlint: cold -- reference model: HashMap-based by design, not the optimized path
     pub fn update_int(&mut self, report: &TelemetryReport) -> (UpdateKind, &FlowRecord) {
         let now = report.export_ns;
         let stamp = report.sink_hop().map(|h| h.egress_tstamp);
@@ -75,6 +76,7 @@ impl HashFlowTable {
     }
 
     /// See [`crate::FlowTable::update_sflow`].
+    // amlint: cold -- reference model: HashMap-based by design, not the optimized path
     pub fn update_sflow(&mut self, sample: &FlowSample) -> (UpdateKind, &FlowRecord) {
         self.ingest(
             sample.flow,
@@ -86,6 +88,7 @@ impl HashFlowTable {
         )
     }
 
+    // amlint: cold -- reference model: HashMap-based by design, not the optimized path
     fn ingest(
         &mut self,
         key: FlowKey,

@@ -133,6 +133,8 @@ impl ShardedFlowTable {
     /// writes the input-ordered results into `results` (cleared first).
     /// Routing and per-shard result buffers persist inside `self`, so a
     /// steady-state caller that also reuses `results` allocates nothing.
+    // amlint: hot
+    // amlint: allow(R8) -- indices come from enumerate(); route() is masked by the shard count
     pub fn update_int_batch_into(
         &mut self,
         reports: &[TelemetryReport],
@@ -144,6 +146,7 @@ impl ShardedFlowTable {
             s.out.clear();
         }
         for (i, r) in reports.iter().enumerate() {
+            // amlint: cold -- retained scratch, grows to high-water mark once
             self.scratch[self.router.route(r.flow)].idxs.push(i as u32);
         }
 
@@ -154,6 +157,7 @@ impl ShardedFlowTable {
             .for_each(|(table, scratch)| {
                 for &i in &scratch.idxs {
                     let (kind, rec) = table.update_int(&reports[i as usize]);
+                    // amlint: cold -- retained scratch, grows to high-water mark once
                     scratch.out.push((
                         i,
                         ShardedUpdate {
@@ -170,6 +174,7 @@ impl ShardedFlowTable {
         // to exactly one shard, and each shard echoes back exactly the
         // indices it was routed.
         results.clear();
+        // amlint: cold -- caller-owned buffer, reused across batches
         results.resize(
             reports.len(),
             ShardedUpdate {

@@ -112,14 +112,14 @@ impl FlowRecord {
         self.last_packet_len = len;
         self.packet_count += 1;
         self.byte_count += u64::from(len);
-        self.len_stats.push(f64::from(len));
+        self.len_stats.push(f64::from(len)); // amlint: cold -- RunningStats is constant-space
         if let Some(iat) = iat_s {
             self.last_inter_arrival_s = iat;
-            self.iat_stats.push(iat);
+            self.iat_stats.push(iat); // amlint: cold -- RunningStats is constant-space
         }
         if let Some(q) = qocc {
             self.last_queue_occ = q;
-            self.qocc_stats.push(f64::from(q));
+            self.qocc_stats.push(f64::from(q)); // amlint: cold -- RunningStats is constant-space
         }
     }
 
@@ -281,6 +281,7 @@ impl FlowTable {
     /// Ingest an INT telemetry report. Inter-arrival derives from the
     /// sink hop's 32-bit egress stamp via wrapping subtraction (paper
     /// §III-2 / §V).
+    // amlint: hot
     pub fn update_int(&mut self, report: &TelemetryReport) -> (UpdateKind, &FlowRecord) {
         let now = report.export_ns;
         let stamp = report.sink_hop().map(|h| h.egress_tstamp);
@@ -292,6 +293,7 @@ impl FlowTable {
     /// full-width observation clock — but remember these are *samples*:
     /// consecutive samples of a flow are typically thousands of packets
     /// apart.
+    // amlint: hot
     pub fn update_sflow(&mut self, sample: &FlowSample) -> (UpdateKind, &FlowRecord) {
         self.ingest(
             sample.flow,
@@ -303,6 +305,7 @@ impl FlowTable {
         )
     }
 
+    // amlint: allow(R8) -- slot indices come from find_slot/insert_slot, in-bounds by construction
     fn ingest(
         &mut self,
         key: FlowKey,
@@ -334,6 +337,7 @@ impl FlowTable {
     /// Evict records idle past the timeout as of `now_ns`. Returns the
     /// number evicted. If nothing is idle but the table is over capacity,
     /// evicts the single longest-idle record (to guarantee progress).
+    // amlint: allow(R8) -- `i < slots.len()` loop bound; oldest index from enumerate()
     pub fn evict_idle(&mut self, now_ns: u64) -> usize {
         let deadline = now_ns.saturating_sub(self.cfg.idle_timeout_ns);
         let before = self.slots.len();
@@ -379,6 +383,7 @@ impl FlowTable {
     /// Linear-probe lookup. The load factor is capped below 1 (see
     /// [`FlowTable::insert_slot`]), so an empty bucket always terminates
     /// the probe.
+    // amlint: allow(R8) -- buckets.len() is a power of two, probes masked; load < 1 terminates
     #[inline]
     fn find_slot(&self, key: FlowKey, hash: u64) -> Option<usize> {
         if self.buckets.is_empty() {
@@ -401,6 +406,7 @@ impl FlowTable {
 
     /// Append a fresh record to the slab and index it. Grows the bucket
     /// array (outside steady state) to keep load ≤ 7/8.
+    // amlint: allow(R8) -- probes masked by power-of-two bucket len
     fn insert_slot(&mut self, key: FlowKey, hash: u64, now_ns: u64) -> usize {
         if (self.slots.len() + 1) * 8 > self.buckets.len() * 7 {
             self.grow_buckets();
@@ -412,13 +418,14 @@ impl FlowTable {
         }
         let slot = self.slots.len();
         self.buckets[b] = slot as u32;
-        self.slots.push(FlowRecord::new(key, now_ns));
-        self.hashes.push(hash);
+        self.slots.push(FlowRecord::new(key, now_ns)); // amlint: cold -- slab append, amortized
+        self.hashes.push(hash); // amlint: cold -- slab append, amortized
         slot
     }
 
     /// Double the bucket array and re-index every slot from its cached
     /// hash (records are never touched).
+    // amlint: cold -- bucket doubling happens outside steady state by definition
     fn grow_buckets(&mut self) {
         let new_cap = (self.buckets.len() * 2).max(INITIAL_BUCKETS);
         self.buckets.clear();
@@ -436,6 +443,7 @@ impl FlowTable {
     /// Remove the record in `slot`: backward-shift the bucket cluster
     /// (tombstone-free), then `swap_remove` the slab hole and re-point
     /// the moved record's bucket. O(cluster length), no allocation.
+    // amlint: allow(R8) -- cluster walk stays within the masked bucket array; slab indices < len
     fn remove_slot(&mut self, slot: usize) {
         let mask = self.buckets.len() - 1;
 

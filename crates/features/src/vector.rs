@@ -90,6 +90,7 @@ pub enum FeatureSet {
 
 impl FeatureSet {
     /// The features in this set, in canonical order.
+    // amlint: cold -- config-time enumeration, not per-report
     pub fn features(self) -> Vec<FeatureId> {
         FeatureId::ALL
             .into_iter()
@@ -128,11 +129,13 @@ impl Default for FeatureVector {
 }
 
 impl FeatureVector {
+    // amlint: allow(R8) -- FeatureId discriminants are < FeatureId::COUNT
     #[inline]
     pub fn get(&self, id: FeatureId) -> f64 {
         self.values[id as usize]
     }
 
+    // amlint: allow(R8) -- FeatureId discriminants are < FeatureId::COUNT
     #[inline]
     pub fn set(&mut self, id: FeatureId, v: f64) {
         self.values[id as usize] = v;
@@ -140,12 +143,15 @@ impl FeatureVector {
 
     /// Project onto a feature set, appending to `out` (hot path: no
     /// allocation when the caller reuses the buffer).
+    // amlint: allow(R8) -- FeatureId discriminants are < FeatureId::COUNT
     pub fn project_into(&self, set: FeatureSet, out: &mut Vec<f64>) {
         match set {
+            // amlint: cold -- caller-owned row buffer, reused across events
             FeatureSet::Int => out.extend_from_slice(&self.values),
             FeatureSet::Sflow => {
                 for f in FeatureId::ALL {
                     if !f.requires_int() {
+                        // amlint: cold -- caller-owned row buffer, reused across events
                         out.push(self.values[f as usize]);
                     }
                 }

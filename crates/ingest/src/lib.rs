@@ -359,6 +359,7 @@ struct ListenerCtx {
 
 /// Publish `batch` and hand back a recycled (or fresh-from-pool) shell.
 /// Empty batches skip the mailbox entirely: idle flushes are free.
+// amlint: hot
 fn flush(mailbox: &EventMailbox, batch: Vec<LabeledEvent>) -> Vec<LabeledEvent> {
     if batch.is_empty() {
         return batch;
@@ -371,9 +372,12 @@ fn flush(mailbox: &EventMailbox, batch: Vec<LabeledEvent>) -> Vec<LabeledEvent> 
 /// per-thread scratch, events appended to the pooled outgoing batch.
 /// Zero steady-state allocations — frames, decoder scratch, and batch
 /// shells are all reused.
+// amlint: hot
 fn run_udp_listener(sock: UdpSocket, ctx: ListenerCtx) {
+    // amlint: cold -- one-time listener setup before the loop
     let mut frames = vec![Frame::new(); MAX_BATCH];
     let mut sflow = SflowCollector::new();
+    // amlint: cold -- one-time listener setup before the loop
     let mut reports: Vec<TelemetryReport> = Vec::with_capacity(ctx.cfg.batch_events.min(1024));
     let mut batch = ctx.mailbox.acquire();
     let mut sflow_errors = 0u64;
@@ -409,6 +413,7 @@ fn run_udp_listener(sock: UdpSocket, ctx: ListenerCtx) {
                         sflow_errors = sflow.decode_errors();
                     }
                     for s in sflow.samples() {
+                        // amlint: cold -- pooled batch shell from mailbox.acquire()
                         batch.push(LabeledEvent::new((*s).into()));
                     }
                     decoded += sflow.samples().len() as u64;
@@ -419,6 +424,7 @@ fn run_udp_listener(sock: UdpSocket, ctx: ListenerCtx) {
                     errors += u64::from(outcome.decode_errors);
                     decoded += reports.len() as u64;
                     for r in reports.drain(..) {
+                        // amlint: cold -- pooled batch shell from mailbox.acquire()
                         batch.push(LabeledEvent::new(r.into()));
                     }
                 }
@@ -505,6 +511,7 @@ struct ConnCtx {
 /// One TCP connection: the sink's byte stream through a per-connection
 /// streaming [`IntCollector`] (cross-read reassembly), batching into
 /// the accepting listener's mailbox.
+// amlint: hot
 fn run_tcp_conn(stream: TcpStream, ctx: ConnCtx) {
     if stream.set_read_timeout(Some(ctx.read_timeout)).is_err() {
         return;
@@ -512,6 +519,7 @@ fn run_tcp_conn(stream: TcpStream, ctx: ConnCtx) {
     let mut stream = stream;
     let mut buf = [0u8; 8192];
     let mut collector = IntCollector::new();
+    // amlint: cold -- one-time per-connection setup before the loop
     let mut reports: Vec<TelemetryReport> = Vec::with_capacity(ctx.batch_events.min(1024));
     let mut batch = ctx.mailbox.acquire();
     let mut seen_errors = 0u64;
@@ -533,6 +541,7 @@ fn run_tcp_conn(stream: TcpStream, ctx: ConnCtx) {
                     .events_decoded
                     .fetch_add(reports.len() as u64, Ordering::Relaxed);
                 for r in reports.drain(..) {
+                    // amlint: cold -- pooled batch shell from mailbox.acquire()
                     batch.push(LabeledEvent::new(r.into()));
                     if batch.len() >= ctx.batch_events {
                         batch = flush(&ctx.mailbox, batch);

@@ -51,6 +51,7 @@ impl IntCollector {
     }
 
     /// Feed raw bytes from the sink; returns every complete report.
+    // amlint: cold -- allocating convenience wrapper; hot callers use ingest_into
     pub fn ingest(&mut self, bytes: &[u8]) -> Vec<TelemetryReport> {
         let mut out = Vec::new();
         self.ingest_into(bytes, &mut out);
@@ -61,7 +62,9 @@ impl IntCollector {
     /// complete report to `out` instead of returning a fresh vector.
     /// Streaming consumers (e.g. `amlight_core`'s `CollectorSource`)
     /// call this once per byte chunk with a long-lived buffer.
+    // amlint: hot
     pub fn ingest_into(&mut self, bytes: &[u8], out: &mut Vec<TelemetryReport>) {
+        // amlint: cold -- BytesMut reassembly buffer: amortized growth, drained by advance()
         self.buffer.extend_from_slice(bytes);
         loop {
             if self.buffer.is_empty() {
@@ -76,6 +79,7 @@ impl IntCollector {
                     self.buffer.advance(used);
                     self.stats.bytes_consumed += used as u64;
                     self.stats.reports_decoded += 1;
+                    // amlint: cold -- caller-owned batch vec, reused across calls
                     out.push(report);
                 }
                 Err(CodecError::Truncated { .. }) => break, // wait for more bytes
@@ -111,6 +115,7 @@ impl IntCollector {
     /// classified as a decode error rather than parked. Malformed bytes
     /// mid-datagram resync to the next magic exactly like the stream
     /// decoder. Stateless: safe to call from any listener thread.
+    // amlint: hot
     pub fn decode_datagram_into(bytes: &[u8], out: &mut Vec<TelemetryReport>) -> DatagramOutcome {
         let mut outcome = DatagramOutcome::default();
         let mut buf = bytes;
@@ -122,6 +127,7 @@ impl IntCollector {
                     let used = before - probe.remaining();
                     buf = &buf[used.min(buf.len())..];
                     outcome.reports += 1;
+                    // amlint: cold -- caller-owned batch vec, reused across calls
                     out.push(report);
                 }
                 Err(CodecError::Truncated { .. }) => {

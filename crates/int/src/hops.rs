@@ -53,6 +53,7 @@ impl HopStack {
                 queue_occupancy: 0,
             }; MAX_INLINE_HOPS],
             len: 0,
+            // amlint: cold -- const empty Vec; allocation deferred to first spill
             spill: Vec::new(),
         }
     }
@@ -85,15 +86,20 @@ impl HopStack {
     /// Append a hop, spilling to the heap when the inline bound is
     /// exceeded. The spill migration copies the inline entries once;
     /// afterwards pushes go straight to the heap buffer.
+    // amlint: hot
+    // amlint: allow(R8) -- inline index guarded by `len < MAX_INLINE_HOPS`
     pub fn push(&mut self, hop: HopMetadata) {
         if !self.spill.is_empty() {
+            // amlint: cold -- already spilled: amortized heap push by design
             self.spill.push(hop);
         } else if usize::from(self.len) < MAX_INLINE_HOPS {
             self.inline[usize::from(self.len)] = hop;
             self.len += 1;
         } else {
+            // amlint: cold -- one-time spill migration past MAX_INLINE_HOPS
             self.spill.reserve(MAX_INLINE_HOPS + 1);
-            self.spill.extend_from_slice(&self.inline);
+            self.spill.extend_from_slice(&self.inline); // amlint: cold -- same one-time migration
+            // amlint: cold -- spill tail append, same event as the migration above
             self.spill.push(hop);
             self.len = 0;
         }
@@ -108,6 +114,7 @@ impl HopStack {
 
     /// Keep only the hops `f` approves, preserving order (in place, no
     /// allocation in either mode).
+    // amlint: allow(R8) -- `kept <= i < len`, both within the inline array
     pub fn retain(&mut self, mut f: impl FnMut(&HopMetadata) -> bool) {
         if !self.spill.is_empty() {
             self.spill.retain(|h| f(h));

@@ -147,6 +147,7 @@ impl MicroburstDetector {
             samples: b.samples,
         };
         if burst.duration_ns() >= self.cfg.min_duration_ns {
+            // amlint: cold -- one entry per completed burst episode, not per sample
             self.bursts.push(burst);
         }
     }

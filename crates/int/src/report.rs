@@ -77,7 +77,11 @@ impl Encode for TelemetryReport {
     fn encode<B: BufMut>(&self, buf: &mut B) {
         buf.put_u16(REPORT_MAGIC);
         buf.put_u8(1); // report format version
-        buf.put_u8(self.hops.len() as u8);
+        // Saturate rather than truncate: 256 hops `as u8` would alias
+        // to 0 and decode as a silently-empty report (the tail then
+        // misparses as garbage). 255 trips the decoder's
+        // MAX_REPORT_HOPS bound instead — the corruption is *detected*.
+        buf.put_u8(u8::try_from(self.hops.len()).unwrap_or(u8::MAX));
         buf.put_u16(self.instructions.bits());
         buf.put_u16(self.ip_len);
         buf.put_u8(self.tcp_flags.map_or(0xff, |f| f & 0x3f));
@@ -128,6 +132,7 @@ impl Decode for TelemetryReport {
         // still permits.
         let mut hops = HopStack::new();
         for _ in 0..hop_count {
+            // amlint: cold -- HopStack inline push; heap spill only past MAX_INLINE_HOPS
             hops.push(HopMetadata::decode_selected(&instructions, buf)?);
         }
         Ok(Self {

@@ -168,6 +168,7 @@ impl Trace {
     }
 
     /// Summary statistics for reporting and sanity checks.
+    // amlint: cold -- offline trace summarization for reports, not the live path
     pub fn stats(&self) -> TraceStats {
         let mut per_class: HashMap<TrafficClass, usize> = HashMap::new();
         let mut flows: HashMap<FlowKey, ()> = HashMap::new();

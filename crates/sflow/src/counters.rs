@@ -107,6 +107,7 @@ impl FlowCounterPoller {
         let start = self.epoch_start_ns;
         for (flow, c) in self.flows.iter_mut() {
             if c.touched_this_interval {
+                // amlint: cold -- per-interval flush into a drained buffer, not per-packet
                 self.emitted.push(CounterRecord {
                     flow: *flow,
                     interval_start_ns: start,

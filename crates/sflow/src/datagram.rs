@@ -87,7 +87,11 @@ impl Encode for SflowDatagram {
         buf.put_u16(DATAGRAM_MAGIC);
         buf.put_slice(&self.agent.octets());
         buf.put_u32(self.sequence);
-        buf.put_u16(self.samples.len() as u16);
+        // Saturate rather than truncate: 65536 samples `as u16` would
+        // alias to a count of 0 — the receiver would accept an "empty"
+        // datagram and silently lose every sample. A saturated count
+        // over-claims instead, which the decoder rejects as Truncated.
+        buf.put_u16(u16::try_from(self.samples.len()).unwrap_or(u16::MAX));
         for s in &self.samples {
             s.encode(buf);
         }
@@ -111,7 +115,10 @@ impl Decode for SflowDatagram {
         let agent = Ipv4Addr::from(oct);
         let sequence = buf.get_u32();
         let count = buf.get_u16() as usize;
-        let mut samples = Vec::with_capacity(count);
+        // The count is attacker bytes: pre-size only to what the buffer
+        // could actually hold, or a 12-byte header claiming 65535
+        // samples reserves ~2 MB before the first decode failure.
+        let mut samples = Vec::with_capacity(count.min(buf.remaining() / FlowSample::WIRE_LEN));
         for _ in 0..count {
             samples.push(FlowSample::decode(buf)?);
         }
@@ -146,6 +153,7 @@ impl SflowCollector {
     /// once the buffer has grown to the working-set size, ingest
     /// performs zero heap allocations. A datagram that fails mid-decode
     /// contributes nothing: partially decoded samples are rolled back.
+    // amlint: hot
     pub fn ingest(&mut self, bytes: &[u8]) -> Result<usize, CodecError> {
         let mut cursor = bytes;
         match self.decode_into_samples(&mut cursor) {
@@ -188,6 +196,7 @@ impl SflowCollector {
         let before = self.samples.len();
         for _ in 0..count {
             match FlowSample::decode(buf) {
+                // amlint: cold -- long-lived collector buffer, amortized at working-set size
                 Ok(s) => self.samples.push(s),
                 Err(e) => {
                     self.samples.truncate(before);

@@ -13,8 +13,8 @@
 //!    audit-exact under garbage.
 
 use amlight::int::{HopMetadata, InstructionSet, IntCollector, TelemetryReport};
-use amlight::net::{FlowKey, Protocol};
-use amlight::sflow::{batch_into_datagrams, FlowSample, SflowCollector};
+use amlight::net::{CodecError, Decode, Encode, FlowKey, Protocol};
+use amlight::sflow::{batch_into_datagrams, FlowSample, SflowCollector, SflowDatagram};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
@@ -242,4 +242,103 @@ proptest! {
             stats.bytes_consumed, collector.pending_bytes(), bytes.len()
         );
     }
+}
+
+// --------------------------------------------------------------------
+// Deterministic regressions for the decoder count fields amlint's R9
+// (untrusted-cast taint) flagged: each pins the post-fix behavior of a
+// length that used to be truncated with `as` on encode or trusted
+// unclamped on decode.
+
+/// 256 hops used to encode `as u8`, aliasing the count to 0: the report
+/// decoded as silently empty and its hop bytes misparsed as garbage.
+/// The encoder now saturates to 255, which trips the decoder's
+/// `MAX_REPORT_HOPS` bound — the corruption is detected, not absorbed.
+#[test]
+fn int_report_overflowing_hop_count_is_rejected_not_emptied() {
+    let mut oversized = int_report(1);
+    oversized.hops = (0..256u32)
+        .map(|i| HopMetadata {
+            switch_id: i,
+            ..Default::default()
+        })
+        .collect::<Vec<_>>()
+        .into();
+    let mut bytes = Vec::new();
+    oversized.encode(&mut bytes);
+    // Byte 3 is the hop count: saturated, never wrapped to zero.
+    assert_eq!(bytes[3], u8::MAX);
+    let err = TelemetryReport::decode(&mut &bytes[..]).unwrap_err();
+    assert!(matches!(err, CodecError::Malformed(_)), "{err:?}");
+    // Datagram mode classifies it as a decode error, yielding nothing.
+    let mut out = Vec::new();
+    let outcome = IntCollector::decode_datagram_into(&bytes, &mut out);
+    assert_eq!(outcome.reports, 0);
+    assert!(outcome.decode_errors >= 1);
+    assert!(out.is_empty());
+}
+
+/// 65536 samples used to encode `as u16`, aliasing the count to 0: the
+/// datagram decoded as "empty" and every sample was silently dropped.
+/// The saturated count delivers all but the uncounted tail instead.
+#[test]
+fn sflow_datagram_overflowing_sample_count_is_not_silently_emptied() {
+    let samples: Vec<FlowSample> = (0..=u32::from(u16::MAX)).map(sample).collect();
+    assert_eq!(samples.len(), usize::from(u16::MAX) + 1);
+    let dgram = SflowDatagram {
+        agent: Ipv4Addr::LOCALHOST,
+        sequence: 7,
+        samples,
+    };
+    let mut bytes = Vec::new();
+    dgram.encode(&mut bytes);
+    // The count field (bytes 10..12) saturates instead of wrapping.
+    assert_eq!(u16::from_be_bytes([bytes[10], bytes[11]]), u16::MAX);
+    let mut collector = SflowCollector::new();
+    let n = collector
+        .ingest(&bytes)
+        .expect("saturated datagram still decodes");
+    assert_eq!(n, usize::from(u16::MAX));
+    assert_eq!(collector.samples().len(), usize::from(u16::MAX));
+}
+
+/// A 12-byte header claiming 65535 samples over a one-sample body must
+/// fail as `Truncated`: the decoder clamps its pre-allocation to what
+/// the buffer can actually hold, so the forged count neither reserves
+/// ~2 MB up front nor yields a partially-populated datagram.
+#[test]
+fn sflow_forged_count_over_tiny_body_is_truncated() {
+    let dgram = SflowDatagram {
+        agent: Ipv4Addr::LOCALHOST,
+        sequence: 1,
+        samples: vec![sample(7)],
+    };
+    let mut bytes = Vec::new();
+    dgram.encode(&mut bytes);
+    bytes[10..12].copy_from_slice(&u16::MAX.to_be_bytes()); // forge the count
+    let err = SflowDatagram::decode(&mut &bytes[..]).unwrap_err();
+    assert!(matches!(err, CodecError::Truncated { .. }), "{err:?}");
+}
+
+/// The collector path for the same forged-count datagram: counted as
+/// one decode error, and the partial decode rolls back completely —
+/// samples accepted from earlier datagrams survive untouched.
+#[test]
+fn sflow_collector_rolls_back_forged_count_datagram() {
+    let mut collector = SflowCollector::new();
+    let good = batch_into_datagrams(Ipv4Addr::LOCALHOST, &[sample(1), sample(2)], 64);
+    collector.ingest(&good[0]).expect("valid datagram");
+    assert_eq!(collector.samples().len(), 2);
+
+    let dgram = SflowDatagram {
+        agent: Ipv4Addr::LOCALHOST,
+        sequence: 9,
+        samples: vec![sample(3), sample(4)],
+    };
+    let mut bytes = Vec::new();
+    dgram.encode(&mut bytes);
+    bytes[10..12].copy_from_slice(&u16::MAX.to_be_bytes());
+    assert!(collector.ingest(&bytes).is_err());
+    assert_eq!(collector.samples().len(), 2, "partial decode rolled back");
+    assert_eq!(collector.decode_errors(), 1);
 }
