@@ -69,11 +69,50 @@ pub struct Workspace<'a> {
 /// shares one of these names and really is hot must carry its own
 /// `// amlint: hot` annotation — see `HopStack::push`.
 const GENERIC_METHODS: &[&str] = &[
-    "push", "pop", "insert", "remove", "get", "get_mut", "len", "is_empty", "clear", "iter",
-    "iter_mut", "drain", "extend", "contains", "push_back", "push_front", "pop_front", "pop_back",
-    "resize", "reserve", "truncate", "last", "first", "next", "take", "entry", "keys", "values",
-    "parse", "clone", "collect", "from", "to_string", "extend_from_slice", "get_u8", "get_u16",
-    "get_u32", "get_u64", "get_i32", "get_i64", "put_u8", "put_u16", "put_u32", "put_u64",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "len",
+    "is_empty",
+    "clear",
+    "iter",
+    "iter_mut",
+    "drain",
+    "extend",
+    "contains",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "pop_back",
+    "resize",
+    "reserve",
+    "truncate",
+    "last",
+    "first",
+    "next",
+    "take",
+    "entry",
+    "keys",
+    "values",
+    "parse",
+    "clone",
+    "collect",
+    "from",
+    "to_string",
+    "extend_from_slice",
+    "get_u8",
+    "get_u16",
+    "get_u32",
+    "get_u64",
+    "get_i32",
+    "get_i64",
+    "put_u8",
+    "put_u16",
+    "put_u32",
+    "put_u64",
 ];
 
 impl<'a> Workspace<'a> {
@@ -206,7 +245,9 @@ impl<'a> Workspace<'a> {
                 }
             }
         }
-        if call.qualifier.is_none() && call.is_method && GENERIC_METHODS.contains(&call.name.as_str())
+        if call.qualifier.is_none()
+            && call.is_method
+            && GENERIC_METHODS.contains(&call.name.as_str())
         {
             return Vec::new();
         }
@@ -223,9 +264,7 @@ impl<'a> Workspace<'a> {
 
     /// All `// amlint: hot` roots.
     pub fn hot_roots(&self) -> Vec<usize> {
-        (0..self.fns.len())
-            .filter(|&f| self.item(f).hot)
-            .collect()
+        (0..self.fns.len()).filter(|&f| self.item(f).hot).collect()
     }
 
     /// BFS over the call graph from the hot roots, stopping at
@@ -335,13 +374,11 @@ fn extract_calls(
                         let mut qualifier = None;
                         if i >= 2 && tokens[i - 2].kind == TokKind::Ident {
                             let q = tokens[i - 2].text.as_str();
-                            qualifier = Some(
-                                if q == "Self" {
-                                    item.impl_type.clone().unwrap_or_else(|| "Self".into())
-                                } else {
-                                    q.to_string()
-                                },
-                            );
+                            qualifier = Some(if q == "Self" {
+                                item.impl_type.clone().unwrap_or_else(|| "Self".into())
+                            } else {
+                                q.to_string()
+                            });
                         }
                         out.push(CallSite {
                             name: t.text.clone(),
@@ -432,7 +469,10 @@ mod tests {
         let leaf = (0..ws.fns.len())
             .find(|&f| ws.display_name(f) == "Other::leaf")
             .unwrap();
-        assert_eq!(ws.path_to(&reach, leaf), "Hot::root -> Hot::local -> Other::leaf");
+        assert_eq!(
+            ws.path_to(&reach, leaf),
+            "Hot::root -> Hot::local -> Other::leaf"
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ struct Args {
     self_check: bool,
 }
 
-const USAGE: &str = "usage: amlint [--root PATH] [--format text|json|github] [--quiet] [--self-check]";
+const USAGE: &str =
+    "usage: amlint [--root PATH] [--format text|json|github] [--quiet] [--self-check]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -51,7 +52,9 @@ fn parse_args() -> Result<Args, String> {
                 Some("text") => args.format = Format::Text,
                 Some("github") => args.format = Format::Github,
                 other => {
-                    return Err(format!("--format must be text, json or github, got {other:?}"))
+                    return Err(format!(
+                        "--format must be text, json or github, got {other:?}"
+                    ))
                 }
             },
             "--self-check" => args.self_check = true,
@@ -92,7 +95,11 @@ fn print_github(report: &amlint::Report) {
     for d in &report.diagnostics {
         let level = if d.suppressed { "notice" } else { "error" };
         // Workflow-command data: escape %, CR, LF per the Actions spec.
-        let esc = |s: &str| s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A");
+        let esc = |s: &str| {
+            s.replace('%', "%25")
+                .replace('\r', "%0D")
+                .replace('\n', "%0A")
+        };
         println!(
             "::{level} file={},line={},title=amlint {}::{}",
             esc(&d.file),

@@ -251,8 +251,7 @@ pub fn parse(lexed: &Lexed) -> ParsedFile {
             }
             let impl_type = impls
                 .iter()
-                .filter(|(s, e, _)| *s < i && i < *e)
-                .last()
+                .rfind(|(s, e, _)| *s < i && i < *e)
                 .map(|(_, _, n)| n.clone());
             fns.push(FnItem {
                 name,

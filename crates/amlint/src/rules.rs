@@ -38,6 +38,8 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/event.rs",
     "crates/core/src/db.rs",
     "crates/core/src/mailbox.rs",
+    "crates/core/src/epoch.rs",
+    "crates/core/src/drift.rs",
     "crates/features/src/sharded.rs",
     "crates/features/src/table.rs",
     "crates/ingest/src/lib.rs",
@@ -53,6 +55,7 @@ const HOT_PATH_FILES: &[&str] = &[
 const R4_FILES: &[&str] = &[
     "crates/core/src/runtime.rs",
     "crates/core/src/modules.rs",
+    "crates/core/src/epoch.rs",
     "crates/core/src/source.rs",
     "crates/core/src/event.rs",
     "crates/core/src/mailbox.rs",

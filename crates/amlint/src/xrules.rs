@@ -26,23 +26,49 @@
 
 use crate::callgraph::Workspace;
 use crate::lexer::TokKind;
-use crate::rules::{is_hot_path, r4_applies};
 use crate::parser::is_keyword;
+use crate::rules::{is_hot_path, r4_applies};
 use crate::{Diagnostic, SourceFile};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Owning-container constructors: `Type::ctor(` allocates.
 const ALLOC_TYPES: &[&str] = &[
-    "Vec", "VecDeque", "String", "Box", "BytesMut", "HashMap", "HashSet", "BTreeMap", "BTreeSet",
-    "FnvHashMap", "Rc",
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "BytesMut",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "FnvHashMap",
+    "Rc",
 ];
 const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from", "with_hasher", "default"];
 
 /// Methods that (re)allocate on owning containers.
 const ALLOC_METHODS: &[&str] = &[
-    "push", "push_back", "push_front", "insert", "extend", "extend_from_slice", "append",
-    "reserve", "reserve_exact", "resize", "resize_with", "collect", "to_vec", "to_owned",
-    "to_string", "clone", "split_off", "repeat", "or_insert", "or_insert_with",
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "resize_with",
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "split_off",
+    "repeat",
+    "or_insert",
+    "or_insert_with",
 ];
 
 /// Blocking channel operations (the `try_*` forms are exempt).
@@ -84,11 +110,7 @@ fn emit_cold_aware(
     let mut d = diag(&file.rel, line, rule, message);
     if let Some(cold) = file.parsed.cold_line(line) {
         d.suppressed = true;
-        d.suppress_reason = Some(
-            cold.reason
-                .clone()
-                .unwrap_or_else(|| "cold".to_string()),
-        );
+        d.suppress_reason = Some(cold.reason.clone().unwrap_or_else(|| "cold".to_string()));
     }
     out.push(d);
 }
@@ -258,10 +280,7 @@ struct Acquisition {
 fn lock_id(ws: &Workspace, f: usize, chain: &[String]) -> String {
     let item = ws.item(f);
     if chain.first().map(String::as_str) == Some("self") {
-        let owner = item
-            .impl_type
-            .clone()
-            .unwrap_or_else(|| item.name.clone());
+        let owner = item.impl_type.clone().unwrap_or_else(|| item.name.clone());
         format!("{owner}.{}", chain.last().cloned().unwrap_or_default())
     } else {
         format!("{}.{}", item.name, chain.join("."))
@@ -362,11 +381,7 @@ fn guard_binding(tokens: &[crate::lexer::Token], head: usize) -> Option<String> 
 }
 
 /// End (exclusive token index) of the innermost block containing `pos`.
-fn enclosing_block_end(
-    tokens: &[crate::lexer::Token],
-    body: (usize, usize),
-    pos: usize,
-) -> usize {
+fn enclosing_block_end(tokens: &[crate::lexer::Token], body: (usize, usize), pos: usize) -> usize {
     let mut depth = 0i32;
     let mut i = pos;
     while i < body.1 {
@@ -393,9 +408,7 @@ fn explicit_drop(
     name: &str,
 ) -> Option<usize> {
     (from..to.saturating_sub(2)).find(|&i| {
-        tokens[i].text == "drop"
-            && tokens[i + 1].text == "("
-            && tokens[i + 2].text == name
+        tokens[i].text == "drop" && tokens[i + 1].text == "(" && tokens[i + 2].text == name
     })
 }
 
@@ -479,10 +492,10 @@ fn check_r7(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     // (c) guard regions: blocking ops and lock-order edges under a guard.
     let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
     let mut flagged: BTreeSet<(String, u32, &'static str)> = BTreeSet::new();
-    for f in 0..n {
+    for (f, f_acqs) in acqs.iter().enumerate() {
         let rel = ws.rel(f).to_string();
         let tokens = &ws.files[ws.fns[f].file].lexed.tokens;
-        for a in &acqs[f] {
+        for a in f_acqs {
             // Direct blocking channel ops in the region. R4 already
             // polices plain send/recv in its own files; R7 adds the
             // rest of the workspace and the timeout variants.
@@ -534,7 +547,7 @@ fn check_r7(ws: &Workspace, out: &mut Vec<Diagnostic>) {
                 }
             }
             // Nested direct acquisitions.
-            for b in &acqs[f] {
+            for b in f_acqs {
                 if b.tok > a.tok && b.tok < a.region_end {
                     if b.id == a.id {
                         if flagged.insert((rel.clone(), b.line, "reentrant")) {
@@ -648,9 +661,9 @@ fn check_r9(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                     if tokens.get(k).is_some_and(|n| n.text == "mut") {
                         k += 1;
                     }
-                    let target = tokens.get(k).filter(|n| {
-                        n.kind == TokKind::Ident && !is_keyword(&n.text)
-                    });
+                    let target = tokens
+                        .get(k)
+                        .filter(|n| n.kind == TokKind::Ident && !is_keyword(&n.text));
                     if let Some(target) = target {
                         if tokens.get(k + 1).is_some_and(|n| n.text == "=")
                             || (tokens.get(k + 1).is_some_and(|n| n.text == ":")
@@ -678,10 +691,7 @@ fn check_r9(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                 }
                 // `… as T` — find the cast source just before `as`.
                 if t.kind == TokKind::Ident && t.text == "as" && i > start + 1 {
-                    let target_w = tokens
-                        .get(i + 1)
-                        .map(|n| width_of(&n.text))
-                        .unwrap_or(0);
+                    let target_w = tokens.get(i + 1).map(|n| width_of(&n.text)).unwrap_or(0);
                     if target_w > 0 {
                         let prev = &tokens[i - 1];
                         let mut src_w = 0u32;
@@ -722,7 +732,9 @@ fn check_r9(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
                                 format!(
                                     "narrowing `as {}` on byte-derived {} ({}-bit) truncates \
                                      silently; use a checked conversion (`try_from` / saturate)",
-                                    tokens[i + 1].text, what, src_w
+                                    tokens[i + 1].text,
+                                    what,
+                                    src_w
                                 ),
                             ));
                         }

@@ -14,7 +14,11 @@ use amlint::{analyze, lint_files, Report, SourceFile, EXPECTED_HOT_ROOTS, SCHEMA
 fn sole_finding(files: &[(&str, &str)]) -> (String, String, u32) {
     let diags = lint_files(files);
     let live: Vec<_> = diags.iter().filter(|d| !d.suppressed).collect();
-    assert_eq!(live.len(), 1, "expected exactly one live finding, got {live:#?}");
+    assert_eq!(
+        live.len(),
+        1,
+        "expected exactly one live finding, got {live:#?}"
+    );
     (live[0].rule.to_string(), live[0].file.clone(), live[0].line)
 }
 
@@ -75,11 +79,17 @@ pub fn decode_len(frame: &[u8]) -> usize {
     ]);
     let live: Vec<_> = diags.iter().filter(|d| !d.suppressed).collect();
     assert_eq!(live.len(), 2, "{live:#?}");
-    assert!(live.iter().all(|d| d.rule == "R6" && d.file == "crates/net/src/codec.rs"));
+    assert!(live
+        .iter()
+        .all(|d| d.rule == "R6" && d.file == "crates/net/src/codec.rs"));
     assert_eq!(live[0].line, 2); // Vec::new
     assert_eq!(live[1].line, 3); // extend_from_slice
-    // The message names the call chain from the root.
-    assert!(live[0].message.contains("ingest -> decode_len"), "{}", live[0].message);
+                                 // The message names the call chain from the root.
+    assert!(
+        live[0].message.contains("ingest -> decode_len"),
+        "{}",
+        live[0].message
+    );
 }
 
 #[test]
@@ -97,7 +107,10 @@ fn rebuild(&mut self, v: u64) {
 }
 ";
     let diags = lint_files(&[("crates/net/src/table.rs", src)]);
-    assert!(diags.is_empty(), "cold fn is off the graph entirely: {diags:#?}");
+    assert!(
+        diags.is_empty(),
+        "cold fn is off the graph entirely: {diags:#?}"
+    );
 }
 
 #[test]
@@ -111,7 +124,10 @@ pub fn ingest(out: &mut Vec<u64>, v: u64) {
 ";
     let diags = lint_files(&[("crates/net/src/fastpath.rs", src)]);
     assert_eq!(diags.len(), 1);
-    assert!(diags[0].suppressed, "blessed sites stay in the report as suppressed");
+    assert!(
+        diags[0].suppressed,
+        "blessed sites stay in the report as suppressed"
+    );
     assert_eq!(
         diags[0].suppress_reason.as_deref(),
         Some("pooled batch buffer, reused across calls")
@@ -143,7 +159,11 @@ pub fn parse_frame(frame: &[u8]) -> u32 {
     assert_eq!(live[0].rule, "R8");
     assert_eq!(live[0].file, "crates/net/src/wire.rs");
     assert_eq!(live[0].line, 2);
-    assert!(live[0].message.contains("pump -> parse_frame"), "{}", live[0].message);
+    assert!(
+        live[0].message.contains("pump -> parse_frame"),
+        "{}",
+        live[0].message
+    );
 }
 
 #[test]
@@ -435,14 +455,20 @@ fn report_json_is_schema_v2_with_hot_roots() {
         "// amlint: hot\npub fn ingest(v: u64) -> u64 {\n    v + 1\n}\n",
     )];
     let (diagnostics, hot_roots) = analyze(&files);
-    assert_eq!(hot_roots, vec!["crates/net/src/fastpath.rs::ingest".to_string()]);
+    assert_eq!(
+        hot_roots,
+        vec!["crates/net/src/fastpath.rs::ingest".to_string()]
+    );
     let report = Report {
         diagnostics,
         files_scanned: files.len(),
         hot_roots,
     };
     let json = report.to_json();
-    assert!(json.starts_with("{\n  \"version\": 2,"), "version leads the document");
+    assert!(
+        json.starts_with("{\n  \"version\": 2,"),
+        "version leads the document"
+    );
     assert!(json.contains("\"hot_roots\": ["));
     assert!(json.contains("\"crates/net/src/fastpath.rs::ingest\""));
     assert!(json.ends_with("}\n"));
@@ -450,10 +476,16 @@ fn report_json_is_schema_v2_with_hot_roots() {
 
 #[test]
 fn expected_hot_roots_floor_is_well_formed() {
-    assert!(EXPECTED_HOT_ROOTS.len() >= 10, "the drift-gate floor must not shrink");
+    assert!(
+        EXPECTED_HOT_ROOTS.len() >= 10,
+        "the drift-gate floor must not shrink"
+    );
     for root in EXPECTED_HOT_ROOTS {
         let (file, func) = root.split_once("::").expect("file::fn format");
-        assert!(file.starts_with("crates/") && file.ends_with(".rs"), "{root}");
+        assert!(
+            file.starts_with("crates/") && file.ends_with(".rs"),
+            "{root}"
+        );
         assert!(!func.is_empty(), "{root}");
     }
 }

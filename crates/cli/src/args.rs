@@ -66,6 +66,9 @@ COMMANDS:
                                        sflow (default 256)
                    --include-slowloris train on SlowLoris too (default: held
                                        out as the zero-day attack)
+                   --emit-meta         print the bundle's stamped metadata
+                                       (schema, epoch, training window) as
+                                       JSON after training
     detect       replay a capture through the detection pipeline
                    --capture <file>    input capture (default capture.json)
                    --bundle <file>     trained bundle (default bundle.json)
@@ -78,6 +81,10 @@ COMMANDS:
                                        virtual-time driver
                    --shards <n>        processor shards for --threaded
                                        (default 1, rounded to power of two)
+                   --adapt             watch the benign distribution for
+                                       drift, retrain in the background, and
+                                       hot-swap fresh model epochs into the
+                                       live run (implies --threaded)
                    --listen <url>      run as a collector daemon instead of
                                        replaying: bind udp://host:port or
                                        tcp://host:port (port 0 = ephemeral)
@@ -162,7 +169,13 @@ impl Args {
     fn is_switch(name: &str) -> bool {
         matches!(
             name,
-            "paper-pace" | "include-slowloris" | "fast" | "threaded" | "require-clean"
+            "paper-pace"
+                | "include-slowloris"
+                | "fast"
+                | "threaded"
+                | "require-clean"
+                | "adapt"
+                | "emit-meta"
         )
     }
 

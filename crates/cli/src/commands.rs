@@ -3,7 +3,7 @@
 use crate::args::{Args, Command, USAGE};
 use amlight_core::event::{sample_reports, TelemetryBackend};
 use amlight_core::pipeline::{DetectionPipeline, PipelineConfig};
-use amlight_core::runtime::ThreadedPipeline;
+use amlight_core::runtime::{AdaptConfig, ThreadedPipeline};
 use amlight_core::source::{ReplaySource, SflowReplaySource};
 use amlight_core::testbed::{Testbed, TestbedConfig};
 use amlight_core::trainer::{
@@ -128,6 +128,21 @@ fn telemetry_backend(args: &Args) -> Result<TelemetryBackend, CliError> {
     })
 }
 
+/// The load-time model gate: schema version, feature width, and feature
+/// set must all match the requested telemetry backend before any event
+/// is scored — stale or mismatched artifacts fail loudly, not with
+/// silent mispredictions.
+fn validate_bundle(bundle: &ModelBundle, backend: TelemetryBackend) -> Result<(), CliError> {
+    bundle.validate_for(backend.feature_set()).map_err(|e| {
+        CliError::Usage(format!(
+            "bundle does not fit --telemetry {}: {e}; \
+             retrain with `amlight train --telemetry {}`",
+            backend.name(),
+            backend.name(),
+        ))
+    })
+}
+
 /// Re-observe an INT capture through a seeded sFlow sampling agent:
 /// each report is one packet at the observation point, so the agent's
 /// 1-in-N decision produces the sampled view of the same traffic.
@@ -205,6 +220,11 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
             " (SlowLoris held out as zero-day)"
         }
     )?;
+    // Training-window bounds (telemetry-clock ns) for the bundle's
+    // metadata stamp: the capture range this model is valid for.
+    let (window_start, window_end) = training.iter().fold((u64::MAX, 0u64), |(lo, hi), (r, _)| {
+        (lo.min(r.export_ns), hi.max(r.export_ns))
+    });
     let raw = match backend {
         TelemetryBackend::Int => dataset_from_int(&training, FeatureSet::Int),
         TelemetryBackend::Sflow => {
@@ -228,7 +248,8 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         &raw,
         backend.feature_set(),
         &training_config(args.has("fast")),
-    );
+    )
+    .with_train_window(window_start.min(window_end), window_end);
     bundle.save(&bundle_path)?;
     writeln!(
         out,
@@ -237,6 +258,9 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         bundle.mlp.hidden_sizes(),
         bundle.scaler.n_features(),
     )?;
+    if args.has("emit-meta") {
+        writeln!(out, "bundle meta: {}", serde_json::to_string(&bundle.meta)?)?;
+    }
     Ok(())
 }
 
@@ -248,21 +272,15 @@ fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let period = args.get_u64("sample-period", 256).map_err(bad)? as u32;
     let capture = CaptureFile::load(args.get("capture", "capture.json"))?;
     let bundle = ModelBundle::load(args.get("bundle", "bundle.json"))?;
+    validate_bundle(&bundle, backend)?;
 
-    if bundle.feature_set != backend.feature_set() {
-        return Err(CliError::Usage(format!(
-            "bundle was trained on {:?} features but --telemetry {} needs {:?}; \
-             retrain with `amlight train --telemetry {}`",
-            bundle.feature_set,
-            backend.name(),
-            backend.feature_set(),
-            backend.name(),
-        )));
-    }
-
-    if args.has("threaded") {
+    let adapt = args.has("adapt");
+    if args.has("threaded") || adapt {
         let shards = args.get_u64("shards", 1).map_err(bad)? as usize;
-        let pipeline = ThreadedPipeline::new(bundle).with_shards(shards.max(1));
+        let mut pipeline = ThreadedPipeline::new(bundle).with_shards(shards.max(1));
+        if adapt {
+            pipeline = pipeline.with_adaptation(AdaptConfig::default());
+        }
         let handle = match backend {
             TelemetryBackend::Int => pipeline.start(ReplaySource::from_labeled(&capture.reports)),
             TelemetryBackend::Sflow => {
@@ -270,7 +288,18 @@ fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
                 pipeline.start(SflowReplaySource::from_labeled(&samples))
             }
         };
-        return print_threaded(handle.join().map_err(bad)?, backend, out);
+        let stats = handle.join().map_err(bad)?;
+        print_threaded(&stats, backend, out)?;
+        if adapt {
+            let a = stats.adapt;
+            writeln!(
+                out,
+                "adaptation: {} drift event(s), {} retrain(s) published; \
+                 {} labeled sample(s) fed, {} shed; final epoch {}",
+                a.drift_events, a.retrains, a.samples_fed, a.samples_shed, a.final_epoch,
+            )?;
+        }
+        return Ok(());
     }
 
     let pace = if args.has("paper-pace") {
@@ -344,14 +373,7 @@ fn cmd_detect_listen(args: &Args, out: &mut impl Write) -> Result<(), CliError> 
     let shards = args.get_u64("shards", 1).map_err(bad)? as usize;
 
     let bundle = ModelBundle::load(args.get("bundle", "bundle.json"))?;
-    if bundle.feature_set != backend.feature_set() {
-        return Err(CliError::Usage(format!(
-            "bundle was trained on {:?} features but --telemetry {} needs {:?}",
-            bundle.feature_set,
-            backend.name(),
-            backend.feature_set(),
-        )));
-    }
+    validate_bundle(&bundle, backend)?;
 
     let server = IngestServer::bind(ListenerConfig::new(addr, protocol).listeners(listeners))
         .map_err(CliError::Io)?;
@@ -392,7 +414,7 @@ fn cmd_detect_listen(args: &Args, out: &mut impl Write) -> Result<(), CliError> 
         ingest.decode_errors,
         ingest.events_dropped,
     )?;
-    print_threaded(stats, backend, out)?;
+    print_threaded(&stats, backend, out)?;
     if args.has("require-clean") {
         if ingest.events_decoded == 0 || ingest.decode_errors > 0 || predictions == 0 {
             return Err(CliError::Usage(format!(
@@ -480,7 +502,7 @@ fn cmd_replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
 /// shape. Labels rode through the channels, so recall needs no
 /// side-channel lookup.
 fn print_threaded(
-    stats: amlight_core::runtime::ThreadedRunStats,
+    stats: &amlight_core::runtime::ThreadedRunStats,
     backend: TelemetryBackend,
     out: &mut impl Write,
 ) -> Result<(), CliError> {
@@ -834,6 +856,40 @@ mod tests {
 
         let err = run_tokens(&["replay"]).unwrap_err();
         assert!(err.to_string().contains("--to"), "{err}");
+    }
+
+    #[test]
+    fn emit_meta_prints_the_stamp_and_adapt_runs_threaded() {
+        let cap = tmp("adapt-cap.json");
+        let bun = tmp("adapt-bun.json");
+        let cap_s = cap.to_str().unwrap();
+        let bun_s = bun.to_str().unwrap();
+
+        run_tokens(&["capture", "--out", cap_s, "--day-len", "3", "--seed", "23"]).unwrap();
+        let text = run_tokens(&[
+            "train",
+            "--capture",
+            cap_s,
+            "--out",
+            bun_s,
+            "--fast",
+            "--emit-meta",
+        ])
+        .unwrap();
+        assert!(text.contains("bundle meta:"), "{text}");
+        assert!(text.contains("\"schema_version\":2"), "{text}");
+        assert!(text.contains("\"epoch\":0"), "{text}");
+        assert!(text.contains("train_window_end_ns"), "{text}");
+
+        // --adapt implies --threaded and reports the adaptation tallies.
+        let text =
+            run_tokens(&["detect", "--capture", cap_s, "--bundle", bun_s, "--adapt"]).unwrap();
+        assert!(text.contains("threaded int replay"), "{text}");
+        assert!(text.contains("adaptation:"), "{text}");
+        assert!(text.contains("final epoch"), "{text}");
+
+        std::fs::remove_file(&cap).ok();
+        std::fs::remove_file(&bun).ok();
     }
 
     #[test]

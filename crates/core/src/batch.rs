@@ -14,6 +14,7 @@
 //! while shards proceed in parallel. No locks, no cross-shard traffic,
 //! per-flow ordering preserved by construction.
 
+use crate::epoch::EpochHandle;
 use crate::trainer::{ModelBundle, VoteScratch};
 use crate::verdict::{SmoothingWindow, Verdict};
 use amlight_features::{FlowTable, FlowTableConfig, ShardRouter, UpdateKind};
@@ -21,7 +22,6 @@ use amlight_int::TelemetryReport;
 use amlight_net::flow::FnvHashMap;
 use amlight_net::FlowKey;
 use rayon::prelude::*;
-use std::sync::Arc;
 
 /// Per-report outcome, in input order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,9 +52,11 @@ struct Shard {
     scratch: VoteScratch,
 }
 
-/// The sharded detector.
+/// The sharded detector. Holds no model copy of its own: like every
+/// other driver it reads a swappable [`EpochHandle`], loading the
+/// current epoch once per `detect_batch` call.
 pub struct BatchDetector {
-    bundle: Arc<ModelBundle>,
+    handle: EpochHandle,
     shards: Vec<Shard>,
     router: ShardRouter,
     smoothing_window: usize,
@@ -64,6 +66,12 @@ impl BatchDetector {
     /// `shards` is rounded up to a power of two (see [`ShardRouter`]) so
     /// routing is a bitmask, matching [`amlight_features::ShardedFlowTable`].
     pub fn new(bundle: ModelBundle, table: FlowTableConfig, shards: usize) -> Self {
+        Self::shared(EpochHandle::new(bundle), table, shards)
+    }
+
+    /// Build the detector over an existing epoch handle, so a publish
+    /// through any clone of it takes effect on the next batch.
+    pub fn shared(handle: EpochHandle, table: FlowTableConfig, shards: usize) -> Self {
         let router = ShardRouter::new(shards);
         let shards = router.shard_count();
         let per_shard = FlowTableConfig {
@@ -71,7 +79,7 @@ impl BatchDetector {
             ..table
         };
         Self {
-            bundle: Arc::new(bundle),
+            handle,
             shards: (0..shards)
                 .map(|_| Shard {
                     table: FlowTable::new(per_shard),
@@ -89,6 +97,11 @@ impl BatchDetector {
     pub fn with_smoothing_window(mut self, window: usize) -> Self {
         self.smoothing_window = window;
         self
+    }
+
+    /// The swappable model handle this detector reads.
+    pub fn model_handle(&self) -> EpochHandle {
+        self.handle.clone()
     }
 
     pub fn shard_count(&self) -> usize {
@@ -116,7 +129,11 @@ impl BatchDetector {
             routes[self.router.route(r.flow)].push(i as u32);
         }
 
-        let bundle = Arc::clone(&self.bundle);
+        // One epoch load for the whole batch: every shard scores against
+        // the same immutable bundle, no matter what is published while
+        // the batch is in flight.
+        let current = self.handle.load_full();
+        let bundle = current.bundle();
         let window_size = self.smoothing_window;
         let feature_set = bundle.feature_set;
 

@@ -39,6 +39,10 @@ pub struct PredictionRecord {
     /// Aggregated (ensemble + smoothing) label; None while smoothing is
     /// still pending.
     pub label: Option<bool>,
+    /// Publication epoch of the model bundle that voted on this update
+    /// (see [`crate::epoch::EpochHandle`]) — which model said this, as a
+    /// database column instead of deployment-log archaeology.
+    pub epoch: u64,
     /// When the prediction was produced, virtual collector clock ns.
     pub predicted_ns: u64,
     /// predicted_ns − registered_ns.
@@ -168,6 +172,17 @@ impl FlowDatabase {
         out
     }
 
+    /// Distinct model epochs that produced stored predictions, sorted.
+    /// A hot-swapped run shows every epoch that actually voted — the
+    /// observability half of the epoch publication protocol.
+    pub fn epochs_used(&self) -> Vec<u64> {
+        let g = self.inner.read();
+        let mut epochs: Vec<u64> = g.predictions.iter().map(|p| p.epoch).collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
+    }
+
     pub fn flow_count(&self) -> usize {
         self.inner.read().flows.len()
     }
@@ -261,12 +276,14 @@ mod tests {
         db.store_prediction(PredictionRecord {
             key: key(1),
             label: Some(true),
+            epoch: 0,
             predicted_ns: 900,
             latency_ns: 700,
         });
         db.store_prediction(PredictionRecord {
             key: key(1),
             label: None,
+            epoch: 1,
             predicted_ns: 950,
             latency_ns: 750,
         });
@@ -274,6 +291,7 @@ mod tests {
         assert_eq!(preds.len(), 2);
         assert_eq!(preds[0].label, Some(true));
         assert_eq!(preds[1].label, None);
+        assert_eq!(db.epochs_used(), vec![0, 1]);
     }
 
     #[test]
@@ -283,6 +301,7 @@ mod tests {
             db.store_prediction(PredictionRecord {
                 key: key(1),
                 label: Some(i % 2 == 0),
+                epoch: 0,
                 predicted_ns: i * 100,
                 latency_ns: i,
             });
@@ -299,6 +318,7 @@ mod tests {
         db.store_prediction(PredictionRecord {
             key: key(2),
             label: None,
+            epoch: 0,
             predicted_ns: 900,
             latency_ns: 9,
         });
@@ -317,6 +337,7 @@ mod tests {
             db.store_prediction(PredictionRecord {
                 key: key(port),
                 label,
+                epoch: 0,
                 predicted_ns: 0,
                 latency_ns: 0,
             });

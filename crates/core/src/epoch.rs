@@ -1,0 +1,354 @@
+//! Epoch-published model state: the one swappable handle every driver
+//! reads.
+//!
+//! Before this layer, model ownership was inconsistent across the three
+//! drivers — [`crate::modules::Predictor`] owned a [`ModelBundle`] by
+//! value, the threaded runtime cloned one per run, and the batch engine
+//! held an `Arc` — and all three were frozen for the life of the
+//! process. This module replaces every copy with a single publication
+//! protocol:
+//!
+//! * **Readers** (the prediction stages) call [`EpochHandle::load`]
+//!   once per micro-batch: one wait-free atomic pointer load (the
+//!   `arcswap` shim), no lock, no allocation. Every row of a batch is
+//!   scored against the *same* [`VersionedBundle`] — a batch can never
+//!   straddle two epochs, and a swap can never tear a bundle mid-batch
+//!   because published bundles are immutable.
+//! * **The writer** (a retrainer, the CLI, a test) calls
+//!   [`EpochHandle::publish`] with a freshly trained bundle. The handle
+//!   validates the feature set against the live one (a mismatched
+//!   publish is an error, not a mispredicting pipeline), stamps the
+//!   bundle's metadata with the next epoch number, and swaps it in
+//!   atomically. Readers observe the new epoch on their next batch;
+//!   in-flight batches complete against the old one. No event is
+//!   dropped or re-queued by a swap.
+//!
+//! Superseded bundles are retired inside the `arcswap` cell (kept alive
+//! until the handle drops), so the memory cost of adaptation is
+//! O(epochs published) bundles — bounded by retrain count, which is a
+//! handful per day, not per packet.
+
+use crate::trainer::ModelBundle;
+use amlight_features::FeatureSet;
+use arcswap::{ArcSwap, Guard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An immutable published model bundle plus the epoch it was published
+/// under. The epoch here is authoritative (it always equals
+/// `bundle.meta.epoch`; [`EpochHandle::publish`] stamps both).
+#[derive(Debug)]
+pub struct VersionedBundle {
+    epoch: u64,
+    bundle: ModelBundle,
+}
+
+impl VersionedBundle {
+    /// Publication epoch: every verdict produced against this bundle is
+    /// stamped with it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn bundle(&self) -> &ModelBundle {
+        &self.bundle
+    }
+
+    pub fn feature_set(&self) -> FeatureSet {
+        self.bundle.feature_set
+    }
+}
+
+/// Publishing a bundle the live pipeline could not correctly consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishError {
+    /// The new bundle was trained on a different feature set than the
+    /// one the pipeline's processors project.
+    FeatureSetMismatch {
+        expected: FeatureSet,
+        got: FeatureSet,
+    },
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::FeatureSetMismatch { expected, got } => write!(
+                f,
+                "cannot publish a {} bundle into a {} pipeline",
+                got.name(),
+                expected.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// Shared inner state: the swappable cell plus the monotone epoch
+/// allocator (separate from the cell so concurrent publishers can never
+/// double-allocate an epoch number).
+#[derive(Debug)]
+struct Shared {
+    cell: ArcSwap<VersionedBundle>,
+    next_epoch: AtomicU64,
+    published: AtomicU64,
+}
+
+/// The swappable model handle shared by every pipeline stage.
+///
+/// Cloning is cheap (one `Arc`) and every clone sees every publish —
+/// this is the mechanism that unifies the drivers: `Predictor`, the
+/// threaded runtime's prediction thread, the batch engine, and the
+/// shadow trainer all hold clones of one handle.
+#[derive(Debug, Clone)]
+pub struct EpochHandle {
+    shared: Arc<Shared>,
+}
+
+impl EpochHandle {
+    /// Wrap an initial bundle. Its first published epoch is whatever
+    /// its metadata already carries (0 for an offline-trained bundle).
+    pub fn new(bundle: ModelBundle) -> Self {
+        let epoch = bundle.meta.epoch;
+        Self {
+            shared: Arc::new(Shared {
+                cell: ArcSwap::new(Arc::new(VersionedBundle { epoch, bundle })),
+                next_epoch: AtomicU64::new(epoch + 1),
+                published: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Wait-free borrow of the current epoch's bundle: one atomic
+    /// pointer load. Call once per micro-batch and score the whole
+    /// batch against the guard — that is what makes "no batch straddles
+    /// a swap" true by construction.
+    // amlint: hot
+    #[inline]
+    pub fn load(&self) -> Guard<'_, VersionedBundle> {
+        self.shared.cell.load()
+    }
+
+    /// Owned handle to the current epoch's bundle, for readers that
+    /// outlive the borrow (or cross `rayon` task boundaries). Briefly
+    /// takes the writer mutex — per batch, not per event.
+    pub fn load_full(&self) -> Arc<VersionedBundle> {
+        self.shared.cell.load_full()
+    }
+
+    /// Epoch of the currently published bundle.
+    pub fn current_epoch(&self) -> u64 {
+        self.load().epoch()
+    }
+
+    /// Feature set of the live pipeline. Invariant across publishes —
+    /// [`EpochHandle::publish`] enforces it.
+    pub fn feature_set(&self) -> FeatureSet {
+        self.load().feature_set()
+    }
+
+    /// Publishes this handle has performed (excludes the initial
+    /// bundle).
+    pub fn epochs_published(&self) -> u64 {
+        self.shared.published.load(Ordering::Acquire)
+    }
+
+    /// Atomically publish a freshly trained bundle as the next epoch.
+    ///
+    /// The bundle's metadata is restamped with the allocated epoch
+    /// number, so persisted copies of a hot-swapped bundle carry their
+    /// publication history. Returns the new epoch. Readers see it on
+    /// their next `load`; batches already scored against the previous
+    /// epoch keep that epoch's stamp.
+    // amlint: cold -- writer side: runs once per retrain, never per event
+    pub fn publish(&self, mut bundle: ModelBundle) -> Result<u64, PublishError> {
+        let expected = self.feature_set();
+        if bundle.feature_set != expected {
+            return Err(PublishError::FeatureSetMismatch {
+                expected,
+                got: bundle.feature_set,
+            });
+        }
+        let epoch = self.shared.next_epoch.fetch_add(1, Ordering::AcqRel);
+        bundle.meta.epoch = epoch;
+        self.shared
+            .cell
+            .store(Arc::new(VersionedBundle { epoch, bundle }));
+        self.shared.published.fetch_add(1, Ordering::AcqRel);
+        Ok(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+    use amlight_int::{HopMetadata, InstructionSet, TelemetryReport};
+    use amlight_net::{FlowKey, Protocol, TrafficClass};
+    use amlight_sflow::FlowSample;
+    use std::net::Ipv4Addr;
+
+    fn tiny_bundle(set: FeatureSet) -> ModelBundle {
+        let cfg = TrainerConfig {
+            mlp: amlight_ml::MlpConfig {
+                epochs: 2,
+                ..amlight_ml::MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        };
+        match set {
+            FeatureSet::Int => {
+                let labeled: Vec<(TelemetryReport, TrafficClass)> = (0..40u32)
+                    .map(|i| {
+                        (
+                            TelemetryReport {
+                                flow: FlowKey::new(
+                                    Ipv4Addr::new(9, 9, 9, 9),
+                                    Ipv4Addr::new(10, 0, 0, 2),
+                                    1000 + (i % 4) as u16,
+                                    80,
+                                    Protocol::Tcp,
+                                ),
+                                ip_len: if i % 2 == 0 { 800 } else { 40 },
+                                tcp_flags: Some(0x02),
+                                instructions: InstructionSet::amlight(),
+                                hops: vec![HopMetadata {
+                                    switch_id: 0,
+                                    ingress_tstamp: i * 1000,
+                                    egress_tstamp: i * 1000 + 500,
+                                    hop_latency: 0,
+                                    queue_occupancy: i % 8,
+                                }]
+                                .into(),
+                                export_ns: u64::from(i) * 1_000,
+                            },
+                            if i % 2 == 0 {
+                                TrafficClass::Benign
+                            } else {
+                                TrafficClass::SynFlood
+                            },
+                        )
+                    })
+                    .collect();
+                let raw = dataset_from_int(&labeled, set);
+                train_bundle(&raw, set, &cfg)
+            }
+            FeatureSet::Sflow => {
+                let labeled: Vec<(FlowSample, TrafficClass)> = (0..40u32)
+                    .map(|i| {
+                        (
+                            FlowSample {
+                                flow: FlowKey::new(
+                                    Ipv4Addr::new(9, 9, 9, 9),
+                                    Ipv4Addr::new(10, 0, 0, 2),
+                                    1000 + (i % 4) as u16,
+                                    80,
+                                    Protocol::Tcp,
+                                ),
+                                ip_len: if i % 2 == 0 { 900 } else { 60 },
+                                tcp_flags: Some(0x02),
+                                observed_ns: u64::from(i) * 1_000,
+                                sampling_period: 256,
+                            },
+                            if i % 2 == 0 {
+                                TrafficClass::Benign
+                            } else {
+                                TrafficClass::SynFlood
+                            },
+                        )
+                    })
+                    .collect();
+                let raw = crate::trainer::dataset_from_sflow(&labeled);
+                train_bundle(&raw, set, &cfg)
+            }
+        }
+    }
+
+    #[test]
+    fn initial_epoch_comes_from_the_bundle_meta() {
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        assert_eq!(handle.current_epoch(), 0);
+        assert_eq!(handle.epochs_published(), 0);
+        assert_eq!(handle.feature_set(), FeatureSet::Int);
+    }
+
+    #[test]
+    fn publish_increments_epoch_and_restamps_meta() {
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        let fresh = tiny_bundle(FeatureSet::Int);
+        assert_eq!(fresh.meta.epoch, 0, "offline bundles start at epoch 0");
+        let epoch = handle.publish(fresh).expect("same feature set");
+        assert_eq!(epoch, 1);
+        assert_eq!(handle.current_epoch(), 1);
+        assert_eq!(handle.epochs_published(), 1);
+        let live = handle.load_full();
+        assert_eq!(live.bundle().meta.epoch, 1, "meta restamped at publish");
+    }
+
+    #[test]
+    fn feature_set_mismatch_is_rejected_and_leaves_the_old_epoch_live() {
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        let err = handle.publish(tiny_bundle(FeatureSet::Sflow)).unwrap_err();
+        assert_eq!(
+            err,
+            PublishError::FeatureSetMismatch {
+                expected: FeatureSet::Int,
+                got: FeatureSet::Sflow,
+            }
+        );
+        assert!(err.to_string().contains("sFlow"));
+        assert_eq!(handle.current_epoch(), 0);
+        assert_eq!(handle.epochs_published(), 0);
+    }
+
+    #[test]
+    fn clones_share_publishes() {
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        let reader = handle.clone();
+        handle.publish(tiny_bundle(FeatureSet::Int)).unwrap();
+        assert_eq!(reader.current_epoch(), 1);
+        assert_eq!(reader.epochs_published(), 1);
+    }
+
+    #[test]
+    fn guard_pins_one_epoch_across_a_publish() {
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        let batch_view = handle.load();
+        handle.publish(tiny_bundle(FeatureSet::Int)).unwrap();
+        // The in-flight "batch" still scores against its own epoch...
+        assert_eq!(batch_view.epoch(), 0);
+        assert_eq!(batch_view.bundle().meta.epoch, 0);
+        // ...while the next batch sees the new one.
+        assert_eq!(handle.load().epoch(), 1);
+    }
+
+    #[test]
+    fn concurrent_publishers_never_reuse_an_epoch() {
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        let template = handle.load_full().bundle().clone();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let handle = handle.clone();
+                let bundle = template.clone();
+                std::thread::spawn(move || {
+                    (0..8u64)
+                        .map(|_| handle.publish(bundle.clone()).unwrap())
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut epochs: Vec<u64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        epochs.sort_unstable();
+        let expected: Vec<u64> = (1..=32).collect();
+        assert_eq!(epochs, expected, "epochs are allocated exactly once");
+        // With racing publishers the last *store* wins, which need not
+        // be the highest epoch — the guarantee is uniqueness, and that
+        // the live bundle is one that was actually published.
+        assert!((1..=32).contains(&handle.current_epoch()));
+        assert_eq!(handle.epochs_published(), 32);
+    }
+}

@@ -39,6 +39,8 @@
 
 pub mod batch;
 pub mod db;
+pub mod drift;
+pub mod epoch;
 pub mod event;
 pub mod guard;
 pub mod mailbox;
@@ -50,8 +52,11 @@ pub mod testbed;
 pub mod trainer;
 pub mod verdict;
 
+pub use amlight_ml::{BundleMeta, MetaError, BUNDLE_SCHEMA_VERSION};
 pub use batch::{BatchDetector, BatchOutcome};
 pub use db::{FlowDatabase, PredictionRecord, UpdateEvent};
+pub use drift::{DriftConfig, DriftDetector};
+pub use epoch::{EpochHandle, PublishError, VersionedBundle};
 pub use event::{sample_reports, LabeledEvent, Telemetry, TelemetryBackend, TelemetryEvent};
 pub use guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard};
 pub use mailbox::{EventMailbox, OverflowPolicy};
@@ -59,7 +64,7 @@ pub use modules::{
     Aggregator, Clock, Ingest, JudgedUpdate, Predictor, Processor, VirtualClock, WallClock,
 };
 pub use pipeline::{DetectionPipeline, PipelineConfig, PipelineReport};
-pub use runtime::{RunHandle, RuntimeError, ThreadedPipeline};
+pub use runtime::{AdaptConfig, AdaptStats, RunHandle, RuntimeError, ThreadedPipeline};
 pub use source::{
     ChannelSource, CollectorSource, EventSource, IterSource, ReplaySource, SflowAgentSource,
     SflowReplaySource, SocketSource, SourcePoll,

@@ -28,6 +28,7 @@
 //! backend-specific step is the flow-table update dispatch.
 
 use crate::db::{FlowDatabase, PredictionRecord};
+use crate::epoch::EpochHandle;
 use crate::event::Telemetry;
 use crate::trainer::{ModelBundle, VoteScratch};
 use crate::verdict::{SmoothingWindow, Verdict, VerdictCounts};
@@ -199,37 +200,52 @@ impl<C: Clock> Processor<C> {
 }
 
 /// Fig. 2 Prediction: scaler + MLP/RF/GNB ensemble, batched.
+///
+/// The predictor does not own a model copy — it reads the shared
+/// [`EpochHandle`] once per batch (one wait-free atomic load), so a
+/// bundle published mid-run takes effect on the next batch without the
+/// predictor being rebuilt, and every batch is scored against exactly
+/// one epoch.
 #[derive(Debug)]
 pub struct Predictor {
-    bundle: ModelBundle,
+    handle: EpochHandle,
     scratch: VoteScratch,
 }
 
 impl Predictor {
+    /// A predictor over a private, freshly wrapped bundle — for drivers
+    /// that never hot-swap. Hot-swapping drivers share a handle via
+    /// [`Predictor::shared`].
     pub fn new(bundle: ModelBundle) -> Self {
+        Self::shared(EpochHandle::new(bundle))
+    }
+
+    /// A predictor reading (a clone of) a shared epoch handle: publishes
+    /// through any clone of `handle` become visible on the next batch.
+    pub fn shared(handle: EpochHandle) -> Self {
         Self {
-            bundle,
+            handle,
             scratch: VoteScratch::default(),
         }
     }
 
-    pub fn bundle(&self) -> &ModelBundle {
-        &self.bundle
+    /// The swappable model handle this predictor reads.
+    pub fn handle(&self) -> &EpochHandle {
+        &self.handle
     }
 
     pub fn feature_set(&self) -> FeatureSet {
-        self.bundle.feature_set
+        self.handle.feature_set()
     }
 
     /// One columnar 2-of-3 ensemble pass over contiguous row-major raw
     /// feature rows; `decisions` is cleared and refilled in row order.
-    pub fn predict(&mut self, rows: &[f64], decisions: &mut Vec<bool>) {
-        self.bundle.votes_batch(
-            rows,
-            self.bundle.feature_set.dim(),
-            &mut self.scratch,
-            decisions,
-        );
+    /// Returns the model epoch the whole batch was scored against.
+    pub fn predict(&mut self, rows: &[f64], decisions: &mut Vec<bool>) -> u64 {
+        let current = self.handle.load();
+        let bundle = current.bundle();
+        bundle.votes_batch(rows, bundle.feature_set.dim(), &mut self.scratch, decisions);
+        current.epoch()
     }
 }
 
@@ -257,15 +273,16 @@ impl Aggregator {
     }
 
     /// Fold one ensemble decision into the flow's smoothing window,
-    /// store the [`PredictionRecord`] (with `predicted_ns` and the
-    /// latency against `registered_ns`), and return the smoothed
-    /// verdict.
+    /// store the [`PredictionRecord`] (with `predicted_ns`, the latency
+    /// against `registered_ns`, and the model `epoch` that voted), and
+    /// return the smoothed verdict.
     pub fn aggregate(
         &mut self,
         key: FlowKey,
         attack: bool,
         registered_ns: u64,
         predicted_ns: u64,
+        epoch: u64,
     ) -> Verdict {
         let window = self
             .windows
@@ -280,6 +297,7 @@ impl Aggregator {
         self.db.store_prediction(PredictionRecord {
             key,
             label: verdict.label(),
+            epoch,
             predicted_ns,
             latency_ns,
         });
@@ -424,9 +442,9 @@ mod tests {
         let db = FlowDatabase::new();
         let mut agg = Aggregator::new(db.clone(), 3);
         let key = report(7, 0).flow;
-        assert_eq!(agg.aggregate(key, true, 100, 400), Verdict::Pending);
-        assert_eq!(agg.aggregate(key, true, 200, 600), Verdict::Pending);
-        assert_eq!(agg.aggregate(key, true, 300, 800), Verdict::Attack);
+        assert_eq!(agg.aggregate(key, true, 100, 400, 0), Verdict::Pending);
+        assert_eq!(agg.aggregate(key, true, 200, 600, 0), Verdict::Pending);
+        assert_eq!(agg.aggregate(key, true, 300, 800, 1), Verdict::Attack);
         let c = agg.counts();
         assert_eq!(c.predictions, 3);
         assert_eq!(c.attacks, 1);
@@ -436,6 +454,8 @@ mod tests {
         assert_eq!(preds[0].predicted_ns, 400);
         assert_eq!(preds[0].latency_ns, 300);
         assert_eq!(preds[2].label, Some(true));
+        assert_eq!(preds[2].epoch, 1, "verdicts carry the voting epoch");
+        assert_eq!(db.epochs_used(), vec![0, 1]);
         assert!(agg.max_latency_us() >= agg.mean_latency_us());
     }
 }

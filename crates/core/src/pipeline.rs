@@ -226,11 +226,23 @@ const PREDICTION_BATCH: usize = 1024;
 
 impl DetectionPipeline {
     pub fn new(bundle: ModelBundle, config: PipelineConfig) -> Self {
+        Self::shared(crate::epoch::EpochHandle::new(bundle), config)
+    }
+
+    /// Build the driver over an existing epoch handle, so a publish
+    /// through any clone of it swaps the model between this driver's
+    /// prediction micro-batches.
+    pub fn shared(handle: crate::epoch::EpochHandle, config: PipelineConfig) -> Self {
         Self {
             config,
-            predictor: Predictor::new(bundle),
+            predictor: Predictor::shared(handle),
             db: FlowDatabase::new(),
         }
+    }
+
+    /// The swappable model handle this driver predicts with.
+    pub fn model_handle(&self) -> crate::epoch::EpochHandle {
+        self.predictor.handle().clone()
     }
 
     pub fn database(&self) -> &FlowDatabase {
@@ -314,8 +326,10 @@ impl DetectionPipeline {
             }
 
             // (5): standardize + predict — one columnar ensemble call for
-            // every update this micro-batch judged.
-            self.predictor.predict(&rows, &mut decisions);
+            // every update this micro-batch judged, all scored against
+            // one model epoch (a published swap lands between batches,
+            // never inside one).
+            let epoch = self.predictor.predict(&rows, &mut decisions);
 
             for ((judged, truth), &ensemble) in pending.iter().zip(&decisions) {
                 // (4)→(5): CentralServer discovers the update and queues
@@ -328,8 +342,13 @@ impl DetectionPipeline {
                 server_free_ns = predicted_ns;
 
                 // (6)→(7)→(8): smoothed verdict + stored latency stamp.
-                let verdict =
-                    aggregator.aggregate(judged.key, ensemble, judged.registered_ns, predicted_ns);
+                let verdict = aggregator.aggregate(
+                    judged.key,
+                    ensemble,
+                    judged.registered_ns,
+                    predicted_ns,
+                    epoch,
+                );
                 timeline.push(TimelinePoint {
                     index,
                     key: judged.key,

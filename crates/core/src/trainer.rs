@@ -9,8 +9,8 @@ use amlight_features::{FeatureSet, FlowTable, FlowTableConfig};
 use amlight_int::TelemetryReport;
 use amlight_ml::model::BinaryClassifier;
 use amlight_ml::{
-    Dataset, GaussianNb, MajorityEnsemble, Mlp, MlpConfig, RandomForest, RandomForestConfig,
-    StandardScaler,
+    BundleMeta, Dataset, GaussianNb, MajorityEnsemble, MetaError, Mlp, MlpConfig, RandomForest,
+    RandomForestConfig, StandardScaler, BUNDLE_SCHEMA_VERSION,
 };
 use amlight_net::TrafficClass;
 use amlight_sflow::FlowSample;
@@ -67,7 +67,9 @@ impl Default for TrainerConfig {
 }
 
 /// The paper's deployed artifact: scaler + MLP + RF + GNB (§IV-C.3 — KNN
-/// is dropped for prediction-latency reasons).
+/// is dropped for prediction-latency reasons), stamped with its
+/// provenance ([`BundleMeta`]: schema version, publication epoch,
+/// feature width, training-window bounds).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModelBundle {
     pub scaler: StandardScaler,
@@ -75,6 +77,7 @@ pub struct ModelBundle {
     pub forest: RandomForest,
     pub gnb: GaussianNb,
     pub feature_set: FeatureSet,
+    pub meta: BundleMeta,
 }
 
 /// Caller-owned scratch for [`ModelBundle::votes_batch`]. Reusing it
@@ -165,6 +168,33 @@ impl ModelBundle {
         ])
     }
 
+    /// Stamp the training-window bounds (telemetry-clock ns) into the
+    /// bundle's metadata. Builder-style: used by trainers that know the
+    /// capture's time range.
+    pub fn with_train_window(mut self, start_ns: u64, end_ns: u64) -> Self {
+        self.meta.train_window_start_ns = start_ns;
+        self.meta.train_window_end_ns = end_ns;
+        self
+    }
+
+    /// Reject this bundle unless it was persisted under the current
+    /// schema and fit on exactly the feature rows `set` produces. This
+    /// is the load-time gate that turns "stale artifact" into a usage
+    /// error instead of silent mispredictions.
+    pub fn validate_for(&self, set: FeatureSet) -> Result<(), MetaError> {
+        self.meta.validate(set.dim())?;
+        if self.feature_set != set {
+            // Same width but a different projection would also
+            // mispredict; the widths of Int (15) and Sflow (12) differ
+            // today, so this arm is future-proofing.
+            return Err(MetaError::FeatureWidth {
+                found: self.feature_set.dim(),
+                expected: set.dim(),
+            });
+        }
+        Ok(())
+    }
+
     /// Persist the bundle as JSON — the artifact the paper's Prediction
     /// module "uploads" at initialization (§III-4: "the pre-trained ML
     /// models and the coefficients of scaler transformation").
@@ -173,14 +203,26 @@ impl ModelBundle {
         std::fs::write(path, json)
     }
 
-    /// Load a bundle saved with [`ModelBundle::save`].
+    /// Load a bundle saved with [`ModelBundle::save`]. Bundles written
+    /// before metadata stamping existed (or under any other schema) fail
+    /// here with an error naming the fix, not downstream with wrong
+    /// verdicts.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(std::io::Error::other)
+        serde_json::from_str(&json).map_err(|e| {
+            // amlint: cold -- bundle load is CLI-startup/artifact work, never per event
+            std::io::Error::other(format!(
+                "not a schema-v{BUNDLE_SCHEMA_VERSION} model bundle ({e}); \
+                 retrain it with `amlight train`"
+            ))
+        })
     }
 }
 
 /// Fit the scaler and all three models on a raw (unscaled) dataset.
+/// The bundle is stamped as epoch 0 (offline training); hot-swap
+/// publishes restamp the epoch, and drivers that know the capture's
+/// time range add it via [`ModelBundle::with_train_window`].
 pub fn train_bundle(raw: &Dataset, set: FeatureSet, cfg: &TrainerConfig) -> ModelBundle {
     assert!(!raw.is_empty(), "cannot train on an empty capture");
     let mut scaled = raw.clone();
@@ -194,6 +236,7 @@ pub fn train_bundle(raw: &Dataset, set: FeatureSet, cfg: &TrainerConfig) -> Mode
         forest,
         gnb,
         feature_set: set,
+        meta: BundleMeta::offline(set.dim(), raw.len(), (0, 0)),
     }
 }
 
@@ -391,5 +434,69 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(ModelBundle::load("/nonexistent/amlight-bundle.json").is_err());
+    }
+
+    #[test]
+    fn offline_training_stamps_metadata() {
+        let labeled = labeled_reports(40);
+        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
+        assert_eq!(bundle.meta.schema_version, BUNDLE_SCHEMA_VERSION);
+        assert_eq!(bundle.meta.epoch, 0, "offline bundles are epoch 0");
+        assert_eq!(bundle.meta.n_features, FeatureSet::Int.dim());
+        assert_eq!(bundle.meta.n_rows, raw.len());
+    }
+
+    #[test]
+    fn metadata_survives_persistence() {
+        let labeled = labeled_reports(40);
+        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default())
+            .with_train_window(5_000, 125_000);
+        let path = std::env::temp_dir().join(format!(
+            "amlight-bundle-meta-test-{}.json",
+            std::process::id()
+        ));
+        bundle.save(&path).expect("save");
+        let back = ModelBundle::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.meta, bundle.meta);
+        assert_eq!(back.meta.train_window_ns(), 120_000);
+    }
+
+    #[test]
+    fn validate_for_accepts_matching_set_and_rejects_the_other() {
+        let labeled = labeled_reports(40);
+        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
+        assert!(bundle.validate_for(FeatureSet::Int).is_ok());
+        let err = bundle.validate_for(FeatureSet::Sflow).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MetaError::FeatureWidth {
+                    found: 15,
+                    expected: 12
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_bundle_without_metadata_fails_with_a_retrain_hint() {
+        // A pre-metadata artifact: valid JSON, but no `meta` object.
+        let path = std::env::temp_dir().join(format!(
+            "amlight-bundle-legacy-test-{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, "{\"feature_set\":\"Int\"}").expect("write");
+        let err = ModelBundle::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("retrain") && msg.contains("schema-v2"),
+            "error must name the fix: {msg}"
+        );
     }
 }

@@ -99,7 +99,7 @@ impl HopStack {
             // amlint: cold -- one-time spill migration past MAX_INLINE_HOPS
             self.spill.reserve(MAX_INLINE_HOPS + 1);
             self.spill.extend_from_slice(&self.inline); // amlint: cold -- same one-time migration
-            // amlint: cold -- spill tail append, same event as the migration above
+                                                        // amlint: cold -- spill tail append, same event as the migration above
             self.spill.push(hop);
             self.len = 0;
         }

@@ -77,10 +77,10 @@ impl Encode for TelemetryReport {
     fn encode<B: BufMut>(&self, buf: &mut B) {
         buf.put_u16(REPORT_MAGIC);
         buf.put_u8(1); // report format version
-        // Saturate rather than truncate: 256 hops `as u8` would alias
-        // to 0 and decode as a silently-empty report (the tail then
-        // misparses as garbage). 255 trips the decoder's
-        // MAX_REPORT_HOPS bound instead — the corruption is *detected*.
+                       // Saturate rather than truncate: 256 hops `as u8` would alias
+                       // to 0 and decode as a silently-empty report (the tail then
+                       // misparses as garbage). 255 trips the decoder's
+                       // MAX_REPORT_HOPS bound instead — the corruption is *detected*.
         buf.put_u8(u8::try_from(self.hops.len()).unwrap_or(u8::MAX));
         buf.put_u16(self.instructions.bits());
         buf.put_u16(self.ip_len);

@@ -29,6 +29,7 @@ pub mod gbt;
 pub mod gnb;
 pub mod importance;
 pub mod knn;
+pub mod meta;
 pub mod metrics;
 pub mod mlp;
 pub mod model;
@@ -44,6 +45,7 @@ pub use gbt::{GbtConfig, GradientBoost};
 pub use gnb::GaussianNb;
 pub use importance::{permutation_importance, top_k_features};
 pub use knn::Knn;
+pub use meta::{BundleMeta, MetaError, BUNDLE_SCHEMA_VERSION};
 pub use metrics::{BinaryMetrics, ConfusionMatrix};
 pub use mlp::{Mlp, MlpConfig};
 pub use model::{decide, BinaryClassifier};

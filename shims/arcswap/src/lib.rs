@@ -1,0 +1,243 @@
+//! Offline shim for `arc-swap`: atomic publication of an `Arc<T>` with
+//! **wait-free readers** and a mutex-serialized writer.
+//!
+//! The real `arc-swap` crate gets lock-free `load_full` via differential
+//! reference counting; that machinery is far beyond what this workspace
+//! needs. This shim keeps the property the detection pipeline actually
+//! depends on — a reader observing the current value is **one atomic
+//! pointer load**, never a lock, never a CAS loop — by retiring
+//! superseded values instead of freeing them:
+//!
+//! * [`ArcSwap::load`] is a single `AtomicPtr::load(Acquire)` plus a
+//!   borrow. Readers can never block a writer, spin, or tear: the
+//!   pointee is an immutable `T` that was fully constructed before the
+//!   `Release` store that published its pointer.
+//! * [`ArcSwap::store`] swaps the pointer under a writer mutex and
+//!   pushes the superseded `Arc` onto a retire list. Retired values are
+//!   kept alive until the `ArcSwap` itself drops, so a raw pointer
+//!   handed out by *any* past `load` stays valid for as long as the
+//!   guard (whose lifetime is tied to the `ArcSwap`) lives. This trades
+//!   O(#stores) memory for zero reader-side reclamation cost — the
+//!   intended use is model-epoch publication, where stores happen a
+//!   handful of times per day, not per packet.
+//!
+//! Deliberate differences from the real crate: no `Cache`, no generic
+//! `RefCnt`, no lease/fallback machinery, and superseded values are
+//! freed at drop time rather than when the last guard goes away.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An `Arc<T>` that can be atomically replaced while readers load it
+/// wait-free.
+pub struct ArcSwap<T> {
+    /// Raw pointer to the current value; always equals
+    /// `Arc::as_ptr(&owner.lock().unwrap())`. Readers only ever touch
+    /// this field.
+    current: AtomicPtr<T>,
+    /// The authoritative owning handle for the current value. Writers
+    /// serialize here; `load_full` clones from here.
+    owner: Mutex<Arc<T>>,
+    /// Every value this cell ever published and then replaced, kept
+    /// alive so outstanding guards never dangle.
+    retired: Mutex<Vec<Arc<T>>>,
+}
+
+/// A borrowed view of the value current at [`ArcSwap::load`] time.
+///
+/// Holding a guard does **not** pin the value as "current" — a writer
+/// can publish a replacement concurrently — but the borrowed `T` stays
+/// valid until the `ArcSwap` itself drops.
+pub struct Guard<'a, T> {
+    ptr: *const T,
+    _owner: &'a ArcSwap<T>,
+}
+
+impl<T> std::ops::Deref for Guard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // `ptr` was read from `current`, which only ever holds pointers
+        // obtained via `Arc::as_ptr` on an `Arc` that is owned by
+        // `owner` or, once superseded, by `retired`. Neither drops
+        // before the `ArcSwap` does, and the guard's lifetime is bound
+        // to the `ArcSwap` borrow.
+        // SAFETY: the pointee outlives the guard (see above) and, being
+        // behind an `Arc`, is immutable for as long as it is shared.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> ArcSwap<T> {
+    /// A cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        let ptr = Arc::as_ptr(&value) as *mut T;
+        Self {
+            current: AtomicPtr::new(ptr),
+            owner: Mutex::new(value),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Convenience: wrap a bare value.
+    pub fn from_pointee(value: T) -> Self {
+        Self::new(Arc::new(value))
+    }
+
+    /// Wait-free borrow of the current value: one `Acquire` pointer
+    /// load, no lock, no refcount traffic. This is the per-batch hot
+    /// path of every pipeline reader.
+    #[inline]
+    pub fn load(&self) -> Guard<'_, T> {
+        Guard {
+            ptr: self.current.load(Ordering::Acquire),
+            _owner: self,
+        }
+    }
+
+    /// Owned handle to the current value. Takes the writer mutex
+    /// briefly — use [`ArcSwap::load`] on hot paths and this only where
+    /// the value must outlive the cell's borrow.
+    pub fn load_full(&self) -> Arc<T> {
+        match self.owner.lock() {
+            Ok(g) => Arc::clone(&g),
+            // The mutex can only be poisoned by a panic inside this
+            // module's own critical sections, which do not panic; treat
+            // a poisoned lock as still holding a valid Arc.
+            Err(p) => Arc::clone(&p.into_inner()),
+        }
+    }
+
+    /// Publish `new`, retiring the previous value. Returns the
+    /// superseded `Arc` (which this cell *also* keeps alive internally
+    /// until drop, for the benefit of outstanding guards).
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let ptr = Arc::as_ptr(&new) as *mut T;
+        let mut owner = match self.owner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        // Publish the fully-constructed value; Release pairs with the
+        // Acquire in `load`, so readers that see the new pointer also
+        // see the pointee's initialized contents.
+        self.current.store(ptr, Ordering::Release);
+        let old = std::mem::replace(&mut *owner, new);
+        let mut retired = match self.retired.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        retired.push(Arc::clone(&old));
+        old
+    }
+
+    /// Publish `new`, discarding the returned handle.
+    pub fn store(&self, new: Arc<T>) {
+        let _ = self.swap(new);
+    }
+
+    /// How many superseded values this cell is keeping alive.
+    pub fn retired_len(&self) -> usize {
+        match self.retired.lock() {
+            Ok(g) => g.len(),
+            Err(p) => p.into_inner().len(),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap")
+            .field("current", &*self.load())
+            .field("retired", &self.retired_len())
+            .finish()
+    }
+}
+
+// The cell hands out `&T` across threads (Sync required) and moves
+// `Arc<T>` in and out (Send required); with `T: Send + Sync` all
+// shared state is either atomic, mutex-guarded, or immutable-behind-Arc.
+// SAFETY: all shared state is thread-safe under the bound (see above).
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+// SAFETY: see the Send impl above; `load` only reads an AtomicPtr and
+// derefs an immutable pointee, `swap`/`store` serialize on the mutexes.
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+// Guards are snapshots of `&T`; sending one to another thread is shared
+// access to the pointee from multiple threads, so `T: Sync` is the
+// operative bound in both impls below.
+// SAFETY: the pointee outlives the borrow by construction, and `T:
+// Sync` makes cross-thread `&T` access sound.
+unsafe impl<T: Send + Sync> Send for Guard<'_, T> {}
+// SAFETY: `&Guard` only exposes `&T`, sound under `T: Sync`.
+unsafe impl<T: Send + Sync> Sync for Guard<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_sees_initial_then_swapped() {
+        let cell = ArcSwap::from_pointee(1u64);
+        assert_eq!(*cell.load(), 1);
+        let old = cell.swap(Arc::new(2));
+        assert_eq!(*old, 1);
+        assert_eq!(*cell.load(), 2);
+        assert_eq!(cell.load_full().as_ref(), &2);
+        assert_eq!(cell.retired_len(), 1);
+    }
+
+    #[test]
+    fn old_guards_survive_a_swap() {
+        let cell = ArcSwap::from_pointee(String::from("epoch-0"));
+        let before = cell.load();
+        cell.store(Arc::new(String::from("epoch-1")));
+        // The pre-swap guard still reads the retired value.
+        assert_eq!(&*before, "epoch-0");
+        assert_eq!(&*cell.load(), "epoch-1");
+    }
+
+    #[test]
+    fn concurrent_readers_never_tear() {
+        // Each published value is internally consistent (a == b);
+        // readers racing the writer must never observe a mix.
+        #[derive(Debug)]
+        struct Pair {
+            a: u64,
+            b: u64,
+        }
+        let cell = Arc::new(ArcSwap::from_pointee(Pair { a: 0, b: 0 }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen_max = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let g = cell.load();
+                        assert_eq!(g.a, g.b, "torn read");
+                        seen_max = seen_max.max(g.a);
+                    }
+                    seen_max
+                })
+            })
+            .collect();
+        for i in 1..=200u64 {
+            cell.store(Arc::new(Pair { a: i, b: i }));
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            assert!(r.join().unwrap() <= 200);
+        }
+        assert_eq!(cell.retired_len(), 200);
+    }
+
+    #[test]
+    fn load_full_is_an_owned_handle() {
+        let cell = ArcSwap::from_pointee(7u32);
+        let owned = cell.load_full();
+        drop(cell);
+        assert_eq!(*owned, 7);
+    }
+}

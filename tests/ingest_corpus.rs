@@ -32,7 +32,11 @@ fn sample(tag: u32) -> FlowSample {
             },
         ),
         ip_len: 60 + (tag % 1400) as u16,
-        tcp_flags: if tag.is_multiple_of(3) { None } else { Some(0x10) },
+        tcp_flags: if tag.is_multiple_of(3) {
+            None
+        } else {
+            Some(0x10)
+        },
         observed_ns: u64::from(tag) * 1_000,
         sampling_period: 256,
     }
