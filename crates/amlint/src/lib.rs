@@ -49,11 +49,14 @@ pub const EXPECTED_HOT_ROOTS: &[&str] = &[
     "crates/core/src/mailbox.rs::pop",
     "crates/core/src/mailbox.rs::publish",
     "crates/core/src/modules.rs::ingest",
-    "crates/features/src/sharded.rs::update_int_batch_into",
-    "crates/features/src/table.rs::update_int",
-    "crates/features/src/table.rs::update_sflow",
+    "crates/features/src/sharded.rs::apply_batch_into",
+    "crates/features/src/table.rs::apply",
     "crates/int/src/collector.rs::decode_datagram_into",
     "crates/int/src/collector.rs::ingest_into",
+    "crates/pint/src/datagram.rs::ingest",
+    "crates/pint/src/report.rs::encode",
+    "crates/pint/src/sketch.rs::absorb",
+    "crates/pint/src/sketch.rs::annotate",
     "crates/sflow/src/datagram.rs::ingest",
 ];
 

@@ -7,7 +7,7 @@
 
 use amlight_core::pipeline::{DetectionPipeline, PipelineConfig};
 use amlight_core::testbed::{Testbed, TestbedConfig};
-use amlight_core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight_core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight_features::FeatureSet;
 use amlight_ml::model::BinaryClassifier;
 use amlight_ml::{
@@ -33,14 +33,14 @@ fn fixture() -> Fixture {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     let mut scaled_train = raw.clone();
     let _ = StandardScaler::fit_transform(&mut scaled_train);
     let sample_row = scaled_train.row(scaled_train.len() / 2).to_vec();
 
     let bundle = train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: 8,

@@ -8,7 +8,7 @@
 
 use amlight_core::testbed::{Testbed, TestbedConfig};
 use amlight_core::trainer::{
-    dataset_from_int, train_bundle, ModelBundle, TrainerConfig, VoteScratch,
+    dataset_from_events, train_bundle, ModelBundle, TrainerConfig, VoteScratch,
 };
 use amlight_features::FeatureSet;
 use amlight_ml::model::BinaryClassifier;
@@ -36,12 +36,12 @@ fn fixture() -> Fixture {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     let mut scaled = raw.clone();
     let _ = StandardScaler::fit_transform(&mut scaled);
     let bundle = train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: 8,

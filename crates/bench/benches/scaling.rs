@@ -3,9 +3,10 @@
 //! processing capabilities" at production volume.
 
 use amlight_core::batch::BatchDetector;
+use amlight_core::event::Telemetry;
 use amlight_core::testbed::{Testbed, TestbedConfig};
-use amlight_core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
-use amlight_features::{FeatureSet, FlowTableConfig, ShardedFlowTable};
+use amlight_core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
+use amlight_features::{FeatureSet, FlowTableConfig, FlowUpdate, ShardedFlowTable};
 use amlight_int::IntInstrumenter;
 use amlight_ml::MlpConfig;
 use amlight_net::Trace;
@@ -31,8 +32,9 @@ fn telemetry(packets: usize) -> Vec<amlight_int::TelemetryReport> {
 
 fn bench_sharded_scaling(c: &mut Criterion) {
     let reports = telemetry(50_000);
+    let updates: Vec<FlowUpdate> = reports.iter().map(|r| r.flow_update()).collect();
     let mut g = c.benchmark_group("sharded_flow_table");
-    g.throughput(Throughput::Elements(reports.len() as u64));
+    g.throughput(Throughput::Elements(updates.len() as u64));
     g.sample_size(20);
     for shards in [1usize, 2, 4, 8, 16] {
         g.bench_with_input(
@@ -41,7 +43,7 @@ fn bench_sharded_scaling(c: &mut Criterion) {
             |b, &shards| {
                 b.iter_batched(
                     || ShardedFlowTable::new(FlowTableConfig::default(), shards),
-                    |mut table| table.update_int_batch(&reports),
+                    |mut table| table.apply_batch(&updates),
                     BatchSize::LargeInput,
                 )
             },
@@ -61,10 +63,10 @@ fn bench_batch_detector(c: &mut Criterion) {
             training.extend(lab.replay_class(&lib, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     let bundle = train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: 4,

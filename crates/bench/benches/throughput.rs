@@ -5,6 +5,7 @@
 //! paper's §V asks for: the Rust collector and feature path must sustain
 //! production AmLight volumes (~1.3 M packets/s of telemetry).
 
+use amlight_core::event::Telemetry;
 use amlight_features::{FlowTable, FlowTableConfig};
 use amlight_int::{IntCollector, IntInstrumenter};
 use amlight_net::{Decode, Encode, Packet, PacketBuilder, Trace, TrafficClass};
@@ -126,12 +127,12 @@ fn bench_flow_table(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("flow_table");
     g.throughput(Throughput::Elements(reports.len() as u64));
-    g.bench_function("update_int_20k", |b| {
+    g.bench_function("flow_apply_20k", |b| {
         b.iter_batched(
             || FlowTable::new(FlowTableConfig::default()),
             |mut table| {
                 for r in &reports {
-                    table.update_int(std::hint::black_box(r));
+                    table.apply(&std::hint::black_box(r).flow_update());
                 }
                 table.len()
             },
@@ -149,10 +150,10 @@ fn bench_flow_table(c: &mut Criterion) {
             |(mut table, mut buf)| {
                 let mut acc = 0.0f64;
                 for r in &reports {
-                    let (_, rec) = table.update_int(r);
+                    let (_, rec) = table.apply(&r.flow_update());
                     buf.clear();
                     rec.features()
-                        .project_into(amlight_features::FeatureSet::Int, &mut buf);
+                        .project_into(amlight_features::FeatureSet::full(), &mut buf);
                     acc += buf[1];
                 }
                 acc

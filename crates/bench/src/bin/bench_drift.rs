@@ -43,7 +43,7 @@ use amlight_bench::util::{arg_seed, banner, flag_fast};
 use amlight_core::epoch::EpochHandle;
 use amlight_core::runtime::{AdaptConfig, ThreadedPipeline};
 use amlight_core::source::ReplaySource;
-use amlight_core::trainer::{dataset_from_int, train_bundle, ModelBundle, TrainerConfig};
+use amlight_core::trainer::{dataset_from_events, train_bundle, ModelBundle, TrainerConfig};
 use amlight_core::verdict::RecallCounts;
 use amlight_core::DriftConfig;
 use amlight_features::FeatureSet;
@@ -402,8 +402,8 @@ fn main() {
     // distribution the stream then drifts away from.
     let train = segment(0, segments, pairs);
     let bundle = train_bundle(
-        &dataset_from_int(&train, FeatureSet::Int),
-        FeatureSet::Int,
+        &dataset_from_events(&train, FeatureSet::full()),
+        FeatureSet::full(),
         &trainer_config(fast),
     );
 

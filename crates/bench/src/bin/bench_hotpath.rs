@@ -10,7 +10,7 @@
 
 use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
 use amlight_core::testbed::{Testbed, TestbedConfig};
-use amlight_core::trainer::{dataset_from_int, train_bundle, TrainerConfig, VoteScratch};
+use amlight_core::trainer::{dataset_from_events, train_bundle, TrainerConfig, VoteScratch};
 use amlight_features::FeatureSet;
 use amlight_ml::model::BinaryClassifier;
 use amlight_ml::{
@@ -96,14 +96,14 @@ fn main() {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     let mut scaled = raw.clone();
     let _ = StandardScaler::fit_transform(&mut scaled);
     let nf = scaled.n_features();
 
     let bundle = train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: if fast { 4 } else { 8 },

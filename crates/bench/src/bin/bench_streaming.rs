@@ -22,10 +22,11 @@
 //! Usage: `bench_streaming [--fast] [--seed N] [--check-allocs]`
 
 use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
+use amlight_core::event::Telemetry;
 use amlight_core::runtime::ThreadedPipeline;
 use amlight_core::source::ChannelSource;
 use amlight_core::testbed::{Testbed, TestbedConfig};
-use amlight_core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight_core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight_features::reference::HashFlowTable;
 use amlight_features::{FeatureSet, FlowTable, FlowTableConfig};
 use amlight_int::{IntCollector, TelemetryReport};
@@ -92,7 +93,7 @@ fn baseline_pass(stream: &[u8], table: &mut HashFlowTable, set: FeatureSet) -> u
     let mut n = 0u64;
     for chunk in stream.chunks(INGEST_CHUNK) {
         for r in collector.ingest(chunk) {
-            let (_, rec) = table.update_int(&r);
+            let (_, rec) = table.apply(&r.flow_update());
             std::hint::black_box(rec.features().project(set));
             n += 1;
         }
@@ -115,7 +116,7 @@ fn optimized_pass(
         scratch.clear();
         collector.ingest_into(chunk, scratch);
         for r in scratch.iter() {
-            let (_, rec) = table.update_int(r);
+            let (_, rec) = table.apply(&r.flow_update());
             row.clear();
             rec.features().project_into(set, row);
             std::hint::black_box(&row);
@@ -144,7 +145,7 @@ fn bench_ingest_stage(
     check_allocs: bool,
 ) -> IngestStageReport {
     let stream = IntCollector::encode_stream(reports);
-    let set = FeatureSet::Int;
+    let set = FeatureSet::full();
     let cfg = FlowTableConfig::default();
     let n_chunks = stream.len().div_ceil(INGEST_CHUNK);
 
@@ -169,7 +170,7 @@ fn bench_ingest_stage(
         for chunk in stream.chunks(INGEST_CHUNK) {
             let t = Instant::now();
             for r in collector.ingest(chunk) {
-                let (_, rec) = base_table.update_int(&r);
+                let (_, rec) = base_table.apply(&r.flow_update());
                 std::hint::black_box(rec.features().project(set));
             }
             base_lat.push(t.elapsed().as_secs_f64());
@@ -217,7 +218,7 @@ fn bench_ingest_stage(
         scratch.clear();
         collector.ingest_into(chunk, &mut scratch);
         for r in scratch.iter() {
-            let (_, rec) = opt_table.update_int(r);
+            let (_, rec) = opt_table.apply(&r.flow_update());
             row.clear();
             rec.features().project_into(set, &mut row);
             std::hint::black_box(&row);
@@ -287,10 +288,10 @@ fn main() {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     let bundle = train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: if fast { 4 } else { 10 },

@@ -1,46 +1,61 @@
 //! Telemetry backends head to head through the *shared* streaming
-//! pipeline: the same Fig. 2 module threads, once fed INT reports and
-//! once fed sFlow samples of the identical SlowLoris-bearing capture.
+//! pipeline: the same Fig. 2 module threads fed every backend in the
+//! registry's view of the identical SlowLoris-bearing capture — INT
+//! reports, sFlow samples, and PINT digest reports at several per-packet
+//! bit budgets.
 //!
 //! This is the paper's central comparison (Fig. 5) run end to end
-//! instead of classifier-only: each backend gets a bundle trained on
-//! its own view, labels ride the channels, and the aggregation stage
-//! scores every smoothed verdict against ground truth — so the
-//! `recall` fields below are streaming-run recall, with warm-up
-//! (`Pending`) verdicts counted as misses. Sampling starves sFlow of
-//! per-flow updates (SlowLoris especially), so its flows rarely leave
-//! the smoothing warm-up: the expected artifact is
-//! `gap.holds == true` (sFlow recall strictly below INT recall).
+//! instead of classifier-only, widened into an overhead–recall
+//! frontier: each point prices its backend in bits per packet
+//! ([`TelemetryBackend::bits_per_packet`]) and scores streaming-run
+//! recall, with warm-up (`Pending`) verdicts counted as misses.
+//! Sampling starves sFlow of per-flow updates (SlowLoris especially),
+//! so its flows rarely leave the smoothing warm-up; PINT keeps
+//! per-packet coverage for a few bits per packet, so it sits between
+//! sFlow and INT on recall at a tiny fraction of INT's overhead. The
+//! machine-checked invariant is the frontier ordering
+//! `INT ≥ PINT@k ≥ sFlow` (non-strict) for every PINT budget.
 //!
 //! Writes `results/telemetry.json`.
 //!
 //! Usage: `bench_telemetry [--fast] [--seed N] [--period N] [--check]`
 //!
 //! `--check` re-reads the committed `results/telemetry.json` and
-//! validates its schema and the recall gap without running anything —
-//! the CI drift gate.
+//! validates its schema and the frontier ordering without running
+//! anything — the CI drift gate.
 
 use amlight_bench::util::{arg_seed, banner, flag_fast, results_dir, write_json};
+use amlight_core::event::{TelemetryBackend, ViewOptions};
 use amlight_core::runtime::{ThreadedPipeline, ThreadedRunStats};
-use amlight_core::source::{EventSource, ReplaySource, SflowReplaySource};
+use amlight_core::source::{EventReplaySource, EventSource};
 use amlight_core::testbed::{Testbed, TestbedConfig};
-use amlight_core::trainer::{
-    dataset_from_int, dataset_from_sflow, train_bundle, ModelBundle, TrainerConfig,
-};
-use amlight_features::FeatureSet;
+use amlight_core::trainer::{dataset_from_labeled, train_bundle, ModelBundle, TrainerConfig};
 use amlight_ml::{MlpConfig, RandomForestConfig};
 use amlight_net::TrafficClass;
-use amlight_sflow::{SamplingMode, SflowAgent};
 use amlight_traffic::{TrafficMix, TrafficMixConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Per-backend streaming outcome — one row of the comparison.
+/// The PINT per-packet budgets swept into the frontier.
+const PINT_BITS: [u8; 3] = [5, 8, 12];
+
+/// Recall comparisons tolerate this much jitter — the gate is a
+/// non-strict ordering, not a measurement-noise trap.
+const RECALL_EPS: f64 = 1e-9;
+
+/// One point on the overhead–recall frontier.
 #[derive(Debug, Serialize, Deserialize)]
-struct BackendRecord {
+struct FrontierPoint {
+    /// Display label: `int`, `pint@5`, …, `sflow`.
+    label: String,
+    /// Registry name ([`TelemetryBackend::name`]).
     backend: String,
-    /// Telemetry events the pipeline ingested (INT reports or sFlow
-    /// samples — the sampling loss shows up right here).
+    /// PINT digest budget, when this point is a PINT sweep member.
+    pint_bits: Option<u8>,
+    /// Telemetry overhead at the capture's hop count, bits per packet.
+    bits_per_packet: f64,
+    /// Telemetry events the pipeline ingested (the sampling loss shows
+    /// up right here).
     events_in: u64,
     predictions: u64,
     attack_updates: u64,
@@ -62,12 +77,16 @@ struct ClassCoverage {
 }
 
 /// The headline artifact: the paper's qualitative Fig. 5 result as a
-/// machine-checkable invariant.
+/// machine-checkable invariant, widened across the registry.
 #[derive(Debug, Serialize, Deserialize)]
 struct RecallGap {
     int_recall: f64,
     sflow_recall: f64,
-    /// sFlow strictly below INT on the same capture.
+    /// Worst PINT recall across the bit sweep.
+    pint_min_recall: f64,
+    /// Best PINT recall across the bit sweep.
+    pint_max_recall: f64,
+    /// `INT ≥ PINT@k ≥ sFlow` (non-strict) for every swept budget.
     holds: bool,
 }
 
@@ -77,7 +96,11 @@ struct TelemetryReportJson {
     fast: bool,
     /// sFlow sampling period (1-in-N).
     sample_period: u32,
-    backends: Vec<BackendRecord>,
+    /// PINT budgets swept.
+    pint_bits: Vec<u8>,
+    /// Switch path length the bits-per-packet pricing assumed.
+    hops: usize,
+    frontier: Vec<FrontierPoint>,
     gap: RecallGap,
 }
 
@@ -90,6 +113,78 @@ fn arg_period(default: u32) -> u32 {
         .unwrap_or(default)
 }
 
+/// The frontier ordering gate, shared between the live run's printout
+/// and `--check`.
+fn gate(report: &TelemetryReportJson) -> Result<(), String> {
+    let point = |label: &str| {
+        report
+            .frontier
+            .iter()
+            .find(|p| p.label == label)
+            .ok_or_else(|| format!("point `{label}` missing from the frontier"))
+    };
+    let int = point("int")?;
+    let sflow = point("sflow")?;
+    let pints: Vec<&FrontierPoint> = report
+        .frontier
+        .iter()
+        .filter(|p| p.backend == "pint")
+        .collect();
+    if pints.len() < 3 {
+        return Err(format!(
+            "frontier has {} PINT points, need at least 3 bit budgets",
+            pints.len()
+        ));
+    }
+    for p in report.frontier.iter() {
+        if p.events_in == 0 {
+            return Err(format!("point `{}` ingested nothing", p.label));
+        }
+        if p.coverage.is_empty() {
+            return Err(format!("point `{}` has no per-class coverage", p.label));
+        }
+        if !(p.recall.is_finite() && (0.0..=1.0).contains(&p.recall)) {
+            return Err(format!(
+                "point `{}` recall {} out of range",
+                p.label, p.recall
+            ));
+        }
+        if !(p.bits_per_packet.is_finite() && p.bits_per_packet > 0.0) {
+            return Err(format!(
+                "point `{}` bits/packet {} out of range",
+                p.label, p.bits_per_packet
+            ));
+        }
+    }
+    for p in &pints {
+        if p.recall > int.recall + RECALL_EPS {
+            return Err(format!(
+                "frontier inverted: {} recall {:.4} above INT {:.4}",
+                p.label, p.recall, int.recall
+            ));
+        }
+        if p.recall + RECALL_EPS < sflow.recall {
+            return Err(format!(
+                "frontier inverted: {} recall {:.4} below sFlow {:.4}",
+                p.label, p.recall, sflow.recall
+            ));
+        }
+        if p.bits_per_packet >= int.bits_per_packet {
+            return Err(format!(
+                "{} costs {:.1} bits/packet, not below INT's {:.1}",
+                p.label, p.bits_per_packet, int.bits_per_packet
+            ));
+        }
+    }
+    if sflow.recall > int.recall + RECALL_EPS {
+        return Err(format!(
+            "recall gap inverted: INT {} vs sFlow {}",
+            int.recall, sflow.recall
+        ));
+    }
+    Ok(())
+}
+
 /// `--check`: validate the committed artifact instead of running.
 fn check_committed() -> Result<(), String> {
     let path = results_dir().join("telemetry.json");
@@ -97,34 +192,18 @@ fn check_committed() -> Result<(), String> {
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let report: TelemetryReportJson = serde_json::from_str(&json)
         .map_err(|e| format!("schema drift in {}: {e}", path.display()))?;
-    for backend in ["int", "sflow"] {
-        let rec = report
-            .backends
-            .iter()
-            .find(|b| b.backend == backend)
-            .ok_or_else(|| format!("backend `{backend}` missing from {}", path.display()))?;
-        if rec.events_in == 0 {
-            return Err(format!("backend `{backend}` ingested nothing"));
-        }
-        if rec.coverage.is_empty() {
-            return Err(format!("backend `{backend}` has no per-class coverage"));
-        }
-        if !(rec.recall.is_finite() && (0.0..=1.0).contains(&rec.recall)) {
-            return Err(format!(
-                "backend `{backend}` recall {} out of range",
-                rec.recall
-            ));
-        }
-    }
+    gate(&report)?;
     if !report.gap.holds {
-        return Err(format!(
-            "recall gap inverted: INT {} vs sFlow {}",
-            report.gap.int_recall, report.gap.sflow_recall
-        ));
+        return Err("gap.holds is false in the committed artifact".to_string());
     }
     println!(
-        "telemetry.json ok: INT recall {:.4} > sFlow recall {:.4} (period {})",
-        report.gap.int_recall, report.gap.sflow_recall, report.sample_period
+        "telemetry.json ok: INT {:.4} ≥ PINT [{:.4}, {:.4}] ≥ sFlow {:.4} (period {}, bits {:?})",
+        report.gap.int_recall,
+        report.gap.pint_min_recall,
+        report.gap.pint_max_recall,
+        report.gap.sflow_recall,
+        report.sample_period,
+        report.pint_bits,
     );
     Ok(())
 }
@@ -143,12 +222,15 @@ fn trainer_config(fast: bool) -> TrainerConfig {
     }
 }
 
-fn run_backend<S, L>(
-    name: &str,
+fn run_point<S, L>(
+    label: &str,
+    backend: TelemetryBackend,
+    pint_bits: Option<u8>,
+    bits_per_packet: f64,
     bundle: ModelBundle,
     source: S,
     labeled_events: L,
-) -> (BackendRecord, ThreadedRunStats)
+) -> (FrontierPoint, ThreadedRunStats)
 where
     S: EventSource + 'static,
     L: Iterator<Item = TrafficClass>,
@@ -162,13 +244,16 @@ where
     let stats = match pipe.start(source).join() {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("{name} run failed: {e}");
+            eprintln!("{label} run failed: {e}");
             std::process::exit(1);
         }
     };
     let wall = start.elapsed().as_secs_f64();
-    let rec = BackendRecord {
-        backend: name.to_string(),
+    let rec = FrontierPoint {
+        label: label.to_string(),
+        backend: backend.name().to_string(),
+        pint_bits,
+        bits_per_packet,
         events_in: stats.events_in,
         predictions: stats.predictions,
         attack_updates: stats.labeled.attack_updates,
@@ -209,61 +294,78 @@ fn main() {
     let train_trace = TrafficMix::new(TrafficMixConfig::paper_capture(day_len, seed)).generate();
     let test_trace =
         TrafficMix::new(TrafficMixConfig::paper_capture(day_len, seed ^ 0x5F10)).generate();
-
-    // Each backend observes the same packets its own way and trains on
-    // its own view — the paper's deployment reality, not a handicap.
-    let int_train = lab.run_labeled(&train_trace);
-    let int_test = lab.run_labeled(&test_trace);
-    let mut train_agent = SflowAgent::new(SamplingMode::RandomSkip { period }, seed);
-    let sflow_train =
-        train_agent.sample_stream(train_trace.iter().map(|r| (r.ts_ns, &r.packet, r.class)));
-    let mut test_agent = SflowAgent::new(SamplingMode::RandomSkip { period }, seed ^ 0x5F10);
-    let sflow_test =
-        test_agent.sample_stream(test_trace.iter().map(|r| (r.ts_ns, &r.packet, r.class)));
+    let train_labeled = lab.run_labeled(&train_trace);
+    let test_labeled = lab.run_labeled(&test_trace);
+    let hops = train_labeled
+        .first()
+        .map(|(r, _)| r.hops.len())
+        .unwrap_or(1);
 
     banner(&format!(
-        "telemetry backends through the shared pipeline (period 1-in-{period})"
+        "telemetry frontier through the shared pipeline (sFlow 1-in-{period}, PINT {PINT_BITS:?} bits)"
     ));
     println!(
-        "train: {} INT reports vs {} sFlow samples; test: {} vs {}",
-        int_train.len(),
-        sflow_train.len(),
-        int_test.len(),
-        sflow_test.len()
+        "capture: {} train / {} test INT reports over {hops} hop(s)",
+        train_labeled.len(),
+        test_labeled.len()
     );
 
-    let int_bundle = train_bundle(
-        &dataset_from_int(&int_train, FeatureSet::Int),
-        FeatureSet::Int,
-        &trainer_config(fast),
-    );
-    let sflow_bundle = train_bundle(
-        &dataset_from_sflow(&sflow_train),
-        FeatureSet::Sflow,
-        &trainer_config(fast),
-    );
+    // The sweep: every registry backend, PINT at several bit budgets.
+    // Each point derives its own training view and its own test view of
+    // the same two captures — the paper's deployment reality, not a
+    // handicap.
+    let mut sweep: Vec<(String, TelemetryBackend, Option<u8>)> = Vec::new();
+    for backend in TelemetryBackend::ALL {
+        match backend {
+            TelemetryBackend::Pint => {
+                for bits in PINT_BITS {
+                    sweep.push((format!("pint@{bits}"), backend, Some(bits)));
+                }
+            }
+            _ => sweep.push((backend.name().to_string(), backend, None)),
+        }
+    }
 
-    let (int_rec, _) = run_backend(
-        "int",
-        int_bundle,
-        ReplaySource::from_labeled(&int_test),
-        int_test.iter().map(|(_, c)| *c),
-    );
-    let (sflow_rec, _) = run_backend(
-        "sflow",
-        sflow_bundle,
-        SflowReplaySource::from_labeled(&sflow_test),
-        sflow_test.iter().map(|(_, c)| *c),
-    );
+    let mut frontier = Vec::new();
+    for (label, backend, bits) in sweep {
+        let opts = ViewOptions {
+            sample_period: period,
+            pint_bits: bits.unwrap_or(8),
+            seed,
+        };
+        let train_view = backend.derive_view(&train_labeled, &opts);
+        let test_opts = ViewOptions {
+            seed: seed ^ 0x5F10,
+            ..opts
+        };
+        let test_view = backend.derive_view(&test_labeled, &test_opts);
+        let bundle = train_bundle(
+            &dataset_from_labeled(&train_view, backend.feature_set()),
+            backend.feature_set(),
+            &trainer_config(fast),
+        );
+        let truths: Vec<TrafficClass> = test_view.iter().filter_map(|e| e.truth).collect();
+        let (rec, _) = run_point(
+            &label,
+            backend,
+            bits,
+            backend.bits_per_packet(hops, &opts),
+            bundle,
+            EventReplaySource::new(test_view),
+            truths.into_iter(),
+        );
+        frontier.push(rec);
+    }
 
     println!(
-        "{:>7} {:>10} {:>12} {:>9} {:>9} {:>12}",
-        "backend", "events", "predictions", "recall", "far", "events/s"
+        "{:>8} {:>12} {:>10} {:>12} {:>9} {:>9} {:>12}",
+        "point", "bits/pkt", "events", "predictions", "recall", "far", "events/s"
     );
-    for rec in [&int_rec, &sflow_rec] {
+    for rec in &frontier {
         println!(
-            "{:>7} {:>10} {:>12} {:>9.4} {:>9.4} {:>12.0}",
-            rec.backend,
+            "{:>8} {:>12.2} {:>10} {:>12} {:>9.4} {:>9.4} {:>12.0}",
+            rec.label,
+            rec.bits_per_packet,
             rec.events_in,
             rec.predictions,
             rec.recall,
@@ -272,37 +374,61 @@ fn main() {
         );
     }
     println!("\ncoverage per class (labeled events offered):");
-    for (i, c) in int_rec.coverage.iter().enumerate() {
-        println!(
-            "  {:<10} INT {:>8}   sFlow {:>6}",
-            c.class, c.events, sflow_rec.coverage[i].events
-        );
+    for (i, c) in frontier[0].coverage.iter().enumerate() {
+        print!("  {:<10}", c.class);
+        for rec in &frontier {
+            print!(" {}={:>8}", rec.label, rec.coverage[i].events);
+        }
+        println!();
     }
 
-    let gap = RecallGap {
-        int_recall: int_rec.recall,
-        sflow_recall: sflow_rec.recall,
-        holds: sflow_rec.recall < int_rec.recall,
+    let recall_of = |label: &str| {
+        frontier
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.recall)
+            .unwrap_or(f64::NAN)
     };
-    println!(
-        "\nrecall gap: INT {:.4} vs sFlow {:.4} → {}",
-        gap.int_recall,
-        gap.sflow_recall,
-        if gap.holds {
-            "sampling loses detections (paper Fig. 5)"
-        } else {
-            "UNEXPECTED: no gap on this seed"
-        }
-    );
-
-    write_json(
-        "telemetry",
-        &TelemetryReportJson {
-            seed,
-            fast,
-            sample_period: period,
-            backends: vec![int_rec, sflow_rec],
-            gap,
+    let pint_recalls: Vec<f64> = frontier
+        .iter()
+        .filter(|p| p.backend == "pint")
+        .map(|p| p.recall)
+        .collect();
+    let report = TelemetryReportJson {
+        seed,
+        fast,
+        sample_period: period,
+        pint_bits: PINT_BITS.to_vec(),
+        hops,
+        gap: RecallGap {
+            int_recall: recall_of("int"),
+            sflow_recall: recall_of("sflow"),
+            pint_min_recall: pint_recalls.iter().copied().fold(f64::INFINITY, f64::min),
+            pint_max_recall: pint_recalls
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+            holds: false, // stamped below, from the shared gate
         },
-    );
+        frontier,
+    };
+    let mut report = report;
+    let verdict = gate(&report);
+    report.gap.holds = verdict.is_ok();
+    match &verdict {
+        Ok(()) => println!(
+            "\nfrontier holds: INT {:.4} ≥ PINT [{:.4}, {:.4}] ≥ sFlow {:.4} \
+             (telemetry budget buys recall back — paper Fig. 5, priced)",
+            report.gap.int_recall,
+            report.gap.pint_min_recall,
+            report.gap.pint_max_recall,
+            report.gap.sflow_recall,
+        ),
+        Err(e) => println!("\nUNEXPECTED: frontier ordering failed on this seed: {e}"),
+    }
+
+    write_json("telemetry", &report);
+    if verdict.is_err() {
+        std::process::exit(1);
+    }
 }

@@ -20,7 +20,7 @@ use amlight_bench::tables::table5_importance;
 use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
 use amlight_core::pipeline::{DetectionPipeline, PipelineConfig};
 use amlight_core::testbed::{Testbed, TestbedConfig};
-use amlight_core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight_core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight_features::FeatureSet;
 use amlight_ml::model::BinaryClassifier;
 use amlight_ml::{GbtConfig, GradientBoost, MlpConfig, StandardScaler};
@@ -100,10 +100,10 @@ fn trained(fast: bool, seed: u64) -> Trained {
             training.extend(lab.replay_class(&train_lib, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     let bundle = train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: if fast { 6 } else { 20 },
@@ -128,7 +128,7 @@ fn ensemble_ablation(
 ) {
     banner("Ablation 2 — ensemble vote vs single models (zero-day SlowLoris)");
     let labeled = lab.replay_class(test_lib, TrafficClass::SlowLoris);
-    let raw = dataset_from_int(&labeled, FeatureSet::Int);
+    let raw = dataset_from_events(&labeled, FeatureSet::full());
     let mut scaled = raw.clone();
     bundle.scaler.transform(&mut scaled);
 
@@ -141,7 +141,7 @@ fn ensemble_ablation(
             train_labeled.extend(lab.replay_class(&train_lib, class));
         }
     }
-    let train_raw = dataset_from_int(&train_labeled, FeatureSet::Int);
+    let train_raw = dataset_from_events(&train_labeled, FeatureSet::full());
     let mut train_scaled = train_raw.clone();
     let scaler = StandardScaler::fit(&train_raw);
     scaler.transform(&mut train_scaled);

@@ -15,8 +15,8 @@
 
 use amlight_bench::capture::{ExperimentCapture, ExperimentConfig};
 use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
-use amlight_core::trainer::{dataset_from_int, dataset_from_sflow};
-use amlight_features::FeatureSet;
+use amlight_core::trainer::dataset_from_events;
+use amlight_features::{FeatureId, FeatureSet};
 use amlight_ml::model::BinaryClassifier;
 use amlight_ml::{Dataset, RandomForest, RandomForestConfig, StandardScaler};
 use amlight_net::{Trace, TrafficClass};
@@ -82,6 +82,11 @@ fn evaluate(name: &str, raw: &Dataset, fast: bool, seed: u64, rows: &mut Vec<ser
     }));
 }
 
+/// The queue-blind projection sFlow populates (12 of 15 columns).
+fn sflow_set() -> FeatureSet {
+    FeatureSet::full().without(&FeatureId::QUEUE_COLUMNS)
+}
+
 fn main() {
     let fast = flag_fast();
     let mut cfg = if fast {
@@ -102,14 +107,14 @@ fn main() {
     let mut rows = Vec::new();
     evaluate(
         "INT",
-        &dataset_from_int(&cap.int, FeatureSet::Int),
+        &dataset_from_events(&cap.int, FeatureSet::full()),
         fast,
         seed,
         &mut rows,
     );
     evaluate(
         "sFlow 1/64",
-        &dataset_from_sflow(&cap.sflow),
+        &dataset_from_events(&cap.sflow, sflow_set()),
         fast,
         seed,
         &mut rows,

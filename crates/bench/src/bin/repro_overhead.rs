@@ -10,7 +10,7 @@
 
 use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
 use amlight_core::testbed::{Testbed, TestbedConfig};
-use amlight_core::trainer::dataset_from_int;
+use amlight_core::trainer::dataset_from_events;
 use amlight_features::FeatureSet;
 use amlight_int::{BudgetedTelemetry, TelemetryBudget};
 use amlight_ml::model::BinaryClassifier;
@@ -68,7 +68,7 @@ fn main() {
         let coverage = thinned.iter().filter(|(r, _)| !r.hops.is_empty()).count() as f64
             / thinned.len().max(1) as f64;
 
-        let raw = dataset_from_int(&thinned, FeatureSet::Int);
+        let raw = dataset_from_events(&thinned, FeatureSet::full());
         let (train_raw, test_raw) = raw.train_test_split(0.9, seed ^ 0x90);
         let mut train = train_raw.clone();
         let scaler = StandardScaler::fit_transform(&mut train);

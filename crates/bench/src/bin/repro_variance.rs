@@ -9,8 +9,8 @@
 
 use amlight_bench::capture::{ExperimentCapture, ExperimentConfig};
 use amlight_bench::util::{arg_seed, banner, flag_fast, write_json};
-use amlight_core::trainer::{dataset_from_int, dataset_from_sflow};
-use amlight_features::FeatureSet;
+use amlight_core::trainer::dataset_from_events;
+use amlight_features::{FeatureId, FeatureSet};
 use amlight_ml::{
     cross_validate, CvReport, Dataset, GaussianNb, Mlp, MlpConfig, RandomForest,
     RandomForestConfig, StandardScaler,
@@ -78,6 +78,11 @@ fn suite(
     );
 }
 
+/// The queue-blind projection sFlow populates (12 of 15 columns).
+fn sflow_set() -> FeatureSet {
+    FeatureSet::full().without(&FeatureId::QUEUE_COLUMNS)
+}
+
 fn main() {
     let fast = flag_fast();
     let mut cfg = if fast {
@@ -90,8 +95,8 @@ fn main() {
     let k = 5;
 
     let cap = ExperimentCapture::generate(cfg);
-    let int = scaled(&dataset_from_int(&cap.int, FeatureSet::Int));
-    let sflow = scaled(&dataset_from_sflow(&cap.sflow));
+    let int = scaled(&dataset_from_events(&cap.int, FeatureSet::full()));
+    let sflow = scaled(&dataset_from_events(&cap.sflow, sflow_set()));
     eprintln!("INT rows: {}, sFlow rows: {}", int.len(), sflow.len());
 
     banner(&format!(

@@ -2,12 +2,17 @@
 
 use crate::capture::ExperimentCapture;
 use amlight_core::pipeline::PipelineReport;
-use amlight_core::trainer::{dataset_from_int, dataset_from_sflow};
-use amlight_features::FeatureSet;
+use amlight_core::trainer::dataset_from_events;
+use amlight_features::{FeatureId, FeatureSet};
 use amlight_ml::model::BinaryClassifier;
 use amlight_ml::{ConfusionMatrix, RandomForest, RandomForestConfig, StandardScaler};
 use amlight_net::TrafficClass;
 use serde::{Deserialize, Serialize};
+
+/// The queue-blind projection sFlow populates (12 of 15 columns).
+fn sflow_set() -> FeatureSet {
+    FeatureSet::full().without(&FeatureId::QUEUE_COLUMNS)
+}
 
 /// **Figs. 3 & 4**: confusion matrices of the Random Forest model on INT
 /// and sFlow test sets (90:10 split).
@@ -34,8 +39,11 @@ pub fn fig3_4_confusions(
         RandomForest::fit(&train, &cfg, seed).evaluate(&test)
     };
 
-    let int = run(&dataset_from_int(&cap.int, FeatureSet::Int), seed ^ 0x90);
-    let sflow = run(&dataset_from_sflow(&cap.sflow), seed ^ 0x91);
+    let int = run(
+        &dataset_from_events(&cap.int, FeatureSet::full()),
+        seed ^ 0x90,
+    );
+    let sflow = run(&dataset_from_events(&cap.sflow, sflow_set()), seed ^ 0x91);
     (int, sflow)
 }
 
@@ -71,8 +79,8 @@ pub fn fig5_timeline(cap: &ExperimentCapture, buckets: usize, fast: bool) -> Vec
     };
 
     // Train RF on a 90% split of each view; predict the full stream.
-    let int_raw = dataset_from_int(&cap.int, FeatureSet::Int);
-    let sf_raw = dataset_from_sflow(&cap.sflow);
+    let int_raw = dataset_from_events(&cap.int, FeatureSet::full());
+    let sf_raw = dataset_from_events(&cap.sflow, sflow_set());
 
     let fit_full = |raw: &amlight_ml::Dataset, split_seed: u64| {
         let (train_raw, _) = raw.train_test_split(0.9, split_seed);

@@ -3,7 +3,7 @@
 use crate::capture::ExperimentCapture;
 use amlight_core::pipeline::{DetectionPipeline, PipelineConfig};
 use amlight_core::testbed::{Testbed, TestbedConfig};
-use amlight_core::trainer::{dataset_from_int, dataset_from_sflow, train_bundle, TrainerConfig};
+use amlight_core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight_features::{FeatureId, FeatureSet};
 use amlight_ml::model::BinaryClassifier;
 use amlight_ml::{
@@ -13,6 +13,11 @@ use amlight_ml::{
 use amlight_net::TrafficClass;
 use amlight_traffic::{AttackKind, EpisodeSchedule, ReplayLibrary};
 use serde::{Deserialize, Serialize};
+
+/// The queue-blind projection sFlow populates (12 of 15 columns).
+fn sflow_set() -> FeatureSet {
+    FeatureSet::full().without(&FeatureId::QUEUE_COLUMNS)
+}
 
 /// One row of Tables III/IV.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,8 +111,8 @@ fn evaluate_suite(
 /// **Table III**: INT vs sFlow across four models, 90:10 random split.
 pub fn table3_comparison(cap: &ExperimentCapture, fast: bool) -> Vec<MetricsRow> {
     let seed = cap.config.seed;
-    let int_raw = dataset_from_int(&cap.int, FeatureSet::Int);
-    let sflow_raw = dataset_from_sflow(&cap.sflow);
+    let int_raw = dataset_from_events(&cap.int, FeatureSet::full());
+    let sflow_raw = dataset_from_events(&cap.sflow, sflow_set());
 
     let (int_train, int_test) = int_raw.train_test_split(0.9, seed ^ 0x90);
     let (sf_train, sf_test) = sflow_raw.train_test_split(0.9, seed ^ 0x91);
@@ -132,10 +137,10 @@ pub fn table4_zero_day(cap: &ExperimentCapture, fast: bool) -> Vec<MetricsRow> {
     let (int_train_l, int_test_l) = cap.int_split_by_day();
     let (sf_train_l, sf_test_l) = cap.sflow_split_by_day();
 
-    let int_train = dataset_from_int(&int_train_l, FeatureSet::Int);
-    let int_test = dataset_from_int(&int_test_l, FeatureSet::Int);
-    let sf_train = dataset_from_sflow(&sf_train_l);
-    let sf_test = dataset_from_sflow(&sf_test_l);
+    let int_train = dataset_from_events(&int_train_l, FeatureSet::full());
+    let int_test = dataset_from_events(&int_test_l, FeatureSet::full());
+    let sf_train = dataset_from_events(&sf_train_l, sflow_set());
+    let sf_test = dataset_from_events(&sf_test_l, sflow_set());
 
     let mut rows = evaluate_suite("INT", &int_train, &int_test, fast, seed);
     rows.extend(evaluate_suite("sFlow", &sf_train, &sf_test, fast, seed));
@@ -163,7 +168,7 @@ pub struct ImportanceRow {
 /// importance on a held-out subsample.
 pub fn table5_importance(cap: &ExperimentCapture, fast: bool) -> Vec<ImportanceRow> {
     let seed = cap.config.seed;
-    let raw = dataset_from_int(&cap.int, FeatureSet::Int);
+    let raw = dataset_from_events(&cap.int, FeatureSet::full());
     let (train_raw, test_raw) = raw.train_test_split(0.9, seed ^ 0x90);
     let mut train = train_raw.clone();
     let scaler = StandardScaler::fit_transform(&mut train);
@@ -171,7 +176,7 @@ pub fn table5_importance(cap: &ExperimentCapture, fast: bool) -> Vec<ImportanceR
     let mut test = test_raw.subsample((4_000.0 / test_raw.len() as f64).clamp(0.01, 1.0), seed);
     scaler.transform(&mut test);
 
-    let names: Vec<String> = FeatureSet::Int
+    let names: Vec<String> = FeatureSet::full()
         .features()
         .iter()
         .map(|f| f.name().to_string())
@@ -262,7 +267,7 @@ pub fn table6_automated(
         }
         train_labeled.extend(lab.replay_class(&train_lib, class));
     }
-    let train_raw = dataset_from_int(&train_labeled, FeatureSet::Int);
+    let train_raw = dataset_from_events(&train_labeled, FeatureSet::full());
     let trainer_cfg = TrainerConfig {
         mlp: MlpConfig {
             epochs: if fast { 5 } else { 20 },
@@ -279,7 +284,7 @@ pub fn table6_automated(
         },
         seed,
     };
-    let bundle = train_bundle(&train_raw, FeatureSet::Int, &trainer_cfg);
+    let bundle = train_bundle(&train_raw, FeatureSet::full(), &trainer_cfg);
 
     // Replay each class and run the pipeline.
     let library = ReplayLibrary::build(packets_per_class, seed ^ 0x6);
@@ -344,7 +349,11 @@ pub fn table2_features() -> Vec<String> {
             format!(
                 "{:<26} INT: ✓   sFlow: {}",
                 f.name(),
-                if f.requires_int() { "✗" } else { "✓" }
+                if sflow_set().contains(f) {
+                    "✓"
+                } else {
+                    "✗"
+                }
             )
         })
         .collect()

@@ -58,12 +58,16 @@ COMMANDS:
     train        train scaler + MLP/RF/GNB bundle from a capture
                    --capture <file>    input capture (default capture.json)
                    --out <file>        bundle path (default bundle.json)
-                   --telemetry <b>     backend view to train on: int | sflow
+                   --telemetry <b>     backend view to train on:
+                                       int | sflow | pint
                                        (default int; sflow resamples the
                                        capture 1-in-N and drops the queue
-                                       features)
+                                       features; pint re-derives hop state
+                                       from k-bit digests)
                    --sample-period <n> sFlow sampling period for --telemetry
                                        sflow (default 256)
+                   --pint-bits <k>     PINT digest width in bits for
+                                       --telemetry pint (default 8)
                    --include-slowloris train on SlowLoris too (default: held
                                        out as the zero-day attack)
                    --emit-meta         print the bundle's stamped metadata
@@ -72,9 +76,10 @@ COMMANDS:
     detect       replay a capture through the detection pipeline
                    --capture <file>    input capture (default capture.json)
                    --bundle <file>     trained bundle (default bundle.json)
-                   --telemetry <b>     backend to replay: int | sflow
+                   --telemetry <b>     backend to replay: int | sflow | pint
                                        (default int; must match the bundle)
                    --sample-period <n> sFlow sampling period (default 256)
+                   --pint-bits <k>     PINT digest width in bits (default 8)
                    --paper-pace        model the paper's prototype latencies
                    --threaded          stream through the threaded runtime
                                        (wall-clock latency) instead of the
@@ -90,7 +95,7 @@ COMMANDS:
                                        tcp://host:port (port 0 = ephemeral)
                                        and detect on whatever arrives; the
                                        wire framing follows --telemetry
-                                       (sflow is UDP-only)
+                                       (sflow and pint are UDP-only)
                    --listeners <n>     SO_REUSEPORT listener threads
                                        (default 1)
                    --duration-ms <n>   listen window (default 10000)
@@ -105,9 +110,10 @@ COMMANDS:
                    --capture <file>    input capture (default capture.json)
                    --to <url>          destination udp://host:port or
                                        tcp://host:port
-                   --telemetry <b>     wire framing: int | sflow
+                   --telemetry <b>     wire framing: int | sflow | pint
                                        (default int; must match the daemon)
                    --sample-period <n> sFlow sampling period (default 256)
+                   --pint-bits <k>     PINT digest width in bits (default 8)
                    --per-datagram <n>  reports per UDP datagram (default 4)
     microburst   scan a capture's queue telemetry for microbursts
                    --capture <file>    input capture (default capture.json)

@@ -1,13 +1,15 @@
 //! The subcommand implementations.
 
 use crate::args::{Args, Command, USAGE};
-use amlight_core::event::{sample_reports, TelemetryBackend};
+use amlight_core::event::{
+    pint_view, sample_reports, TelemetryBackend, TelemetryEvent, ViewOptions,
+};
 use amlight_core::pipeline::{DetectionPipeline, PipelineConfig};
 use amlight_core::runtime::{AdaptConfig, ThreadedPipeline};
-use amlight_core::source::{ReplaySource, SflowReplaySource};
+use amlight_core::source::EventReplaySource;
 use amlight_core::testbed::{Testbed, TestbedConfig};
 use amlight_core::trainer::{
-    dataset_from_int, dataset_from_sflow, train_bundle, ModelBundle, TrainerConfig,
+    dataset_from_events, dataset_from_labeled, train_bundle, ModelBundle, TrainerConfig,
 };
 use amlight_features::FeatureSet;
 use amlight_ingest::{IngestServer, ListenerConfig, WireProtocol};
@@ -118,13 +120,35 @@ fn bad(e: impl fmt::Display) -> CliError {
     CliError::Usage(e.to_string())
 }
 
-/// Parse `--telemetry` (default `int`).
+/// Parse `--telemetry` (default `int`) against the backend registry —
+/// adding a backend to [`TelemetryBackend::ALL`] is all it takes to
+/// surface it here.
 fn telemetry_backend(args: &Args) -> Result<TelemetryBackend, CliError> {
     let name = args.get("telemetry", "int");
     TelemetryBackend::parse(name).ok_or_else(|| {
+        let known: Vec<&str> = TelemetryBackend::ALL.iter().map(|b| b.name()).collect();
         CliError::Usage(format!(
-            "--telemetry expects `int` or `sflow`, got `{name}`"
+            "--telemetry expects one of `{}`, got `{name}`",
+            known.join("`, `"),
         ))
+    })
+}
+
+/// Collect the per-backend view knobs (`--sample-period`,
+/// `--pint-bits`) into one [`ViewOptions`]; backends ignore the knobs
+/// that are not theirs.
+fn view_options(args: &Args, seed: u64) -> Result<ViewOptions, CliError> {
+    let period = args.get_u64("sample-period", 256).map_err(bad)? as u32;
+    let bits = args.get_u64("pint-bits", 8).map_err(bad)?;
+    if bits == 0 || bits > 32 {
+        return Err(CliError::Usage(format!(
+            "--pint-bits expects 1..=32, got {bits}"
+        )));
+    }
+    Ok(ViewOptions {
+        sample_period: period.max(1),
+        pint_bits: bits as u8,
+        seed,
     })
 }
 
@@ -199,9 +223,9 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let bundle_path = args.get("out", "bundle.json").to_string();
     let include_slowloris = args.has("include-slowloris");
     let backend = telemetry_backend(args)?;
-    let period = args.get_u64("sample-period", 256).map_err(bad)? as u32;
 
     let capture = CaptureFile::load(&capture_path)?;
+    let opts = view_options(args, capture.seed)?;
     let training: Vec<_> = capture
         .reports
         .iter()
@@ -225,25 +249,17 @@ fn cmd_train(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     let (window_start, window_end) = training.iter().fold((u64::MAX, 0u64), |(lo, hi), (r, _)| {
         (lo.min(r.export_ns), hi.max(r.export_ns))
     });
-    let raw = match backend {
-        TelemetryBackend::Int => dataset_from_int(&training, FeatureSet::Int),
-        TelemetryBackend::Sflow => {
-            let filtered = CaptureFile {
-                seed: capture.seed,
-                day_len_s: capture.day_len_s,
-                hops: capture.hops,
-                reports: training,
-            };
-            let samples = sflow_view(&filtered, period);
-            writeln!(
-                out,
-                "sFlow 1-in-{period} sampling kept {} of {} reports",
-                samples.len(),
-                filtered.reports.len()
-            )?;
-            dataset_from_sflow(&samples)
-        }
-    };
+    let view = backend.derive_view(&training, &opts);
+    if view.len() != training.len() {
+        writeln!(
+            out,
+            "{} view kept {} of {} reports",
+            backend.name(),
+            view.len(),
+            training.len()
+        )?;
+    }
+    let raw = dataset_from_labeled(&view, backend.feature_set());
     let bundle = train_bundle(
         &raw,
         backend.feature_set(),
@@ -269,10 +285,21 @@ fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         return cmd_detect_listen(args, out);
     }
     let backend = telemetry_backend(args)?;
-    let period = args.get_u64("sample-period", 256).map_err(bad)? as u32;
     let capture = CaptureFile::load(args.get("capture", "capture.json"))?;
+    let opts = view_options(args, capture.seed)?;
     let bundle = ModelBundle::load(args.get("bundle", "bundle.json"))?;
     validate_bundle(&bundle, backend)?;
+
+    let view = backend.derive_view(&capture.reports, &opts);
+    if view.len() != capture.reports.len() {
+        writeln!(
+            out,
+            "{} view kept {} of {} reports",
+            backend.name(),
+            view.len(),
+            capture.reports.len()
+        )?;
+    }
 
     let adapt = args.has("adapt");
     if args.has("threaded") || adapt {
@@ -281,13 +308,7 @@ fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         if adapt {
             pipeline = pipeline.with_adaptation(AdaptConfig::default());
         }
-        let handle = match backend {
-            TelemetryBackend::Int => pipeline.start(ReplaySource::from_labeled(&capture.reports)),
-            TelemetryBackend::Sflow => {
-                let samples = sflow_view(&capture, period);
-                pipeline.start(SflowReplaySource::from_labeled(&samples))
-            }
-        };
+        let handle = pipeline.start(EventReplaySource::new(view));
         let stats = handle.join().map_err(bad)?;
         print_threaded(&stats, backend, out)?;
         if adapt {
@@ -309,19 +330,14 @@ fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     };
 
     let mut pipeline = DetectionPipeline::new(bundle, pace);
-    let report = match backend {
-        TelemetryBackend::Int => pipeline.run_sync(&capture.reports),
-        TelemetryBackend::Sflow => {
-            let samples = sflow_view(&capture, period);
-            writeln!(
-                out,
-                "sFlow 1-in-{period} sampling kept {} of {} reports",
-                samples.len(),
-                capture.reports.len()
-            )?;
-            pipeline.run_sync_sflow(&samples)
-        }
-    };
+    let pairs: Vec<(TelemetryEvent, TrafficClass)> = view
+        .into_iter()
+        .map(|e| {
+            let truth = e.truth.unwrap_or(TrafficClass::Benign);
+            (e.event, truth)
+        })
+        .collect();
+    let report = pipeline.run_sync(&pairs);
     print_detection(&report, out)
 }
 
@@ -347,16 +363,18 @@ fn parse_endpoint(url: &str) -> Result<(bool, std::net::SocketAddr), CliError> {
     Ok((tcp, addr))
 }
 
-/// Map `--telemetry` × URL scheme onto a wire framing.
+/// Map `--telemetry` × URL scheme onto a wire framing. The registry
+/// names the framing ([`TelemetryBackend::wire_name`]) and the ingest
+/// crate parses the same name, so the two ends cannot drift apart.
 fn wire_protocol(backend: TelemetryBackend, tcp: bool) -> Result<WireProtocol, CliError> {
-    match (backend, tcp) {
-        (TelemetryBackend::Sflow, false) => Ok(WireProtocol::SflowUdp),
-        (TelemetryBackend::Sflow, true) => Err(CliError::Usage(
-            "sFlow telemetry is UDP-only; use udp://host:port".to_string(),
-        )),
-        (TelemetryBackend::Int, false) => Ok(WireProtocol::IntUdp),
-        (TelemetryBackend::Int, true) => Ok(WireProtocol::IntTcp),
-    }
+    let name = backend.wire_name(tcp).ok_or_else(|| {
+        CliError::Usage(format!(
+            "{} telemetry is UDP-only; use udp://host:port",
+            backend.name(),
+        ))
+    })?;
+    WireProtocol::parse(name)
+        .ok_or_else(|| CliError::Usage(format!("ingest does not speak `{name}`")))
 }
 
 /// `detect --listen`: run as a live collector daemon. Binds a sharded
@@ -493,11 +511,33 @@ fn cmd_replay(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
                 grams.len(),
             )?;
         }
+        WireProtocol::PintUdp => {
+            let bits = view_options(args, capture.seed)?.pint_bits;
+            let reports: Vec<amlight_pint::PintReport> = pint_view(&capture.reports, bits)
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect();
+            let grams = amlight_pint::batch_into_datagrams(
+                std::net::Ipv4Addr::LOCALHOST,
+                &reports,
+                per_datagram.max(1),
+            );
+            let sock = std::net::UdpSocket::bind("0.0.0.0:0")?;
+            for g in &grams {
+                sock.send_to(g, addr)?;
+            }
+            writeln!(
+                out,
+                "sent {} pint reports ({bits}-bit digests) in {} udp datagrams to {addr}",
+                reports.len(),
+                grams.len(),
+            )?;
+        }
     }
     Ok(())
 }
 
-/// Streaming-path summary: both backends replay through the same
+/// Streaming-path summary: every backend replays through the same
 /// threaded runtime, so the printout is backend-tagged but identical in
 /// shape. Labels rode through the channels, so recall needs no
 /// side-channel lookup.
@@ -628,8 +668,8 @@ fn cmd_demo(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
         .filter(|(_, c)| *c != TrafficClass::SlowLoris)
         .cloned()
         .collect();
-    let raw = dataset_from_int(&training, FeatureSet::Int);
-    let bundle = train_bundle(&raw, FeatureSet::Int, &training_config(true));
+    let raw = dataset_from_events(&training, FeatureSet::full());
+    let bundle = train_bundle(&raw, FeatureSet::full(), &training_config(true));
 
     let test_capture = CaptureFile::generate(5, seed ^ 0xD37EC7, 1);
     writeln!(
@@ -728,7 +768,7 @@ mod tests {
         ])
         .unwrap();
         assert!(text.contains("sflow view"), "{text}");
-        assert!(text.contains("sFlow 1-in-8 sampling kept"), "{text}");
+        assert!(text.contains("sflow view kept"), "{text}");
 
         // An INT-features bundle must be rejected for an sFlow replay
         // (and vice versa) before any work happens.
@@ -839,17 +879,85 @@ mod tests {
     }
 
     #[test]
-    fn sflow_over_tcp_is_a_usage_error() {
-        let err = run_tokens(&[
-            "detect",
-            "--listen",
-            "tcp://127.0.0.1:0",
+    fn pint_train_detect_roundtrip() {
+        let cap = tmp("pint-cap.json");
+        let bun = tmp("pint-bun.json");
+        let cap_s = cap.to_str().unwrap();
+        let bun_s = bun.to_str().unwrap();
+
+        run_tokens(&["capture", "--out", cap_s, "--day-len", "3", "--seed", "17"]).unwrap();
+        let text = run_tokens(&[
+            "train",
+            "--capture",
+            cap_s,
+            "--out",
+            bun_s,
+            "--fast",
             "--telemetry",
-            "sflow",
+            "pint",
+            "--pint-bits",
+            "8",
+        ])
+        .unwrap();
+        assert!(text.contains("pint view"), "{text}");
+
+        let text = run_tokens(&[
+            "detect",
+            "--capture",
+            cap_s,
+            "--bundle",
+            bun_s,
+            "--telemetry",
+            "pint",
+        ])
+        .unwrap();
+        assert!(text.contains("overall accuracy"), "{text}");
+
+        let text = run_tokens(&[
+            "detect",
+            "--capture",
+            cap_s,
+            "--bundle",
+            bun_s,
+            "--telemetry",
+            "pint",
+            "--threaded",
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        assert!(text.contains("threaded pint replay"), "{text}");
+
+        let err = run_tokens(&[
+            "train",
+            "--capture",
+            cap_s,
+            "--telemetry",
+            "pint",
+            "--pint-bits",
+            "0",
         ])
         .unwrap_err();
-        assert!(matches!(err, CliError::Usage(_)), "{err}");
-        assert!(err.to_string().contains("UDP-only"), "{err}");
+        assert!(err.to_string().contains("--pint-bits"), "{err}");
+
+        std::fs::remove_file(&cap).ok();
+        std::fs::remove_file(&bun).ok();
+    }
+
+    #[test]
+    fn sflow_over_tcp_is_a_usage_error() {
+        for backend in ["sflow", "pint"] {
+            let err = run_tokens(&[
+                "detect",
+                "--listen",
+                "tcp://127.0.0.1:0",
+                "--telemetry",
+                backend,
+            ])
+            .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{err}");
+            assert!(err.to_string().contains("UDP-only"), "{err}");
+        }
 
         let err = run_tokens(&["replay", "--to", "ftp://127.0.0.1:1"]).unwrap_err();
         assert!(err.to_string().contains("udp://"), "{err}");
@@ -877,7 +985,7 @@ mod tests {
         ])
         .unwrap();
         assert!(text.contains("bundle meta:"), "{text}");
-        assert!(text.contains("\"schema_version\":2"), "{text}");
+        assert!(text.contains("\"schema_version\":3"), "{text}");
         assert!(text.contains("\"epoch\":0"), "{text}");
         assert!(text.contains("train_window_end_ns"), "{text}");
 

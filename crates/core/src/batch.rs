@@ -15,10 +15,10 @@
 //! per-flow ordering preserved by construction.
 
 use crate::epoch::EpochHandle;
+use crate::event::Telemetry;
 use crate::trainer::{ModelBundle, VoteScratch};
 use crate::verdict::{SmoothingWindow, Verdict};
 use amlight_features::{FlowTable, FlowTableConfig, ShardRouter, UpdateKind};
-use amlight_int::TelemetryReport;
 use amlight_net::flow::FnvHashMap;
 use amlight_net::FlowKey;
 use rayon::prelude::*;
@@ -112,21 +112,22 @@ impl BatchDetector {
         self.shards.iter().map(|s| s.table.len()).sum()
     }
 
-    /// Detect over a batch of telemetry reports. Returns one outcome per
-    /// report, in input order.
+    /// Detect over a batch of telemetry events from any backend. Returns
+    /// one outcome per event, in input order.
     ///
     /// Each shard makes **one** columnar ensemble call for all the rows
     /// it judges this batch, instead of a per-report model invocation:
-    /// pass one updates the tables and gathers judged rows contiguously,
-    /// then [`ModelBundle::votes_batch`] scores them, then pass two feeds
-    /// the smoothing windows in input order. Per-flow prediction order is
-    /// unchanged because a flow's reports all land in one shard and both
-    /// passes walk them in input order.
-    pub fn detect_batch(&mut self, reports: &[TelemetryReport]) -> Vec<BatchOutcome> {
+    /// pass one lowers each event to its normalized
+    /// [`amlight_features::FlowUpdate`] and applies it, gathering judged
+    /// rows contiguously, then [`ModelBundle::votes_batch`] scores them,
+    /// then pass two feeds the smoothing windows in input order. Per-flow
+    /// prediction order is unchanged because a flow's reports all land in
+    /// one shard and both passes walk them in input order.
+    pub fn detect_batch<E: Telemetry + Sync>(&mut self, reports: &[E]) -> Vec<BatchOutcome> {
         let n_shards = self.shards.len();
         let mut routes: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
         for (i, r) in reports.iter().enumerate() {
-            routes[self.router.route(r.flow)].push(i as u32);
+            routes[self.router.route(r.flow())].push(i as u32);
         }
 
         // One epoch load for the whole batch: every shard scores against
@@ -147,7 +148,7 @@ impl BatchDetector {
                 shard.rows.clear();
                 for &i in idxs {
                     let report = &reports[i as usize];
-                    let (kind, rec) = shard.table.update_int(report);
+                    let (kind, rec) = shard.table.apply(&report.flow_update());
                     match kind {
                         UpdateKind::Created => out.push((i, BatchOutcome::Created)),
                         UpdateKind::Updated => {
@@ -165,7 +166,7 @@ impl BatchDetector {
                 for (&i, &attack) in judged.iter().zip(&shard.decisions) {
                     let w = shard
                         .windows
-                        .entry(reports[i as usize].flow)
+                        .entry(reports[i as usize].flow())
                         .or_insert_with(|| SmoothingWindow::new(window_size));
                     out.push((i, BatchOutcome::Judged(w.push(attack))));
                 }
@@ -187,8 +188,9 @@ impl BatchDetector {
 mod tests {
     use super::*;
     use crate::testbed::{Testbed, TestbedConfig};
-    use crate::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+    use crate::trainer::{dataset_from_events, train_bundle, TrainerConfig};
     use amlight_features::FeatureSet;
+    use amlight_int::TelemetryReport;
     use amlight_ml::MlpConfig;
     use amlight_net::TrafficClass;
     use amlight_traffic::ReplayLibrary;
@@ -202,10 +204,10 @@ mod tests {
                 training.extend(lab.replay_class(&lib, class));
             }
         }
-        let raw = dataset_from_int(&training, FeatureSet::Int);
+        let raw = dataset_from_events(&training, FeatureSet::full());
         let bundle = train_bundle(
             &raw,
-            FeatureSet::Int,
+            FeatureSet::full(),
             &TrainerConfig {
                 mlp: MlpConfig {
                     epochs: 4,

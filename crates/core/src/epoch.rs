@@ -75,9 +75,12 @@ impl std::fmt::Display for PublishError {
         match self {
             PublishError::FeatureSetMismatch { expected, got } => write!(
                 f,
-                "cannot publish a {} bundle into a {} pipeline",
-                got.name(),
-                expected.name()
+                "cannot publish a {}-column bundle (mask {:#06x}) into a \
+                 {}-column pipeline (mask {:#06x})",
+                got.dim(),
+                got.mask(),
+                expected.dim(),
+                expected.mask()
             ),
         }
     }
@@ -183,11 +186,16 @@ impl EpochHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+    use crate::trainer::{dataset_from_events, train_bundle, TrainerConfig};
     use amlight_int::{HopMetadata, InstructionSet, TelemetryReport};
     use amlight_net::{FlowKey, Protocol, TrafficClass};
     use amlight_sflow::FlowSample;
     use std::net::Ipv4Addr;
+
+    /// The queue-blind projection sFlow populates (12 of 15 columns).
+    fn sflow_set() -> FeatureSet {
+        FeatureSet::full().without(&amlight_features::FeatureId::QUEUE_COLUMNS)
+    }
 
     fn tiny_bundle(set: FeatureSet) -> ModelBundle {
         let cfg = TrainerConfig {
@@ -197,86 +205,83 @@ mod tests {
             },
             ..Default::default()
         };
-        match set {
-            FeatureSet::Int => {
-                let labeled: Vec<(TelemetryReport, TrafficClass)> = (0..40u32)
-                    .map(|i| {
-                        (
-                            TelemetryReport {
-                                flow: FlowKey::new(
-                                    Ipv4Addr::new(9, 9, 9, 9),
-                                    Ipv4Addr::new(10, 0, 0, 2),
-                                    1000 + (i % 4) as u16,
-                                    80,
-                                    Protocol::Tcp,
-                                ),
-                                ip_len: if i % 2 == 0 { 800 } else { 40 },
-                                tcp_flags: Some(0x02),
-                                instructions: InstructionSet::amlight(),
-                                hops: vec![HopMetadata {
-                                    switch_id: 0,
-                                    ingress_tstamp: i * 1000,
-                                    egress_tstamp: i * 1000 + 500,
-                                    hop_latency: 0,
-                                    queue_occupancy: i % 8,
-                                }]
-                                .into(),
-                                export_ns: u64::from(i) * 1_000,
-                            },
-                            if i % 2 == 0 {
-                                TrafficClass::Benign
-                            } else {
-                                TrafficClass::SynFlood
-                            },
-                        )
-                    })
-                    .collect();
-                let raw = dataset_from_int(&labeled, set);
-                train_bundle(&raw, set, &cfg)
-            }
-            FeatureSet::Sflow => {
-                let labeled: Vec<(FlowSample, TrafficClass)> = (0..40u32)
-                    .map(|i| {
-                        (
-                            FlowSample {
-                                flow: FlowKey::new(
-                                    Ipv4Addr::new(9, 9, 9, 9),
-                                    Ipv4Addr::new(10, 0, 0, 2),
-                                    1000 + (i % 4) as u16,
-                                    80,
-                                    Protocol::Tcp,
-                                ),
-                                ip_len: if i % 2 == 0 { 900 } else { 60 },
-                                tcp_flags: Some(0x02),
-                                observed_ns: u64::from(i) * 1_000,
-                                sampling_period: 256,
-                            },
-                            if i % 2 == 0 {
-                                TrafficClass::Benign
-                            } else {
-                                TrafficClass::SynFlood
-                            },
-                        )
-                    })
-                    .collect();
-                let raw = crate::trainer::dataset_from_sflow(&labeled);
-                train_bundle(&raw, set, &cfg)
-            }
+        if set.is_full() {
+            let labeled: Vec<(TelemetryReport, TrafficClass)> = (0..40u32)
+                .map(|i| {
+                    (
+                        TelemetryReport {
+                            flow: FlowKey::new(
+                                Ipv4Addr::new(9, 9, 9, 9),
+                                Ipv4Addr::new(10, 0, 0, 2),
+                                1000 + (i % 4) as u16,
+                                80,
+                                Protocol::Tcp,
+                            ),
+                            ip_len: if i % 2 == 0 { 800 } else { 40 },
+                            tcp_flags: Some(0x02),
+                            instructions: InstructionSet::amlight(),
+                            hops: vec![HopMetadata {
+                                switch_id: 0,
+                                ingress_tstamp: i * 1000,
+                                egress_tstamp: i * 1000 + 500,
+                                hop_latency: 0,
+                                queue_occupancy: i % 8,
+                            }]
+                            .into(),
+                            export_ns: u64::from(i) * 1_000,
+                        },
+                        if i % 2 == 0 {
+                            TrafficClass::Benign
+                        } else {
+                            TrafficClass::SynFlood
+                        },
+                    )
+                })
+                .collect();
+            let raw = dataset_from_events(&labeled, set);
+            train_bundle(&raw, set, &cfg)
+        } else {
+            let labeled: Vec<(FlowSample, TrafficClass)> = (0..40u32)
+                .map(|i| {
+                    (
+                        FlowSample {
+                            flow: FlowKey::new(
+                                Ipv4Addr::new(9, 9, 9, 9),
+                                Ipv4Addr::new(10, 0, 0, 2),
+                                1000 + (i % 4) as u16,
+                                80,
+                                Protocol::Tcp,
+                            ),
+                            ip_len: if i % 2 == 0 { 900 } else { 60 },
+                            tcp_flags: Some(0x02),
+                            observed_ns: u64::from(i) * 1_000,
+                            sampling_period: 256,
+                        },
+                        if i % 2 == 0 {
+                            TrafficClass::Benign
+                        } else {
+                            TrafficClass::SynFlood
+                        },
+                    )
+                })
+                .collect();
+            let raw = dataset_from_events(&labeled, set);
+            train_bundle(&raw, set, &cfg)
         }
     }
 
     #[test]
     fn initial_epoch_comes_from_the_bundle_meta() {
-        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::full()));
         assert_eq!(handle.current_epoch(), 0);
         assert_eq!(handle.epochs_published(), 0);
-        assert_eq!(handle.feature_set(), FeatureSet::Int);
+        assert_eq!(handle.feature_set(), FeatureSet::full());
     }
 
     #[test]
     fn publish_increments_epoch_and_restamps_meta() {
-        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
-        let fresh = tiny_bundle(FeatureSet::Int);
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::full()));
+        let fresh = tiny_bundle(FeatureSet::full());
         assert_eq!(fresh.meta.epoch, 0, "offline bundles start at epoch 0");
         let epoch = handle.publish(fresh).expect("same feature set");
         assert_eq!(epoch, 1);
@@ -288,34 +293,34 @@ mod tests {
 
     #[test]
     fn feature_set_mismatch_is_rejected_and_leaves_the_old_epoch_live() {
-        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
-        let err = handle.publish(tiny_bundle(FeatureSet::Sflow)).unwrap_err();
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::full()));
+        let err = handle.publish(tiny_bundle(sflow_set())).unwrap_err();
         assert_eq!(
             err,
             PublishError::FeatureSetMismatch {
-                expected: FeatureSet::Int,
-                got: FeatureSet::Sflow,
+                expected: FeatureSet::full(),
+                got: sflow_set(),
             }
         );
-        assert!(err.to_string().contains("sFlow"));
+        assert!(err.to_string().contains("12-column"), "{err}");
         assert_eq!(handle.current_epoch(), 0);
         assert_eq!(handle.epochs_published(), 0);
     }
 
     #[test]
     fn clones_share_publishes() {
-        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::full()));
         let reader = handle.clone();
-        handle.publish(tiny_bundle(FeatureSet::Int)).unwrap();
+        handle.publish(tiny_bundle(FeatureSet::full())).unwrap();
         assert_eq!(reader.current_epoch(), 1);
         assert_eq!(reader.epochs_published(), 1);
     }
 
     #[test]
     fn guard_pins_one_epoch_across_a_publish() {
-        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::full()));
         let batch_view = handle.load();
-        handle.publish(tiny_bundle(FeatureSet::Int)).unwrap();
+        handle.publish(tiny_bundle(FeatureSet::full())).unwrap();
         // The in-flight "batch" still scores against its own epoch...
         assert_eq!(batch_view.epoch(), 0);
         assert_eq!(batch_view.bundle().meta.epoch, 0);
@@ -325,7 +330,7 @@ mod tests {
 
     #[test]
     fn concurrent_publishers_never_reuse_an_epoch() {
-        let handle = EpochHandle::new(tiny_bundle(FeatureSet::Int));
+        let handle = EpochHandle::new(tiny_bundle(FeatureSet::full()));
         let template = handle.load_full().bundle().clone();
         let threads: Vec<_> = (0..4)
             .map(|_| {

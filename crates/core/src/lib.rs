@@ -57,7 +57,10 @@ pub use batch::{BatchDetector, BatchOutcome};
 pub use db::{FlowDatabase, PredictionRecord, UpdateEvent};
 pub use drift::{DriftConfig, DriftDetector};
 pub use epoch::{EpochHandle, PublishError, VersionedBundle};
-pub use event::{sample_reports, LabeledEvent, Telemetry, TelemetryBackend, TelemetryEvent};
+pub use event::{
+    pint_view, sample_reports, LabeledEvent, Telemetry, TelemetryBackend, TelemetryEvent,
+    ViewOptions,
+};
 pub use guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard};
 pub use mailbox::{EventMailbox, OverflowPolicy};
 pub use modules::{
@@ -66,8 +69,8 @@ pub use modules::{
 pub use pipeline::{DetectionPipeline, PipelineConfig, PipelineReport};
 pub use runtime::{AdaptConfig, AdaptStats, RunHandle, RuntimeError, ThreadedPipeline};
 pub use source::{
-    ChannelSource, CollectorSource, EventSource, IterSource, ReplaySource, SflowAgentSource,
-    SflowReplaySource, SocketSource, SourcePoll,
+    ChannelSource, CollectorSource, EventReplaySource, EventSource, IterSource, PintReplaySource,
+    ReplaySource, SflowAgentSource, SflowReplaySource, SocketSource, SourcePoll,
 };
 pub use testbed::{Testbed, TestbedConfig};
 pub use trainer::{train_bundle, ModelBundle, TrainerConfig, VoteScratch};

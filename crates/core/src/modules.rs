@@ -364,7 +364,7 @@ mod tests {
             VirtualClock {
                 processing_delay_ns: 10,
             },
-            FeatureSet::Int,
+            FeatureSet::full(),
         );
         let mut rows = Vec::new();
 
@@ -387,7 +387,7 @@ mod tests {
             }
             other => panic!("expected judged update, got {other:?}"),
         }
-        assert_eq!(rows.len(), FeatureSet::Int.dim());
+        assert_eq!(rows.len(), FeatureSet::full().dim());
         assert_eq!(db.update_count(), 1);
         assert_eq!(p.created(), 1);
         assert_eq!(p.flow_count(), 1);
@@ -411,7 +411,7 @@ mod tests {
             VirtualClock {
                 processing_delay_ns: 10,
             },
-            FeatureSet::Sflow,
+            FeatureSet::full().without(&amlight_features::FeatureId::QUEUE_COLUMNS),
         );
         let sample = |t_ns: u64| FlowSample {
             flow: report(5, 0).flow,
@@ -433,7 +433,12 @@ mod tests {
             Ingest::Judged(j) => assert_eq!(j.registered_ns, 210),
             other => panic!("expected judged update, got {other:?}"),
         }
-        assert_eq!(rows.len(), FeatureSet::Sflow.dim());
+        assert_eq!(
+            rows.len(),
+            FeatureSet::full()
+                .without(&amlight_features::FeatureId::QUEUE_COLUMNS)
+                .dim()
+        );
         assert_eq!(db.update_count(), 1);
     }
 

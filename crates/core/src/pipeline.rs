@@ -31,7 +31,6 @@ use crate::modules::{Aggregator, Ingest, JudgedUpdate, Predictor, Processor, Vir
 use crate::trainer::ModelBundle;
 use crate::verdict::Verdict;
 use amlight_features::{FeatureSet, FlowTableConfig};
-use amlight_int::TelemetryReport;
 use amlight_net::{FlowKey, TrafficClass};
 use serde::{Deserialize, Serialize};
 
@@ -253,8 +252,11 @@ impl DetectionPipeline {
         self.predictor.feature_set()
     }
 
-    /// Replay a labeled INT telemetry stream (must be export-time
-    /// ordered) through the full detection dataflow.
+    /// Replay a labeled telemetry stream from any backend (must be
+    /// event-time ordered) through the full detection dataflow. The
+    /// backend only changes the normalized [`amlight_features::FlowUpdate`]
+    /// each event lowers to and which feature projection the bundle was
+    /// trained on — the dataflow is backend-blind.
     ///
     /// Ingest, forwarding, prediction, and aggregation are the shared
     /// [`crate::modules`] stages under a [`VirtualClock`]; this method
@@ -266,26 +268,10 @@ impl DetectionPipeline {
     /// update carries the table size and registration stamp from its own
     /// collect step, and the flush walks updates in input order, so
     /// verdicts, latencies, and database contents are identical to the
-    /// one-at-a-time replay.
-    pub fn run_sync(&mut self, labeled: &[(TelemetryReport, TrafficClass)]) -> PipelineReport {
-        self.run_labeled(labeled)
-    }
-
-    /// Replay a labeled sFlow sample stream (must be observed-time
-    /// ordered) through the *same* dataflow — the backend only changes
-    /// which flow-table update runs and which feature projection the
-    /// bundle was trained on ([`FeatureSet::Sflow`]).
-    pub fn run_sync_sflow(
-        &mut self,
-        labeled: &[(amlight_sflow::FlowSample, TrafficClass)],
-    ) -> PipelineReport {
-        self.run_labeled(labeled)
-    }
-
-    /// The telemetry-generic Fig. 2 replay both public entry points
-    /// share. Static dispatch over [`Telemetry`] keeps the INT path
-    /// monomorphic — bit-identical to the pre-refactor driver.
-    fn run_labeled<E: Telemetry>(&mut self, labeled: &[(E, TrafficClass)]) -> PipelineReport {
+    /// one-at-a-time replay. Static dispatch over [`Telemetry`] keeps
+    /// each backend's path monomorphic — the INT instantiation is
+    /// bit-identical to the pre-refactor driver.
+    pub fn run_sync<E: Telemetry>(&mut self, labeled: &[(E, TrafficClass)]) -> PipelineReport {
         // (1)→(3): the shared Data Processor stage under virtual time.
         let mut processor = Processor::new(
             self.config.table,
@@ -373,10 +359,10 @@ impl DetectionPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+    use crate::trainer::{dataset_from_events, train_bundle, TrainerConfig};
     use crate::verdict::SmoothingWindow;
     use amlight_features::{FlowTable, UpdateKind};
-    use amlight_int::{HopMetadata, InstructionSet};
+    use amlight_int::{HopMetadata, InstructionSet, TelemetryReport};
     use amlight_ml::MlpConfig;
     use amlight_net::flow::FnvHashMap;
     use amlight_net::{FlowKey, Protocol};
@@ -425,10 +411,10 @@ mod tests {
     }
 
     fn bundle(train: &[(TelemetryReport, TrafficClass)]) -> ModelBundle {
-        let raw = dataset_from_int(train, FeatureSet::Int);
+        let raw = dataset_from_events(train, FeatureSet::full());
         train_bundle(
             &raw,
-            FeatureSet::Int,
+            FeatureSet::full(),
             &TrainerConfig {
                 mlp: MlpConfig {
                     epochs: 10,
@@ -574,7 +560,7 @@ mod tests {
         let mut buf = Vec::new();
         for (report, _) in &test {
             let registered = report.export_ns + cfg.processing_delay_ns;
-            let (kind, rec) = table.update_int(report);
+            let (kind, rec) = table.apply(&report.flow_update());
             let features = rec.features();
             if kind == UpdateKind::Created {
                 continue;

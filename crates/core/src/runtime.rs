@@ -318,7 +318,8 @@ impl ThreadedPipeline {
     }
 
     /// Same batch ergonomics for the sFlow backend: the bundle should be
-    /// trained on [`amlight_features::FeatureSet::Sflow`].
+    /// trained on the queue-blind projection
+    /// ([`crate::event::TelemetryBackend::Sflow`]'s feature set).
     pub fn run_samples(
         &self,
         samples: Vec<amlight_sflow::FlowSample>,
@@ -800,7 +801,7 @@ impl RunHandle {
 mod tests {
     use super::*;
     use crate::source::ChannelSource;
-    use crate::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+    use crate::trainer::{dataset_from_events, train_bundle, TrainerConfig};
     use amlight_features::FeatureSet;
     use amlight_int::{HopMetadata, InstructionSet};
     use amlight_ml::MlpConfig;
@@ -849,10 +850,10 @@ mod tests {
 
     fn bundle() -> ModelBundle {
         let train = capture(200);
-        let raw = dataset_from_int(&train, FeatureSet::Int);
+        let raw = dataset_from_events(&train, FeatureSet::full());
         train_bundle(
             &raw,
-            FeatureSet::Int,
+            FeatureSet::full(),
             &TrainerConfig {
                 mlp: MlpConfig {
                     epochs: 8,
@@ -996,10 +997,10 @@ mod tests {
     /// without invalidating the pipeline's feature rows.
     fn other_bundle() -> ModelBundle {
         let train = drifting_capture(200);
-        let raw = dataset_from_int(&train, FeatureSet::Int);
+        let raw = dataset_from_events(&train, FeatureSet::full());
         train_bundle(
             &raw,
-            FeatureSet::Int,
+            FeatureSet::full(),
             &TrainerConfig {
                 mlp: MlpConfig {
                     epochs: 4,

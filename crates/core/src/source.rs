@@ -20,6 +20,11 @@
 //!   malformed reports exactly like the standalone collector;
 //! * [`SflowReplaySource`] — the sFlow twin of [`ReplaySource`]: labeled
 //!   samples replayed in observation order;
+//! * [`PintReplaySource`] — the PINT twin: labeled k-bit digests
+//!   replayed in export order (derive them from an INT capture with
+//!   [`crate::event::pint_view`]);
+//! * [`EventReplaySource`] — the backend-agnostic form registry-driven
+//!   callers use: any `Vec<LabeledEvent>` replayed in timestamp order;
 //! * [`SflowAgentSource`] — an [`SflowAgent`] driven over a packet
 //!   trace, emitting only the packets the sampling state machine
 //!   selects (the live-agent shape of the paper's sFlow baseline).
@@ -32,6 +37,7 @@ use crate::event::{LabeledEvent, Telemetry};
 use crate::mailbox::EventMailbox;
 use amlight_int::{IntCollector, TelemetryReport};
 use amlight_net::{PacketRecord, Trace, TrafficClass};
+use amlight_pint::PintReport;
 use amlight_sflow::{FlowSample, SflowAgent};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::VecDeque;
@@ -240,6 +246,73 @@ impl SflowReplaySource {
 }
 
 impl EventSource for SflowReplaySource {
+    fn poll_event(&mut self) -> SourcePoll {
+        match self.events.next() {
+            Some(e) => SourcePoll::Event(Box::new(e)),
+            None => SourcePoll::End,
+        }
+    }
+}
+
+/// The PINT twin of [`ReplaySource`]: k-bit digest reports replayed in
+/// export order, labels preserved. Feed it [`crate::event::pint_view`]
+/// to derive the digest stream from an existing INT capture — the PINT
+/// mirror of how [`crate::event::sample_reports`] derives the sFlow
+/// view.
+#[derive(Debug)]
+pub struct PintReplaySource {
+    events: std::vec::IntoIter<LabeledEvent>,
+}
+
+impl PintReplaySource {
+    pub fn new(reports: Vec<PintReport>) -> Self {
+        Self {
+            events: replay_order(reports.into_iter().map(LabeledEvent::from).collect()),
+        }
+    }
+
+    /// Replay labeled digests (e.g. from [`crate::event::pint_view`])
+    /// with ground truth attached.
+    pub fn from_labeled(labeled: &[(PintReport, TrafficClass)]) -> Self {
+        Self {
+            events: replay_order(
+                labeled
+                    .iter()
+                    .map(|(r, c)| LabeledEvent::with_truth((*r).into(), *c))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl EventSource for PintReplaySource {
+    fn poll_event(&mut self) -> SourcePoll {
+        match self.events.next() {
+            Some(e) => SourcePoll::Event(Box::new(e)),
+            None => SourcePoll::End,
+        }
+    }
+}
+
+/// Backend-agnostic replay: any mix of already-labeled events, restored
+/// to native-timestamp order. This is what registry-driven callers use
+/// ([`crate::event::TelemetryBackend::derive_view`] hands back
+/// `Vec<LabeledEvent>` for *any* backend) — no per-backend source type
+/// needed at the call site.
+#[derive(Debug)]
+pub struct EventReplaySource {
+    events: std::vec::IntoIter<LabeledEvent>,
+}
+
+impl EventReplaySource {
+    pub fn new(events: Vec<LabeledEvent>) -> Self {
+        Self {
+            events: replay_order(events),
+        }
+    }
+}
+
+impl EventSource for EventReplaySource {
     fn poll_event(&mut self) -> SourcePoll {
         match self.events.next() {
             Some(e) => SourcePoll::Event(Box::new(e)),

@@ -5,26 +5,32 @@
 //! module. [`train_bundle`] reproduces that step; the dataset builders
 //! are also used directly by the Table III/IV experiment binaries.
 
+use crate::event::{LabeledEvent, Telemetry};
 use amlight_features::{FeatureSet, FlowTable, FlowTableConfig};
-use amlight_int::TelemetryReport;
 use amlight_ml::model::BinaryClassifier;
 use amlight_ml::{
     BundleMeta, Dataset, GaussianNb, MajorityEnsemble, MetaError, Mlp, MlpConfig, RandomForest,
     RandomForestConfig, StandardScaler, BUNDLE_SCHEMA_VERSION,
 };
 use amlight_net::TrafficClass;
-use amlight_sflow::FlowSample;
 use serde::{Deserialize, Serialize};
 
-/// Build a labeled dataset from INT telemetry: one row per packet, the
-/// feature snapshot *after* that packet's flow-table update (exactly
-/// what the live pipeline would feed the models).
-pub fn dataset_from_int(labeled: &[(TelemetryReport, TrafficClass)], set: FeatureSet) -> Dataset {
+/// Build a labeled dataset from any telemetry backend's events: one row
+/// per packet, the feature snapshot *after* that packet's flow-table
+/// update (exactly what the live pipeline would feed the models).
+///
+/// Backend-blind by construction: every event lowers itself into a
+/// normalized [`amlight_features::FlowUpdate`] via [`Telemetry`], so the
+/// same code path trains on INT reports, sFlow samples, or PINT digests.
+pub fn dataset_from_events<E: Telemetry>(
+    labeled: &[(E, TrafficClass)],
+    set: FeatureSet,
+) -> Dataset {
     let mut table = FlowTable::new(FlowTableConfig::default());
     let mut data = Dataset::with_capacity(set.dim(), labeled.len());
     let mut buf = Vec::with_capacity(set.dim());
-    for (report, class) in labeled {
-        let (_, rec) = table.update_int(report);
+    for (event, class) in labeled {
+        let (_, rec) = event.update(&mut table);
         buf.clear();
         rec.features().project_into(set, &mut buf);
         data.push(&buf, class.label());
@@ -32,16 +38,18 @@ pub fn dataset_from_int(labeled: &[(TelemetryReport, TrafficClass)], set: Featur
     data
 }
 
-/// Same, from sFlow samples (necessarily [`FeatureSet::Sflow`]).
-pub fn dataset_from_sflow(labeled: &[(FlowSample, TrafficClass)]) -> Dataset {
-    let set = FeatureSet::Sflow;
+/// Same, over already-erased [`LabeledEvent`]s (what
+/// [`crate::event::TelemetryBackend::derive_view`] produces).
+pub fn dataset_from_labeled(labeled: &[LabeledEvent], set: FeatureSet) -> Dataset {
     let mut table = FlowTable::new(FlowTableConfig::default());
     let mut data = Dataset::with_capacity(set.dim(), labeled.len());
     let mut buf = Vec::with_capacity(set.dim());
-    for (sample, class) in labeled {
-        let (_, rec) = table.update_sflow(sample);
+    for ev in labeled {
+        let (_, rec) = ev.event.update(&mut table);
         buf.clear();
         rec.features().project_into(set, &mut buf);
+        // amlint: cold -- offline training; unlabeled events are a usage error
+        let class = ev.truth.expect("training requires ground-truth labels");
         data.push(&buf, class.label());
     }
     data
@@ -243,9 +251,15 @@ pub fn train_bundle(raw: &Dataset, set: FeatureSet, cfg: &TrainerConfig) -> Mode
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amlight_int::{HopMetadata, InstructionSet};
+    use amlight_int::{HopMetadata, InstructionSet, TelemetryReport};
     use amlight_net::{FlowKey, Protocol};
+    use amlight_sflow::FlowSample;
     use std::net::Ipv4Addr;
+
+    /// The queue-blind projection sFlow populates (12 of 15 columns).
+    fn sflow_set() -> FeatureSet {
+        FeatureSet::full().without(&amlight_features::FeatureId::QUEUE_COLUMNS)
+    }
 
     fn report(port: u16, seqno: u32, len: u16, qocc: u32) -> TelemetryReport {
         TelemetryReport {
@@ -294,7 +308,7 @@ mod tests {
     #[test]
     fn int_dataset_has_row_per_report() {
         let labeled = labeled_reports(50);
-        let d = dataset_from_int(&labeled, FeatureSet::Int);
+        let d = dataset_from_events(&labeled, FeatureSet::full());
         assert_eq!(d.len(), 100);
         assert_eq!(d.n_features(), 15);
         assert_eq!(d.class_counts(), (50, 50));
@@ -322,7 +336,7 @@ mod tests {
                 )
             })
             .collect();
-        let d = dataset_from_sflow(&labeled);
+        let d = dataset_from_events(&labeled, sflow_set());
         assert_eq!(d.n_features(), 12);
         assert_eq!(d.len(), 20);
     }
@@ -330,7 +344,7 @@ mod tests {
     #[test]
     fn bundle_learns_the_contrast() {
         let labeled = labeled_reports(300);
-        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let raw = dataset_from_events(&labeled, FeatureSet::full());
         let cfg = TrainerConfig {
             mlp: MlpConfig {
                 epochs: 15,
@@ -338,7 +352,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let bundle = train_bundle(&raw, FeatureSet::Int, &cfg);
+        let bundle = train_bundle(&raw, FeatureSet::full(), &cfg);
 
         // Evaluate ensemble votes against truth on the training rows.
         let mut correct = 0;
@@ -354,7 +368,7 @@ mod tests {
     #[test]
     fn votes_are_three_and_ordered() {
         let labeled = labeled_reports(100);
-        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let raw = dataset_from_events(&labeled, FeatureSet::full());
         let cfg = TrainerConfig {
             mlp: MlpConfig {
                 epochs: 5,
@@ -362,7 +376,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let bundle = train_bundle(&raw, FeatureSet::Int, &cfg);
+        let bundle = train_bundle(&raw, FeatureSet::full(), &cfg);
         let v = bundle.votes(raw.row(0));
         assert_eq!(v.len(), 3);
         // 2-of-3 semantics.
@@ -374,13 +388,13 @@ mod tests {
     #[should_panic(expected = "empty capture")]
     fn empty_training_rejected() {
         let d = Dataset::new(15);
-        train_bundle(&d, FeatureSet::Int, &TrainerConfig::default());
+        train_bundle(&d, FeatureSet::full(), &TrainerConfig::default());
     }
 
     #[test]
     fn votes_batch_matches_per_row_ensemble() {
         let labeled = labeled_reports(120);
-        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let raw = dataset_from_events(&labeled, FeatureSet::full());
         let cfg = TrainerConfig {
             mlp: MlpConfig {
                 epochs: 5,
@@ -388,7 +402,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let bundle = train_bundle(&raw, FeatureSet::Int, &cfg);
+        let bundle = train_bundle(&raw, FeatureSet::full(), &cfg);
 
         let mut scratch = VoteScratch::default();
         let mut batched = Vec::new();
@@ -410,7 +424,7 @@ mod tests {
     #[test]
     fn bundle_save_load_roundtrip() {
         let labeled = labeled_reports(80);
-        let raw = dataset_from_int(&labeled, FeatureSet::Int);
+        let raw = dataset_from_events(&labeled, FeatureSet::full());
         let cfg = TrainerConfig {
             mlp: MlpConfig {
                 epochs: 3,
@@ -418,7 +432,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let bundle = train_bundle(&raw, FeatureSet::Int, &cfg);
+        let bundle = train_bundle(&raw, FeatureSet::full(), &cfg);
         let path =
             std::env::temp_dir().join(format!("amlight-bundle-test-{}.json", std::process::id()));
         bundle.save(&path).expect("save");
@@ -428,7 +442,7 @@ mod tests {
         for i in 0..raw.len() {
             assert_eq!(bundle.votes(raw.row(i)), back.votes(raw.row(i)));
         }
-        assert_eq!(back.feature_set, FeatureSet::Int);
+        assert_eq!(back.feature_set, FeatureSet::full());
     }
 
     #[test]
@@ -439,19 +453,19 @@ mod tests {
     #[test]
     fn offline_training_stamps_metadata() {
         let labeled = labeled_reports(40);
-        let raw = dataset_from_int(&labeled, FeatureSet::Int);
-        let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
+        let raw = dataset_from_events(&labeled, FeatureSet::full());
+        let bundle = train_bundle(&raw, FeatureSet::full(), &TrainerConfig::default());
         assert_eq!(bundle.meta.schema_version, BUNDLE_SCHEMA_VERSION);
         assert_eq!(bundle.meta.epoch, 0, "offline bundles are epoch 0");
-        assert_eq!(bundle.meta.n_features, FeatureSet::Int.dim());
+        assert_eq!(bundle.meta.n_features, FeatureSet::full().dim());
         assert_eq!(bundle.meta.n_rows, raw.len());
     }
 
     #[test]
     fn metadata_survives_persistence() {
         let labeled = labeled_reports(40);
-        let raw = dataset_from_int(&labeled, FeatureSet::Int);
-        let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default())
+        let raw = dataset_from_events(&labeled, FeatureSet::full());
+        let bundle = train_bundle(&raw, FeatureSet::full(), &TrainerConfig::default())
             .with_train_window(5_000, 125_000);
         let path = std::env::temp_dir().join(format!(
             "amlight-bundle-meta-test-{}.json",
@@ -467,10 +481,10 @@ mod tests {
     #[test]
     fn validate_for_accepts_matching_set_and_rejects_the_other() {
         let labeled = labeled_reports(40);
-        let raw = dataset_from_int(&labeled, FeatureSet::Int);
-        let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
-        assert!(bundle.validate_for(FeatureSet::Int).is_ok());
-        let err = bundle.validate_for(FeatureSet::Sflow).unwrap_err();
+        let raw = dataset_from_events(&labeled, FeatureSet::full());
+        let bundle = train_bundle(&raw, FeatureSet::full(), &TrainerConfig::default());
+        assert!(bundle.validate_for(FeatureSet::full()).is_ok());
+        let err = bundle.validate_for(sflow_set()).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -495,7 +509,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let msg = err.to_string();
         assert!(
-            msg.contains("retrain") && msg.contains("schema-v2"),
+            msg.contains("retrain") && msg.contains("schema-v3"),
             "error must name the fix: {msg}"
         );
     }

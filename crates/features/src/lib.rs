@@ -9,11 +9,14 @@
 //!    (counters, cumulative sums, streaming mean/std) are **updated**;
 //! 3. emits the feature vector the ML models consume.
 //!
-//! The INT feature set has 15 features (paper §IV-C.3); the sFlow set
-//! lacks the three queue-occupancy features (paper Table II). Inter-
-//! arrival times for INT are derived from consecutive 32-bit telemetry
-//! stamps with wrapping subtraction, so they inherit the 4.3 s aliasing
-//! artifact the paper describes — on purpose.
+//! The crate is backend-blind: every telemetry system lowers its events
+//! into the normalized [`FlowUpdate`] and the table has exactly one
+//! ingest path, [`FlowTable::apply`]. Which of the 15 canonical columns
+//! (paper §IV-C.3) a backend can populate is a [`FeatureSet`] bitmask
+//! descriptor — the full INT projection, the queue-blind sFlow subset
+//! (paper Table II), or anything in between. Inter-arrival times derived
+//! from wrapped 32-bit stamps (`FlowUpdate::stamp32`) inherit the 4.3 s
+//! aliasing artifact the paper describes — on purpose.
 
 // Compiler-enforced arm of amlint rule R5: unsafe stays in shims/.
 #![forbid(unsafe_code)]
@@ -26,5 +29,5 @@ pub mod vector;
 
 pub use sharded::{ShardRouter, ShardedFlowTable, ShardedUpdate};
 pub use stats::StreamingStats;
-pub use table::{FlowRecord, FlowTable, FlowTableConfig, UpdateKind};
+pub use table::{FlowRecord, FlowTable, FlowTableConfig, FlowUpdate, UpdateKind};
 pub use vector::{FeatureId, FeatureSet, FeatureVector};

@@ -10,11 +10,9 @@
 //! Not for production use: it allocates per new flow and rehashes on
 //! growth, which is what the slab design exists to avoid.
 
-use crate::table::{FlowRecord, FlowTableConfig, UpdateKind};
-use amlight_int::TelemetryReport;
+use crate::table::{FlowRecord, FlowTableConfig, FlowUpdate, UpdateKind};
 use amlight_net::flow::FnvHashMap;
 use amlight_net::FlowKey;
-use amlight_sflow::FlowSample;
 
 /// The straightforward hashmap-backed flow table. Semantically identical
 /// to [`crate::FlowTable`]; kept as an oracle and baseline.
@@ -66,38 +64,11 @@ impl HashFlowTable {
         self.flows.values()
     }
 
-    /// See [`crate::FlowTable::update_int`].
+    /// See [`crate::FlowTable::apply`].
     // amlint: cold -- reference model: HashMap-based by design, not the optimized path
-    pub fn update_int(&mut self, report: &TelemetryReport) -> (UpdateKind, &FlowRecord) {
-        let now = report.export_ns;
-        let stamp = report.sink_hop().map(|h| h.egress_tstamp);
-        let qocc = report.sink_hop().map(|h| h.queue_occupancy);
-        self.ingest(report.flow, now, report.ip_len, stamp, None, qocc)
-    }
-
-    /// See [`crate::FlowTable::update_sflow`].
-    // amlint: cold -- reference model: HashMap-based by design, not the optimized path
-    pub fn update_sflow(&mut self, sample: &FlowSample) -> (UpdateKind, &FlowRecord) {
-        self.ingest(
-            sample.flow,
-            sample.observed_ns,
-            sample.ip_len,
-            None,
-            Some(sample.observed_ns),
-            None,
-        )
-    }
-
-    // amlint: cold -- reference model: HashMap-based by design, not the optimized path
-    fn ingest(
-        &mut self,
-        key: FlowKey,
-        now_ns: u64,
-        len: u16,
-        stamp32: Option<u32>,
-        observed_ns: Option<u64>,
-        qocc: Option<u32>,
-    ) -> (UpdateKind, &FlowRecord) {
+    pub fn apply(&mut self, update: &FlowUpdate) -> (UpdateKind, &FlowRecord) {
+        let key = update.flow;
+        let now_ns = update.now_ns;
         if self.flows.len() >= self.cfg.max_flows && !self.flows.contains_key(&key) {
             self.evict_idle(now_ns);
         }
@@ -113,7 +84,13 @@ impl HashFlowTable {
             self.updated += 1;
             rec.update_seq += 1;
         }
-        rec.observe(now_ns, len, stamp32, observed_ns, qocc);
+        rec.observe(
+            now_ns,
+            update.len,
+            update.stamp32,
+            update.observed_ns,
+            update.queue_occupancy,
+        );
         (kind, &*rec)
     }
 
@@ -145,8 +122,8 @@ mod tests {
     use amlight_net::Protocol;
     use std::net::Ipv4Addr;
 
-    fn sample(port: u16, observed_ns: u64) -> FlowSample {
-        FlowSample {
+    fn sample(port: u16, observed_ns: u64) -> FlowUpdate {
+        FlowUpdate {
             flow: FlowKey::new(
                 Ipv4Addr::new(10, 0, 0, 1),
                 Ipv4Addr::new(10, 0, 0, 2),
@@ -154,10 +131,11 @@ mod tests {
                 80,
                 Protocol::Tcp,
             ),
-            ip_len: 100,
-            tcp_flags: Some(0x10),
-            observed_ns,
-            sampling_period: 4096,
+            now_ns: observed_ns,
+            len: 100,
+            stamp32: None,
+            observed_ns: Some(observed_ns),
+            queue_occupancy: None,
         }
     }
 
@@ -167,10 +145,10 @@ mod tests {
         let mut slab = crate::FlowTable::new(FlowTableConfig::default());
         for (port, ts) in [(1u16, 10u64), (2, 20), (1, 30), (3, 40), (2, 50)] {
             let s = sample(port, ts);
-            let (hk, hr) = hash.update_sflow(&s);
+            let (hk, hr) = hash.apply(&s);
             // Rust won't let both mutable borrows overlap; compare eagerly.
             let (hk, hseq, hcount) = (hk, hr.update_seq, hr.packet_count);
-            let (sk, sr) = slab.update_sflow(&s);
+            let (sk, sr) = slab.apply(&s);
             assert_eq!(hk, sk);
             assert_eq!(hseq, sr.update_seq);
             assert_eq!(hcount, sr.packet_count);

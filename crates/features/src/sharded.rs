@@ -8,9 +8,8 @@
 //! order is preserved because a flow always lands in the same shard and
 //! shard-local processing is sequential.
 
-use crate::table::{FlowTable, FlowTableConfig, UpdateKind};
+use crate::table::{FlowTable, FlowTableConfig, FlowUpdate, UpdateKind};
 use crate::vector::FeatureVector;
-use amlight_int::TelemetryReport;
 use amlight_net::flow::FnvBuildHasher;
 use amlight_net::FlowKey;
 use rayon::prelude::*;
@@ -120,34 +119,30 @@ impl ShardedFlowTable {
         self.shards.iter().map(FlowTable::updated).sum()
     }
 
-    /// Ingest a batch of reports in parallel. Results come back in input
-    /// order; per-flow sequencing is exactly what sequential ingest
-    /// would produce.
-    pub fn update_int_batch(&mut self, reports: &[TelemetryReport]) -> Vec<ShardedUpdate> {
+    /// Ingest a batch of normalized updates in parallel. Results come
+    /// back in input order; per-flow sequencing is exactly what
+    /// sequential ingest would produce.
+    pub fn apply_batch(&mut self, updates: &[FlowUpdate]) -> Vec<ShardedUpdate> {
         let mut results = Vec::new();
-        self.update_int_batch_into(reports, &mut results);
+        self.apply_batch_into(updates, &mut results);
         results
     }
 
-    /// Scratch-reusing form of [`ShardedFlowTable::update_int_batch`]:
+    /// Scratch-reusing form of [`ShardedFlowTable::apply_batch`]:
     /// writes the input-ordered results into `results` (cleared first).
     /// Routing and per-shard result buffers persist inside `self`, so a
     /// steady-state caller that also reuses `results` allocates nothing.
     // amlint: hot
     // amlint: allow(R8) -- indices come from enumerate(); route() is masked by the shard count
-    pub fn update_int_batch_into(
-        &mut self,
-        reports: &[TelemetryReport],
-        results: &mut Vec<ShardedUpdate>,
-    ) {
+    pub fn apply_batch_into(&mut self, updates: &[FlowUpdate], results: &mut Vec<ShardedUpdate>) {
         // Route: per shard, the input indices it owns (order-preserving).
         for s in &mut self.scratch {
             s.idxs.clear();
             s.out.clear();
         }
-        for (i, r) in reports.iter().enumerate() {
+        for (i, u) in updates.iter().enumerate() {
             // amlint: cold -- retained scratch, grows to high-water mark once
-            self.scratch[self.router.route(r.flow)].idxs.push(i as u32);
+            self.scratch[self.router.route(u.flow)].idxs.push(i as u32);
         }
 
         // Process each shard sequentially, shards in parallel.
@@ -156,7 +151,7 @@ impl ShardedFlowTable {
             .zip(self.scratch.par_iter_mut())
             .for_each(|(table, scratch)| {
                 for &i in &scratch.idxs {
-                    let (kind, rec) = table.update_int(&reports[i as usize]);
+                    let (kind, rec) = table.apply(&updates[i as usize]);
                     // amlint: cold -- retained scratch, grows to high-water mark once
                     scratch.out.push((
                         i,
@@ -176,7 +171,7 @@ impl ShardedFlowTable {
         results.clear();
         // amlint: cold -- caller-owned buffer, reused across batches
         results.resize(
-            reports.len(),
+            updates.len(),
             ShardedUpdate {
                 kind: UpdateKind::Created,
                 features: FeatureVector::default(),
@@ -203,12 +198,11 @@ impl ShardedFlowTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amlight_int::{HopMetadata, InstructionSet};
     use amlight_net::{FlowKey, Protocol};
     use std::net::Ipv4Addr;
 
-    fn report(port: u16, t_ns: u64, len: u16) -> TelemetryReport {
-        TelemetryReport {
+    fn report(port: u16, t_ns: u64, len: u16) -> FlowUpdate {
+        FlowUpdate {
             flow: FlowKey::new(
                 Ipv4Addr::new(10, 0, 0, 1),
                 Ipv4Addr::new(10, 0, 0, 2),
@@ -216,22 +210,15 @@ mod tests {
                 80,
                 Protocol::Tcp,
             ),
-            ip_len: len,
-            tcp_flags: Some(0x02),
-            instructions: InstructionSet::amlight(),
-            hops: vec![HopMetadata {
-                switch_id: 0,
-                ingress_tstamp: t_ns as u32,
-                egress_tstamp: (t_ns as u32).wrapping_add(500),
-                hop_latency: 0,
-                queue_occupancy: 0,
-            }]
-            .into(),
-            export_ns: t_ns,
+            now_ns: t_ns,
+            len,
+            stamp32: Some((t_ns as u32).wrapping_add(500)),
+            observed_ns: None,
+            queue_occupancy: Some(0),
         }
     }
 
-    fn batch(n: u64, flows: u16) -> Vec<TelemetryReport> {
+    fn batch(n: u64, flows: u16) -> Vec<FlowUpdate> {
         (0..n)
             .map(|i| {
                 report(
@@ -251,13 +238,13 @@ mod tests {
         let seq_out: Vec<(UpdateKind, FeatureVector, u64)> = reports
             .iter()
             .map(|r| {
-                let (k, rec) = sequential.update_int(r);
+                let (k, rec) = sequential.apply(r);
                 (k, rec.features(), rec.update_seq)
             })
             .collect();
 
         let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 8);
-        let par_out = sharded.update_int_batch(&reports);
+        let par_out = sharded.apply_batch(&reports);
 
         assert_eq!(par_out.len(), seq_out.len());
         for (p, (k, f, u)) in par_out.iter().zip(&seq_out) {
@@ -274,7 +261,7 @@ mod tests {
     fn single_shard_degenerates_to_plain_table() {
         let reports = batch(500, 16);
         let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 1);
-        let out = sharded.update_int_batch(&reports);
+        let out = sharded.apply_batch(&reports);
         assert_eq!(out.len(), 500);
         assert_eq!(sharded.shard_count(), 1);
         assert_eq!(sharded.len(), 16);
@@ -284,7 +271,7 @@ mod tests {
     fn results_are_in_input_order() {
         let reports = batch(1_000, 32);
         let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 4);
-        let out = sharded.update_int_batch(&reports);
+        let out = sharded.apply_batch(&reports);
         // The first occurrence of each flow must be Created, later ones
         // Updated, in input order.
         let mut seen = std::collections::HashSet::new();
@@ -301,8 +288,8 @@ mod tests {
     fn multiple_batches_continue_state() {
         let reports = batch(600, 8);
         let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 4);
-        let first = sharded.update_int_batch(&reports[..300]);
-        let second = sharded.update_int_batch(&reports[300..]);
+        let first = sharded.apply_batch(&reports[..300]);
+        let second = sharded.apply_batch(&reports[300..]);
         // Flow state persists: second batch has no creations (all 8 flows
         // appeared in the first 300 reports).
         assert!(first.iter().any(|u| u.kind == UpdateKind::Created));
@@ -314,22 +301,22 @@ mod tests {
     fn into_variant_reuses_results_buffer() {
         let reports = batch(900, 24);
         let mut fresh = ShardedFlowTable::new(FlowTableConfig::default(), 4);
-        let expected = fresh.update_int_batch(&reports);
+        let expected = fresh.apply_batch(&reports);
 
         let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 4);
         let mut results = Vec::new();
         // Stale oversized content must be fully replaced, not appended to.
-        sharded.update_int_batch_into(&reports[..600], &mut results);
+        sharded.apply_batch_into(&reports[..600], &mut results);
         assert_eq!(results.len(), 600);
         let cap = results.capacity();
-        sharded.update_int_batch_into(&reports[600..], &mut results);
+        sharded.apply_batch_into(&reports[600..], &mut results);
         assert_eq!(results.len(), 300);
         assert_eq!(results.capacity(), cap, "buffer reused, not reallocated");
 
         // Same state evolution as the one-shot batch path.
         let mut replay = ShardedFlowTable::new(FlowTableConfig::default(), 4);
         let mut out = Vec::new();
-        replay.update_int_batch_into(&reports, &mut out);
+        replay.apply_batch_into(&reports, &mut out);
         assert_eq!(out, expected);
     }
 
@@ -342,7 +329,7 @@ mod tests {
             },
             4,
         );
-        sharded.update_int_batch(&batch(100, 50));
+        sharded.apply_batch(&batch(100, 50));
         let evicted = sharded.evict_idle(10_000_000_000);
         assert_eq!(evicted, 50);
         assert!(sharded.is_empty());
@@ -382,12 +369,12 @@ mod tests {
         let mut sequential = FlowTable::new(FlowTableConfig::default());
         let seq_out: Vec<u64> = reports
             .iter()
-            .map(|r| sequential.update_int(r).1.update_seq)
+            .map(|r| sequential.apply(r).1.update_seq)
             .collect();
         // Requesting 6 shards yields 8; semantics must be unchanged.
         let mut sharded = ShardedFlowTable::new(FlowTableConfig::default(), 6);
         assert_eq!(sharded.shard_count(), 8);
-        let out = sharded.update_int_batch(&reports);
+        let out = sharded.apply_batch(&reports);
         for (u, seq) in out.iter().zip(&seq_out) {
             assert_eq!(u.update_seq, *seq);
         }

@@ -2,12 +2,41 @@
 
 use crate::stats::StreamingStats;
 use crate::vector::{FeatureId, FeatureVector};
-use amlight_int::TelemetryReport;
 use amlight_net::flow::FnvBuildHasher;
 use amlight_net::{FlowKey, Protocol};
-use amlight_sflow::FlowSample;
 use serde::{Deserialize, Serialize};
 use std::hash::BuildHasher;
+
+/// One normalized flow-table update — the backend-neutral currency every
+/// telemetry event lowers into before it touches a table.
+///
+/// The flow table does not know which telemetry system produced an
+/// observation; it only sees byte/packet deltas plus the optional
+/// clock/queue fields a backend could populate. The lowering from a
+/// concrete event type into a `FlowUpdate` lives in one place per
+/// backend (`amlight_core::event::Telemetry::flow_update`), which is
+/// what keeps this crate N-backend-blind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowUpdate {
+    /// The 5-tuple the observation belongs to.
+    pub flow: FlowKey,
+    /// Collector-clock time of the observation, ns (drives eviction).
+    pub now_ns: u64,
+    /// IP length of the observed packet.
+    pub len: u16,
+    /// Wrapped 32-bit device timestamp (INT egress stamps). When set,
+    /// inter-arrival time derives from consecutive stamps via wrapping
+    /// subtraction — inheriting the paper's §V 4.3 s aliasing artifact.
+    pub stamp32: Option<u32>,
+    /// Full-width observation clock, ns (header-sampling backends).
+    /// Inter-arrival derives via saturating subtraction (samples can
+    /// arrive reordered over UDP).
+    pub observed_ns: Option<u64>,
+    /// Queue occupancy, if this backend can populate the queue columns.
+    /// `None` leaves the queue aggregates untouched — the consistent
+    /// imputation every queue-blind backend shares.
+    pub queue_occupancy: Option<u32>,
+}
 
 /// Whether an ingest created a new record or updated an existing one.
 ///
@@ -195,20 +224,19 @@ const INITIAL_BUCKETS: usize = 16;
 /// equivalence oracle lives in [`crate::reference::HashFlowTable`].
 ///
 /// ```
-/// use amlight_features::{FlowTable, FlowTableConfig, UpdateKind};
-/// use amlight_int::{HopMetadata, InstructionSet, TelemetryReport};
+/// use amlight_features::{FlowTable, FlowTableConfig, FlowUpdate, UpdateKind};
 /// use amlight_net::{FlowKey, Protocol};
 ///
 /// let mut table = FlowTable::new(FlowTableConfig::default());
-/// let report = TelemetryReport {
+/// let update = FlowUpdate {
 ///     flow: FlowKey::new([10, 0, 0, 1].into(), [10, 0, 0, 2].into(), 4242, 80, Protocol::Tcp),
-///     ip_len: 60,
-///     tcp_flags: Some(0x02),
-///     instructions: InstructionSet::amlight(),
-///     hops: vec![HopMetadata::default()].into(),
-///     export_ns: 1_000,
+///     now_ns: 1_000,
+///     len: 60,
+///     stamp32: Some(500),
+///     observed_ns: None,
+///     queue_occupancy: Some(3),
 /// };
-/// let (kind, record) = table.update_int(&report);
+/// let (kind, record) = table.apply(&update);
 /// assert_eq!(kind, UpdateKind::Created);
 /// assert_eq!(record.packet_count, 1);
 /// ```
@@ -278,43 +306,16 @@ impl FlowTable {
         self.slots.iter()
     }
 
-    /// Ingest an INT telemetry report. Inter-arrival derives from the
-    /// sink hop's 32-bit egress stamp via wrapping subtraction (paper
-    /// §III-2 / §V).
+    /// Apply one normalized telemetry observation — the single update
+    /// path every backend shares. Inter-arrival derives from whichever
+    /// clock the update carries (wrapped 32-bit stamp, full-width
+    /// observation time, or neither); queue aggregates update only when
+    /// `queue_occupancy` is populated.
     // amlint: hot
-    pub fn update_int(&mut self, report: &TelemetryReport) -> (UpdateKind, &FlowRecord) {
-        let now = report.export_ns;
-        let stamp = report.sink_hop().map(|h| h.egress_tstamp);
-        let qocc = report.sink_hop().map(|h| h.queue_occupancy);
-        self.ingest(report.flow, now, report.ip_len, stamp, None, qocc)
-    }
-
-    /// Ingest an sFlow sample. Inter-arrival derives from the agent's
-    /// full-width observation clock — but remember these are *samples*:
-    /// consecutive samples of a flow are typically thousands of packets
-    /// apart.
-    // amlint: hot
-    pub fn update_sflow(&mut self, sample: &FlowSample) -> (UpdateKind, &FlowRecord) {
-        self.ingest(
-            sample.flow,
-            sample.observed_ns,
-            sample.ip_len,
-            None,
-            Some(sample.observed_ns),
-            None,
-        )
-    }
-
     // amlint: allow(R8) -- slot indices come from find_slot/insert_slot, in-bounds by construction
-    fn ingest(
-        &mut self,
-        key: FlowKey,
-        now_ns: u64,
-        len: u16,
-        stamp32: Option<u32>,
-        observed_ns: Option<u64>,
-        qocc: Option<u32>,
-    ) -> (UpdateKind, &FlowRecord) {
+    pub fn apply(&mut self, update: &FlowUpdate) -> (UpdateKind, &FlowRecord) {
+        let key = update.flow;
+        let now_ns = update.now_ns;
         let hash = self.hasher.hash_one(key);
         let (kind, slot) = match self.find_slot(key, hash) {
             Some(slot) => {
@@ -330,7 +331,13 @@ impl FlowTable {
                 (UpdateKind::Created, self.insert_slot(key, hash, now_ns))
             }
         };
-        self.slots[slot].observe(now_ns, len, stamp32, observed_ns, qocc);
+        self.slots[slot].observe(
+            now_ns,
+            update.len,
+            update.stamp32,
+            update.observed_ns,
+            update.queue_occupancy,
+        );
         (kind, &self.slots[slot])
     }
 
@@ -490,7 +497,6 @@ impl FlowTable {
 mod tests {
     use super::*;
     use crate::vector::FeatureId;
-    use amlight_int::{HopMetadata, InstructionSet};
     use std::net::Ipv4Addr;
 
     fn key(port: u16) -> FlowKey {
@@ -503,28 +509,34 @@ mod tests {
         )
     }
 
-    fn report(port: u16, export_ns: u64, egress32: u32, len: u16, qocc: u32) -> TelemetryReport {
-        TelemetryReport {
+    /// An INT-shaped update: wrapped 32-bit stamp + queue occupancy.
+    fn report(port: u16, now_ns: u64, egress32: u32, len: u16, qocc: u32) -> FlowUpdate {
+        FlowUpdate {
             flow: key(port),
-            ip_len: len,
-            tcp_flags: Some(0x02),
-            instructions: InstructionSet::amlight(),
-            hops: vec![HopMetadata {
-                switch_id: 0,
-                ingress_tstamp: egress32.wrapping_sub(500),
-                egress_tstamp: egress32,
-                hop_latency: 0,
-                queue_occupancy: qocc,
-            }]
-            .into(),
-            export_ns,
+            now_ns,
+            len,
+            stamp32: Some(egress32),
+            observed_ns: None,
+            queue_occupancy: Some(qocc),
+        }
+    }
+
+    /// A sample-shaped update: full-width clock, no queue telemetry.
+    fn sample(flow: FlowKey, observed_ns: u64, len: u16) -> FlowUpdate {
+        FlowUpdate {
+            flow,
+            now_ns: observed_ns,
+            len,
+            stamp32: None,
+            observed_ns: Some(observed_ns),
+            queue_occupancy: None,
         }
     }
 
     #[test]
     fn first_packet_creates_record_with_defaults() {
         let mut t = FlowTable::default();
-        let (kind, rec) = t.update_int(&report(1, 1000, 1000, 40, 3));
+        let (kind, rec) = t.apply(&report(1, 1000, 1000, 40, 3));
         assert_eq!(kind, UpdateKind::Created);
         assert_eq!(rec.update_seq, 0);
         assert_eq!(rec.packet_count, 1);
@@ -538,8 +550,8 @@ mod tests {
     #[test]
     fn second_packet_updates_and_derives_iat() {
         let mut t = FlowTable::default();
-        t.update_int(&report(1, 1_000, 1_000, 40, 0));
-        let (kind, rec) = t.update_int(&report(1, 2_000_000, 2_001_000, 1400, 5));
+        t.apply(&report(1, 1_000, 1_000, 40, 0));
+        let (kind, rec) = t.apply(&report(1, 2_000_000, 2_001_000, 1400, 5));
         assert_eq!(kind, UpdateKind::Updated);
         assert_eq!(rec.update_seq, 1);
         assert_eq!(rec.packet_count, 2);
@@ -554,8 +566,8 @@ mod tests {
     fn iat_wraps_like_the_paper_warns() {
         let mut t = FlowTable::default();
         // First stamp just below the wrap, second just above zero.
-        t.update_int(&report(1, 0, u32::MAX - 999, 40, 0));
-        let (_, rec) = t.update_int(&report(1, 10_000, 1_000, 40, 0));
+        t.apply(&report(1, 0, u32::MAX - 999, 40, 0));
+        let (_, rec) = t.apply(&report(1, 10_000, 1_000, 40, 0));
         // True gap 2000 ns across the wrap: wrapping_sub gets it right.
         assert!((rec.last_inter_arrival_s - 2e-6).abs() < 1e-12);
     }
@@ -563,9 +575,9 @@ mod tests {
     #[test]
     fn iat_aliases_when_gap_exceeds_wrap_period() {
         let mut t = FlowTable::default();
-        t.update_int(&report(1, 0, 1_000, 40, 0));
+        t.apply(&report(1, 0, 1_000, 40, 0));
         // True gap = 2^32 + 500 ns, but the 32-bit stamp only moved 500.
-        let (_, rec) = t.update_int(&report(1, 4_294_967_796, 1_500, 40, 0));
+        let (_, rec) = t.apply(&report(1, 4_294_967_796, 1_500, 40, 0));
         assert!(
             (rec.last_inter_arrival_s - 5e-7).abs() < 1e-15,
             "aliased to 500 ns, the paper's §V artifact"
@@ -575,8 +587,8 @@ mod tests {
     #[test]
     fn distinct_flows_distinct_records() {
         let mut t = FlowTable::default();
-        t.update_int(&report(1, 0, 0, 40, 0));
-        t.update_int(&report(2, 10, 10, 40, 0));
+        t.apply(&report(1, 0, 0, 40, 0));
+        t.apply(&report(2, 10, 10, 40, 0));
         assert_eq!(t.len(), 2);
         assert_eq!(t.created(), 2);
         assert_eq!(t.updated(), 0);
@@ -585,9 +597,9 @@ mod tests {
     #[test]
     fn features_reflect_aggregates() {
         let mut t = FlowTable::default();
-        t.update_int(&report(1, 1_000, 1_000, 100, 2));
-        t.update_int(&report(1, 1_001_000, 1_001_000, 300, 4));
-        let (_, rec) = t.update_int(&report(1, 2_001_000, 2_001_000, 200, 6));
+        t.apply(&report(1, 1_000, 1_000, 100, 2));
+        t.apply(&report(1, 1_001_000, 1_001_000, 300, 4));
+        let (_, rec) = t.apply(&report(1, 2_001_000, 2_001_000, 200, 6));
         let v = rec.features();
         assert_eq!(v.get(FeatureId::Protocol), 6.0);
         assert_eq!(v.get(FeatureId::PacketLen), 200.0);
@@ -603,22 +615,11 @@ mod tests {
 
     #[test]
     fn sflow_ingest_has_no_queue_data() {
-        use amlight_sflow::FlowSample;
         let mut t = FlowTable::default();
-        let s1 = FlowSample {
-            flow: key(9),
-            ip_len: 500,
-            tcp_flags: Some(0x10),
-            observed_ns: 1_000_000,
-            sampling_period: 4096,
-        };
-        let s2 = FlowSample {
-            observed_ns: 3_000_000,
-            ip_len: 700,
-            ..s1
-        };
-        t.update_sflow(&s1);
-        let (kind, rec) = t.update_sflow(&s2);
+        let s1 = sample(key(9), 1_000_000, 500);
+        let s2 = sample(key(9), 3_000_000, 700);
+        t.apply(&s1);
+        let (kind, rec) = t.apply(&s2);
         assert_eq!(kind, UpdateKind::Updated);
         assert_eq!(rec.last_queue_occ, 0);
         assert!(rec.qocc_stats.is_empty());
@@ -631,8 +632,8 @@ mod tests {
             idle_timeout_ns: 1_000,
             max_flows: 100,
         });
-        t.update_int(&report(1, 0, 0, 40, 0));
-        t.update_int(&report(2, 1_500, 1_500, 40, 0));
+        t.apply(&report(1, 0, 0, 40, 0));
+        t.apply(&report(2, 1_500, 1_500, 40, 0));
         let evicted = t.evict_idle(2_000);
         assert_eq!(evicted, 1, "flow 1 idle past timeout");
         assert!(t.get(&key(2)).is_some());
@@ -647,10 +648,10 @@ mod tests {
             max_flows: 3,
         });
         for (i, ts) in [(1u16, 100u64), (2, 200), (3, 300)] {
-            t.update_int(&report(i, ts, ts as u32, 40, 0));
+            t.apply(&report(i, ts, ts as u32, 40, 0));
         }
         // A fourth flow forces eviction of the oldest-idle (flow 1).
-        t.update_int(&report(4, 400, 400, 40, 0));
+        t.apply(&report(4, 400, 400, 40, 0));
         assert_eq!(t.len(), 3);
         assert!(t.get(&key(1)).is_none());
         assert!(t.get(&key(4)).is_some());
@@ -663,20 +664,11 @@ mod tests {
     #[test]
     fn reordered_sflow_sample_saturates_iat() {
         let mut t = FlowTable::default();
-        let newer = FlowSample {
-            flow: key(7),
-            ip_len: 500,
-            tcp_flags: Some(0x10),
-            observed_ns: 5_000_000,
-            sampling_period: 4096,
-        };
-        let older = FlowSample {
-            observed_ns: 2_000_000, // arrives second, observed earlier
-            ip_len: 600,
-            ..newer
-        };
-        t.update_sflow(&newer);
-        let (_, rec) = t.update_sflow(&older);
+        let newer = sample(key(7), 5_000_000, 500);
+        // Arrives second, observed earlier.
+        let older = sample(key(7), 2_000_000, 600);
+        t.apply(&newer);
+        let (_, rec) = t.apply(&older);
         assert_eq!(
             rec.last_inter_arrival_s, 0.0,
             "reordered sample must clamp, not wrap to ~1.8e10 s"
@@ -700,7 +692,7 @@ mod tests {
         // over-capacity insert exercises the single-eviction fallback.
         for i in 0..10 * CAP as u64 {
             let port = 1 + i as u16; // all distinct: worst-case pressure
-            t.update_int(&report(
+            t.apply(&report(
                 port,
                 1_000 * (i + 1),
                 (1_000 * (i + 1)) as u32,
@@ -739,7 +731,7 @@ mod tests {
             for p in 0..23u16 {
                 let port = round * 100 + p + 1;
                 clock += 10;
-                t.update_int(&report(port, clock, clock as u32, 40, 0));
+                t.apply(&report(port, clock, clock as u32, 40, 0));
                 live.push(port);
             }
             // ...touch a stale subset so only the rest idles out.
@@ -747,7 +739,7 @@ mod tests {
             let keep_from = live.len().saturating_sub(11);
             for &port in &live[keep_from..] {
                 clock += 1;
-                t.update_int(&report(port, clock, clock as u32, 40, 0));
+                t.apply(&report(port, clock, clock as u32, 40, 0));
             }
             clock += 400;
             t.evict_idle(clock);
@@ -769,17 +761,10 @@ mod tests {
     #[test]
     fn protocol_split_counts() {
         let mut t = FlowTable::default();
-        t.update_int(&report(1, 0, 0, 40, 0));
+        t.apply(&report(1, 0, 0, 40, 0));
         let mut udp_key = key(2);
         udp_key.protocol = Protocol::Udp;
-        let udp_sample = FlowSample {
-            flow: udp_key,
-            ip_len: 100,
-            tcp_flags: None,
-            observed_ns: 0,
-            sampling_period: 1,
-        };
-        t.update_sflow(&udp_sample);
+        t.apply(&sample(udp_key, 0, 100));
         assert_eq!(t.protocol_split(), (1, 1));
     }
 }

@@ -48,6 +48,14 @@ impl FeatureId {
         FeatureId::BytesPerSec,
     ];
 
+    /// The columns derived from in-band queue telemetry — the ones a
+    /// header-sampling backend cannot populate (paper Table II).
+    pub const QUEUE_COLUMNS: [FeatureId; 3] = [
+        FeatureId::QueueOcc,
+        FeatureId::QueueOccAvg,
+        FeatureId::QueueOccStd,
+    ];
+
     /// Paper-style display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -69,47 +77,91 @@ impl FeatureId {
         }
     }
 
-    /// Is this feature derived from INT-only telemetry (queue occupancy)?
-    pub fn requires_int(self) -> bool {
-        matches!(
-            self,
-            FeatureId::QueueOcc | FeatureId::QueueOccAvg | FeatureId::QueueOccStd
-        )
+    /// Is this feature derived from in-band queue telemetry?
+    pub fn is_queue_derived(self) -> bool {
+        Self::QUEUE_COLUMNS.contains(&self)
     }
 }
 
-/// Which telemetry source the vector is built from — selects the feature
-/// subset (paper Table II).
+/// Descriptor of the feature projection a telemetry backend can
+/// populate: a bitmask over [`FeatureId::ALL`] (bit *i* set = column *i*
+/// present). The width, the column names, and the projection all derive
+/// from the mask, so adding backend N+1 means composing a mask — not
+/// adding a variant and chasing match arms.
+///
+/// Columns a backend cannot populate are *imputed* consistently: the
+/// flow table leaves them at their 0-defaults and the projection skips
+/// them, exactly as the sFlow path has always done for queue occupancy.
+///
+/// The backend → descriptor mapping itself lives in one place,
+/// `amlight_core::event::TelemetryBackend::feature_set` — the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum FeatureSet {
-    /// All 15 features.
-    Int,
-    /// 12 features: everything except queue occupancy.
-    Sflow,
+pub struct FeatureSet {
+    /// Bitmask over the canonical feature space.
+    columns: u16,
 }
 
+/// Mask with every canonical column set.
+const FULL_MASK: u16 = (1 << FeatureId::COUNT) - 1;
+
 impl FeatureSet {
+    /// All 15 canonical columns (the full-INT projection).
+    pub const fn full() -> Self {
+        Self { columns: FULL_MASK }
+    }
+
+    /// Remove columns from this set.
+    pub fn without(self, cols: &[FeatureId]) -> Self {
+        let mut columns = self.columns;
+        for c in cols {
+            columns &= !(1u16 << *c as usize);
+        }
+        Self { columns }
+    }
+
+    /// Does the set include this column?
+    #[inline]
+    pub fn contains(self, id: FeatureId) -> bool {
+        self.columns & (1u16 << id as usize) != 0
+    }
+
+    /// Every canonical column present?
+    #[inline]
+    pub fn is_full(self) -> bool {
+        self.columns == FULL_MASK
+    }
+
     /// The features in this set, in canonical order.
     // amlint: cold -- config-time enumeration, not per-report
     pub fn features(self) -> Vec<FeatureId> {
         FeatureId::ALL
             .into_iter()
-            .filter(|f| self == FeatureSet::Int || !f.requires_int())
+            .filter(|f| self.contains(*f))
             .collect()
     }
 
-    pub fn dim(self) -> usize {
-        match self {
-            FeatureSet::Int => 15,
-            FeatureSet::Sflow => 12,
-        }
+    /// Paper-style display names of the columns, in canonical order.
+    // amlint: cold -- config-time enumeration, not per-report
+    pub fn names(self) -> Vec<&'static str> {
+        self.features().into_iter().map(FeatureId::name).collect()
     }
 
-    pub fn name(self) -> &'static str {
-        match self {
-            FeatureSet::Int => "INT",
-            FeatureSet::Sflow => "sFlow",
-        }
+    /// Width of a projected row.
+    pub fn dim(self) -> usize {
+        self.columns.count_ones() as usize
+    }
+
+    /// The raw column bitmask (bit *i* = `FeatureId::ALL[i]` present).
+    /// Exposed for diagnostics — two sets of equal width can still be
+    /// different projections, and error messages should show which.
+    pub fn mask(self) -> u16 {
+        self.columns
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        Self::full()
     }
 }
 
@@ -142,19 +194,19 @@ impl FeatureVector {
     }
 
     /// Project onto a feature set, appending to `out` (hot path: no
-    /// allocation when the caller reuses the buffer).
+    /// allocation when the caller reuses the buffer). Mask-driven: one
+    /// code path for every backend's projection.
     // amlint: allow(R8) -- FeatureId discriminants are < FeatureId::COUNT
     pub fn project_into(&self, set: FeatureSet, out: &mut Vec<f64>) {
-        match set {
+        if set.is_full() {
             // amlint: cold -- caller-owned row buffer, reused across events
-            FeatureSet::Int => out.extend_from_slice(&self.values),
-            FeatureSet::Sflow => {
-                for f in FeatureId::ALL {
-                    if !f.requires_int() {
-                        // amlint: cold -- caller-owned row buffer, reused across events
-                        out.push(self.values[f as usize]);
-                    }
-                }
+            out.extend_from_slice(&self.values);
+            return;
+        }
+        for f in FeatureId::ALL {
+            if set.contains(f) {
+                // amlint: cold -- caller-owned row buffer, reused across events
+                out.push(self.values[f as usize]);
             }
         }
     }
@@ -171,24 +223,36 @@ impl FeatureVector {
 mod tests {
     use super::*;
 
-    #[test]
-    fn fifteen_features_total() {
-        assert_eq!(FeatureId::ALL.len(), 15);
-        assert_eq!(FeatureSet::Int.dim(), 15);
-        assert_eq!(FeatureSet::Int.features().len(), 15);
+    fn sflow_like() -> FeatureSet {
+        FeatureSet::full().without(&FeatureId::QUEUE_COLUMNS)
     }
 
     #[test]
-    fn sflow_set_lacks_queue_occupancy() {
-        let feats = FeatureSet::Sflow.features();
+    fn fifteen_features_total() {
+        assert_eq!(FeatureId::ALL.len(), 15);
+        assert_eq!(FeatureSet::full().dim(), 15);
+        assert_eq!(FeatureSet::full().features().len(), 15);
+        assert!(FeatureSet::full().is_full());
+    }
+
+    #[test]
+    fn queueless_set_lacks_queue_occupancy() {
+        let set = sflow_like();
+        assert_eq!(set.dim(), 12);
+        let feats = set.features();
         assert_eq!(feats.len(), 12);
-        assert!(feats.iter().all(|f| !f.requires_int()));
+        assert!(feats.iter().all(|f| !f.is_queue_derived()));
+        assert!(!set.is_full());
+        assert!(!set.contains(FeatureId::QueueOcc));
+        assert!(set.contains(FeatureId::Protocol));
     }
 
     #[test]
     fn names_are_unique() {
         let names: std::collections::HashSet<_> = FeatureId::ALL.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), 15);
+        assert_eq!(FeatureSet::full().names().len(), 15);
+        assert_eq!(sflow_like().names().len(), 12);
     }
 
     #[test]
@@ -197,13 +261,13 @@ mod tests {
         for (i, f) in FeatureId::ALL.into_iter().enumerate() {
             v.set(f, i as f64);
         }
-        let int = v.project(FeatureSet::Int);
-        assert_eq!(int, (0..15).map(|i| i as f64).collect::<Vec<_>>());
-        let sflow = v.project(FeatureSet::Sflow);
-        assert_eq!(sflow.len(), 12);
+        let full = v.project(FeatureSet::full());
+        assert_eq!(full, (0..15).map(|i| i as f64).collect::<Vec<_>>());
+        let queueless = v.project(sflow_like());
+        assert_eq!(queueless.len(), 12);
         // Queue features (indices 9, 10, 11) skipped.
         assert_eq!(
-            sflow,
+            queueless,
             vec![0., 1., 2., 3., 4., 5., 6., 7., 8., 12., 13., 14.]
         );
     }
@@ -212,9 +276,19 @@ mod tests {
     fn project_into_reuses_buffer() {
         let v = FeatureVector::default();
         let mut buf = Vec::with_capacity(32);
-        v.project_into(FeatureSet::Int, &mut buf);
-        v.project_into(FeatureSet::Sflow, &mut buf);
+        v.project_into(FeatureSet::full(), &mut buf);
+        v.project_into(sflow_like(), &mut buf);
         assert_eq!(buf.len(), 27);
+    }
+
+    #[test]
+    fn without_is_idempotent_and_composable() {
+        let a = FeatureSet::full().without(&[FeatureId::QueueOcc]);
+        let b = a.without(&[FeatureId::QueueOcc]);
+        assert_eq!(a, b);
+        assert_eq!(a.dim(), 14);
+        let c = a.without(&[FeatureId::QueueOccAvg, FeatureId::QueueOccStd]);
+        assert_eq!(c, sflow_like());
     }
 
     #[test]

@@ -41,6 +41,10 @@
 //!   threads form a `SO_REUSEPORT` *accept* group; each accepted
 //!   connection gets its own handler thread publishing into the
 //!   accepting listener's mailbox.
+//! * [`WireProtocol::PintUdp`] — PINT probabilistic digests packed in
+//!   UDP datagrams; each listener owns a [`amlight_pint::PintCollector`]
+//!   whose sketch reconstructs queue state across that listener's
+//!   digest stream.
 
 // Compiler-enforced arm of amlint rule R5: unsafe stays in shims/.
 #![forbid(unsafe_code)]
@@ -54,6 +58,7 @@ use std::time::Duration;
 
 use amlight_core::{EventMailbox, LabeledEvent, OverflowPolicy, SocketSource};
 use amlight_int::{IntCollector, TelemetryReport};
+use amlight_pint::PintCollector;
 use amlight_sflow::SflowCollector;
 use netio::{Frame, MAX_BATCH};
 use serde::{Deserialize, Serialize};
@@ -67,6 +72,8 @@ pub enum WireProtocol {
     IntUdp,
     /// The INT sink's report byte stream over TCP.
     IntTcp,
+    /// PINT probabilistic per-packet digests over UDP.
+    PintUdp,
 }
 
 impl WireProtocol {
@@ -75,6 +82,7 @@ impl WireProtocol {
             WireProtocol::SflowUdp => "sflow-udp",
             WireProtocol::IntUdp => "int-udp",
             WireProtocol::IntTcp => "int-tcp",
+            WireProtocol::PintUdp => "pint-udp",
         }
     }
 
@@ -83,6 +91,7 @@ impl WireProtocol {
             "sflow-udp" => Some(WireProtocol::SflowUdp),
             "int-udp" => Some(WireProtocol::IntUdp),
             "int-tcp" => Some(WireProtocol::IntTcp),
+            "pint-udp" => Some(WireProtocol::PintUdp),
             _ => None,
         }
     }
@@ -378,9 +387,12 @@ fn run_udp_listener(sock: UdpSocket, ctx: ListenerCtx) {
     let mut frames = vec![Frame::new(); MAX_BATCH];
     let mut sflow = SflowCollector::new();
     // amlint: cold -- one-time listener setup before the loop
+    let mut pint = PintCollector::new(amlight_pint::SketchConfig::default());
+    // amlint: cold -- one-time listener setup before the loop
     let mut reports: Vec<TelemetryReport> = Vec::with_capacity(ctx.cfg.batch_events.min(1024));
     let mut batch = ctx.mailbox.acquire();
     let mut sflow_errors = 0u64;
+    let mut pint_errors = 0u64;
 
     while !ctx.stop.load(Ordering::Relaxed) {
         let got = match netio::recv_batch(&sock, &mut frames) {
@@ -427,6 +439,22 @@ fn run_udp_listener(sock: UdpSocket, ctx: ListenerCtx) {
                         // amlint: cold -- pooled batch shell from mailbox.acquire()
                         batch.push(LabeledEvent::new(r.into()));
                     }
+                }
+                WireProtocol::PintUdp => {
+                    if pint.ingest(payload).is_err() {
+                        // The collector classifies the reject in its own
+                        // stats; mirror the delta outward.
+                        errors += pint.decode_errors() - pint_errors;
+                        pint_errors = pint.decode_errors();
+                    }
+                    for r in pint.reports() {
+                        // amlint: cold -- pooled batch shell from mailbox.acquire()
+                        batch.push(LabeledEvent::new((*r).into()));
+                    }
+                    decoded += pint.reports().len() as u64;
+                    // Keeps the allocation and the sketch; only the
+                    // drained digests go.
+                    pint.clear_reports();
                 }
                 // TCP traffic never reaches the UDP loop.
                 WireProtocol::IntTcp => {}
@@ -776,11 +804,71 @@ mod tests {
     }
 
     #[test]
+    fn pint_udp_roundtrip_annotates_queue_state() {
+        let server = IngestServer::bind(cfg(WireProtocol::PintUdp)).unwrap();
+        let addr = server.local_addr();
+        // Digest a synthetic packet stream: every event for one flow so
+        // the listener-side sketch sees queue digests before latency
+        // digests and can annotate the latter.
+        let enc = amlight_pint::PintEncoder::new(8);
+        let reports: Vec<amlight_pint::PintReport> = (0..40u32)
+            .map(|i| {
+                let r = int_report(1); // one flow, consecutive export times
+                enc.encode(
+                    r.flow,
+                    r.ip_len,
+                    r.tcp_flags,
+                    u64::from(i) * 100,
+                    &[(12, 500)],
+                )
+            })
+            .collect();
+        let grams = amlight_pint::batch_into_datagrams(Ipv4Addr::new(9, 9, 9, 9), &reports, 8);
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for g in &grams {
+            tx.send_to(g, addr).unwrap();
+        }
+        let mut source = server.source();
+        let got = drain_events(&mut source, reports.len());
+        assert_eq!(got.len(), reports.len());
+        for e in &got {
+            assert_eq!(e.event.flow(), int_report(1).flow);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.events_decoded, 40);
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(stats.datagrams as usize, grams.len());
+    }
+
+    #[test]
+    fn pint_udp_garbage_is_counted_never_fatal() {
+        let server = IngestServer::bind(cfg(WireProtocol::PintUdp)).unwrap();
+        let addr = server.local_addr();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        tx.send_to(&[0x91, 0x4f, 0x00], addr).unwrap(); // truncated header
+        let r = int_report(3);
+        let enc = amlight_pint::PintEncoder::new(8);
+        let good = amlight_pint::batch_into_datagrams(
+            Ipv4Addr::new(9, 9, 9, 9),
+            &[enc.encode(r.flow, r.ip_len, r.tcp_flags, r.export_ns, &[(3, 700)])],
+            4,
+        );
+        tx.send_to(&good[0], addr).unwrap();
+        let mut source = server.source();
+        let got = drain_events(&mut source, 1);
+        assert_eq!(got.len(), 1);
+        let stats = server.shutdown();
+        assert_eq!(stats.events_decoded, 1);
+        assert!(stats.decode_errors >= 1, "garbage datagram counted");
+    }
+
+    #[test]
     fn wire_protocol_parse_roundtrips() {
         for p in [
             WireProtocol::SflowUdp,
             WireProtocol::IntUdp,
             WireProtocol::IntTcp,
+            WireProtocol::PintUdp,
         ] {
             assert_eq!(WireProtocol::parse(p.name()), Some(p));
         }

@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 
 /// Version of the persisted bundle layout. Bump when `ModelBundle`'s
 /// serialized shape changes incompatibly; loaders reject mismatches.
-pub const BUNDLE_SCHEMA_VERSION: u32 = 2;
+/// v3: `feature_set` became a column-mask descriptor (was a 2-variant
+/// backend enum) when the telemetry registry landed.
+pub const BUNDLE_SCHEMA_VERSION: u32 = 3;
 
 /// Provenance stamped into every trained bundle and carried through to
 /// each verdict the bundle produces.

@@ -1,0 +1,379 @@
+//! PINT datagrams and the collector that decodes and reconstructs them.
+
+use crate::report::PintReport;
+use crate::sketch::{PintSketch, SketchConfig};
+use amlight_net::{CodecError, Decode, Encode};
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Magic tag opening every PINT datagram on the wire.
+pub const DATAGRAM_MAGIC: u16 = 0x914F;
+
+/// A sink → collector datagram: a batch of digest reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PintDatagram {
+    pub agent: Ipv4Addr,
+    pub sequence: u32,
+    pub reports: Vec<PintReport>,
+}
+
+impl Encode for PintDatagram {
+    fn encoded_len(&self) -> usize {
+        2 + 4 + 4 + 2 + self.reports.len() * PintReport::WIRE_LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(DATAGRAM_MAGIC);
+        buf.put_slice(&self.agent.octets());
+        buf.put_u32(self.sequence);
+        // Saturate rather than truncate: 65536 reports `as u16` would
+        // alias to a count of 0 and silently drop the whole batch; a
+        // saturated count delivers all but the uncounted tail.
+        buf.put_u16(u16::try_from(self.reports.len()).unwrap_or(u16::MAX));
+        for r in &self.reports {
+            r.encode(buf);
+        }
+    }
+}
+
+impl Decode for PintDatagram {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        const FIXED: usize = 2 + 4 + 4 + 2;
+        if buf.remaining() < FIXED {
+            return Err(CodecError::Truncated {
+                needed: FIXED,
+                had: buf.remaining(),
+            });
+        }
+        if buf.get_u16() != DATAGRAM_MAGIC {
+            return Err(CodecError::Malformed("bad PINT datagram magic"));
+        }
+        let mut oct = [0u8; 4];
+        buf.copy_to_slice(&mut oct);
+        let agent = Ipv4Addr::from(oct);
+        let sequence = buf.get_u32();
+        let count = buf.get_u16() as usize;
+        // The count is attacker bytes: pre-size only to what the buffer
+        // could actually hold (amlint R9).
+        let mut reports = Vec::with_capacity(count.min(buf.remaining() / PintReport::WIRE_LEN));
+        for _ in 0..count {
+            reports.push(PintReport::decode(buf)?);
+        }
+        Ok(Self {
+            agent,
+            sequence,
+            reports,
+        })
+    }
+}
+
+/// Collector: decodes datagrams, tracks sequence gaps, and runs the
+/// reconstruction sketch over every accepted digest.
+#[derive(Debug)]
+pub struct PintCollector {
+    sketch: PintSketch,
+    reports: Vec<PintReport>,
+    datagrams: u64,
+    lost_datagrams: u64,
+    last_seq: Option<u32>,
+    decode_errors: u64,
+}
+
+impl Default for PintCollector {
+    fn default() -> Self {
+        Self::new(SketchConfig::default())
+    }
+}
+
+impl PintCollector {
+    pub fn new(sketch_cfg: SketchConfig) -> Self {
+        Self {
+            sketch: PintSketch::new(sketch_cfg),
+            // amlint: cold -- constructed once per listener at startup
+            reports: Vec::new(),
+            datagrams: 0,
+            lost_datagrams: 0,
+            last_seq: None,
+            decode_errors: 0,
+        }
+    }
+
+    /// Ingest one encoded datagram.
+    ///
+    /// Reports decode straight into the collector's long-lived buffer —
+    /// no intermediate [`PintDatagram`] — and the sketch annotates only
+    /// the reports this datagram appended. A datagram that fails
+    /// mid-decode contributes nothing: partially decoded reports are
+    /// rolled back and the sketch never sees them.
+    // amlint: hot
+    pub fn ingest(&mut self, bytes: &[u8]) -> Result<usize, CodecError> {
+        let mut cursor = bytes;
+        let before = self.reports.len();
+        match self.decode_into_reports(&mut cursor) {
+            Ok((sequence, n)) => {
+                if let Some(prev) = self.last_seq {
+                    let gap = sequence.wrapping_sub(prev);
+                    if gap > 1 {
+                        self.lost_datagrams += u64::from(gap - 1);
+                    }
+                }
+                self.last_seq = Some(sequence);
+                self.datagrams += 1;
+                // Reconstruct in arrival order over the appended range.
+                for r in &mut self.reports[before..] {
+                    self.sketch.annotate(r);
+                }
+                Ok(n)
+            }
+            Err(e) => {
+                self.decode_errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Decode one datagram's header and append its reports to
+    /// `self.reports`; returns (sequence, report count). All-or-nothing:
+    /// on error the buffer is truncated back to its prior length.
+    fn decode_into_reports<B: Buf>(&mut self, buf: &mut B) -> Result<(u32, usize), CodecError> {
+        const FIXED: usize = 2 + 4 + 4 + 2;
+        if buf.remaining() < FIXED {
+            return Err(CodecError::Truncated {
+                needed: FIXED,
+                had: buf.remaining(),
+            });
+        }
+        if buf.get_u16() != DATAGRAM_MAGIC {
+            return Err(CodecError::Malformed("bad PINT datagram magic"));
+        }
+        let mut oct = [0u8; 4];
+        buf.copy_to_slice(&mut oct);
+        let sequence = buf.get_u32();
+        let count = buf.get_u16() as usize;
+        let before = self.reports.len();
+        for _ in 0..count {
+            match PintReport::decode(buf) {
+                // amlint: cold -- long-lived collector buffer, amortized at working-set size
+                Ok(r) => self.reports.push(r),
+                Err(e) => {
+                    self.reports.truncate(before);
+                    return Err(e);
+                }
+            }
+        }
+        Ok((sequence, count))
+    }
+
+    pub fn reports(&self) -> &[PintReport] {
+        &self.reports
+    }
+
+    pub fn take_reports(&mut self) -> Vec<PintReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Drop buffered reports while keeping the backing allocation (and
+    /// the sketch state — reconstruction survives the drain).
+    pub fn clear_reports(&mut self) {
+        self.reports.clear();
+    }
+
+    pub fn datagrams(&self) -> u64 {
+        self.datagrams
+    }
+
+    pub fn lost_datagrams(&self) -> u64 {
+        self.lost_datagrams
+    }
+
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Digests whose flow had a fresh queue reconstruction available.
+    pub fn reconstructed(&self) -> u64 {
+        self.sketch.reconstructed()
+    }
+
+    /// Digests served with no fresh queue state.
+    pub fn sketch_misses(&self) -> u64 {
+        self.sketch.misses()
+    }
+}
+
+/// Batch reports into datagrams of at most `max_per_datagram`.
+pub fn batch_into_datagrams(
+    agent: Ipv4Addr,
+    reports: &[PintReport],
+    max_per_datagram: usize,
+) -> Vec<BytesMut> {
+    reports
+        .chunks(max_per_datagram.max(1))
+        .enumerate()
+        .map(|(i, chunk)| {
+            PintDatagram {
+                agent,
+                sequence: i as u32,
+                reports: chunk.to_vec(),
+            }
+            .encode_to_bytes()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{PintEncoder, PintField};
+    use amlight_net::{FlowKey, Protocol};
+
+    fn digest(tag: u32) -> PintReport {
+        let enc = PintEncoder::new(8);
+        let flow = FlowKey::new(
+            [10, 0, 0, 1].into(),
+            [10, 0, 0, 2].into(),
+            (2000 + tag) as u16,
+            443,
+            Protocol::Udp,
+        );
+        enc.encode(flow, 1400, None, u64::from(tag) * 7, &[(3, 500), (9, 800)])
+    }
+
+    #[test]
+    fn datagram_roundtrip() {
+        let d = PintDatagram {
+            agent: Ipv4Addr::new(192, 0, 2, 1),
+            sequence: 9,
+            reports: (0..5).map(digest).collect(),
+        };
+        let mut cursor = d.encode_to_bytes().freeze();
+        assert_eq!(PintDatagram::decode(&mut cursor).unwrap(), d);
+    }
+
+    #[test]
+    fn collector_accumulates_and_detects_loss() {
+        let agent = Ipv4Addr::new(192, 0, 2, 1);
+        let all: Vec<PintReport> = (0..10).map(digest).collect();
+        let grams = batch_into_datagrams(agent, &all, 3); // seqs 0..=3
+        let mut c = PintCollector::default();
+        c.ingest(&grams[0]).unwrap();
+        c.ingest(&grams[1]).unwrap();
+        // Drop gram 2, deliver 3: one lost datagram.
+        c.ingest(&grams[3]).unwrap();
+        assert_eq!(c.datagrams(), 3);
+        assert_eq!(c.lost_datagrams(), 1);
+        assert_eq!(c.reports().len(), 3 + 3 + 1);
+    }
+
+    #[test]
+    fn ingest_annotates_via_sketch() {
+        // Same flow, queue digest first: later digests reconstruct.
+        let flow = digest(1).flow;
+        let q = PintReport {
+            field: PintField::QueueOccupancy,
+            digest: 6,
+            ..digest(1)
+        };
+        let lat = PintReport {
+            field: PintField::HopLatency,
+            export_ns: q.export_ns + 10,
+            ..q
+        };
+        let grams = batch_into_datagrams(Ipv4Addr::new(1, 1, 1, 1), &[q, lat], 10);
+        let mut c = PintCollector::default();
+        c.ingest(&grams[0]).unwrap();
+        assert_eq!(c.reports()[0].flow, flow);
+        assert_eq!(c.reports()[0].queue_occupancy, Some(6));
+        assert_eq!(c.reports()[1].queue_occupancy, Some(6), "sketch carry-over");
+        assert_eq!(c.reconstructed(), 2);
+    }
+
+    #[test]
+    fn collector_counts_decode_errors() {
+        let mut c = PintCollector::default();
+        assert!(c.ingest(&[0u8; 4]).is_err());
+        assert_eq!(c.decode_errors(), 1);
+        assert!(c
+            .ingest(&[0xde, 0xad, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+            .is_err());
+        assert_eq!(c.decode_errors(), 2);
+    }
+
+    #[test]
+    fn mid_datagram_error_rolls_back_partial_reports() {
+        let agent = Ipv4Addr::new(192, 0, 2, 1);
+        let all: Vec<PintReport> = (0..6).map(digest).collect();
+        let grams = batch_into_datagrams(agent, &all, 3);
+        let mut c = PintCollector::default();
+        c.ingest(&grams[0]).unwrap();
+        let recon = c.reconstructed() + c.sketch_misses();
+        // Truncate the second datagram inside its 2nd report: the first
+        // report decodes fine but must not survive the failed ingest —
+        // and must never reach the sketch.
+        let cut = &grams[1][..grams[1].len() - PintReport::WIRE_LEN - 4];
+        assert!(matches!(c.ingest(cut), Err(CodecError::Truncated { .. })));
+        assert_eq!(c.reports().len(), 3, "partial decode fully rolled back");
+        assert_eq!(
+            c.reconstructed() + c.sketch_misses(),
+            recon,
+            "rolled-back reports never reach the sketch"
+        );
+        // The collector keeps working afterwards.
+        c.ingest(&grams[1]).unwrap();
+        assert_eq!(c.reports().len(), 6);
+    }
+
+    #[test]
+    fn clear_reports_keeps_allocation_and_sketch() {
+        let q = PintReport {
+            field: PintField::QueueOccupancy,
+            digest: 6,
+            ..digest(0)
+        };
+        let lat = PintReport {
+            field: PintField::HopLatency,
+            export_ns: q.export_ns + 10,
+            ..q
+        };
+        let mut c = PintCollector::default();
+        c.ingest(&batch_into_datagrams([1, 1, 1, 1].into(), &[q], 10)[0])
+            .unwrap();
+        c.clear_reports();
+        assert!(c.reports().is_empty());
+        // Sketch state survives the drain: the next datagram's latency
+        // digest still reconstructs.
+        c.ingest(&batch_into_datagrams([1, 1, 1, 1].into(), &[lat], 10)[0])
+            .unwrap();
+        assert_eq!(c.reports()[0].queue_occupancy, Some(6));
+    }
+
+    #[test]
+    fn empty_datagram_is_legal() {
+        let d = PintDatagram {
+            agent: Ipv4Addr::new(1, 1, 1, 1),
+            sequence: 0,
+            reports: vec![],
+        };
+        let mut cursor = d.encode_to_bytes().freeze();
+        assert_eq!(PintDatagram::decode(&mut cursor).unwrap().reports.len(), 0);
+    }
+
+    #[test]
+    fn forged_count_rejected_as_truncated() {
+        let d = PintDatagram {
+            agent: Ipv4Addr::new(1, 1, 1, 1),
+            sequence: 0,
+            reports: (0..2).map(digest).collect(),
+        };
+        let mut bytes = d.encode_to_bytes();
+        bytes[10] = 0xff; // count claims 65282+ reports
+        bytes[11] = 0x02;
+        let mut c = PintCollector::default();
+        assert!(matches!(
+            c.ingest(&bytes),
+            Err(CodecError::Truncated { .. })
+        ));
+        assert!(c.reports().is_empty());
+    }
+}

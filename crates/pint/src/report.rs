@@ -1,0 +1,382 @@
+//! PINT digest reports: what a k-bit per-packet budget can carry.
+//!
+//! Full INT exports every hop's metadata on every packet; sFlow exports
+//! full headers for 1-in-N packets. PINT (Ben Basat et al.) sits between
+//! them: **every** packet carries telemetry, but only `k` bits of it — a
+//! hash-sampled (hop, field) choice quantized into the budget. The
+//! collector-side sketch ([`crate::sketch::PintSketch`]) reassembles
+//! per-flow aggregates from the stream of digests.
+
+use amlight_net::flow::FnvBuildHasher;
+use amlight_net::{CodecError, Decode, Encode, FlowKey};
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::hash::BuildHasher;
+
+/// Smallest supported per-packet digest budget, bits.
+pub const MIN_DIGEST_BITS: u8 = 5;
+
+/// Largest supported per-packet digest budget, bits (the digest field is
+/// a `u16` on the wire).
+pub const MAX_DIGEST_BITS: u8 = 16;
+
+/// Exponent width of the quantizer: a digest spends 5 bits on the
+/// exponent and the remaining `k - 5` on the mantissa.
+const EXP_BITS: u8 = 5;
+
+/// Which hop-metadata field a digest sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PintField {
+    /// Queue depth at dequeue (`deq_qdepth`) — feeds the queue columns.
+    QueueOccupancy,
+    /// Per-hop latency (egress − ingress), ns.
+    HopLatency,
+}
+
+impl PintField {
+    pub fn wire(self) -> u8 {
+        match self {
+            PintField::QueueOccupancy => 0,
+            PintField::HopLatency => 1,
+        }
+    }
+
+    pub fn from_wire(raw: u8) -> Option<Self> {
+        match raw {
+            0 => Some(PintField::QueueOccupancy),
+            1 => Some(PintField::HopLatency),
+            _ => None,
+        }
+    }
+}
+
+/// Quantize a full-width value into a `bits`-wide digest: 5 exponent
+/// bits, `bits - 5` mantissa bits (a tiny float with no sign and no
+/// fraction). Deterministic, integer-only, and monotone: the decoded
+/// value never exceeds the input ([`dequantize`]` ∘ `[`quantize`]` ≤ id`)
+/// and the relative error shrinks as the budget grows.
+// amlint: hot
+pub fn quantize(value: u32, bits: u8) -> u16 {
+    let bits = bits.clamp(MIN_DIGEST_BITS, MAX_DIGEST_BITS);
+    let mb = u32::from(bits - EXP_BITS);
+    if u64::from(value) < (1u64 << mb) {
+        // Exact region: exponent 0, the mantissa is the value.
+        return value as u16;
+    }
+    let msb = 31 - value.leading_zeros();
+    let shift = msb - mb;
+    let e = shift + 1;
+    if e > 31 {
+        // Only reachable with a zero-bit mantissa; saturate.
+        return (31u16) << mb;
+    }
+    let mant = ((value >> shift) as u16) & ((1u16 << mb) - 1);
+    ((e as u16) << mb) | mant
+}
+
+/// Invert [`quantize`]: reconstruct the (under-)estimate the digest
+/// encodes. Forged digests whose magnitude overflows `u32` saturate.
+// amlint: hot
+pub fn dequantize(digest: u16, bits: u8) -> u32 {
+    let bits = bits.clamp(MIN_DIGEST_BITS, MAX_DIGEST_BITS);
+    let mb = u32::from(bits - EXP_BITS);
+    let mant = u64::from(digest) & ((1u64 << mb) - 1);
+    let e = u32::from(digest) >> mb;
+    if e == 0 {
+        return mant as u32;
+    }
+    let v = ((1u64 << mb) + mant) << (e - 1);
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+/// One packet's PINT export: the packet's header fields plus a single
+/// k-bit digest of one sampled (hop, field) choice.
+///
+/// `queue_occupancy` is **not** on the wire — it is the sketch's
+/// reconstruction ([`crate::sketch::PintSketch::annotate`]), carried here
+/// so downstream consumers see one self-describing record per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PintReport {
+    pub flow: FlowKey,
+    pub ip_len: u16,
+    pub tcp_flags: Option<u8>,
+    /// Sink export time, full-width ns (collector-side clock).
+    pub export_ns: u64,
+    /// Which hop the digest sampled (source hop = 0).
+    pub hop: u8,
+    /// Which field of that hop the digest sampled.
+    pub field: PintField,
+    /// The quantized value, `bits` wide.
+    pub digest: u16,
+    /// The bit budget this digest was encoded under.
+    pub bits: u8,
+    /// Collector-side reconstruction of the flow's queue occupancy
+    /// (`None` until the sketch has seen a queue digest for the flow).
+    pub queue_occupancy: Option<u32>,
+}
+
+impl PintReport {
+    /// On-wire size of one report — public so overhead accounting
+    /// (bits-per-packet frontiers) can price the PINT backend. Note the
+    /// *informational* payload is `bits`, the digest budget; the rest of
+    /// the entry is the flow key and framing shared by every backend.
+    pub const WIRE_LEN: usize = 13 + 2 + 1 + 8 + 1 + 1 + 1 + 2;
+
+    /// Decoded value of the digest under its own budget.
+    pub fn value(&self) -> u32 {
+        dequantize(self.digest, self.bits)
+    }
+}
+
+impl Encode for PintReport {
+    fn encoded_len(&self) -> usize {
+        Self::WIRE_LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.flow.to_bytes());
+        buf.put_u16(self.ip_len);
+        buf.put_u8(self.tcp_flags.map_or(0xff, |f| f & 0x3f));
+        buf.put_u64(self.export_ns);
+        buf.put_u8(self.hop);
+        buf.put_u8(self.field.wire());
+        buf.put_u8(self.bits);
+        buf.put_u16(self.digest);
+    }
+}
+
+impl Decode for PintReport {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
+        if buf.remaining() < Self::WIRE_LEN {
+            return Err(CodecError::Truncated {
+                needed: Self::WIRE_LEN,
+                had: buf.remaining(),
+            });
+        }
+        let mut kb = [0u8; 13];
+        buf.copy_to_slice(&mut kb);
+        let flow = FlowKey::from_bytes(&kb).ok_or(CodecError::Malformed("bad flow key"))?;
+        let ip_len = buf.get_u16();
+        let raw = buf.get_u8();
+        let tcp_flags = if raw == 0xff { None } else { Some(raw) };
+        let export_ns = buf.get_u64();
+        let hop = buf.get_u8();
+        let field =
+            PintField::from_wire(buf.get_u8()).ok_or(CodecError::Malformed("bad PINT field"))?;
+        let bits = buf.get_u8();
+        if !(MIN_DIGEST_BITS..=MAX_DIGEST_BITS).contains(&bits) {
+            return Err(CodecError::Malformed("PINT bit budget out of range"));
+        }
+        let digest = buf.get_u16();
+        if bits < 16 && digest >> bits != 0 {
+            return Err(CodecError::Malformed("PINT digest wider than its budget"));
+        }
+        Ok(Self {
+            flow,
+            ip_len,
+            tcp_flags,
+            export_ns,
+            hop,
+            field,
+            digest,
+            bits,
+            queue_occupancy: None,
+        })
+    }
+}
+
+/// The switch-side encoder: picks one (hop, field) per packet by global
+/// hashing and quantizes it into the configured bit budget.
+///
+/// Selection is a *stateless* hash of `(flow, export_ns)` — the same
+/// packet always yields the same choice (replay-deterministic), while
+/// consecutive packets of a flow walk a pseudo-random schedule over the
+/// path, which is what lets the sketch converge on every hop's fields.
+#[derive(Debug, Clone, Default)]
+pub struct PintEncoder {
+    bits: u8,
+    hasher: FnvBuildHasher,
+}
+
+impl PintEncoder {
+    /// Encoder with a per-packet budget of `bits` (clamped to
+    /// [`MIN_DIGEST_BITS`]`..=`[`MAX_DIGEST_BITS`]).
+    pub fn new(bits: u8) -> Self {
+        Self {
+            bits: bits.clamp(MIN_DIGEST_BITS, MAX_DIGEST_BITS),
+            hasher: FnvBuildHasher::default(),
+        }
+    }
+
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Digest one packet. `hops` holds `(queue_occupancy, hop_latency)`
+    /// per hop, source first; an empty path digests a zero queue depth.
+    // amlint: hot
+    // amlint: allow(R8) -- hop index is `selector % hops.len()`, in-bounds by construction
+    pub fn encode(
+        &self,
+        flow: FlowKey,
+        ip_len: u16,
+        tcp_flags: Option<u8>,
+        export_ns: u64,
+        hops: &[(u32, u32)],
+    ) -> PintReport {
+        let (hop, field, value) = if hops.is_empty() {
+            (0u8, PintField::QueueOccupancy, 0u32)
+        } else {
+            let pick = self.hasher.hash_one((flow, export_ns)) as usize % (hops.len() * 2);
+            let hop = pick / 2;
+            let (qocc, lat) = hops[hop];
+            match pick % 2 {
+                0 => (hop as u8, PintField::QueueOccupancy, qocc),
+                _ => (hop as u8, PintField::HopLatency, lat),
+            }
+        };
+        PintReport {
+            flow,
+            ip_len,
+            tcp_flags,
+            export_ns,
+            hop,
+            field,
+            digest: quantize(value, self.bits),
+            bits: self.bits,
+            queue_occupancy: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_net::Protocol;
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    #[test]
+    fn quantize_is_exact_below_mantissa_range() {
+        for v in 0..64u32 {
+            assert_eq!(dequantize(quantize(v, 11), 11), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn wider_budgets_reduce_error() {
+        let v = 123_456u32;
+        let mut last_err = u32::MAX;
+        for bits in [5u8, 8, 12, 16] {
+            let err = v - dequantize(quantize(v, bits), bits);
+            assert!(err <= last_err, "error grew at {bits} bits");
+            last_err = err;
+        }
+        assert_eq!(dequantize(quantize(v, 16), 16) >> 10, v >> 10);
+    }
+
+    #[test]
+    fn minimum_budget_still_orders_magnitudes() {
+        // 5 bits = exponent only: order-of-magnitude resolution.
+        let small = dequantize(quantize(10, 5), 5);
+        let large = dequantize(quantize(1_000_000, 5), 5);
+        assert!(large > small * 100);
+    }
+
+    #[test]
+    fn encoder_is_deterministic_and_in_budget() {
+        let enc = PintEncoder::new(8);
+        let hops = [(3u32, 500u32), (7, 800), (1, 300)];
+        let a = enc.encode(key(1), 100, Some(0x02), 42, &hops);
+        let b = enc.encode(key(1), 100, Some(0x02), 42, &hops);
+        assert_eq!(a, b, "same packet, same digest");
+        assert_eq!(a.digest >> 8, 0, "digest fits the budget");
+        assert!((a.hop as usize) < hops.len());
+    }
+
+    #[test]
+    fn schedule_covers_hops_and_fields() {
+        let enc = PintEncoder::new(8);
+        let hops = [(3u32, 500u32), (7, 800)];
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..200u64 {
+            let r = enc.encode(key(1), 100, None, t, &hops);
+            seen.insert((r.hop, r.field));
+        }
+        assert_eq!(seen.len(), 4, "all (hop, field) choices eventually hit");
+    }
+
+    #[test]
+    fn empty_path_digests_zero() {
+        let r = PintEncoder::new(8).encode(key(9), 60, None, 1, &[]);
+        assert_eq!(r.value(), 0);
+        assert_eq!(r.field, PintField::QueueOccupancy);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let r = PintEncoder::new(12).encode(key(7), 1400, Some(0x10), 99, &[(5, 100)]);
+        let mut cursor = r.encode_to_bytes().freeze();
+        let back = PintReport::decode(&mut cursor).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn decode_rejects_forged_bits_and_digest() {
+        let r = PintEncoder::new(8).encode(key(7), 100, None, 1, &[(5, 100)]);
+        let mut bytes = r.encode_to_bytes();
+        let bits_at = PintReport::WIRE_LEN - 3;
+        bytes[bits_at] = 40; // budget out of range
+        assert!(PintReport::decode(&mut bytes.clone().freeze()).is_err());
+        bytes[bits_at] = 5;
+        bytes[bits_at + 1] = 0xff; // digest wider than 5 bits
+        assert!(PintReport::decode(&mut bytes.freeze()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn quantize_never_overestimates(v in any::<u32>(), bits in 5u8..=16) {
+            let q = dequantize(quantize(v, bits), bits);
+            prop_assert!(q <= v);
+            // Relative error bounded by the mantissa resolution (a
+            // zero-bit mantissa at 5 bits is exponent-only; `q <= v`
+            // above is its whole contract).
+            let mb = u32::from(bits - 5);
+            if mb >= 1 {
+                prop_assert!(u64::from(v) - u64::from(q) <= u64::from(v) >> mb);
+            }
+        }
+
+        #[test]
+        fn digest_always_fits_budget(v in any::<u32>(), bits in 5u8..=16) {
+            let d = quantize(v, bits);
+            if bits < 16 {
+                prop_assert_eq!(d >> bits, 0);
+            }
+        }
+
+        #[test]
+        fn wire_roundtrip_any_report(
+            port in 1u16..u16::MAX,
+            len in 20u16..1500,
+            t in any::<u64>(),
+            v in any::<u32>(),
+            bits in 5u8..=16,
+        ) {
+            let enc = PintEncoder::new(bits);
+            let r = enc.encode(key(port), len, None, t, &[(v, v / 2)]);
+            let mut cursor = r.encode_to_bytes().freeze();
+            prop_assert_eq!(PintReport::decode(&mut cursor).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Collector-side reconstruction sketch.
+//!
+//! Each PINT digest carries one (hop, field) sample. The sketch folds
+//! the stream back into per-flow state: the latest reconstructed queue
+//! occupancy per flow, with **bounded staleness** — a reconstruction is
+//! only served while it is newer than [`SketchConfig::staleness_ns`], so
+//! a flow whose queue digests stopped arriving degrades to "unknown"
+//! (imputed like sFlow) instead of serving stale depths forever.
+
+use crate::report::{PintField, PintReport};
+use amlight_net::flow::FnvHashMap;
+use amlight_net::FlowKey;
+
+/// Sketch sizing and staleness knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchConfig {
+    /// Serve a reconstructed value only while it is at most this old.
+    pub staleness_ns: u64,
+    /// Hard cap on tracked flows; stale-first eviction on pressure.
+    pub max_flows: usize,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        Self {
+            // 100 ms: generous against AmLight's µs-scale inter-arrival,
+            // tight against the 4+ s epochs drift retraining works in.
+            staleness_ns: 100_000_000,
+            max_flows: 1 << 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    qocc: u32,
+    seen_ns: u64,
+}
+
+/// Per-flow reconstruction state.
+#[derive(Debug, Default)]
+pub struct PintSketch {
+    cfg: SketchConfig,
+    entries: FnvHashMap<FlowKey, Entry>,
+    reconstructed: u64,
+    misses: u64,
+}
+
+impl PintSketch {
+    pub fn new(cfg: SketchConfig) -> Self {
+        Self {
+            cfg,
+            // amlint: cold -- constructed once per collector at startup
+            entries: FnvHashMap::default(),
+            reconstructed: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Digests whose flow had a fresh queue reconstruction available.
+    pub fn reconstructed(&self) -> u64 {
+        self.reconstructed
+    }
+
+    /// Digests served with no fresh queue state (imputed downstream).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fold one digest into the sketch and return the flow's current
+    /// queue-occupancy reconstruction, if fresh.
+    ///
+    /// A queue digest refreshes the flow's state and is its own answer;
+    /// any other field consults the state the queue digests left behind.
+    // amlint: hot
+    pub fn absorb(
+        &mut self,
+        flow: FlowKey,
+        export_ns: u64,
+        field: PintField,
+        value: u32,
+    ) -> Option<u32> {
+        match field {
+            PintField::QueueOccupancy => {
+                if self.entries.len() >= self.cfg.max_flows && !self.entries.contains_key(&flow) {
+                    self.evict(export_ns);
+                }
+                // amlint: cold -- bounded map, amortized at the flow working set
+                self.entries.insert(
+                    flow,
+                    Entry {
+                        qocc: value,
+                        seen_ns: export_ns,
+                    },
+                );
+                self.reconstructed += 1;
+                Some(value)
+            }
+            PintField::HopLatency => match self.entries.get(&flow) {
+                Some(e) if export_ns.saturating_sub(e.seen_ns) <= self.cfg.staleness_ns => {
+                    self.reconstructed += 1;
+                    Some(e.qocc)
+                }
+                _ => {
+                    self.misses += 1;
+                    None
+                }
+            },
+        }
+    }
+
+    /// Decode a report's digest, fold it in, and stamp the report with
+    /// the reconstruction — the one-call path collectors use.
+    // amlint: hot
+    pub fn annotate(&mut self, report: &mut PintReport) {
+        let value = report.value();
+        let recon = self.absorb(report.flow, report.export_ns, report.field, value);
+        if report.queue_occupancy.is_none() {
+            report.queue_occupancy = recon;
+        }
+    }
+
+    /// Drop stale entries; if nothing is stale, drop the oldest so
+    /// capacity-pressure inserts always make progress.
+    // amlint: cold -- eviction runs on capacity pressure, not per-digest
+    fn evict(&mut self, now_ns: u64) {
+        let deadline = now_ns.saturating_sub(self.cfg.staleness_ns);
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.seen_ns >= deadline);
+        if self.entries.len() == before && before >= self.cfg.max_flows {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.seen_ns)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amlight_net::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    #[test]
+    fn queue_digest_is_its_own_reconstruction() {
+        let mut s = PintSketch::new(SketchConfig::default());
+        assert_eq!(s.absorb(key(1), 10, PintField::QueueOccupancy, 7), Some(7));
+        assert_eq!(s.reconstructed(), 1);
+    }
+
+    #[test]
+    fn latency_digest_reuses_fresh_queue_state() {
+        let mut s = PintSketch::new(SketchConfig::default());
+        s.absorb(key(1), 10, PintField::QueueOccupancy, 7);
+        assert_eq!(s.absorb(key(1), 20, PintField::HopLatency, 999), Some(7));
+        assert_eq!(s.reconstructed(), 2);
+        assert_eq!(s.misses(), 0);
+    }
+
+    #[test]
+    fn staleness_bound_expires_reconstructions() {
+        let mut s = PintSketch::new(SketchConfig {
+            staleness_ns: 1_000,
+            max_flows: 16,
+        });
+        s.absorb(key(1), 10, PintField::QueueOccupancy, 7);
+        assert_eq!(s.absorb(key(1), 900, PintField::HopLatency, 0), Some(7));
+        assert_eq!(s.absorb(key(1), 2_000, PintField::HopLatency, 0), None);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn unknown_flow_is_a_miss() {
+        let mut s = PintSketch::new(SketchConfig::default());
+        assert_eq!(s.absorb(key(9), 10, PintField::HopLatency, 5), None);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_and_keeps_progress() {
+        let mut s = PintSketch::new(SketchConfig {
+            staleness_ns: u64::MAX / 2,
+            max_flows: 4,
+        });
+        for (i, port) in (1u16..=8).enumerate() {
+            s.absorb(
+                key(port),
+                100 * (i as u64 + 1),
+                PintField::QueueOccupancy,
+                1,
+            );
+            assert!(s.len() <= 4, "sketch exceeded its flow cap");
+        }
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn annotate_stamps_the_report() {
+        let enc = crate::report::PintEncoder::new(12);
+        let mut s = PintSketch::new(SketchConfig::default());
+        // Drive until a queue digest lands, then every later report for
+        // the flow carries a reconstruction.
+        let mut stamped = 0;
+        for t in 0..50u64 {
+            let mut r = enc.encode(key(3), 100, None, t, &[(9, 500)]);
+            s.annotate(&mut r);
+            if let Some(q) = r.queue_occupancy {
+                stamped += 1;
+                assert!(q <= 9, "never over-estimates");
+            }
+        }
+        assert!(stamped > 0, "queue digests eventually reconstruct");
+    }
+}

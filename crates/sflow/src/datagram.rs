@@ -24,7 +24,9 @@ pub struct FlowSample {
 }
 
 impl FlowSample {
-    const WIRE_LEN: usize = 13 + 2 + 1 + 8 + 4;
+    /// On-wire size of one sample — public so overhead accounting
+    /// (bits-per-packet frontiers) can price the sFlow backend.
+    pub const WIRE_LEN: usize = 13 + 2 + 1 + 8 + 4;
 }
 
 impl Encode for FlowSample {

@@ -9,7 +9,7 @@
 
 use amlight::core::runtime::ThreadedPipeline;
 use amlight::core::source::ChannelSource;
-use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight::core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight::features::FeatureSet;
 use amlight::net::TrafficClass;
 use amlight::prelude::*;
@@ -26,8 +26,8 @@ fn main() {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
-    let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
+    let raw = dataset_from_events(&training, FeatureSet::full());
+    let bundle = train_bundle(&raw, FeatureSet::full(), &TrainerConfig::default());
     println!("bundle trained on {} telemetry rows", raw.len());
 
     // Online phase: a live producer feeds the collection module through

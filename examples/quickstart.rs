@@ -6,7 +6,7 @@
 //! ```
 
 use amlight::core::pipeline::PipelineConfig;
-use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight::core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight::features::FeatureSet;
 use amlight::net::TrafficClass;
 use amlight::prelude::*;
@@ -33,8 +33,8 @@ fn main() {
     );
 
     // 3. Train the deployable bundle: StandardScaler + MLP + RF + GNB.
-    let raw = dataset_from_int(&training, FeatureSet::Int);
-    let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
+    let raw = dataset_from_events(&training, FeatureSet::full());
+    let bundle = train_bundle(&raw, FeatureSet::full(), &TrainerConfig::default());
     println!(
         "trained bundle: {} forest trees, MLP hidden layers {:?}",
         bundle.forest.n_trees(),

@@ -7,7 +7,7 @@
 //! ```
 
 use amlight::core::testbed::{Testbed, TestbedConfig};
-use amlight::core::trainer::dataset_from_int;
+use amlight::core::trainer::dataset_from_events;
 use amlight::features::FeatureSet;
 use amlight::int::{BudgetedTelemetry, TelemetryBudget};
 use amlight::ml::model::BinaryClassifier;
@@ -42,7 +42,7 @@ fn main() {
         let thinned = reducer.apply_stream(&labeled);
         let stats = reducer.stats();
 
-        let raw = dataset_from_int(&thinned, FeatureSet::Int);
+        let raw = dataset_from_events(&thinned, FeatureSet::full());
         let (train_raw, test_raw) = raw.train_test_split(0.9, 5);
         let mut train = train_raw.clone();
         let scaler = StandardScaler::fit_transform(&mut train);

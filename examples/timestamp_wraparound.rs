@@ -10,6 +10,7 @@
 //! cargo run --release --example timestamp_wraparound
 //! ```
 
+use amlight::core::event::Telemetry;
 use amlight::features::{FeatureId, FlowTable, FlowTableConfig};
 use amlight::int::{HopMetadata, InstructionSet, TelemetryReport};
 use amlight::net::{FlowKey, Protocol};
@@ -69,7 +70,7 @@ fn main() {
     let keepalive_ns = 12_000_000_000u64;
     for i in 0..5u64 {
         let t = 1_000_000 + i * keepalive_ns;
-        let (_, rec) = table.update_int(&report(flow, t, 55));
+        let (_, rec) = table.apply(&report(flow, t, 55).flow_update());
         let truth = if i == 0 {
             0.0
         } else {

@@ -6,7 +6,7 @@
 //! ```
 
 use amlight::core::pipeline::PipelineConfig;
-use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight::core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight::features::FeatureSet;
 use amlight::ml::model::BinaryClassifier;
 use amlight::net::TrafficClass;
@@ -24,17 +24,17 @@ fn main() {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     println!(
         "training on {} rows — classes: benign, SYN scan, UDP scan, SYN flood (NO SlowLoris)",
         raw.len()
     );
-    let bundle = train_bundle(&raw, FeatureSet::Int, &TrainerConfig::default());
+    let bundle = train_bundle(&raw, FeatureSet::full(), &TrainerConfig::default());
 
     // Individual model generalization on the unseen attack.
     let test_library = ReplayLibrary::build(1500, 1999);
     let unseen = lab.replay_class(&test_library, TrafficClass::SlowLoris);
-    let unseen_raw = dataset_from_int(&unseen, FeatureSet::Int);
+    let unseen_raw = dataset_from_events(&unseen, FeatureSet::full());
     let mut scaled = unseen_raw.clone();
     bundle.scaler.transform(&mut scaled);
     println!(

@@ -28,6 +28,7 @@ pub use amlight_ingest as ingest;
 pub use amlight_int as int;
 pub use amlight_ml as ml;
 pub use amlight_net as net;
+pub use amlight_pint as pint;
 pub use amlight_sflow as sflow;
 pub use amlight_sim as sim;
 pub use amlight_traffic as traffic;
@@ -37,13 +38,21 @@ pub mod prelude {
     pub use amlight_core::{
         batch::{BatchDetector, BatchOutcome},
         db::FlowDatabase,
-        event::{sample_reports, LabeledEvent, Telemetry, TelemetryBackend, TelemetryEvent},
+        event::{
+            pint_view, sample_reports, LabeledEvent, Telemetry, TelemetryBackend, TelemetryEvent,
+            ViewOptions,
+        },
         guard::{CountMinSketch, FloodAlert, GuardConfig, NewFlowGuard},
         pipeline::{DetectionPipeline, PipelineConfig, PipelineReport},
         runtime::ThreadedPipeline,
-        source::{EventSource, ReplaySource, SflowAgentSource, SflowReplaySource},
+        source::{
+            EventReplaySource, EventSource, PintReplaySource, ReplaySource, SflowAgentSource,
+            SflowReplaySource,
+        },
         testbed::{Testbed, TestbedConfig},
-        trainer::{dataset_from_int, dataset_from_sflow, train_bundle, ModelBundle, TrainerConfig},
+        trainer::{
+            dataset_from_events, dataset_from_labeled, train_bundle, ModelBundle, TrainerConfig,
+        },
         verdict::{RecallCounts, SmoothingWindow, Verdict},
     };
     pub use amlight_features::{
@@ -63,6 +72,7 @@ pub mod prelude {
         scaler::StandardScaler,
     };
     pub use amlight_net::{FlowKey, Packet, Protocol};
+    pub use amlight_pint::{PintCollector, PintEncoder, PintReport, PintSketch, SketchConfig};
     pub use amlight_sflow::{SamplingMode, SflowAgent, SflowCollector};
     pub use amlight_sim::{clock::TelemetryClock, topology::Topology};
     pub use amlight_traffic::{

@@ -162,7 +162,7 @@ fn ensemble_votes_batch_matches_per_row_votes() {
     let raw = blobs(100, 15);
     let bundle = train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: 2,

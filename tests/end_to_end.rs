@@ -2,9 +2,10 @@
 //! dataplane simulator, INT instrumentation, feature extraction, model
 //! training, and the automated detection pipeline.
 
+use amlight::core::event::Telemetry;
 use amlight::core::pipeline::{DetectionPipeline, PipelineConfig};
 use amlight::core::testbed::{Testbed, TestbedConfig};
-use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight::core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight::features::{FeatureSet, FlowTable, FlowTableConfig};
 use amlight::int::IntCollector;
 use amlight::ml::model::BinaryClassifier;
@@ -33,9 +34,9 @@ fn capture_to_verdicts() {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     assert_eq!(raw.n_features(), 15);
-    let bundle = train_bundle(&raw, FeatureSet::Int, &small_trainer());
+    let bundle = train_bundle(&raw, FeatureSet::full(), &small_trainer());
 
     // The flood replay must be flagged as attack with high confidence.
     let test_library = ReplayLibrary::build(400, 2);
@@ -82,10 +83,10 @@ fn telemetry_survives_the_wire() {
     let mut direct = FlowTable::new(FlowTableConfig::default());
     let mut via_wire = FlowTable::new(FlowTableConfig::default());
     for r in &reports {
-        direct.update_int(r);
+        direct.apply(&r.flow_update());
     }
     for r in &decoded {
-        via_wire.update_int(r);
+        via_wire.apply(&r.flow_update());
     }
     assert_eq!(direct.len(), via_wire.len());
     assert_eq!(direct.created(), via_wire.created());
@@ -120,8 +121,8 @@ fn zero_day_slowloris_is_detected() {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
-    let bundle = train_bundle(&raw, FeatureSet::Int, &small_trainer());
+    let raw = dataset_from_events(&training, FeatureSet::full());
+    let bundle = train_bundle(&raw, FeatureSet::full(), &small_trainer());
 
     let unseen = lab.replay_class(&ReplayLibrary::build(600, 4), TrafficClass::SlowLoris);
     let mut pipe = DetectionPipeline::new(bundle, PipelineConfig::rust_pace());
@@ -180,11 +181,11 @@ fn ensemble_beats_its_weakest_member_on_zero_day() {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
-    let bundle = train_bundle(&raw, FeatureSet::Int, &small_trainer());
+    let raw = dataset_from_events(&training, FeatureSet::full());
+    let bundle = train_bundle(&raw, FeatureSet::full(), &small_trainer());
 
     let unseen = lab.replay_class(&ReplayLibrary::build(500, 14), TrafficClass::SlowLoris);
-    let unseen_raw = dataset_from_int(&unseen, FeatureSet::Int);
+    let unseen_raw = dataset_from_events(&unseen, FeatureSet::full());
     let mut scaled = unseen_raw.clone();
     bundle.scaler.transform(&mut scaled);
 

@@ -1,5 +1,6 @@
 //! Adversarial wire-input corpus for the ingest decoders: truncated,
-//! corrupted, and oversized sFlow datagrams and INT report fragments.
+//! corrupted, and oversized sFlow datagrams, INT report fragments, and
+//! PINT digest datagrams.
 //!
 //! Two invariants, checked over generated corpora:
 //!
@@ -14,6 +15,7 @@
 
 use amlight::int::{HopMetadata, InstructionSet, IntCollector, TelemetryReport};
 use amlight::net::{CodecError, Decode, Encode, FlowKey, Protocol};
+use amlight::pint::{PintCollector, PintDatagram, PintEncoder, PintReport};
 use amlight::sflow::{batch_into_datagrams, FlowSample, SflowCollector, SflowDatagram};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -64,6 +66,23 @@ fn int_report(tag: u32) -> TelemetryReport {
         .into(),
         export_ns: u64::from(tag) * 640,
     }
+}
+
+fn pint_report(tag: u32) -> PintReport {
+    let enc = PintEncoder::new(8);
+    enc.encode(
+        FlowKey::new(
+            Ipv4Addr::new(10, 3, (tag >> 8) as u8, tag as u8),
+            Ipv4Addr::new(10, 4, 0, 1),
+            (3000 + tag % 20_000) as u16,
+            443,
+            Protocol::Udp,
+        ),
+        100 + (tag % 1300) as u16,
+        None,
+        u64::from(tag) * 710,
+        &[(tag % 24, 300 + tag % 900)],
+    )
 }
 
 /// The mutations the corpus applies to a valid wire image.
@@ -177,6 +196,64 @@ proptest! {
         ),
     ) {
         let mut collector = SflowCollector::new();
+        let mut outcomes = 0u64;
+        for frame in &frames {
+            let _ = collector.ingest(frame);
+            outcomes += 1;
+        }
+        prop_assert_eq!(collector.datagrams() + collector.decode_errors(), outcomes);
+    }
+
+    /// Every PINT datagram the collector sees — valid, truncated,
+    /// corrupted, or oversized — lands in exactly one counter, the
+    /// report buffer only ever grows by whole accepted datagrams (the
+    /// mid-decode rollback), and nothing panics.
+    #[test]
+    fn pint_collector_classifies_every_datagram(
+        corpus in proptest::collection::vec((1u8..12, arb_mutation()), 1..24),
+    ) {
+        let mut collector = PintCollector::default();
+        let mut tag = 1u32;
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for (n_reports, mutation) in corpus {
+            let reports: Vec<PintReport> = (0..n_reports)
+                .map(|i| {
+                    tag = tag.wrapping_add(u32::from(i) + 1);
+                    pint_report(tag)
+                })
+                .collect();
+            let valid =
+                &amlight::pint::batch_into_datagrams(Ipv4Addr::LOCALHOST, &reports, 64)[0];
+            let bytes = mutate(valid, mutation);
+
+            let before = collector.reports().len();
+            match collector.ingest(&bytes) {
+                Ok(n) => {
+                    accepted += 1;
+                    prop_assert_eq!(collector.reports().len(), before + n);
+                }
+                Err(_) => {
+                    rejected += 1;
+                    // All-or-nothing: a failed datagram rolls back.
+                    prop_assert_eq!(collector.reports().len(), before);
+                }
+            }
+        }
+        prop_assert_eq!(collector.datagrams(), accepted);
+        prop_assert_eq!(collector.decode_errors(), rejected);
+    }
+
+    /// Pure garbage never panics the PINT collector and is always
+    /// counted as exactly one outcome per attempt.
+    #[test]
+    fn pint_collector_counts_garbage(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..4096),
+            1..16,
+        ),
+    ) {
+        let mut collector = PintCollector::default();
         let mut outcomes = 0u64;
         for frame in &frames {
             let _ = collector.ingest(frame);
@@ -345,4 +422,78 @@ fn sflow_collector_rolls_back_forged_count_datagram() {
     assert!(collector.ingest(&bytes).is_err());
     assert_eq!(collector.samples().len(), 2, "partial decode rolled back");
     assert_eq!(collector.decode_errors(), 1);
+}
+
+/// 65536 PINT reports encoded `as u16` would alias the count to 0 and
+/// silently drop the whole batch. The saturated count delivers all but
+/// the uncounted tail instead — same contract as the sFlow framing.
+#[test]
+fn pint_datagram_overflowing_report_count_is_not_silently_emptied() {
+    let reports: Vec<PintReport> = (0..=u32::from(u16::MAX)).map(pint_report).collect();
+    let dgram = PintDatagram {
+        agent: Ipv4Addr::LOCALHOST,
+        sequence: 3,
+        reports,
+    };
+    let mut bytes = Vec::new();
+    dgram.encode(&mut bytes);
+    // The count field (bytes 10..12) saturates instead of wrapping.
+    assert_eq!(u16::from_be_bytes([bytes[10], bytes[11]]), u16::MAX);
+    let mut collector = PintCollector::default();
+    let n = collector
+        .ingest(&bytes)
+        .expect("saturated datagram still decodes");
+    assert_eq!(n, usize::from(u16::MAX));
+    assert_eq!(collector.reports().len(), usize::from(u16::MAX));
+    assert_eq!(collector.decode_errors(), 0);
+}
+
+/// A 12-byte PINT header claiming 65535 reports over a two-report body
+/// fails as `Truncated`, is counted as one decode error, and rolls back
+/// completely — reports accepted from earlier datagrams survive.
+#[test]
+fn pint_collector_rolls_back_forged_count_datagram() {
+    let mut collector = PintCollector::default();
+    let good = amlight::pint::batch_into_datagrams(
+        Ipv4Addr::LOCALHOST,
+        &[pint_report(1), pint_report(2)],
+        64,
+    );
+    collector.ingest(&good[0]).expect("valid datagram");
+    assert_eq!(collector.reports().len(), 2);
+
+    let dgram = PintDatagram {
+        agent: Ipv4Addr::LOCALHOST,
+        sequence: 9,
+        reports: vec![pint_report(3), pint_report(4)],
+    };
+    let mut bytes = Vec::new();
+    dgram.encode(&mut bytes);
+    bytes[10..12].copy_from_slice(&u16::MAX.to_be_bytes()); // forge the count
+    assert!(matches!(
+        collector.ingest(&bytes),
+        Err(CodecError::Truncated { .. })
+    ));
+    assert_eq!(collector.reports().len(), 2, "partial decode rolled back");
+    assert_eq!(collector.decode_errors(), 1);
+}
+
+/// Truncating a PINT datagram below its fixed header is classified as
+/// `Truncated`, never a panic — this is the UDP listener's first line
+/// against runt frames.
+#[test]
+fn pint_runt_header_is_truncated_not_a_panic() {
+    let valid =
+        amlight::pint::batch_into_datagrams(Ipv4Addr::LOCALHOST, &[pint_report(7)], 64)[0].clone();
+    let mut collector = PintCollector::default();
+    for cut in 0..12.min(valid.len()) {
+        let err = collector.ingest(&valid[..cut]).unwrap_err();
+        assert!(
+            matches!(err, CodecError::Truncated { .. }),
+            "cut={cut} {err:?}"
+        );
+    }
+    assert_eq!(collector.decode_errors(), 12);
+    // The collector keeps working afterwards.
+    assert_eq!(collector.ingest(&valid).unwrap(), 1);
 }

@@ -1,6 +1,7 @@
 //! Property-based tests on the workspace's core data structures and
 //! invariants, spanning crates.
 
+use amlight::core::event::Telemetry;
 use amlight::core::verdict::{SmoothingWindow, Verdict};
 use amlight::features::{FlowTable, FlowTableConfig, StreamingStats};
 use amlight::int::{HopMetadata, InstructionSet, TelemetryReport};
@@ -250,9 +251,9 @@ proptest! {
                         }].into(),
                         export_ns: now,
                     };
-                    let (k1, r1) = slab.update_int(&report);
+                    let (k1, r1) = slab.apply(&report.flow_update());
                     let (f1, seq1, pkts1) = (r1.features(), r1.update_seq, r1.packet_count);
-                    let (k2, r2) = reference.update_int(&report);
+                    let (k2, r2) = reference.apply(&report.flow_update());
                     prop_assert_eq!(k1, k2);
                     prop_assert_eq!(seq1, r2.update_seq);
                     prop_assert_eq!(pkts1, r2.packet_count);
@@ -266,9 +267,9 @@ proptest! {
                         observed_ns: now,
                         sampling_period: 4096,
                     };
-                    let (k1, r1) = slab.update_sflow(&sample);
+                    let (k1, r1) = slab.apply(&sample.flow_update());
                     let (f1, seq1) = (r1.features(), r1.update_seq);
-                    let (k2, r2) = reference.update_sflow(&sample);
+                    let (k2, r2) = reference.apply(&sample.flow_update());
                     prop_assert_eq!(k1, k2);
                     prop_assert_eq!(seq1, r2.update_seq);
                     prop_assert_eq!(f1, r2.features());
@@ -322,7 +323,7 @@ proptest! {
                 hops: vec![HopMetadata::default()].into(),
                 export_ns: i as u64,
             };
-            table.update_int(&report);
+            table.apply(&report.flow_update());
         }
         let distinct: std::collections::HashSet<_> = keys.iter().collect();
         prop_assert_eq!(table.len(), distinct.len());

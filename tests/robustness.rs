@@ -1,9 +1,10 @@
 //! Failure injection and adversarial-input robustness, spanning crates.
 
+use amlight::core::event::Telemetry;
 use amlight::core::guard::CountMinSketch;
 use amlight::core::pipeline::{DetectionPipeline, PipelineConfig};
 use amlight::core::testbed::{Testbed, TestbedConfig};
-use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight::core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight::features::FeatureSet;
 use amlight::int::{HopMetadata, InstructionSet, IntCollector, TelemetryReport};
 use amlight::ml::MlpConfig;
@@ -116,10 +117,10 @@ fn pipeline_tolerates_disordered_duplicated_telemetry() {
             training.extend(lab.replay_class(&library, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     let bundle = train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: 3,
@@ -177,7 +178,7 @@ fn flow_table_is_bounded_under_flow_explosion() {
         r.flow.src_port = (i % 40_000) as u16;
         r.flow.src_ip = Ipv4Addr::from((i as u32).wrapping_mul(2654435761));
         r.export_ns = i * 10_000; // 10 µs apart
-        table.update_int(&r);
+        table.apply(&r.flow_update());
     }
     assert!(
         table.len() <= 1_001,

@@ -1,17 +1,18 @@
 //! Integration: the streaming threaded runtime — telemetry event
-//! sources (both backends), the start/drain/stop lifecycle, label
-//! threading, and shard-count invariance of the detection output.
+//! sources (every registered backend), the start/drain/stop lifecycle,
+//! label threading, and shard-count invariance of the detection output.
 
-use amlight::core::event::sample_reports;
+use amlight::core::event::{pint_view, sample_reports, Telemetry};
 use amlight::core::runtime::ThreadedPipeline;
-use amlight::core::source::{ChannelSource, CollectorSource, ReplaySource};
-use amlight::core::trainer::{
-    dataset_from_int, dataset_from_sflow, train_bundle, ModelBundle, TrainerConfig,
+use amlight::core::source::{ChannelSource, CollectorSource, PintReplaySource, ReplaySource};
+use amlight::core::trainer::{dataset_from_events, train_bundle, ModelBundle, TrainerConfig};
+use amlight::features::{
+    FeatureId, FeatureSet, FlowTable, FlowTableConfig, FlowUpdate, UpdateKind,
 };
-use amlight::features::{FeatureSet, FlowTable, FlowTableConfig, UpdateKind};
 use amlight::int::{IntCollector, TelemetryReport};
 use amlight::ml::MlpConfig;
 use amlight::net::{FlowKey, Protocol, TrafficClass};
+use amlight::pint::{PintField, PintReport};
 use amlight::sflow::{FlowSample, SamplingMode, SflowAgent};
 use std::net::Ipv4Addr;
 
@@ -59,10 +60,10 @@ fn capture(n: usize) -> Vec<(TelemetryReport, TrafficClass)> {
 
 fn bundle() -> ModelBundle {
     let train = capture(200);
-    let raw = dataset_from_int(&train, FeatureSet::Int);
+    let raw = dataset_from_events(&train, FeatureSet::full());
     train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: 6,
@@ -249,14 +250,34 @@ fn sample(src: u8, port: u16, t_ns: u64, len: u16) -> FlowSample {
     }
 }
 
+fn pint_report(src: u8, port: u16, t_ns: u64, len: u16) -> PintReport {
+    PintReport {
+        flow: FlowKey::new(
+            Ipv4Addr::new(10, 9, 0, src),
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+            80,
+            Protocol::Tcp,
+        ),
+        ip_len: len,
+        tcp_flags: Some(0x02),
+        export_ns: t_ns,
+        hop: 0,
+        field: PintField::QueueOccupancy,
+        digest: 0,
+        bits: 8,
+        queue_occupancy: Some(0),
+    }
+}
+
 /// Satellite invariant: the flow table's housekeeping (creation,
 /// budget-driven eviction, idle-timeout eviction) is telemetry-blind.
 /// The same (flow, timestamp) stream produces the identical per-step
 /// `UpdateKind` sequence and final counters whether it arrives as INT
-/// reports or as sFlow samples — shared cases swept over table configs,
-/// rstest-style.
+/// reports, sFlow samples, or PINT digest reports — shared cases swept
+/// over table configs, rstest-style.
 #[test]
-fn sflow_and_int_table_housekeeping_parity() {
+fn three_way_table_housekeeping_parity() {
     let cases = [
         ("default", FlowTableConfig::default()),
         (
@@ -298,25 +319,42 @@ fn sflow_and_int_table_housekeeping_parity() {
     for (name, cfg) in cases {
         let mut int_table = FlowTable::new(cfg);
         let mut sflow_table = FlowTable::new(cfg);
+        let mut pint_table = FlowTable::new(cfg);
         for &(src, port, t_ns, len) in &stream {
-            let (int_kind, _) = int_table.update_int(&report(src, port, t_ns, len, 0));
-            let (sflow_kind, _) = sflow_table.update_sflow(&sample(src, port, t_ns, len));
+            let (int_kind, _) = int_table.apply(&report(src, port, t_ns, len, 0).flow_update());
+            let (sflow_kind, _) = sflow_table.apply(&sample(src, port, t_ns, len).flow_update());
+            let (pint_kind, _) = pint_table.apply(&pint_report(src, port, t_ns, len).flow_update());
             assert_eq!(int_kind, sflow_kind, "case `{name}` diverged at t={t_ns}");
+            assert_eq!(
+                int_kind, pint_kind,
+                "case `{name}` pint diverged at t={t_ns}"
+            );
             assert!(matches!(
                 int_kind,
                 UpdateKind::Created | UpdateKind::Updated
             ));
         }
         assert_eq!(int_table.len(), sflow_table.len(), "case `{name}` len");
+        assert_eq!(int_table.len(), pint_table.len(), "case `{name}` pint len");
         assert_eq!(
             int_table.created(),
             sflow_table.created(),
             "case `{name}` created"
         );
         assert_eq!(
+            int_table.created(),
+            pint_table.created(),
+            "case `{name}` pint created"
+        );
+        assert_eq!(
             int_table.evicted(),
             sflow_table.evicted(),
             "case `{name}` evicted"
+        );
+        assert_eq!(
+            int_table.evicted(),
+            pint_table.evicted(),
+            "case `{name}` pint evicted"
         );
         if name == "tight-budget" {
             assert!(int_table.len() <= 4, "budget must bind");
@@ -342,10 +380,10 @@ fn sflow_shard_count_is_invisible_to_verdicts() {
     );
     let samples = sample_reports(&capture(400), &mut agent);
     let (train, test) = samples.split_at(samples.len() / 2);
-    let raw = dataset_from_sflow(train);
+    let raw = dataset_from_events(train, FeatureSet::full().without(&FeatureId::QUEUE_COLUMNS));
     let b = train_bundle(
         &raw,
-        FeatureSet::Sflow,
+        FeatureSet::full().without(&FeatureId::QUEUE_COLUMNS),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: 6,
@@ -377,5 +415,109 @@ fn sflow_shard_count_is_invisible_to_verdicts() {
                 );
             }
         }
+    }
+}
+
+/// The shard-invariance tentpole holds for the PINT backend too: the
+/// digest-derived view routed by the same 5-tuple hash produces
+/// bit-identical per-flow verdict sequences at 1, 2, and 8 shards.
+#[test]
+fn pint_shard_count_is_invisible_to_verdicts() {
+    let view = pint_view(&capture(400), 8);
+    let (train, test) = view.split_at(view.len() / 2);
+    let b = train_bundle(
+        &dataset_from_events(train, FeatureSet::full()),
+        FeatureSet::full(),
+        &TrainerConfig {
+            mlp: MlpConfig {
+                epochs: 6,
+                ..MlpConfig::paper_mlp()
+            },
+            ..Default::default()
+        },
+    );
+    let test_reports: Vec<PintReport> = test.iter().map(|(r, _)| *r).collect();
+
+    let mut baseline = None;
+    for shards in [1usize, 2, 8] {
+        let pipe = ThreadedPipeline::new(b.clone()).with_shards(shards);
+        let stats = pipe
+            .start(PintReplaySource::new(test_reports.clone()))
+            .join()
+            .expect("no module thread panicked");
+        assert_eq!(
+            stats.events_in,
+            test_reports.len() as u64,
+            "{shards} shards"
+        );
+        let seqs = pipe.database().verdict_sequences();
+        match &baseline {
+            None => baseline = Some(seqs),
+            Some(expected) => {
+                assert_eq!(
+                    &seqs, expected,
+                    "PINT per-flow verdict sequences changed at {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+/// `apply(FlowUpdate)` is exactly the old backend-specific ingest: the
+/// lowering in `Telemetry::flow_update` carries the same fields the
+/// removed `update_int`/`update_sflow` entry points consumed (wrapped
+/// sink stamp + sink queue depth for INT; full-width agent clock and no
+/// queue for sFlow), so records built through `apply` are bit-identical
+/// to the direct per-field construction.
+#[test]
+fn apply_reproduces_backend_specific_ingest_bit_identically() {
+    let stream = capture(60);
+
+    let mut via_trait = FlowTable::new(FlowTableConfig::default());
+    let mut direct = FlowTable::new(FlowTableConfig::default());
+    for (r, _) in &stream {
+        let lowered = r.flow_update();
+        // The exact lowering `update_int` hardcoded.
+        let by_hand = FlowUpdate {
+            flow: r.flow,
+            now_ns: r.export_ns,
+            len: r.ip_len,
+            stamp32: r.hops.last().map(|h| h.egress_tstamp),
+            observed_ns: None,
+            queue_occupancy: r.hops.last().map(|h| h.queue_occupancy),
+        };
+        assert_eq!(lowered, by_hand, "INT lowering drifted");
+        let (k1, rec1) = via_trait.apply(&lowered);
+        let (k2, rec2) = direct.apply(&by_hand);
+        assert_eq!(k1, k2);
+        assert_eq!(rec1.features(), rec2.features());
+    }
+
+    let mut agent = SflowAgent::new(
+        SamplingMode::Deterministic {
+            period: 2,
+            phase: 0,
+        },
+        5,
+    );
+    let samples = sample_reports(&stream, &mut agent);
+    let mut via_trait = FlowTable::new(FlowTableConfig::default());
+    let mut direct = FlowTable::new(FlowTableConfig::default());
+    for (s, _) in &samples {
+        let lowered = s.flow_update();
+        // The exact lowering `update_sflow` hardcoded.
+        let by_hand = FlowUpdate {
+            flow: s.flow,
+            now_ns: s.observed_ns,
+            len: s.ip_len,
+            stamp32: None,
+            observed_ns: Some(s.observed_ns),
+            queue_occupancy: None,
+        };
+        assert_eq!(lowered, by_hand, "sFlow lowering drifted");
+        let (k1, rec1) = via_trait.apply(&lowered);
+        let (k2, rec2) = direct.apply(&by_hand);
+        assert_eq!(k1, k2);
+        assert_eq!(rec1.features(), rec2.features());
     }
 }

@@ -4,9 +4,10 @@
 //! pipeline must keep working anyway (its models are trained on the
 //! aliased values).
 
+use amlight::core::event::Telemetry;
 use amlight::core::pipeline::{DetectionPipeline, PipelineConfig};
 use amlight::core::testbed::{Testbed, TestbedConfig};
-use amlight::core::trainer::{dataset_from_int, train_bundle, TrainerConfig};
+use amlight::core::trainer::{dataset_from_events, train_bundle, TrainerConfig};
 use amlight::features::{FeatureSet, FlowTable, FlowTableConfig};
 use amlight::ml::MlpConfig;
 use amlight::net::{PacketBuilder, PacketRecord, Trace, TrafficClass};
@@ -57,7 +58,7 @@ fn derived_inter_arrival_aliases_exactly_as_the_paper_warns() {
     let mut table = FlowTable::new(FlowTableConfig::default());
     let mut last_iat = 0.0;
     for r in &reports {
-        let (_, rec) = table.update_int(r);
+        let (_, rec) = table.apply(&r.flow_update());
         last_iat = rec.last_inter_arrival_s;
     }
     let aliased = (gap % WRAP_PERIOD_NS) as f64 / 1e9;
@@ -83,10 +84,10 @@ fn detection_survives_wrapped_workloads() {
             training.extend(lab.replay_class(&lib, class));
         }
     }
-    let raw = dataset_from_int(&training, FeatureSet::Int);
+    let raw = dataset_from_events(&training, FeatureSet::full());
     let bundle = train_bundle(
         &raw,
-        FeatureSet::Int,
+        FeatureSet::full(),
         &TrainerConfig {
             mlp: MlpConfig {
                 epochs: 4,
