@@ -51,6 +51,7 @@ pub const EXPECTED_HOT_ROOTS: &[&str] = &[
     "crates/core/src/modules.rs::ingest",
     "crates/features/src/sharded.rs::apply_batch_into",
     "crates/features/src/table.rs::apply",
+    "crates/features/src/triage.rs::assess",
     "crates/int/src/collector.rs::decode_datagram_into",
     "crates/int/src/collector.rs::ingest_into",
     "crates/pint/src/datagram.rs::ingest",

@@ -90,6 +90,13 @@ COMMANDS:
                                        drift, retrain in the background, and
                                        hot-swap fresh model epochs into the
                                        live run (implies --threaded)
+                   --prefilter <m>     triage pre-filter mode: off | shadow
+                                       | on (default off; implies
+                                       --threaded). `shadow` scores every
+                                       update without gating; `on` drops
+                                       decimated flood updates and parks
+                                       low-score ones on an idle-drained
+                                       lane before the Predictor
                    --listen <url>      run as a collector daemon instead of
                                        replaying: bind udp://host:port or
                                        tcp://host:port (port 0 = ephemeral)
@@ -291,6 +298,17 @@ mod tests {
         let args = Args::parse(["replay", "--to", "tcp://127.0.0.1:9000"]).unwrap();
         assert_eq!(args.command, Command::Replay);
         assert_eq!(args.get("to", ""), "tcp://127.0.0.1:9000");
+    }
+
+    #[test]
+    fn prefilter_is_a_value_flag() {
+        let args = Args::parse(["detect", "--prefilter", "shadow"]).unwrap();
+        assert_eq!(args.get("prefilter", "off"), "shadow");
+        // Value flag, not a switch: a dangling --prefilter is an error.
+        assert!(Args::parse(["detect", "--prefilter"]).is_err());
+        // Absent → off.
+        let args = Args::parse(["detect"]).unwrap();
+        assert_eq!(args.get("prefilter", "off"), "off");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use amlight_core::testbed::{Testbed, TestbedConfig};
 use amlight_core::trainer::{
     dataset_from_events, dataset_from_labeled, train_bundle, ModelBundle, TrainerConfig,
 };
-use amlight_features::FeatureSet;
+use amlight_features::{FeatureSet, PrefilterMode};
 use amlight_ingest::{IngestServer, ListenerConfig, WireProtocol};
 use amlight_int::microburst::detect_from_reports;
 use amlight_int::{IntCollector, MicroburstConfig, TelemetryReport};
@@ -149,6 +149,16 @@ fn view_options(args: &Args, seed: u64) -> Result<ViewOptions, CliError> {
         sample_period: period.max(1),
         pint_bits: bits as u8,
         seed,
+    })
+}
+
+/// Parse `--prefilter` (default `off`) into a triage mode.
+fn prefilter_mode(args: &Args) -> Result<PrefilterMode, CliError> {
+    let name = args.get("prefilter", "off");
+    PrefilterMode::parse(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "--prefilter expects `off`, `shadow`, or `on`, got `{name}`"
+        ))
     })
 }
 
@@ -302,9 +312,12 @@ fn cmd_detect(args: &Args, out: &mut impl Write) -> Result<(), CliError> {
     }
 
     let adapt = args.has("adapt");
-    if args.has("threaded") || adapt {
+    let prefilter = prefilter_mode(args)?;
+    if args.has("threaded") || adapt || prefilter != PrefilterMode::Off {
         let shards = args.get_u64("shards", 1).map_err(bad)? as usize;
-        let mut pipeline = ThreadedPipeline::new(bundle).with_shards(shards.max(1));
+        let mut pipeline = ThreadedPipeline::new(bundle)
+            .with_shards(shards.max(1))
+            .with_prefilter(prefilter);
         if adapt {
             pipeline = pipeline.with_adaptation(AdaptConfig::default());
         }
@@ -390,6 +403,7 @@ fn cmd_detect_listen(args: &Args, out: &mut impl Write) -> Result<(), CliError> 
     let max_events = args.get_u64("max-events", 0).map_err(bad)?;
     let shards = args.get_u64("shards", 1).map_err(bad)? as usize;
 
+    let prefilter = prefilter_mode(args)?;
     let bundle = ModelBundle::load(args.get("bundle", "bundle.json"))?;
     validate_bundle(&bundle, backend)?;
 
@@ -408,7 +422,9 @@ fn cmd_detect_listen(args: &Args, out: &mut impl Write) -> Result<(), CliError> 
         protocol.name(),
     )?;
 
-    let pipeline = ThreadedPipeline::new(bundle).with_shards(shards.max(1));
+    let pipeline = ThreadedPipeline::new(bundle)
+        .with_shards(shards.max(1))
+        .with_prefilter(prefilter);
     let handle = pipeline.start(server.source());
     let deadline = std::time::Instant::now() + std::time::Duration::from_millis(duration_ms);
     loop {
@@ -568,6 +584,31 @@ fn print_threaded(
             stats.labeled.attack_updates,
             stats.labeled.false_alarm_rate(),
         )?;
+    }
+    match stats.triage.mode {
+        PrefilterMode::Off => {}
+        PrefilterMode::Shadow => {
+            let w = stats.triage.would;
+            writeln!(
+                out,
+                "triage shadow: {} scored → would forward {} / defer {} / drop {} \
+                 ({} windows, {} alarmed)",
+                w.scored, w.forward, w.defer, w.drop, w.windows, w.alarm_windows,
+            )?;
+        }
+        PrefilterMode::On => {
+            let t = stats.triage;
+            writeln!(
+                out,
+                "triage on: forwarded {} / deferred {} / dropped {} / shed {} \
+                 ({} evaluated by the predictor)",
+                t.forwarded,
+                t.deferred,
+                t.dropped,
+                t.shed,
+                t.evaluated(),
+            )?;
+        }
     }
     writeln!(
         out,
@@ -995,6 +1036,76 @@ mod tests {
         assert!(text.contains("threaded int replay"), "{text}");
         assert!(text.contains("adaptation:"), "{text}");
         assert!(text.contains("final epoch"), "{text}");
+
+        std::fs::remove_file(&cap).ok();
+        std::fs::remove_file(&bun).ok();
+    }
+
+    #[test]
+    fn prefilter_modes_run_threaded_and_report_triage() {
+        let cap = tmp("prefilter-cap.json");
+        let bun = tmp("prefilter-bun.json");
+        let cap_s = cap.to_str().unwrap();
+        let bun_s = bun.to_str().unwrap();
+
+        run_tokens(&["capture", "--out", cap_s, "--day-len", "3", "--seed", "29"]).unwrap();
+        run_tokens(&["train", "--capture", cap_s, "--out", bun_s, "--fast"]).unwrap();
+
+        // --prefilter shadow implies --threaded and prints the would-be
+        // verdict tallies without changing the prediction count.
+        let text = run_tokens(&[
+            "detect",
+            "--capture",
+            cap_s,
+            "--bundle",
+            bun_s,
+            "--prefilter",
+            "shadow",
+        ])
+        .unwrap();
+        assert!(text.contains("threaded int replay"), "{text}");
+        assert!(text.contains("triage shadow:"), "{text}");
+        assert!(text.contains("would forward"), "{text}");
+
+        let text = run_tokens(&[
+            "detect",
+            "--capture",
+            cap_s,
+            "--bundle",
+            bun_s,
+            "--prefilter",
+            "on",
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        assert!(text.contains("triage on:"), "{text}");
+        assert!(text.contains("evaluated by the predictor"), "{text}");
+
+        // And off stays silent about triage.
+        let text = run_tokens(&[
+            "detect",
+            "--capture",
+            cap_s,
+            "--bundle",
+            bun_s,
+            "--threaded",
+        ])
+        .unwrap();
+        assert!(!text.contains("triage"), "{text}");
+
+        let err = run_tokens(&[
+            "detect",
+            "--capture",
+            cap_s,
+            "--bundle",
+            bun_s,
+            "--prefilter",
+            "sometimes",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("--prefilter"), "{err}");
 
         std::fs::remove_file(&cap).ok();
         std::fs::remove_file(&bun).ok();

@@ -33,7 +33,10 @@ use crate::event::Telemetry;
 use crate::trainer::{ModelBundle, VoteScratch};
 use crate::verdict::{SmoothingWindow, Verdict, VerdictCounts};
 use amlight_features::UpdateKind;
-use amlight_features::{FeatureSet, FlowTable, FlowTableConfig};
+use amlight_features::{
+    FeatureId, FeatureSet, FlowTable, FlowTableConfig, PrefilterMode, TriageConfig, TriageCounters,
+    TriageDecision, TriageStage, TriageVerdict,
+};
 use amlight_net::flow::FnvHashMap;
 use amlight_net::FlowKey;
 use std::time::Instant;
@@ -118,6 +121,10 @@ pub struct JudgedUpdate {
     /// handled — the queueing model's record-scan term must use the size
     /// the CentralServer would have observed *then*.
     pub table_len: u64,
+    /// Which prediction lane triage graded this update onto. Always
+    /// [`TriageVerdict::Forward`] when the pre-filter is off or in
+    /// shadow mode.
+    pub lane: TriageVerdict,
 }
 
 /// Outcome of one report's ingest.
@@ -128,9 +135,32 @@ pub enum Ingest {
     /// An existing flow's update, forwarded for prediction; its feature
     /// row was appended to the caller's row buffer.
     Judged(JudgedUpdate),
+    /// An existing flow's update the triage pre-filter dropped: recorded
+    /// in the database, never predicted. No feature row was appended.
+    Dropped { key: FlowKey, registered_ns: u64 },
 }
 
-/// Fig. 2 Data Processor (ingest half) + CentralServer forwarding rule.
+/// Actual lane tallies — what the Processor really did with updates
+/// (contrast [`TriageCounters`], which tallies what the scorer *would*
+/// do, mode notwithstanding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneCounts {
+    pub forwarded: u64,
+    pub deferred: u64,
+    pub dropped: u64,
+}
+
+impl LaneCounts {
+    /// Fold another processor's tallies in (shard aggregation).
+    pub fn merge(&mut self, other: &LaneCounts) {
+        self.forwarded += other.forwarded;
+        self.deferred += other.deferred;
+        self.dropped += other.dropped;
+    }
+}
+
+/// Fig. 2 Data Processor (ingest half) + CentralServer forwarding rule,
+/// with the optional triage pre-filter between the two.
 #[derive(Debug)]
 pub struct Processor<C: Clock> {
     table: FlowTable,
@@ -138,6 +168,9 @@ pub struct Processor<C: Clock> {
     clock: C,
     feature_set: FeatureSet,
     created: u64,
+    prefilter: PrefilterMode,
+    triage: Option<TriageStage>,
+    lanes: LaneCounts,
 }
 
 impl<C: Clock> Processor<C> {
@@ -153,24 +186,48 @@ impl<C: Clock> Processor<C> {
             clock,
             feature_set,
             created: 0,
+            prefilter: PrefilterMode::Off,
+            triage: None,
+            lanes: LaneCounts::default(),
         }
     }
 
+    /// Enable the triage pre-filter (`features::triage`): every ingested
+    /// event feeds the sketch state; in [`PrefilterMode::On`] the verdict
+    /// actually gates, in [`PrefilterMode::Shadow`] it is only counted.
+    pub fn with_prefilter(mut self, mode: PrefilterMode, cfg: TriageConfig) -> Self {
+        self.prefilter = mode;
+        self.triage = match mode {
+            PrefilterMode::Off => None,
+            _ => Some(TriageStage::new(cfg)),
+        };
+        self
+    }
+
     /// Ingest one telemetry event — INT report, sFlow sample, or the
-    /// unified [`crate::event::TelemetryEvent`]: update the flow table
-    /// via the backend-specific [`Telemetry::update`] dispatch, write
-    /// the database record, and — for updates only — append the
-    /// projected feature row to `rows` and return the judged update.
+    /// unified [`crate::event::TelemetryEvent`]: lower it to the
+    /// normalized [`amlight_features::FlowUpdate`] ([`Telemetry::flow_update`]),
+    /// apply it to the flow table, write the database record, grade the
+    /// update through the optional triage stage, and — for updates that
+    /// survive gating — append the projected feature row to `rows` and
+    /// return the judged update (tagged with its prediction lane).
     /// This is the one place the created-vs-updated forwarding decision
-    /// lives, and it is identical for both telemetry backends.
+    /// lives, and it is identical for every telemetry backend.
     // amlint: hot
     pub fn ingest<E: Telemetry>(&mut self, event: &E, rows: &mut Vec<f64>) -> Ingest {
         let key = event.flow();
         let registered_ns = self.clock.register_ns(event.event_ns());
-        let (kind, rec) = event.update(&mut self.table);
-        let features = rec.features();
+        let update = event.flow_update();
+        let (kind, rec) = self.table.apply(&update);
+        let mut features = rec.features();
         match kind {
             UpdateKind::Created => {
+                // Creations still feed the sketches: the aggregate alarm
+                // must see a spoofed flood's creation firehose even
+                // though §III-3 never forwards first packets.
+                if let Some(stage) = self.triage.as_mut() {
+                    let _ = stage.assess(&update, rec);
+                }
                 self.created += 1;
                 self.db.record_created(key, features, registered_ns);
                 Ingest::Created { key, registered_ns }
@@ -178,11 +235,32 @@ impl<C: Clock> Processor<C> {
             UpdateKind::Updated => {
                 self.db
                     .record_updated(key, rec.update_seq, features, registered_ns);
+                let decision = match self.triage.as_mut() {
+                    Some(stage) => stage.assess(&update, rec),
+                    None => TriageDecision::forward(),
+                };
+                let lane = match self.prefilter {
+                    // Shadow scores and counts but never gates.
+                    PrefilterMode::On => decision.verdict,
+                    _ => TriageVerdict::Forward,
+                };
+                if matches!(lane, TriageVerdict::Drop) {
+                    self.lanes.dropped += 1;
+                    return Ingest::Dropped { key, registered_ns };
+                }
+                if self.feature_set.contains(FeatureId::SketchScore) {
+                    features.set(FeatureId::SketchScore, decision.score);
+                }
                 features.project_into(self.feature_set, rows);
+                match lane {
+                    TriageVerdict::Defer => self.lanes.deferred += 1,
+                    _ => self.lanes.forwarded += 1,
+                }
                 Ingest::Judged(JudgedUpdate {
                     key,
                     registered_ns,
                     table_len: self.table.len() as u64,
+                    lane,
                 })
             }
         }
@@ -196,6 +274,25 @@ impl<C: Clock> Processor<C> {
     /// Live flows in this processor's table.
     pub fn flow_count(&self) -> usize {
         self.table.len()
+    }
+
+    /// Actual lane tallies (forward/defer/drop as applied).
+    pub fn lane_counts(&self) -> LaneCounts {
+        self.lanes
+    }
+
+    /// The triage scorer's would-be tallies (all-zero when the stage is
+    /// off).
+    pub fn triage_counters(&self) -> TriageCounters {
+        self.triage
+            .as_ref()
+            .map(TriageStage::counters)
+            .unwrap_or_default()
+    }
+
+    /// The configured pre-filter mode.
+    pub fn prefilter(&self) -> PrefilterMode {
+        self.prefilter
     }
 }
 
@@ -391,6 +488,89 @@ mod tests {
         assert_eq!(db.update_count(), 1);
         assert_eq!(p.created(), 1);
         assert_eq!(p.flow_count(), 1);
+    }
+
+    /// A flood-shaped report stream: 40-byte packets at 20 µs on one
+    /// flow — far outside the triage benign envelope.
+    fn floody(seq: u64) -> TelemetryReport {
+        let mut r = report(9, seq * 20_000);
+        r.ip_len = 40;
+        r
+    }
+
+    #[test]
+    fn prefilter_on_decimates_suspicious_flows() {
+        let db = FlowDatabase::new();
+        let mut p = Processor::new(
+            FlowTableConfig::default(),
+            db.clone(),
+            VirtualClock {
+                processing_delay_ns: 0,
+            },
+            FeatureSet::full(),
+        )
+        .with_prefilter(
+            PrefilterMode::On,
+            TriageConfig {
+                alarm_min_events: u64::MAX,
+                ..TriageConfig::default()
+            },
+        );
+        let mut rows = Vec::new();
+        let n = 100u64;
+        let mut forwarded = 0u64;
+        let mut dropped = 0u64;
+        for i in 0..n {
+            match p.ingest(&floody(i), &mut rows) {
+                Ingest::Created { .. } => {}
+                Ingest::Judged(j) => {
+                    assert_eq!(j.lane, TriageVerdict::Forward);
+                    forwarded += 1;
+                }
+                Ingest::Dropped { .. } => dropped += 1,
+            }
+        }
+        assert!(forwarded > 0 && dropped > 0, "decimation forwards a sample");
+        assert!(dropped > forwarded, "most of the firehose is dropped");
+        // Dropped updates appended no rows …
+        assert_eq!(rows.len() as u64 / 15, forwarded);
+        // … but every update (dropped included) hit the database.
+        assert_eq!(db.update_count() as u64, n - 1);
+        let lanes = p.lane_counts();
+        assert_eq!(lanes.forwarded, forwarded);
+        assert_eq!(lanes.dropped, dropped);
+        assert_eq!(p.triage_counters().scored, n - 1);
+    }
+
+    #[test]
+    fn prefilter_shadow_counts_but_never_gates() {
+        let db = FlowDatabase::new();
+        let mk = |mode| {
+            Processor::new(
+                FlowTableConfig::default(),
+                db.clone(),
+                VirtualClock {
+                    processing_delay_ns: 0,
+                },
+                FeatureSet::full(),
+            )
+            .with_prefilter(mode, TriageConfig::default())
+        };
+        let mut off = mk(PrefilterMode::Off);
+        let mut shadow = mk(PrefilterMode::Shadow);
+        let mut rows_off = Vec::new();
+        let mut rows_shadow = Vec::new();
+        for i in 0..50u64 {
+            let a = off.ingest(&floody(i), &mut rows_off);
+            let b = shadow.ingest(&floody(i), &mut rows_shadow);
+            assert_eq!(a, b, "shadow must be bit-identical to off");
+        }
+        assert_eq!(rows_off, rows_shadow);
+        assert_eq!(shadow.lane_counts().dropped, 0);
+        assert_eq!(shadow.lane_counts().deferred, 0);
+        let would = shadow.triage_counters();
+        assert!(would.drop > 0, "shadow still counts would-be drops");
+        assert_eq!(off.triage_counters(), TriageCounters::default());
     }
 
     #[test]

@@ -308,6 +308,9 @@ impl DetectionPipeline {
                         }
                     }
                     Ingest::Judged(judged) => pending.push((judged, *class)),
+                    // The batch pipeline runs without the triage
+                    // pre-filter, so nothing is ever dropped here.
+                    Ingest::Dropped { .. } => {}
                 }
             }
 

@@ -41,16 +41,18 @@ use crate::db::{FlowDatabase, PredictionRecord};
 use crate::drift::{DriftConfig, DriftDetector};
 use crate::epoch::EpochHandle;
 use crate::event::{LabeledEvent, Telemetry};
-use crate::modules::{Clock, Ingest, Predictor, Processor, WallClock};
+use crate::modules::{Clock, Ingest, LaneCounts, Predictor, Processor, WallClock};
 use crate::source::{EventSource, IterSource, SourcePoll};
 use crate::trainer::{train_bundle, ModelBundle, TrainerConfig};
 use crate::verdict::{RecallCounts, VerdictCounts};
 use amlight_features::sharded::ShardRouter;
-use amlight_features::FlowTableConfig;
+use amlight_features::{
+    FlowTableConfig, PrefilterMode, TriageConfig, TriageCounters, TriageVerdict,
+};
 use amlight_int::TelemetryReport;
 use amlight_ml::Dataset;
 use amlight_net::{FlowKey, TrafficClass};
-use crossbeam::channel::{bounded, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -59,6 +61,16 @@ use std::time::Duration;
 
 /// Most flow updates a single channel message may carry.
 const MAX_JOB_BATCH: usize = 256;
+
+/// Bounded depth (in batches) of the low-priority deferred lane. Kept
+/// deliberately shallow: the lane is a parking lot for "evaluate when
+/// idle" work, and overflow under sustained load is explicit shed —
+/// exactly the load-shedding the pre-filter exists to provide.
+const DEFER_DEPTH: usize = 8;
+
+/// How long the prediction thread blocks on the main lane before
+/// re-checking the deferred lane (priority-drain loop, prefilter on).
+const IDLE_WAIT: Duration = Duration::from_millis(1);
 
 /// How many recycled [`BatchJob`] shells (per shard) and prediction
 /// scratch vectors the pool channels hold. Deep enough to cover the
@@ -188,6 +200,41 @@ impl std::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// What the triage pre-filter did during a run, aggregated across the
+/// processor shards. All-zero (mode `Off`) when the stage is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriageStats {
+    pub mode: PrefilterMode,
+    /// Updates evaluated on the normal prediction lane.
+    pub forwarded: u64,
+    /// Updates parked on the low-priority lane (drained when idle).
+    pub deferred: u64,
+    /// Updates the pre-filter dropped before prediction.
+    pub dropped: u64,
+    /// Deferred updates shed because the low-priority lane was full —
+    /// the lane's explicit overflow, counted, never silent.
+    pub shed: u64,
+    /// The scorer's would-be verdicts (what `on` would have done) —
+    /// shadow mode's measurement output.
+    pub would: TriageCounters,
+}
+
+impl TriageStats {
+    /// Updates that actually reached the ensemble:
+    /// forwarded plus the deferred ones that weren't shed.
+    pub fn evaluated(&self) -> u64 {
+        self.forwarded + self.deferred - self.shed
+    }
+}
+
+/// What one processor shard hands back when it exits.
+struct ShardStats {
+    created: u64,
+    lanes: LaneCounts,
+    triage: TriageCounters,
+    shed: u64,
+}
+
 /// Summary of a threaded run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThreadedRunStats {
@@ -204,6 +251,8 @@ pub struct ThreadedRunStats {
     pub labeled: RecallCounts,
     /// Online-adaptation tallies (drift flags, retrains, publishes).
     pub adapt: AdaptStats,
+    /// Triage pre-filter tallies (lanes, shed, would-be verdicts).
+    pub triage: TriageStats,
     pub mean_latency_us: f64,
     pub max_latency_us: f64,
 }
@@ -230,6 +279,8 @@ pub struct ThreadedPipeline {
     shards: usize,
     table: FlowTableConfig,
     adapt: Option<AdaptConfig>,
+    prefilter: PrefilterMode,
+    triage: TriageConfig,
     /// Cursor into the database's prediction history for
     /// [`ThreadedPipeline::new_predictions`].
     pred_cursor: Mutex<usize>,
@@ -252,6 +303,8 @@ impl ThreadedPipeline {
             shards: 1,
             table: FlowTableConfig::default(),
             adapt: None,
+            prefilter: PrefilterMode::Off,
+            triage: TriageConfig::default(),
             pred_cursor: Mutex::new(0),
         }
     }
@@ -273,6 +326,23 @@ impl ThreadedPipeline {
     /// the live run. Requires a labeled source to have any effect.
     pub fn with_adaptation(mut self, adapt: AdaptConfig) -> Self {
         self.adapt = Some(adapt);
+        self
+    }
+
+    /// Enable the triage pre-filter (`features::triage`): per-shard
+    /// sketch state grades every flow update Forward/Defer/Drop.
+    /// `Shadow` scores without gating (recall-parity measurement); `On`
+    /// routes Defer onto a bounded low-priority lane the prediction
+    /// thread drains only when the main lane is idle, and skips Drop
+    /// entirely.
+    pub fn with_prefilter(mut self, mode: PrefilterMode) -> Self {
+        self.prefilter = mode;
+        self
+    }
+
+    /// Tune the triage stage (thresholds, sketch sizes, alarm knobs).
+    pub fn with_triage_config(mut self, cfg: TriageConfig) -> Self {
+        self.triage = cfg;
         self
     }
 
@@ -347,6 +417,10 @@ impl ThreadedPipeline {
             shard_rxs.push(rx);
         }
         let (job_tx, job_rx) = bounded::<BatchJob>(self.channel_capacity);
+        // The low-priority lane: deferred batches park here until the
+        // prediction thread finds the main lane idle. Deliberately
+        // shallow — overflow is explicit, counted shed.
+        let (defer_tx, defer_rx) = bounded::<BatchJob>(DEFER_DEPTH);
         let (vote_tx, vote_rx) = bounded::<BatchVoted>(self.channel_capacity);
 
         // Optional adaptation stage: a bounded sample channel from the
@@ -354,6 +428,7 @@ impl ThreadedPipeline {
         // shadow-trainer thread that watches for drift, retrains, and
         // publishes fresh epochs through the shared handle.
         let feature_set = self.handle.feature_set();
+        let dim = feature_set.dim();
         let (sample_tx, adaptation) = match &self.adapt {
             Some(cfg) => {
                 let (tx, rx) = bounded::<SampleBatch>(cfg.queue_capacity);
@@ -465,7 +540,9 @@ impl ThreadedPipeline {
         // shared Processor stage. Batches flush when full *or* when the
         // shard channel goes momentarily idle, so a trickling live
         // source still sees its updates predicted promptly.
-        let processors: Vec<JoinHandle<u64>> = shard_rxs
+        let prefilter = self.prefilter;
+        let triage_cfg = self.triage;
+        let processors: Vec<JoinHandle<ShardStats>> = shard_rxs
             .into_iter()
             .zip(pool_rxs)
             .enumerate()
@@ -473,19 +550,38 @@ impl ThreadedPipeline {
                 let db = self.db.clone();
                 let table = self.table;
                 let job_tx = job_tx.clone();
+                let defer_tx = defer_tx.clone();
                 let in_flight = Arc::clone(&in_flight);
                 std::thread::spawn(move || {
-                    let mut processor = Processor::new(table, db, clock, feature_set);
+                    let mut processor = Processor::new(table, db, clock, feature_set)
+                        .with_prefilter(prefilter, triage_cfg);
                     let mut batch = BatchJob::empty(shard_idx);
+                    let mut defer = BatchJob::empty(shard_idx);
+                    let mut shed = 0u64;
                     'work: loop {
                         let Ok(event) = shard_rx.recv() else {
                             break 'work;
                         };
-                        ingest_event(&mut processor, &event, &mut batch, &in_flight);
-                        while batch.items.len() < MAX_JOB_BATCH {
+                        ingest_event(
+                            &mut processor,
+                            &event,
+                            &mut batch,
+                            &mut defer,
+                            dim,
+                            &in_flight,
+                        );
+                        while batch.items.len() < MAX_JOB_BATCH && defer.items.len() < MAX_JOB_BATCH
+                        {
                             match shard_rx.try_recv() {
                                 Ok(event) => {
-                                    ingest_event(&mut processor, &event, &mut batch, &in_flight);
+                                    ingest_event(
+                                        &mut processor,
+                                        &event,
+                                        &mut batch,
+                                        &mut defer,
+                                        dim,
+                                        &in_flight,
+                                    );
                                 }
                                 Err(TryRecvError::Empty) => break,
                                 Err(TryRecvError::Disconnected) => break,
@@ -503,17 +599,52 @@ impl ThreadedPipeline {
                                 break 'work;
                             }
                         }
+                        if !defer.items.is_empty() {
+                            let shell = match pool_rx.try_recv() {
+                                Ok(recycled) => recycled,
+                                Err(_) => BatchJob::empty(shard_idx),
+                            };
+                            let full = std::mem::replace(&mut defer, shell);
+                            // Strictly non-blocking: a saturated deferred
+                            // lane sheds, it never backpressures ingest —
+                            // that is the lane's whole contract.
+                            if let Err(err) = defer_tx.try_send(full) {
+                                let mut rejected = match err {
+                                    TrySendError::Full(job) => job,
+                                    TrySendError::Disconnected(job) => job,
+                                };
+                                let n = rejected.items.len();
+                                shed += n as u64;
+                                in_flight.fetch_sub(n, Ordering::AcqRel);
+                                rejected.items.clear();
+                                rejected.rows.clear();
+                                defer = rejected;
+                            }
+                        }
                     }
                     if !batch.items.is_empty() {
                         let _ = job_tx.send(batch);
                     }
-                    processor.created()
+                    if !defer.items.is_empty() {
+                        let n = defer.items.len();
+                        if defer_tx.try_send(defer).is_err() {
+                            shed += n as u64;
+                            in_flight.fetch_sub(n, Ordering::AcqRel);
+                        }
+                    }
+                    ShardStats {
+                        created: processor.created(),
+                        lanes: processor.lane_counts(),
+                        triage: processor.triage_counters(),
+                        shed,
+                    }
                 })
             })
             .collect();
-        // The spawn loop cloned per-shard senders; drop the original so
-        // the job channel closes once every shard exits.
+        // The spawn loop cloned per-shard senders; drop the originals so
+        // the job and defer channels close once every shard exits.
         drop(job_tx);
+        drop(defer_tx);
 
         // Module 4: Prediction — shard batches fan back in here; one
         // columnar scaler + ensemble pass per batch, against whatever
@@ -524,20 +655,56 @@ impl ThreadedPipeline {
             let handle = self.handle.clone();
             std::thread::spawn(move || {
                 let mut predictor = Predictor::shared(handle);
-                for job in job_rx.iter() {
-                    // Vote buffers round-trip through aggregation and come
-                    // back via the scratch pool; predict() clears them.
-                    let mut attacks: Vec<bool> = scratch_rx.try_recv().unwrap_or_default();
-                    let epoch = predictor.predict(&job.rows, &mut attacks);
-                    if vote_tx
-                        .send(BatchVoted {
-                            job,
-                            attacks,
-                            epoch,
-                        })
-                        .is_err()
-                    {
-                        break;
+                if prefilter != PrefilterMode::On {
+                    // No deferred lane to service (Off and Shadow both
+                    // route everything onto the main lane): the plain
+                    // blocking loop, so shadow's timing stays identical
+                    // to off and its measurements are apples-to-apples.
+                    drop(defer_rx);
+                    for job in job_rx.iter() {
+                        if !score_batch(&mut predictor, job, &scratch_rx, &vote_tx) {
+                            return;
+                        }
+                    }
+                    return;
+                }
+                // Priority drain: the main lane is served strictly first;
+                // the deferred lane is only touched when the main lane is
+                // momentarily empty ("the Predictor drains it when idle").
+                loop {
+                    match job_rx.try_recv() {
+                        Ok(job) => {
+                            if !score_batch(&mut predictor, job, &scratch_rx, &vote_tx) {
+                                return;
+                            }
+                            continue;
+                        }
+                        Err(TryRecvError::Disconnected) => break,
+                        Err(TryRecvError::Empty) => {}
+                    }
+                    if let Ok(job) = defer_rx.try_recv() {
+                        if !score_batch(&mut predictor, job, &scratch_rx, &vote_tx) {
+                            return;
+                        }
+                        continue;
+                    }
+                    match job_rx.recv_timeout(IDLE_WAIT) {
+                        Ok(job) => {
+                            if !score_batch(&mut predictor, job, &scratch_rx, &vote_tx) {
+                                return;
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                // Drain discipline: once the main lane closes, everything
+                // deferred (and not shed) is still evaluated before the
+                // run ends — which is what keeps verdict totals, and
+                // recall, shard-count invariant.
+                for job in defer_rx.iter() {
+                    if !score_batch(&mut predictor, job, &scratch_rx, &vote_tx) {
+                        return;
                     }
                 }
             })
@@ -553,7 +720,6 @@ impl ThreadedPipeline {
             let window_size = self.smoothing_window;
             let in_flight = Arc::clone(&in_flight);
             let done = Arc::clone(&done);
-            let dim = feature_set.dim();
             std::thread::spawn(move || {
                 let _done_guard = SetOnDrop(done);
                 let mut agg = crate::modules::Aggregator::new(db, window_size);
@@ -613,11 +779,34 @@ impl ThreadedPipeline {
             aggregator,
             adaptation,
             handle: self.handle.clone(),
+            prefilter,
             stop,
             in_flight,
             done,
         }
     }
+}
+
+/// Score one batch through the shared ensemble and pass it to
+/// aggregation. Returns `false` when aggregation has exited (time for
+/// the prediction thread to stop too).
+fn score_batch(
+    predictor: &mut Predictor,
+    job: BatchJob,
+    scratch_rx: &Receiver<Vec<bool>>,
+    vote_tx: &Sender<BatchVoted>,
+) -> bool {
+    // Vote buffers round-trip through aggregation and come back via the
+    // scratch pool; predict() clears them.
+    let mut attacks: Vec<bool> = scratch_rx.try_recv().unwrap_or_default();
+    let epoch = predictor.predict(&job.rows, &mut attacks);
+    vote_tx
+        .send(BatchVoted {
+            job,
+            attacks,
+            epoch,
+        })
+        .is_ok()
 }
 
 /// Copy a voted batch's labeled rows toward the shadow trainer over the
@@ -657,26 +846,45 @@ fn feed_trainer(
 }
 
 /// One telemetry event (either backend) through the shared Processor
-/// stage, batching judged updates. Created flows retire from the
-/// in-flight count here (they never reach aggregation, §III-3); judged
-/// ones retire after their verdict is stored. The event's ground truth,
-/// if any, rides along with the judged item so aggregation can score
-/// the verdict.
+/// stage, batching judged updates into their triage lane. Created flows
+/// retire from the in-flight count here (they never reach aggregation,
+/// §III-3), and so do triage-dropped updates (no verdict will ever be
+/// stored for them); judged ones retire after their verdict is stored.
+/// A deferred update's feature row migrates from the main batch (where
+/// `Processor::ingest` appended it) into the defer batch, keeping the
+/// two row buffers parallel to their item lists. The event's ground
+/// truth, if any, rides along with the judged item so aggregation can
+/// score the verdict.
 // amlint: hot
 fn ingest_event<C: Clock>(
     processor: &mut Processor<C>,
     event: &LabeledEvent,
     batch: &mut BatchJob,
+    defer: &mut BatchJob,
+    dim: usize,
     in_flight: &AtomicUsize,
 ) {
     match processor.ingest(&event.event, &mut batch.rows) {
-        Ingest::Created { .. } => {
+        Ingest::Created { .. } | Ingest::Dropped { .. } => {
             in_flight.fetch_sub(1, Ordering::AcqRel);
         }
-        Ingest::Judged(judged) => batch
-            .items
-            // amlint: cold -- pooled BatchJob buffer, reused across batches
-            .push((judged.key, judged.registered_ns, event.truth)),
+        Ingest::Judged(judged) => {
+            if judged.lane == TriageVerdict::Defer {
+                let split = batch.rows.len() - dim;
+                // amlint: cold -- pooled BatchJob buffer, reused across batches
+                defer.rows.extend_from_slice(&batch.rows[split..]);
+                batch.rows.truncate(split);
+                defer
+                    .items
+                    // amlint: cold -- pooled BatchJob buffer, reused across batches
+                    .push((judged.key, judged.registered_ns, event.truth));
+            } else {
+                batch
+                    .items
+                    // amlint: cold -- pooled BatchJob buffer, reused across batches
+                    .push((judged.key, judged.registered_ns, event.truth));
+            }
+        }
     }
 }
 
@@ -691,7 +899,7 @@ const DRAIN_POLL: Duration = Duration::from_micros(400);
 /// [`ThreadedPipeline::start`].
 pub struct RunHandle {
     collection: JoinHandle<u64>,
-    processors: Vec<JoinHandle<u64>>,
+    processors: Vec<JoinHandle<ShardStats>>,
     prediction: JoinHandle<()>,
     aggregator: JoinHandle<(VerdictCounts, RecallCounts, f64, f64, u64, u64)>,
     /// The shadow-trainer thread, present when adaptation is enabled.
@@ -700,6 +908,9 @@ pub struct RunHandle {
     /// The run's model handle, for stamping final-epoch stats and for
     /// callers that want to publish into the live run.
     handle: EpochHandle,
+    /// Which pre-filter mode the run was started with (stamped into the
+    /// final stats).
+    prefilter: PrefilterMode,
     stop: Arc<AtomicBool>,
     in_flight: Arc<AtomicUsize>,
     done: Arc<AtomicBool>,
@@ -742,10 +953,18 @@ impl RunHandle {
             module: "collection",
         });
         let mut flows_created = 0u64;
+        let mut lanes = LaneCounts::default();
+        let mut would = TriageCounters::default();
+        let mut shed = 0u64;
         let mut shard_err = None;
         for shard in self.processors {
             match shard.join() {
-                Ok(created) => flows_created += created,
+                Ok(stats) => {
+                    flows_created += stats.created;
+                    lanes.merge(&stats.lanes);
+                    would.merge(&stats.triage);
+                    shed += stats.shed;
+                }
                 Err(_) => {
                     shard_err = Some(RuntimeError {
                         module: "processor",
@@ -790,6 +1009,14 @@ impl RunHandle {
                 drift_events,
                 retrains,
                 final_epoch: self.handle.current_epoch(),
+            },
+            triage: TriageStats {
+                mode: self.prefilter,
+                forwarded: lanes.forwarded,
+                deferred: lanes.deferred,
+                dropped: lanes.dropped,
+                shed,
+                would,
             },
             mean_latency_us,
             max_latency_us,
@@ -1127,6 +1354,74 @@ mod tests {
         let reports: Vec<TelemetryReport> = capture(20).into_iter().map(|(r, _)| r).collect();
         let stats = pipe.run(reports).expect("no module panicked");
         assert_eq!(stats.adapt, AdaptStats::default());
+    }
+
+    /// Default triage knobs with the aggregate alarm disabled — these
+    /// tests exercise the per-flow lanes, not the alarm heuristics.
+    fn quiet_triage() -> TriageConfig {
+        TriageConfig {
+            alarm_min_events: u64::MAX,
+            ..TriageConfig::default()
+        }
+    }
+
+    #[test]
+    fn prefilter_on_cuts_predictor_load_and_accounts_every_update() {
+        let reports: Vec<TelemetryReport> = capture(150).into_iter().map(|(r, _)| r).collect();
+        let n = reports.len() as u64;
+
+        let off = ThreadedPipeline::new(bundle());
+        let base = off.run(reports.clone()).expect("no module panicked");
+        assert_eq!(base.predictions, n - 8);
+        // Off still tallies the (sole) lane; the scorer never ran.
+        assert_eq!(
+            base.triage,
+            TriageStats {
+                forwarded: n - 8,
+                ..TriageStats::default()
+            }
+        );
+
+        let on = ThreadedPipeline::new(bundle())
+            .with_prefilter(PrefilterMode::On)
+            .with_triage_config(quiet_triage());
+        let stats = on.run(reports).expect("no module panicked");
+        let t = stats.triage;
+        assert_eq!(t.mode, PrefilterMode::On);
+        assert!(t.dropped > 0, "flood updates must be decimated");
+        // Conservation: every ingested event is a flow creation, a
+        // stored verdict, a triage drop, or explicit shed — nothing
+        // vanishes silently.
+        assert_eq!(
+            stats.flows_created + stats.predictions + t.dropped + t.shed,
+            stats.events_in
+        );
+        assert_eq!(stats.predictions, t.evaluated());
+        assert!(
+            stats.predictions < base.predictions,
+            "gating must cut predictor load: {} vs {}",
+            stats.predictions,
+            base.predictions
+        );
+        assert_eq!(on.database().predictions().len() as u64, stats.predictions);
+    }
+
+    #[test]
+    fn prefilter_shadow_is_invisible_to_the_predictor() {
+        let reports: Vec<TelemetryReport> = capture(100).into_iter().map(|(r, _)| r).collect();
+        let n = reports.len() as u64;
+        let pipe = ThreadedPipeline::new(bundle())
+            .with_shards(2)
+            .with_prefilter(PrefilterMode::Shadow)
+            .with_triage_config(quiet_triage());
+        let stats = pipe.run(reports).expect("no module panicked");
+        let t = stats.triage;
+        assert_eq!(stats.predictions, n - 8, "shadow gates nothing");
+        assert_eq!(t.mode, PrefilterMode::Shadow);
+        assert_eq!((t.deferred, t.dropped, t.shed), (0, 0, 0));
+        assert_eq!(t.forwarded, stats.predictions);
+        assert!(t.would.drop > 0, "the scorer still reports would-be drops");
+        assert_eq!(t.would.scored, n - 8);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! are also used directly by the Table III/IV experiment binaries.
 
 use crate::event::{LabeledEvent, Telemetry};
-use amlight_features::{FeatureSet, FlowTable, FlowTableConfig};
+use amlight_features::{
+    FeatureId, FeatureSet, FlowTable, FlowTableConfig, TriageConfig, TriageStage,
+};
 use amlight_ml::model::BinaryClassifier;
 use amlight_ml::{
     BundleMeta, Dataset, GaussianNb, MajorityEnsemble, MetaError, Mlp, MlpConfig, RandomForest,
@@ -22,17 +24,28 @@ use serde::{Deserialize, Serialize};
 /// Backend-blind by construction: every event lowers itself into a
 /// normalized [`amlight_features::FlowUpdate`] via [`Telemetry`], so the
 /// same code path trains on INT reports, sFlow samples, or PINT digests.
+///
+/// When `set` includes the [`FeatureId::SketchScore`] extension column a
+/// shadow [`TriageStage`] (default knobs) scores every update exactly as
+/// the live Processor would, so the trained models see the same column
+/// distribution they will get at detection time.
 pub fn dataset_from_events<E: Telemetry>(
     labeled: &[(E, TrafficClass)],
     set: FeatureSet,
 ) -> Dataset {
     let mut table = FlowTable::new(FlowTableConfig::default());
+    let mut triage = sketch_stage_for(set);
     let mut data = Dataset::with_capacity(set.dim(), labeled.len());
     let mut buf = Vec::with_capacity(set.dim());
     for (event, class) in labeled {
-        let (_, rec) = event.update(&mut table);
+        let update = event.flow_update();
+        let (_, rec) = table.apply(&update);
+        let mut features = rec.features();
+        if let Some(stage) = triage.as_mut() {
+            features.set(FeatureId::SketchScore, stage.assess(&update, rec).score);
+        }
         buf.clear();
-        rec.features().project_into(set, &mut buf);
+        features.project_into(set, &mut buf);
         data.push(&buf, class.label());
     }
     data
@@ -42,17 +55,30 @@ pub fn dataset_from_events<E: Telemetry>(
 /// [`crate::event::TelemetryBackend::derive_view`] produces).
 pub fn dataset_from_labeled(labeled: &[LabeledEvent], set: FeatureSet) -> Dataset {
     let mut table = FlowTable::new(FlowTableConfig::default());
+    let mut triage = sketch_stage_for(set);
     let mut data = Dataset::with_capacity(set.dim(), labeled.len());
     let mut buf = Vec::with_capacity(set.dim());
     for ev in labeled {
-        let (_, rec) = ev.event.update(&mut table);
+        let update = ev.event.flow_update();
+        let (_, rec) = table.apply(&update);
+        let mut features = rec.features();
+        if let Some(stage) = triage.as_mut() {
+            features.set(FeatureId::SketchScore, stage.assess(&update, rec).score);
+        }
         buf.clear();
-        rec.features().project_into(set, &mut buf);
+        features.project_into(set, &mut buf);
         // amlint: cold -- offline training; unlabeled events are a usage error
         let class = ev.truth.expect("training requires ground-truth labels");
         data.push(&buf, class.label());
     }
     data
+}
+
+/// A shadow triage scorer when (and only when) the feature set asks for
+/// the sketch-score extension column.
+fn sketch_stage_for(set: FeatureSet) -> Option<TriageStage> {
+    set.contains(FeatureId::SketchScore)
+        .then(|| TriageStage::new(TriageConfig::default()))
 }
 
 /// Training knobs for the deployable bundle.
@@ -339,6 +365,42 @@ mod tests {
         let d = dataset_from_events(&labeled, sflow_set());
         assert_eq!(d.n_features(), 12);
         assert_eq!(d.len(), 20);
+    }
+
+    #[test]
+    fn sketch_score_column_is_populated_when_requested() {
+        let labeled = labeled_reports(60);
+        let ext = FeatureSet::full().with(&[FeatureId::SketchScore]);
+        let d = dataset_from_events(&labeled, ext);
+        assert_eq!(d.n_features(), 16);
+        // Attack rows (tiny packets, µs inter-arrivals, heavy-hitter
+        // counts) sit far outside the benign envelope: their sketch
+        // scores must dominate the benign ones on average.
+        let (mut attack, mut benign) = ((0.0, 0u32), (0.0, 0u32));
+        for (i, (_, class)) in labeled.iter().enumerate() {
+            let score = d.row(i)[15];
+            let side = if class.label() {
+                &mut attack
+            } else {
+                &mut benign
+            };
+            side.0 += score;
+            side.1 += 1;
+        }
+        let (attack_mean, benign_mean) = (
+            attack.0 / f64::from(attack.1),
+            benign.0 / f64::from(benign.1),
+        );
+        assert!(
+            attack_mean > benign_mean,
+            "attack mean {attack_mean} vs benign mean {benign_mean}"
+        );
+        // And without the extension the canonical 15 stay untouched.
+        let plain = dataset_from_events(&labeled, FeatureSet::full());
+        assert_eq!(plain.n_features(), 15);
+        for i in 0..plain.len() {
+            assert_eq!(plain.row(i), &d.row(i)[..15], "row {i}");
+        }
     }
 
     #[test]

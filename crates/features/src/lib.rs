@@ -25,9 +25,14 @@ pub mod reference;
 pub mod sharded;
 pub mod stats;
 pub mod table;
+pub mod triage;
 pub mod vector;
 
 pub use sharded::{ShardRouter, ShardedFlowTable, ShardedUpdate};
 pub use stats::StreamingStats;
 pub use table::{FlowRecord, FlowTable, FlowTableConfig, FlowUpdate, UpdateKind};
+pub use triage::{
+    EntropySketch, PrefilterMode, TriageConfig, TriageCounters, TriageDecision, TriageStage,
+    TriageVerdict, WindowedCountMin,
+};
 pub use vector::{FeatureId, FeatureSet, FeatureVector};

@@ -25,10 +25,21 @@ pub enum FeatureId {
     PacketCount,
     PacketsPerSec,
     BytesPerSec,
+    /// The triage stage's anomaly score (`features::triage`) — an
+    /// *extension* column outside the paper's 15 canonical features.
+    /// [`FeatureSet::full`] does not include it; opt in with
+    /// [`FeatureSet::with`].
+    SketchScore,
 }
 
 impl FeatureId {
-    pub const COUNT: usize = 15;
+    /// Total columns, canonical + extensions.
+    pub const COUNT: usize = 16;
+
+    /// The paper's Table V feature space — what [`FeatureSet::full`]
+    /// spans. Extension columns sit after this prefix of
+    /// [`FeatureId::ALL`].
+    pub const CANONICAL: usize = 15;
 
     pub const ALL: [FeatureId; Self::COUNT] = [
         FeatureId::Protocol,
@@ -46,6 +57,7 @@ impl FeatureId {
         FeatureId::PacketCount,
         FeatureId::PacketsPerSec,
         FeatureId::BytesPerSec,
+        FeatureId::SketchScore,
     ];
 
     /// The columns derived from in-band queue telemetry — the ones a
@@ -74,6 +86,7 @@ impl FeatureId {
             FeatureId::PacketCount => "Number of Packets",
             FeatureId::PacketsPerSec => "Packets per Second",
             FeatureId::BytesPerSec => "Packet Size per Second",
+            FeatureId::SketchScore => "Sketch Score",
         }
     }
 
@@ -101,13 +114,24 @@ pub struct FeatureSet {
     columns: u16,
 }
 
-/// Mask with every canonical column set.
-const FULL_MASK: u16 = (1 << FeatureId::COUNT) - 1;
+/// Mask with every canonical column set (extensions excluded).
+const FULL_MASK: u16 = (1 << FeatureId::CANONICAL) - 1;
 
 impl FeatureSet {
     /// All 15 canonical columns (the full-INT projection).
     pub const fn full() -> Self {
         Self { columns: FULL_MASK }
+    }
+
+    /// Add columns to this set — how extension columns like
+    /// [`FeatureId::SketchScore`] opt in:
+    /// `FeatureSet::full().with(&[FeatureId::SketchScore])`.
+    pub fn with(self, cols: &[FeatureId]) -> Self {
+        let mut columns = self.columns;
+        for c in cols {
+            columns |= 1u16 << *c as usize;
+        }
+        Self { columns }
     }
 
     /// Remove columns from this set.
@@ -125,7 +149,7 @@ impl FeatureSet {
         self.columns & (1u16 << id as usize) != 0
     }
 
-    /// Every canonical column present?
+    /// Exactly the canonical columns, no extensions?
     #[inline]
     pub fn is_full(self) -> bool {
         self.columns == FULL_MASK
@@ -199,8 +223,10 @@ impl FeatureVector {
     // amlint: allow(R8) -- FeatureId discriminants are < FeatureId::COUNT
     pub fn project_into(&self, set: FeatureSet, out: &mut Vec<f64>) {
         if set.is_full() {
+            // Canonical prefix only — the vector is COUNT wide to hold
+            // extension columns, but full() spans just the paper's 15.
             // amlint: cold -- caller-owned row buffer, reused across events
-            out.extend_from_slice(&self.values);
+            out.extend_from_slice(&self.values[..FeatureId::CANONICAL]);
             return;
         }
         for f in FeatureId::ALL {
@@ -228,11 +254,35 @@ mod tests {
     }
 
     #[test]
-    fn fifteen_features_total() {
-        assert_eq!(FeatureId::ALL.len(), 15);
+    fn fifteen_canonical_features_plus_extensions() {
+        assert_eq!(FeatureId::ALL.len(), FeatureId::COUNT);
+        assert_eq!(FeatureId::CANONICAL, 15);
         assert_eq!(FeatureSet::full().dim(), 15);
         assert_eq!(FeatureSet::full().features().len(), 15);
         assert!(FeatureSet::full().is_full());
+        assert!(!FeatureSet::full().contains(FeatureId::SketchScore));
+    }
+
+    #[test]
+    fn extension_column_is_opt_in_and_projects_last() {
+        let ext = FeatureSet::full().with(&[FeatureId::SketchScore]);
+        assert_eq!(ext.dim(), 16);
+        assert!(!ext.is_full(), "extended sets are not the canonical full");
+        assert!(ext.contains(FeatureId::SketchScore));
+        let mut v = FeatureVector::default();
+        v.set(FeatureId::Protocol, 6.0);
+        v.set(FeatureId::SketchScore, 2.5);
+        let row = v.project(ext);
+        assert_eq!(row.len(), 16);
+        assert_eq!(row[0], 6.0);
+        assert_eq!(row[15], 2.5, "extensions sit after the canonical prefix");
+        // The canonical projection never leaks the extension value.
+        let full = v.project(FeatureSet::full());
+        assert_eq!(full.len(), 15);
+        assert!(full.iter().all(|&x| x != 2.5));
+        // with() is idempotent and undone by without().
+        assert_eq!(ext.with(&[FeatureId::SketchScore]), ext);
+        assert_eq!(ext.without(&[FeatureId::SketchScore]), FeatureSet::full());
     }
 
     #[test]
@@ -250,7 +300,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         let names: std::collections::HashSet<_> = FeatureId::ALL.iter().map(|f| f.name()).collect();
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), FeatureId::COUNT);
         assert_eq!(FeatureSet::full().names().len(), 15);
         assert_eq!(sflow_like().names().len(), 12);
     }

@@ -56,7 +56,8 @@ pub mod prelude {
         verdict::{RecallCounts, SmoothingWindow, Verdict},
     };
     pub use amlight_features::{
-        FeatureSet, FeatureVector, FlowTable, FlowTableConfig, ShardedFlowTable,
+        FeatureSet, FeatureVector, FlowTable, FlowTableConfig, PrefilterMode, ShardedFlowTable,
+        TriageConfig, TriageStage, TriageVerdict,
     };
     pub use amlight_ingest::{IngestServer, IngestStats, ListenerConfig, WireProtocol};
     pub use amlight_int::{

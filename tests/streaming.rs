@@ -109,6 +109,42 @@ fn shard_count_is_invisible_to_verdicts() {
     }
 }
 
+/// Shadow mode never gates: across the whole shard matrix, a
+/// `--prefilter shadow` run produces per-flow verdict sequences
+/// bit-identical to `--prefilter off` — the scorer runs (and tallies
+/// would-be verdicts) without touching what the Predictor sees.
+#[test]
+fn prefilter_shadow_verdicts_are_bit_identical_to_off_across_shards() {
+    use amlight::features::PrefilterMode;
+    let b = bundle();
+    let reports: Vec<TelemetryReport> = capture(120).into_iter().map(|(r, _)| r).collect();
+    let n = reports.len() as u64;
+
+    for shards in [1usize, 2, 8] {
+        let off = ThreadedPipeline::new(b.clone()).with_shards(shards);
+        let off_stats = off.run(reports.clone()).expect("no module thread panicked");
+
+        let shadow = ThreadedPipeline::new(b.clone())
+            .with_shards(shards)
+            .with_prefilter(PrefilterMode::Shadow);
+        let shadow_stats = shadow
+            .run(reports.clone())
+            .expect("no module thread panicked");
+
+        assert_eq!(off_stats.predictions, shadow_stats.predictions);
+        assert_eq!(
+            off.database().verdict_sequences(),
+            shadow.database().verdict_sequences(),
+            "shadow changed a verdict sequence at {shards} shards"
+        );
+        // The scorer really ran: every update was graded, nothing gated.
+        let t = shadow_stats.triage;
+        assert_eq!(t.would.scored, n - 18, "{shards} shards");
+        assert_eq!((t.deferred, t.dropped, t.shed), (0, 0, 0));
+        assert_eq!(t.forwarded, shadow_stats.predictions);
+    }
+}
+
 /// The streaming acceptance path: a channel-backed source with 2 shards
 /// must satisfy the same invariants as the in-memory batch run.
 #[test]

@@ -1,0 +1,165 @@
+//! Property corpus for the triage sketches (`features::triage`): the
+//! windowed count-min must never underestimate under arbitrary
+//! interleavings of observe and window decay, the entropy sketch must be
+//! exact on collision-free universes (and never read above the exact
+//! Shannon entropy elsewhere), and decay must never underflow.
+
+use amlight::features::{EntropySketch, WindowedCountMin};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One step of an interleaved sketch workload: observe a key from a
+/// small universe, or roll the window (halve every counter).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Observe(u64),
+    Decay,
+}
+
+/// Arbitrary interleavings, biased toward observes so decays land on
+/// non-trivial counter states.
+fn arb_ops(universe: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    let span = universe + universe / 4 + 1;
+    proptest::collection::vec(
+        (0u64..span).prop_map(move |v| {
+            if v < universe {
+                Op::Observe(v)
+            } else {
+                Op::Decay
+            }
+        }),
+        0..len,
+    )
+}
+
+proptest! {
+    /// Count-min is overestimate-only, and window decay preserves that:
+    /// halving every counter cannot under-run the per-key halved true
+    /// count, because `floor(a/2) + floor(b/2) <= floor((a+b)/2)`.
+    #[test]
+    fn count_min_never_underestimates(ops in arb_ops(32, 400)) {
+        let mut cm = WindowedCountMin::new(64, 4);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Observe(k) => {
+                    let est = cm.observe(*k);
+                    let r = reference.entry(*k).or_insert(0);
+                    *r += 1;
+                    prop_assert!(est >= *r, "estimate {est} < true count {r} for key {k}");
+                }
+                Op::Decay => {
+                    cm.decay();
+                    for r in reference.values_mut() {
+                        *r >>= 1;
+                    }
+                }
+            }
+        }
+        for (k, r) in &reference {
+            let est = cm.estimate(*k);
+            prop_assert!(est >= *r, "final estimate {est} < true count {r} for key {k}");
+        }
+    }
+
+    /// On a universe of symbols with pairwise-distinct buckets the
+    /// sketch entropy IS the exact Shannon entropy of the draws.
+    #[test]
+    fn entropy_is_exact_on_collision_free_universes(
+        draws in proptest::collection::vec(0usize..8, 1..300),
+    ) {
+        // Deterministically pick 8 symbols mapping to distinct buckets.
+        let probe = EntropySketch::new(256);
+        let mut symbols = Vec::new();
+        let mut buckets = std::collections::HashSet::new();
+        let mut candidate = 0u64;
+        while symbols.len() < 8 {
+            if buckets.insert(probe.bucket_of(candidate)) {
+                symbols.push(candidate);
+            }
+            candidate += 1;
+        }
+
+        let mut sk = EntropySketch::new(256);
+        let mut counts = [0u64; 8];
+        for &d in &draws {
+            sk.observe(symbols[d]);
+            counts[d] += 1;
+        }
+        let total: u64 = counts.iter().sum();
+        let exact: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.ln()
+            })
+            .sum();
+        prop_assert!(
+            (sk.entropy() - exact).abs() < 1e-9,
+            "sketch {} vs exact {exact}",
+            sk.entropy()
+        );
+    }
+
+    /// Bucket collisions only ever merge symbols, and merging never
+    /// raises Shannon entropy: the sketch reads at most the exact value
+    /// no matter what the symbol stream looks like.
+    #[test]
+    fn entropy_never_exceeds_exact(
+        symbols in proptest::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let mut sk = EntropySketch::new(64);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &s in &symbols {
+            sk.observe(s);
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        let total = symbols.len() as f64;
+        let exact: f64 = counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.ln()
+            })
+            .sum();
+        prop_assert!(
+            sk.entropy() <= exact + 1e-9,
+            "sketch {} above exact {exact}",
+            sk.entropy()
+        );
+    }
+
+    /// Window decay is monotone and can never underflow: the entropy
+    /// total tracks its buckets through any interleaving, and repeated
+    /// halving drains everything to exactly zero (u64 floor halving
+    /// cannot wrap).
+    #[test]
+    fn window_decay_never_underflows(ops in arb_ops(16, 300)) {
+        let mut sk = EntropySketch::new(32);
+        let mut cm = WindowedCountMin::new(32, 3);
+        for op in &ops {
+            match op {
+                Op::Observe(k) => {
+                    sk.observe(*k);
+                    cm.observe(*k);
+                }
+                Op::Decay => {
+                    let before = sk.total();
+                    sk.decay();
+                    cm.decay();
+                    prop_assert!(sk.total() <= before, "decay grew the total");
+                }
+            }
+        }
+        for _ in 0..64 {
+            sk.decay();
+            cm.decay();
+        }
+        prop_assert_eq!(sk.total(), 0);
+        prop_assert!(sk.entropy() == 0.0, "drained sketch has entropy");
+        for k in 0..16u64 {
+            prop_assert_eq!(cm.estimate(k), 0);
+        }
+    }
+}
